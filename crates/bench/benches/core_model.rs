@@ -1,0 +1,53 @@
+//! Throughput of the Periodic Messages simulation: simulated rounds per
+//! wall-clock second, across network sizes and both reset policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use routesync_core::{NullRecorder, PeriodicModel, PeriodicParams, StartState};
+use routesync_desim::{Duration, SimTime};
+use routesync_rng::TimerResetPolicy;
+
+fn params(n: usize) -> PeriodicParams {
+    PeriodicParams::new(
+        n,
+        Duration::from_secs(121),
+        Duration::from_millis(110),
+        Duration::from_millis(100),
+    )
+}
+
+fn bench_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("periodic_model");
+    // 100 rounds of simulated time per iteration.
+    let horizon = SimTime::from_secs(121 * 100);
+    for &n in &[10usize, 20, 40] {
+        group.bench_with_input(BenchmarkId::new("after_processing", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = PeriodicModel::new(params(n), StartState::Unsynchronized, 7);
+                m.run(horizon, &mut NullRecorder);
+                m.sends()
+            });
+        });
+    }
+    for &n in &[10usize, 20, 40] {
+        group.bench_with_input(BenchmarkId::new("fast_burst_engine", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m =
+                    routesync_core::FastModel::new(params(n), StartState::Unsynchronized, 7);
+                m.run(horizon, &mut NullRecorder);
+                m.sends()
+            });
+        });
+    }
+    group.bench_function("on_expiry_n20", |b| {
+        let p = params(20).with_reset_policy(TimerResetPolicy::OnExpiry);
+        b.iter(|| {
+            let mut m = PeriodicModel::new(p, StartState::Unsynchronized, 7);
+            m.run(horizon, &mut NullRecorder);
+            m.sends()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Cost of evaluating the Markov model: exact first-passage recursions vs
+//! the paper's printed recursion, and the bisection guideline solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use routesync_markov::paper::{f_recursion, g_recursion, TDef};
+use routesync_markov::{ChainParams, PeriodicChain};
+
+fn bench_markov(c: &mut Criterion) {
+    let mut group = c.benchmark_group("markov");
+    for &n in &[20usize, 100, 1000] {
+        let params = ChainParams {
+            n,
+            tp: 121.0,
+            tc: 0.11,
+            tr: 0.2,
+        };
+        group.bench_with_input(BenchmarkId::new("exact_f_g", n), &params, |b, p| {
+            b.iter(|| {
+                let chain = PeriodicChain::new(*p);
+                (chain.f_n(19.0), chain.g_1())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("paper_recursion", n), &params, |b, p| {
+            let chain = PeriodicChain::new(*p);
+            b.iter(|| {
+                (
+                    f_recursion(&chain, 19.0, TDef::Conditional),
+                    g_recursion(&chain, TDef::Conditional),
+                )
+            });
+        });
+    }
+    group.bench_function("recommended_tr_bisection", |b| {
+        let p = ChainParams::paper_reference();
+        b.iter(|| PeriodicChain::recommended_tr(&p, 0.95));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_markov);
+criterion_main!(benches);

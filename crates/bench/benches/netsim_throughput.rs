@@ -1,0 +1,48 @@
+//! Packet-level simulator throughput: the NEARnet scenario and a bare
+//! forwarding chain, in simulated seconds per wall-clock second.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use routesync_desim::{Duration, SimTime};
+use routesync_netsim::{scenario, DvConfig, NetSim, RouterConfig, Topology};
+
+fn bench_netsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim");
+    group.sample_size(20);
+    group.bench_function("nearnet_200s_with_pings", |b| {
+        b.iter(|| {
+            let mut n = scenario::nearnet(7);
+            n.sim.add_ping(
+                n.berkeley,
+                n.mit,
+                Duration::from_secs_f64(1.01),
+                180,
+                SimTime::from_secs(5),
+            );
+            n.sim.run_until(SimTime::from_secs(200));
+            n.sim.counters().delivered
+        });
+    });
+    group.bench_function("forwarding_chain_cbr", |b| {
+        b.iter(|| {
+            let mut t = Topology::new();
+            let a = t.add_host("a");
+            let z = t.add_host("z");
+            let mut prev = t.add_router("r0");
+            t.add_link(a, prev, Duration::from_millis(1), 10_000_000, 50);
+            for i in 1..5 {
+                let r = t.add_router(format!("r{i}"));
+                t.add_link(prev, r, Duration::from_millis(2), 10_000_000, 50);
+                prev = r;
+            }
+            t.add_link(prev, z, Duration::from_millis(1), 10_000_000, 50);
+            let mut sim = NetSim::new(t, RouterConfig::new(DvConfig::rip()), 3);
+            sim.add_cbr(a, z, Duration::from_millis(20), 5_000, SimTime::from_secs(1));
+            sim.run_until(SimTime::from_secs(120));
+            sim.counters().delivered
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_netsim);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Carta's claim, re-measured: the fast Park-Miller implementations
+//! against Schrage's method and the naive 64-bit remainder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use routesync_rng::{MinStd, MinStdAlgorithm};
+
+fn bench_minstd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minstd");
+    for algo in [
+        MinStdAlgorithm::Reference,
+        MinStdAlgorithm::CartaFold,
+        MinStdAlgorithm::CartaDoubleFold,
+        MinStdAlgorithm::Schrage,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("draw_1e5", format!("{algo:?}")),
+            &algo,
+            |b, &algo| {
+                b.iter(|| {
+                    let mut g = MinStd::with_algorithm(1, algo);
+                    let mut acc = 0u64;
+                    for _ in 0..100_000 {
+                        acc = acc.wrapping_add(g.next() as u64);
+                    }
+                    acc
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_minstd);
+criterion_main!(benches);

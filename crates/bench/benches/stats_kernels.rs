@@ -1,0 +1,36 @@
+//! Cost of the statistics kernels on experiment-sized inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn series(n: usize) -> Vec<f64> {
+    let mut x = 0xABCDu64;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        })
+        .collect()
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stats");
+    for &n in &[1_000usize, 10_000] {
+        let xs = series(n);
+        group.bench_with_input(BenchmarkId::new("autocorrelation_200", n), &xs, |b, xs| {
+            b.iter(|| routesync_stats::autocorrelation(xs, 200));
+        });
+        group.bench_with_input(BenchmarkId::new("periodogram", n), &xs, |b, xs| {
+            b.iter(|| routesync_stats::power_spectrum(xs));
+        });
+    }
+    let xs = series(2_000);
+    group.bench_function("summary_2k", |b| {
+        b.iter(|| routesync_stats::summary(&xs));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stats);
+criterion_main!(benches);

@@ -1,0 +1,310 @@
+//! Ablations of the design choices called out in DESIGN.md.
+
+use routesync_core::{ClusterLog, PeriodicModel, PeriodicParams, StartState};
+use routesync_desim::{
+    BinaryHeapScheduler, CalendarQueue, Duration, Scheduler, SimTime,
+};
+use routesync_netsim::{scenario, ForwardingMode, NetSim};
+use routesync_rng::{JitterPolicy, TimerResetPolicy};
+use routesync_stats::ascii;
+
+use crate::common::{write_csv, Check, Config, Outcome};
+
+/// Reset-policy ablation: `AfterProcessing` (the paper's model) couples
+/// and synchronizes; `OnExpiry` (RFC 1058's suggestion) neither
+/// synchronizes nor desynchronizes.
+pub fn reset_policy(cfg: &Config) -> Outcome {
+    let horizon = if cfg.fast { 2.0e5 } else { 1.0e6 };
+    let base = PeriodicParams::paper_reference();
+    // (policy, start, what we measure)
+    let after_sync = {
+        let mut m = PeriodicModel::new(base, StartState::Unsynchronized, cfg.seed);
+        m.run_until_synchronized(horizon)
+    };
+    let on_expiry_params = base.with_reset_policy(TimerResetPolicy::OnExpiry);
+    let on_expiry_sync = {
+        let mut m =
+            PeriodicModel::new(on_expiry_params, StartState::Unsynchronized, cfg.seed);
+        let mut log = ClusterLog::new();
+        m.run(SimTime::from_secs_f64(horizon), &mut log);
+        log.max_size()
+    };
+    // OnExpiry from a synchronized start: stays synchronized forever
+    // (zero jitter variant, the paper's criticism of the scheme).
+    let frozen = on_expiry_params.with_jitter(JitterPolicy::None {
+        tp: Duration::from_secs(121),
+    });
+    let on_expiry_stuck = {
+        let mut m = PeriodicModel::new(frozen, StartState::Synchronized, cfg.seed);
+        let mut log = ClusterLog::new();
+        m.run(SimTime::from_secs_f64(horizon.min(3.0e5)), &mut log);
+        log.groups().iter().all(|g| g.2 == base.n as u32)
+    };
+    let file = write_csv(
+        cfg,
+        "ablation_reset_policy.csv",
+        "policy,start,outcome",
+        vec![
+            format!(
+                "after_processing,unsynchronized,synchronized_at_{:?}",
+                after_sync.at_secs
+            ),
+            format!("on_expiry,unsynchronized,max_cluster_{on_expiry_sync}"),
+            format!("on_expiry_no_jitter,synchronized,stays_{on_expiry_stuck}"),
+        ],
+    );
+    Outcome {
+        id: "ablation_reset_policy".into(),
+        title: "timer-reset policy: AfterProcessing vs OnExpiry".into(),
+        files: vec![file],
+        rendering: String::new(),
+        checks: vec![
+            Check {
+                claim: "AfterProcessing synchronizes from an unsynchronized start".into(),
+                measured: format!("{after_sync:?}"),
+                pass: after_sync.synchronized,
+            },
+            Check {
+                claim: "OnExpiry never forms large clusters (no coupling)".into(),
+                measured: format!("max cluster = {on_expiry_sync}"),
+                pass: on_expiry_sync <= 3,
+            },
+            Check {
+                claim: "OnExpiry with identical periods keeps an initial cluster forever".into(),
+                measured: format!("stayed synchronized = {on_expiry_stuck}"),
+                pass: on_expiry_stuck,
+            },
+        ],
+    }
+}
+
+/// Jitter-policy ablation: the recommended `[0.5·Tp, 1.5·Tp]` draw versus
+/// small uniform jitter, from a synchronized start.
+pub fn jitter_policy(cfg: &Config) -> Outcome {
+    let horizon = if cfg.fast { 3.0e5 } else { 2.0e6 };
+    let tp = Duration::from_secs(121);
+    let tc = Duration::from_millis(110);
+    let run = |jitter: JitterPolicy| {
+        let params = PeriodicParams::new(20, tp, tc, Duration::ZERO).with_jitter(jitter);
+        let mut m = PeriodicModel::new(params, StartState::Synchronized, cfg.seed);
+        m.run_until_cluster_at_most(1, horizon)
+    };
+    let small = run(JitterPolicy::Uniform {
+        tp,
+        tr: Duration::from_millis(110),
+    });
+    let ten_tc = run(JitterPolicy::Uniform {
+        tp,
+        tr: Duration::from_millis(1100),
+    });
+    let half = run(JitterPolicy::UniformHalf { tp });
+    let file = write_csv(
+        cfg,
+        "ablation_jitter_policy.csv",
+        "policy,desynchronized,at_seconds",
+        vec![
+            format!("uniform_tr_eq_tc,{},{:?}", small.desynchronized, small.at_secs),
+            format!("uniform_tr_10tc,{},{:?}", ten_tc.desynchronized, ten_tc.at_secs),
+            format!("uniform_half_tp,{},{:?}", half.desynchronized, half.at_secs),
+        ],
+    );
+    Outcome {
+        id: "ablation_jitter_policy".into(),
+        title: "jitter policies from a synchronized start".into(),
+        files: vec![file],
+        rendering: String::new(),
+        checks: vec![
+            Check {
+                claim: "Tr = Tc cannot break up synchronization within the horizon".into(),
+                measured: format!("{small:?}"),
+                pass: !small.desynchronized,
+            },
+            Check {
+                claim: "Tr = 10·Tc breaks up quickly (the paper's rule of thumb)".into(),
+                measured: format!("{ten_tc:?}"),
+                pass: ten_tc.desynchronized,
+            },
+            Check {
+                claim: "[0.5·Tp, 1.5·Tp] breaks up fastest / comparably fast".into(),
+                measured: format!("{half:?}"),
+                pass: half.desynchronized
+                    && half
+                        .at_secs
+                        .zip(ten_tc.at_secs)
+                        .is_none_or(|(h, t)| h <= t * 5.0),
+            },
+        ],
+    }
+}
+
+/// Forwarding-mode ablation on the NEARnet scenario: the 1992 software fix
+/// in one enum flip.
+pub fn forwarding(cfg: &Config) -> Outcome {
+    let probes = if cfg.fast { 300u64 } else { 1000 };
+    let loss = |mode: ForwardingMode| {
+        // Rebuild the nearnet topology with the requested mode.
+        let mut n = scenario::nearnet(cfg.seed);
+        if mode == ForwardingMode::Concurrent {
+            // scenario::nearnet is blocked-by-design; build the concurrent
+            // variant from scratch with the same shape.
+            let mut t = routesync_netsim::Topology::new();
+            let a = t.add_host("berkeley");
+            let b = t.add_host("mit");
+            let west = t.add_router("west");
+            let c1 = t.add_router("c1");
+            let c2 = t.add_router("c2");
+            let east = t.add_router("east");
+            let t1 = 1_544_000;
+            t.add_link(a, west, Duration::from_millis(1), 10_000_000, 50);
+            t.add_link(west, c1, Duration::from_millis(20), t1, 50);
+            t.add_link(c1, c2, Duration::from_millis(5), t1, 50);
+            t.add_link(c2, east, Duration::from_millis(20), t1, 50);
+            t.add_link(east, b, Duration::from_millis(1), 10_000_000, 50);
+            for (i, &core) in [c1, c2].iter().enumerate() {
+                for j in 0..5 {
+                    let stub = t.add_router(format!("s{i}{j}"));
+                    t.add_link(core, stub, Duration::from_millis(3), t1, 50);
+                }
+            }
+            let mut rc = routesync_netsim::RouterConfig::new(
+                routesync_netsim::DvConfig::igrp().with_pad(280),
+            );
+            rc.forwarding = ForwardingMode::Concurrent;
+            rc.pending_cap = 0;
+            let mut sim = NetSim::new(t, rc, cfg.seed);
+            sim.add_ping(
+                a,
+                b,
+                Duration::from_secs_f64(1.01),
+                probes,
+                SimTime::from_secs(5),
+            );
+            sim.run_until(SimTime::from_secs(10 + (probes as f64 * 1.01) as u64 + 30));
+            return sim.ping_stats(a).loss_rate();
+        }
+        n.sim.add_ping(
+            n.berkeley,
+            n.mit,
+            Duration::from_secs_f64(1.01),
+            probes,
+            SimTime::from_secs(5),
+        );
+        n.sim
+            .run_until(SimTime::from_secs(10 + (probes as f64 * 1.01) as u64 + 30));
+        n.sim.ping_stats(n.berkeley).loss_rate()
+    };
+    let blocked = loss(ForwardingMode::BlockedDuringUpdates);
+    let concurrent = loss(ForwardingMode::Concurrent);
+    let file = write_csv(
+        cfg,
+        "ablation_forwarding.csv",
+        "mode,ping_loss_rate",
+        vec![
+            format!("blocked,{blocked}"),
+            format!("concurrent,{concurrent}"),
+        ],
+    );
+    let rendering = ascii::bars(
+        &[
+            ("blocked".to_string(), blocked),
+            ("concurrent".to_string(), concurrent.max(1e-6)),
+        ],
+        50,
+    );
+    Outcome {
+        id: "ablation_forwarding".into(),
+        title: "NEARnet fix: forwarding blocked vs concurrent with update processing".into(),
+        files: vec![file],
+        rendering,
+        checks: vec![Check {
+            claim: "the software fix removes the periodic loss entirely".into(),
+            measured: format!("blocked loss {blocked:.3}, concurrent loss {concurrent:.4}"),
+            pass: blocked >= 0.02 && concurrent == 0.0,
+        }],
+    }
+}
+
+/// Scheduler ablation: binary heap vs calendar queue produce identical
+/// simulations; report relative wall-clock for a fixed workload.
+pub fn scheduler(cfg: &Config) -> Outcome {
+    let n_events = if cfg.fast { 200_000u64 } else { 2_000_000 };
+    // Identical periodic workload on both schedulers.
+    fn drive<S: Scheduler<u64>>(mut s: S, n_events: u64) -> (u64, std::time::Duration) {
+        let mut x = 99u64;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let period = 121_000_000_000u64;
+        for node in 0..20u64 {
+            s.push(SimTime(rng() % period), node);
+        }
+        let start = std::time::Instant::now();
+        let mut acc = 0u64;
+        for _ in 0..n_events {
+            let (t, node) = s.pop().expect("queue never drains");
+            acc = acc.wrapping_add(t.0 ^ node);
+            s.push(SimTime(t.0 + period - 100_000_000 + rng() % 200_000_000), node);
+        }
+        (acc, start.elapsed())
+    }
+    let (acc_heap, t_heap) = drive(BinaryHeapScheduler::new(), n_events);
+    let (acc_cal, t_cal) = drive(CalendarQueue::new(), n_events);
+    let file = write_csv(
+        cfg,
+        "ablation_scheduler.csv",
+        "scheduler,events,wall_seconds",
+        vec![
+            format!("binary_heap,{n_events},{}", t_heap.as_secs_f64()),
+            format!("calendar_queue,{n_events},{}", t_cal.as_secs_f64()),
+        ],
+    );
+    // Also confirm a real model run gives identical results on both —
+    // covered structurally by desim's conformance tests; here we check the
+    // checksum of the synthetic workload.
+    Outcome {
+        id: "ablation_scheduler".into(),
+        title: "binary heap vs calendar queue on the periodic timer workload".into(),
+        files: vec![file],
+        rendering: format!(
+            "heap: {:?} for {n_events} events; calendar: {:?}\n",
+            t_heap, t_cal
+        ),
+        checks: vec![Check {
+            claim: "both schedulers produce identical event orderings".into(),
+            measured: format!("checksums {acc_heap:#x} vs {acc_cal:#x}"),
+            pass: acc_heap == acc_cal,
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        let mut c = Config::fast();
+        c.out_dir = std::env::temp_dir().join("routesync-ablation");
+        c
+    }
+
+    #[test]
+    fn reset_policy_ablation_passes() {
+        let o = reset_policy(&cfg());
+        assert!(o.passed(), "{}", o.report());
+    }
+
+    #[test]
+    fn scheduler_ablation_checksums_match() {
+        let o = scheduler(&cfg());
+        assert!(o.passed(), "{}", o.report());
+    }
+
+    #[test]
+    fn forwarding_ablation_passes() {
+        let o = forwarding(&cfg());
+        assert!(o.passed(), "{}", o.report());
+    }
+}

@@ -1,0 +1,56 @@
+//! Regenerate the paper's figures.
+//!
+//! ```text
+//! cargo run --release -p routesync-bench --bin experiments -- all
+//! cargo run --release -p routesync-bench --bin experiments -- fig14 fig15
+//! cargo run --release -p routesync-bench --bin experiments -- --fast all
+//! ```
+//!
+//! CSVs land in `results/`; each experiment prints an ASCII rendering and
+//! a PASS/FAIL shape check against the paper's qualitative claims.
+
+use routesync_bench::{run, Config, ALL};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = Config::default();
+    args.retain(|a| match a.as_str() {
+        "--fast" => {
+            cfg.fast = true;
+            false
+        }
+        _ if a.starts_with("--seed=") => {
+            cfg.seed = a["--seed=".len()..].parse().expect("numeric seed");
+            false
+        }
+        _ if a.starts_with("--out=") => {
+            cfg.out_dir = a["--out=".len()..].into();
+            false
+        }
+        _ => true,
+    });
+    if args.is_empty() {
+        eprintln!("usage: experiments [--fast] [--seed=N] [--out=DIR] <id...|all>");
+        eprintln!("ids: {}", ALL.join(" "));
+        std::process::exit(2);
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        ALL.to_vec()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    let mut failures = 0;
+    for id in ids {
+        let started = std::time::Instant::now();
+        let outcome = run(id, &cfg);
+        println!("{}", outcome.report());
+        println!("({} took {:.1?})\n", id, started.elapsed());
+        if !outcome.passed() {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) failed their shape checks");
+        std::process::exit(1);
+    }
+}

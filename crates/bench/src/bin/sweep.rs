@@ -1,0 +1,109 @@
+//! Custom parameter sweeps over the Periodic Messages system.
+//!
+//! ```text
+//! cargo run --release -p routesync-bench --bin sweep -- \
+//!     --param tr --from 0.05 --to 0.5 --steps 16 --metric fraction
+//! cargo run --release -p routesync-bench --bin sweep -- \
+//!     --param n --from 4 --to 30 --steps 27 --metric sync-time --seeds 4
+//! ```
+//!
+//! Metrics:
+//! * `fraction`  — the Markov model's fraction of time unsynchronized.
+//! * `f`         — Markov f(N) in seconds (f(2) = 19 unless --f2).
+//! * `g`         — Markov g(1) in seconds.
+//! * `sync-time` — simulated mean time to synchronize (fast engine,
+//!                 horizon --horizon seconds, averaged over --seeds runs).
+//!
+//! Sweepable parameters: `tr`, `n`, `tc`, `tp`. Fixed values come from
+//! the paper's reference configuration unless overridden by --n/--tp/
+//! --tc/--tr. Output is CSV on stdout.
+
+use routesync_core::{experiment, PeriodicParams, StartState};
+use routesync_desim::{Duration, SimTime};
+use routesync_markov::{ChainParams, PeriodicChain};
+
+fn flag(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == &format!("--{key}"))
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let param = flag(&args, "param").unwrap_or_else(|| "tr".into());
+    let from: f64 = flag(&args, "from")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05);
+    let to: f64 = flag(&args, "to").and_then(|v| v.parse().ok()).unwrap_or(0.5);
+    let steps: usize = flag(&args, "steps")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
+        .max(2);
+    let metric = flag(&args, "metric").unwrap_or_else(|| "fraction".into());
+    let f2: f64 = flag(&args, "f2").and_then(|v| v.parse().ok()).unwrap_or(19.0);
+    let horizon: f64 = flag(&args, "horizon")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2e6);
+    let n_seeds: u64 = flag(&args, "seeds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let base = ChainParams {
+        n: flag(&args, "n").and_then(|v| v.parse().ok()).unwrap_or(20),
+        tp: flag(&args, "tp").and_then(|v| v.parse().ok()).unwrap_or(121.0),
+        tc: flag(&args, "tc").and_then(|v| v.parse().ok()).unwrap_or(0.11),
+        tr: flag(&args, "tr").and_then(|v| v.parse().ok()).unwrap_or(0.1),
+    };
+
+    println!("{param},{metric}");
+    for k in 0..steps {
+        let x = from + (to - from) * k as f64 / (steps - 1) as f64;
+        let mut p = base;
+        match param.as_str() {
+            "tr" => p.tr = x,
+            "tc" => p.tc = x,
+            "tp" => p.tp = x,
+            "n" => p.n = x.round() as usize,
+            other => {
+                eprintln!("unknown --param {other} (tr|tc|tp|n)");
+                std::process::exit(2);
+            }
+        }
+        let y = match metric.as_str() {
+            "fraction" => PeriodicChain::new(p).fraction_unsynchronized(f2),
+            "f" => PeriodicChain::new(p).f_n(f2) * p.seconds_per_round(),
+            "g" => PeriodicChain::new(p).g_1() * p.seconds_per_round(),
+            "sync-time" => {
+                let params = PeriodicParams::new(
+                    p.n,
+                    Duration::from_secs_f64(p.tp),
+                    Duration::from_secs_f64(p.tc),
+                    Duration::from_secs_f64(p.tr),
+                );
+                let seeds: Vec<u64> = (0..n_seeds).collect();
+                let times: Vec<f64> = experiment::parallel_map(&seeds, |&seed| {
+                    let mut m = routesync_core::FastModel::new(
+                        params,
+                        StartState::Unsynchronized,
+                        seed,
+                    );
+                    let mut fp = routesync_core::FirstPassageUp::new(p.n);
+                    m.run(SimTime::from_secs_f64(horizon), &mut fp);
+                    fp.first(p.n).map(|(t, _)| t.as_secs_f64())
+                })
+                .into_iter()
+                .flatten()
+                .collect();
+                if times.is_empty() {
+                    f64::NAN
+                } else {
+                    times.iter().sum::<f64>() / times.len() as f64
+                }
+            }
+            other => {
+                eprintln!("unknown --metric {other} (fraction|f|g|sync-time)");
+                std::process::exit(2);
+            }
+        };
+        println!("{x},{y}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Phase-space analysis of recorded runs.
+//!
+//! The paper frames routing-message synchronization as an instance of the
+//! classical coupled-oscillator literature (Huygens' clocks, fireflies —
+//! its \[B188\] reference). That field's standard synchronization metric
+//! is the **Kuramoto order parameter**: map each router's time-offset
+//! `φ ∈ [0, T)` onto the unit circle as `θ = 2πφ/T` and take
+//!
+//! ```text
+//! R = | (1/N) Σ exp(i·θ_k) |
+//! ```
+//!
+//! `R ≈ 0` for uniformly spread phases, `R = 1` for perfect lock-step.
+//! Unlike the largest-cluster statistic (which is what the paper plots),
+//! `R` is continuous — useful for watching partial alignment build up
+//! before the first cluster ever forms, and for comparing against the
+//! wider synchronization literature.
+
+use routesync_desim::Duration;
+
+use crate::model::NodeId;
+use crate::record::SendTrace;
+
+/// The Kuramoto order parameter of a set of phases `offsets` within a
+/// cycle of length `period` (both in seconds). Returns 0 for empty input.
+pub fn order_parameter(offsets: &[f64], period: f64) -> f64 {
+    assert!(period > 0.0, "period must be positive");
+    if offsets.is_empty() {
+        return 0.0;
+    }
+    let (mut re, mut im) = (0.0f64, 0.0f64);
+    for &o in offsets {
+        let theta = 2.0 * std::f64::consts::PI * (o / period);
+        re += theta.cos();
+        im += theta.sin();
+    }
+    let n = offsets.len() as f64;
+    (re * re + im * im).sqrt() / n
+}
+
+/// Normalized entropy of the phase distribution over `bins` equal slices
+/// of the cycle: 1 for perfectly uniform phases, 0 when everything lands
+/// in one bin. A complementary view to [`order_parameter`] (entropy also
+/// penalizes multi-cluster states that happen to cancel on the circle).
+pub fn phase_entropy(offsets: &[f64], period: f64, bins: usize) -> f64 {
+    assert!(period > 0.0 && bins >= 2, "need a positive period and >= 2 bins");
+    if offsets.is_empty() {
+        return 0.0;
+    }
+    let mut counts = vec![0usize; bins];
+    for &o in offsets {
+        let idx = (((o / period) * bins as f64) as usize).min(bins - 1);
+        counts[idx] += 1;
+    }
+    let n = offsets.len() as f64;
+    let h: f64 = counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum();
+    h / (bins as f64).ln()
+}
+
+/// Per-round order-parameter time series from a send trace.
+///
+/// Sends are grouped into consecutive windows of `n` messages (one round
+/// each); within a round, each router's phase is its send time modulo
+/// `round_len`. Returns `(round_end_time_secs, R)` pairs.
+pub fn order_parameter_series(
+    trace: &SendTrace,
+    n: usize,
+    round_len: Duration,
+) -> Vec<(f64, f64)> {
+    assert!(n > 0, "need at least one router");
+    let period = round_len.as_secs_f64();
+    let sends = trace.sends();
+    sends
+        .chunks(n)
+        .filter(|chunk| chunk.len() == n)
+        .map(|chunk| {
+            let offsets: Vec<f64> = chunk
+                .iter()
+                .map(|&(t, _)| (t % round_len).as_secs_f64())
+                .collect();
+            let t_end = chunk.last().expect("chunk non-empty").0.as_secs_f64();
+            (t_end, order_parameter(&offsets, period))
+        })
+        .collect()
+}
+
+/// The final phases (time-offsets, seconds) of each router's *last* send
+/// in a trace — a snapshot of where everyone sits in the cycle.
+pub fn final_phases(trace: &SendTrace, n: usize, round_len: Duration) -> Vec<Option<f64>> {
+    let mut out: Vec<Option<f64>> = vec![None; n];
+    for &(t, node) in trace.sends() {
+        if let Some(slot) = out.get_mut::<usize>(node as NodeId) {
+            *slot = Some((t % round_len).as_secs_f64());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PeriodicModel;
+    use crate::params::{PeriodicParams, StartState};
+    use crate::record::Recorder;
+    use routesync_desim::SimTime;
+
+    #[test]
+    fn order_parameter_extremes() {
+        // Perfect lock-step.
+        assert!((order_parameter(&[5.0; 10], 100.0) - 1.0).abs() < 1e-12);
+        // Perfectly spread: 4 phases at quarter marks cancel exactly.
+        let spread = [0.0, 25.0, 50.0, 75.0];
+        assert!(order_parameter(&spread, 100.0) < 1e-12);
+        // Empty input.
+        assert_eq!(order_parameter(&[], 100.0), 0.0);
+    }
+
+    #[test]
+    fn order_parameter_is_scale_invariant() {
+        let a = order_parameter(&[1.0, 2.0, 3.0], 10.0);
+        let b = order_parameter(&[10.0, 20.0, 30.0], 100.0);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_entropy_extremes() {
+        assert!((phase_entropy(&[5.0; 32], 100.0, 16) - 0.0).abs() < 1e-12);
+        let uniform: Vec<f64> = (0..160).map(|i| i as f64 * 100.0 / 160.0).collect();
+        assert!(phase_entropy(&uniform, 100.0, 16) > 0.99);
+    }
+
+    #[test]
+    fn entropy_catches_two_cluster_states_that_r_misses() {
+        // Two equal clusters on opposite sides of the circle: R ≈ 0 (they
+        // cancel) but entropy is far from uniform.
+        let phases: Vec<f64> = std::iter::repeat(10.0)
+            .take(8)
+            .chain(std::iter::repeat(60.0).take(8))
+            .collect();
+        assert!(order_parameter(&phases, 100.0) < 1e-9);
+        assert!(phase_entropy(&phases, 100.0, 16) < 0.3);
+    }
+
+    #[test]
+    fn series_rises_to_one_as_the_reference_system_synchronizes() {
+        let params = PeriodicParams::paper_reference();
+        let mut model = PeriodicModel::new(params, StartState::Unsynchronized, 1993);
+        let mut trace = SendTrace::new();
+        model.run(SimTime::from_secs(200_000), &mut trace);
+        let series = order_parameter_series(&trace, params.n, params.round_len());
+        assert!(series.len() > 100);
+        let early: f64 =
+            series[..10].iter().map(|p| p.1).sum::<f64>() / 10.0;
+        let late: f64 =
+            series[series.len() - 10..].iter().map(|p| p.1).sum::<f64>() / 10.0;
+        assert!(early < 0.5, "unsynchronized start should have low R: {early}");
+        assert!(late > 0.99, "full synchronization is R = 1: {late}");
+    }
+
+    #[test]
+    fn final_phases_snapshot() {
+        let mut trace = SendTrace::new();
+        trace.on_send(SimTime::from_secs(10), 0);
+        trace.on_send(SimTime::from_secs(130), 0); // later send wins
+        trace.on_send(SimTime::from_secs(50), 2);
+        let phases = final_phases(&trace, 3, Duration::from_secs(100));
+        assert_eq!(phases[0], Some(30.0));
+        assert_eq!(phases[1], None);
+        assert_eq!(phases[2], Some(50.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        let _ = order_parameter(&[1.0], 0.0);
+    }
+}

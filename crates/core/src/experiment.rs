@@ -1,0 +1,306 @@
+//! High-level experiment runners.
+//!
+//! These wrap [`PeriodicModel`] + recorder combinations into the one-call
+//! measurements the paper's figures are built from: time to synchronize,
+//! time to desynchronize, and per-cluster-size first-passage profiles, with
+//! multi-seed averaging parallelized across OS threads.
+
+use routesync_desim::SimTime;
+
+use crate::model::PeriodicModel;
+use crate::params::{PeriodicParams, StartState};
+use crate::record::{FirstPassageDown, FirstPassageUp};
+
+/// Result of running an unsynchronized start until full synchronization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncReport {
+    /// Whether a cluster of size `N` formed before the horizon.
+    pub synchronized: bool,
+    /// Time of full synchronization, in seconds.
+    pub at_secs: Option<f64>,
+    /// The same instant expressed in rounds of `Tp + Tc`.
+    pub rounds: Option<f64>,
+}
+
+/// Result of running a synchronized start until complete break-up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesyncReport {
+    /// Whether the per-round largest cluster fell to 1 before the horizon.
+    pub desynchronized: bool,
+    /// Time of complete break-up, in seconds.
+    pub at_secs: Option<f64>,
+    /// The same instant expressed in rounds of `Tp + Tc`.
+    pub rounds: Option<f64>,
+}
+
+impl PeriodicModel {
+    /// Run until all `N` routers reset simultaneously (full
+    /// synchronization) or `max_secs` of simulated time elapse.
+    pub fn run_until_synchronized(&mut self, max_secs: f64) -> SyncReport {
+        let n = self.params().n;
+        let round_len = self.params().round_len().as_secs_f64();
+        let mut fp = FirstPassageUp::new(n);
+        self.run(SimTime::from_secs_f64(max_secs), &mut fp);
+        let at = fp.first(n).map(|(t, _)| t.as_secs_f64());
+        SyncReport {
+            synchronized: fp.reached(),
+            at_secs: at,
+            rounds: at.map(|s| s / round_len),
+        }
+    }
+
+    /// Run until the per-round largest cluster falls to `target` or
+    /// `max_secs` elapse. Meaningful from a synchronized (or clustered)
+    /// start.
+    pub fn run_until_cluster_at_most(&mut self, target: usize, max_secs: f64) -> DesyncReport {
+        let n = self.params().n;
+        let round_len = self.params().round_len().as_secs_f64();
+        let mut fp = FirstPassageDown::new(n, target);
+        self.run(SimTime::from_secs_f64(max_secs), &mut fp);
+        let at = fp.first(target).map(|(t, _)| t.as_secs_f64());
+        DesyncReport {
+            desynchronized: fp.reached(),
+            at_secs: at,
+            rounds: at.map(|s| s / round_len),
+        }
+    }
+}
+
+/// First-passage profile upward: for one seed, the time (seconds) at which
+/// each cluster size `2..=N` was first reached, `None` where the horizon
+/// hit first. Index `i` is cluster size `i` (indices 0-1 unused/`Some(0)`).
+pub fn passage_up_profile(
+    params: PeriodicParams,
+    seed: u64,
+    max_secs: f64,
+) -> Vec<Option<f64>> {
+    // The burst-based engine is observationally identical (proven by the
+    // equivalence property tests) and ~N× faster for these long sweeps.
+    let mut model = crate::FastModel::new(params, StartState::Unsynchronized, seed);
+    let mut fp = FirstPassageUp::new(params.n);
+    model.run(SimTime::from_secs_f64(max_secs), &mut fp);
+    (0..=params.n)
+        .map(|i| {
+            if i < 2 {
+                Some(0.0)
+            } else {
+                fp.first(i).map(|(t, _)| t.as_secs_f64())
+            }
+        })
+        .collect()
+}
+
+/// First-passage profile downward from a synchronized start: the time at
+/// which the per-round largest cluster first fell to each size `1..N`.
+pub fn passage_down_profile(
+    params: PeriodicParams,
+    seed: u64,
+    max_secs: f64,
+) -> Vec<Option<f64>> {
+    let mut model = crate::FastModel::new(params, StartState::Synchronized, seed);
+    let mut fp = FirstPassageDown::new(params.n, 1);
+    model.run(SimTime::from_secs_f64(max_secs), &mut fp);
+    (0..=params.n)
+        .map(|i| {
+            if i == 0 || i >= params.n {
+                Some(0.0)
+            } else {
+                fp.first(i).map(|(t, _)| t.as_secs_f64())
+            }
+        })
+        .collect()
+}
+
+/// Run `profiles` for many seeds in parallel (one OS thread per seed,
+/// `std::thread::scope`) and average element-wise over the runs where the
+/// passage happened. Returns `(mean_secs, count)` per cluster size.
+pub fn average_profiles(
+    profiles: Vec<Vec<Option<f64>>>,
+) -> Vec<(Option<f64>, usize)> {
+    if profiles.is_empty() {
+        return Vec::new();
+    }
+    let len = profiles[0].len();
+    (0..len)
+        .map(|i| {
+            let vals: Vec<f64> = profiles.iter().filter_map(|p| p[i]).collect();
+            if vals.is_empty() {
+                (None, 0)
+            } else {
+                (
+                    Some(vals.iter().sum::<f64>() / vals.len() as f64),
+                    vals.len(),
+                )
+            }
+        })
+        .collect()
+}
+
+/// Parallel multi-seed upward first-passage sweep.
+pub fn parallel_passage_up(
+    params: PeriodicParams,
+    seeds: &[u64],
+    max_secs: f64,
+) -> Vec<Vec<Option<f64>>> {
+    parallel_map(seeds, |&seed| passage_up_profile(params, seed, max_secs))
+}
+
+/// Parallel multi-seed downward first-passage sweep.
+pub fn parallel_passage_down(
+    params: PeriodicParams,
+    seeds: &[u64],
+    max_secs: f64,
+) -> Vec<Vec<Option<f64>>> {
+    parallel_map(seeds, |&seed| passage_down_profile(params, seed, max_secs))
+}
+
+/// Map a function over items on scoped threads, preserving order.
+///
+/// Simulation runs are independent and CPU-bound, so plain OS threads (not
+/// an async runtime) are the right tool; the number of live threads is
+/// capped at the available parallelism.
+pub fn parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let f = &f;
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    let mut remaining: Vec<(usize, &T)> = items.iter().enumerate().collect();
+    while !remaining.is_empty() {
+        let batch: Vec<(usize, &T)> = remaining
+            .drain(..remaining.len().min(max_threads))
+            .collect();
+        let mut outs: Vec<(usize, R)> = Vec::with_capacity(batch.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = batch
+                .into_iter()
+                .map(|(i, item)| s.spawn(move || (i, f(item))))
+                .collect();
+            for h in handles {
+                outs.push(h.join().expect("worker thread panicked"));
+            }
+        });
+        for (i, r) in outs {
+            results[i] = Some(r);
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every index filled"))
+        .collect()
+}
+
+/// Estimate the paper's `f(2)` — the expected number of rounds for the
+/// first cluster of size 2 to form from an unsynchronized start — by Monte
+/// Carlo. Used as the default free parameter of the Markov-chain model.
+pub fn estimate_f2_rounds(
+    params: PeriodicParams,
+    seeds: &[u64],
+    max_secs: f64,
+) -> Option<f64> {
+    let round_len = params.round_len().as_secs_f64();
+    let times: Vec<f64> = parallel_map(seeds, |&seed| {
+        let mut model = crate::FastModel::new(params, StartState::Unsynchronized, seed);
+        let mut fp = FirstPassageUp::new(2);
+        model.run(SimTime::from_secs_f64(max_secs), &mut fp);
+        fp.first(2).map(|(t, _)| t.as_secs_f64())
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    if times.is_empty() {
+        None
+    } else {
+        Some(times.iter().sum::<f64>() / times.len() as f64 / round_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routesync_desim::Duration;
+
+    /// The paper's Figure 4 headline: N = 20, Tr = 0.1 s synchronizes well
+    /// within 10⁵ seconds.
+    #[test]
+    fn reference_parameters_synchronize() {
+        let params = PeriodicParams::paper_reference();
+        let mut model = PeriodicModel::new(params, StartState::Unsynchronized, 1993);
+        let report = model.run_until_synchronized(200_000.0);
+        assert!(report.synchronized, "{report:?}");
+        let rounds = report.rounds.expect("synchronized");
+        assert!(rounds > 1.0 && rounds < 2000.0, "rounds = {rounds}");
+    }
+
+    /// With a large random component (Tr = 2.8·Tc, the paper's Figure 8
+    /// right panel) a synchronized start breaks up quickly.
+    #[test]
+    fn large_jitter_breaks_up_synchronization() {
+        let params = PeriodicParams::new(
+            20,
+            Duration::from_secs(121),
+            Duration::from_millis(110),
+            Duration::from_nanos((2.8f64 * 110_000_000.0) as u64),
+        );
+        let mut model = PeriodicModel::new(params, StartState::Synchronized, 77);
+        let report = model.run_until_cluster_at_most(1, 2_000_000.0);
+        assert!(report.desynchronized, "{report:?}");
+    }
+
+    /// With tiny jitter a synchronized start persists (the Figure 8 left
+    /// panel shows Tr = 2.3·Tc unbroken after 10⁷ s; here we just check a
+    /// shorter horizon with a much smaller Tr).
+    #[test]
+    fn small_jitter_preserves_synchronization() {
+        let params = PeriodicParams::new(
+            20,
+            Duration::from_secs(121),
+            Duration::from_millis(110),
+            Duration::from_millis(60), // Tr < Tc/2: clusters can never shed
+        );
+        let mut model = PeriodicModel::new(params, StartState::Synchronized, 77);
+        let report = model.run_until_cluster_at_most(19, 100_000.0);
+        assert!(!report.desynchronized, "{report:?}");
+    }
+
+    #[test]
+    fn profiles_are_monotone_in_cluster_size() {
+        let params = PeriodicParams::paper_reference();
+        let up = passage_up_profile(params, 11, 300_000.0);
+        let reached: Vec<f64> = up.iter().skip(2).filter_map(|x| *x).collect();
+        for w in reached.windows(2) {
+            assert!(w[1] >= w[0], "first passage must be monotone: {up:?}");
+        }
+        assert!(reached.len() >= 2, "at least small clusters form");
+    }
+
+    #[test]
+    fn average_profiles_counts_only_completed_runs() {
+        let avg = average_profiles(vec![
+            vec![Some(10.0), None],
+            vec![Some(20.0), Some(4.0)],
+        ]);
+        assert_eq!(avg[0], (Some(15.0), 2));
+        assert_eq!(avg[1], (Some(4.0), 1));
+        assert!(average_profiles(vec![]).is_empty());
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..37).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn f2_estimate_is_positive_and_finite() {
+        let params = PeriodicParams::paper_reference();
+        let f2 = estimate_f2_rounds(params, &[1, 2, 3, 4], 500_000.0)
+            .expect("pairs form quickly at Tr = 0.1 s");
+        assert!(f2 > 0.0 && f2 < 500.0, "f2 = {f2}");
+    }
+}

@@ -1,0 +1,309 @@
+//! A burst-based fast path for the Periodic Messages model.
+//!
+//! The event-driven [`crate::PeriodicModel`] schedules one `BusyEnd` event
+//! per node per message — `O(N²)` events per round — because that is the
+//! honest way to execute the model's rules. But on a broadcast network the
+//! rules imply a closed form for a whole *burst*:
+//!
+//! Let the pending timer expiries, sorted, be `e₁ ≤ e₂ ≤ …`. The earliest
+//! expiry starts a burst; after `j` messages every router (member or not)
+//! is busy until `e₁ + j·Tc`, so the next expiry **joins the burst iff
+//! `e_{j+1} < e₁ + j·Tc`** (strictly — an expiry exactly at the busy
+//! boundary starts its own burst, matching the event-driven boundary
+//! semantics). When no more expiries join, all `m` members reset
+//! simultaneously at `e₁ + m·Tc` — that simultaneous reset *is* the
+//! cluster.
+//!
+//! [`FastModel`] executes bursts directly from a heap of expiries:
+//! `O(m log N)` per burst instead of `O(m·N log N)` events. Every
+//! simulation in this crate can use either engine; their equivalence
+//! (identical send logs and cluster logs, for any parameters and seed) is
+//! enforced by unit tests here and property tests in the integration
+//! crate.
+//!
+//! Limitations (by design, asserted at construction): the fast path covers
+//! the paper's Section 4-5 measurement configuration — the
+//! `AfterProcessing` reset policy, no externally injected triggered
+//! updates. For those, use the event-driven model.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use routesync_desim::SimTime;
+use routesync_rng::{JitterPolicy, MinStd, TimerResetPolicy};
+
+use crate::model::NodeId;
+use crate::params::{PeriodicParams, StartState};
+use crate::record::Recorder;
+
+struct FastNode {
+    jitter: JitterPolicy,
+    rng: MinStd,
+}
+
+/// Burst-based simulator for the Periodic Messages model.
+pub struct FastModel {
+    params: PeriodicParams,
+    nodes: Vec<FastNode>,
+    /// Pending expiries, min-heap by `(time, node)`.
+    heap: BinaryHeap<Reverse<(SimTime, NodeId)>>,
+    now: SimTime,
+    sends: u64,
+}
+
+impl FastModel {
+    /// Build a fast model. Panics if the configuration needs the
+    /// event-driven engine (non-`AfterProcessing` reset policy).
+    pub fn new(params: PeriodicParams, start: StartState, seed: u64) -> Self {
+        assert_eq!(
+            params.reset_policy,
+            TimerResetPolicy::AfterProcessing,
+            "FastModel implements the paper's AfterProcessing semantics only"
+        );
+        let mut nodes = Vec::with_capacity(params.n);
+        let mut heap = BinaryHeap::with_capacity(params.n);
+        let tp = params.tp();
+        for id in 0..params.n {
+            let mut rng = routesync_rng::stream(seed, id as u64);
+            let jitter = params.jitter.materialize(&mut rng);
+            let first = match &start {
+                StartState::Unsynchronized => routesync_rng::dist::UniformDuration::new(
+                    routesync_desim::Duration::ZERO,
+                    tp,
+                )
+                .sample(&mut rng),
+                StartState::Synchronized => tp,
+                StartState::Offsets(offsets) => {
+                    assert_eq!(offsets.len(), params.n, "one offset per router");
+                    offsets[id]
+                }
+            };
+            heap.push(Reverse((SimTime::ZERO + first, id)));
+            nodes.push(FastNode { jitter, rng });
+        }
+        FastModel {
+            params,
+            nodes,
+            heap,
+            now: SimTime::ZERO,
+            sends: 0,
+        }
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &PeriodicParams {
+        &self.params
+    }
+
+    /// Current simulated time (the last burst's reset instant).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total routing messages sent.
+    pub fn sends(&self) -> u64 {
+        self.sends
+    }
+
+    /// Run until the next burst would start at/after `horizon` or the
+    /// recorder stops the run. Bursts are atomic: one that *starts* before
+    /// the horizon is executed completely. Returns the time reached.
+    pub fn run<R: Recorder>(&mut self, horizon: SimTime, recorder: &mut R) -> SimTime {
+        let tc = self.params.tc;
+        let mut members: Vec<(SimTime, NodeId)> = Vec::with_capacity(self.params.n);
+        // The event-driven engine flushes a reset group to the recorder
+        // only when the *next* group starts (its send counter then already
+        // includes the following burst). Buffer one group to reproduce the
+        // identical callback order and round accounting.
+        let mut pending: Option<(SimTime, Vec<NodeId>)> = None;
+        loop {
+            if recorder.should_stop() {
+                break;
+            }
+            let Some(&Reverse((e1, _))) = self.heap.peek() else {
+                break;
+            };
+            if e1 >= horizon {
+                break;
+            }
+            // Collect the burst.
+            members.clear();
+            let Reverse(first) = self.heap.pop().expect("peeked");
+            members.push(first);
+            loop {
+                let boundary = e1 + tc.saturating_mul(members.len() as u64);
+                match self.heap.peek() {
+                    Some(&Reverse((e, _))) if e < boundary => {
+                        let Reverse(next) = self.heap.pop().expect("peeked");
+                        members.push(next);
+                    }
+                    _ => break,
+                }
+            }
+            // Emit sends in expiry order.
+            for &(e, node) in &members {
+                self.sends += 1;
+                recorder.on_send(e, node);
+            }
+            // Flush the previous burst's reset group (its round now counts
+            // this burst's sends, exactly like the event engine).
+            if let Some((t, ids)) = pending.take() {
+                let round = self.sends / self.params.n as u64;
+                recorder.on_cluster(t, round, &ids);
+            }
+            // Simultaneous reset.
+            let reset = e1 + tc * members.len() as u64;
+            self.now = reset;
+            pending = Some((reset, members.iter().map(|&(_, id)| id).collect()));
+            // Re-arm everyone.
+            for &(_, id) in &members {
+                let node = &mut self.nodes[id];
+                let interval = node.jitter.sample(&mut node.rng);
+                self.heap.push(Reverse((reset + interval, id)));
+            }
+        }
+        if let Some((t, ids)) = pending.take() {
+            let round = self.sends / self.params.n as u64;
+            recorder.on_cluster(t, round, &ids);
+        }
+        self.now
+    }
+
+    /// Run until all `N` routers reset in one burst (full
+    /// synchronization) or `max_secs` elapse; mirrors
+    /// [`crate::PeriodicModel::run_until_synchronized`].
+    pub fn run_until_synchronized(&mut self, max_secs: f64) -> crate::SyncReport {
+        let n = self.params.n;
+        let round_len = self.params.round_len().as_secs_f64();
+        let mut fp = crate::record::FirstPassageUp::new(n);
+        self.run(SimTime::from_secs_f64(max_secs), &mut fp);
+        let at = fp.first(n).map(|(t, _)| t.as_secs_f64());
+        crate::SyncReport {
+            synchronized: fp.reached(),
+            at_secs: at,
+            rounds: at.map(|s| s / round_len),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PeriodicModel;
+    use crate::record::{ClusterLog, SendTrace};
+    use routesync_desim::Duration;
+
+    fn params(n: usize, tr_ms: u64) -> PeriodicParams {
+        PeriodicParams::new(
+            n,
+            Duration::from_secs(121),
+            Duration::from_millis(110),
+            Duration::from_millis(tr_ms),
+        )
+    }
+
+    /// Both engines produce identical send logs and cluster logs (up to a
+    /// small horizon-boundary tail, since the fast model completes a burst
+    /// the event model may leave half-finished at the horizon).
+    fn assert_equivalent(p: PeriodicParams, start: StartState, seed: u64, horizon_s: u64) {
+        let horizon = SimTime::from_secs(horizon_s);
+        let mut slow = PeriodicModel::new(p, start.clone(), seed);
+        let mut slow_rec = (SendTrace::new(), ClusterLog::new());
+        slow.run(horizon, &mut slow_rec);
+        let mut fast = FastModel::new(p, start, seed);
+        let mut fast_rec = (SendTrace::new(), ClusterLog::new());
+        fast.run(horizon, &mut fast_rec);
+
+        // Canonicalize ties: expiries at the exact same instant are
+        // processed in scheduling order by the event engine and in node-id
+        // order by the fast engine; the order is semantically irrelevant
+        // (per-node RNG streams), so sort within equal timestamps.
+        let canonical = |sends: &[(SimTime, NodeId)]| {
+            let mut v = sends.to_vec();
+            v.sort_by_key(|&(t, id)| (t, id));
+            v
+        };
+        let tail = 2 * p.n;
+        let sends_slow = canonical(slow_rec.0.sends());
+        let sends_fast = canonical(fast_rec.0.sends());
+        let keep = sends_slow.len().min(sends_fast.len()).saturating_sub(tail);
+        assert_eq!(
+            &sends_slow[..keep],
+            &sends_fast[..keep],
+            "send logs diverge"
+        );
+        let cl_slow: Vec<(SimTime, u32)> =
+            slow_rec.1.groups().iter().map(|g| (g.0, g.2)).collect();
+        let cl_fast: Vec<(SimTime, u32)> =
+            fast_rec.1.groups().iter().map(|g| (g.0, g.2)).collect();
+        let keep = cl_slow.len().min(cl_fast.len()).saturating_sub(tail);
+        assert_eq!(&cl_slow[..keep], &cl_fast[..keep], "cluster logs diverge");
+        assert!(keep > 10, "equivalence window too small to be meaningful");
+    }
+
+    #[test]
+    fn equivalent_on_the_reference_parameters() {
+        assert_equivalent(params(20, 100), StartState::Unsynchronized, 1993, 100_000);
+    }
+
+    #[test]
+    fn equivalent_from_synchronized_start_with_large_jitter() {
+        assert_equivalent(params(20, 308), StartState::Synchronized, 7, 100_000);
+    }
+
+    #[test]
+    fn equivalent_with_zero_jitter_and_custom_offsets() {
+        let offs: Vec<Duration> = (0..5).map(|i| Duration::from_millis(1000 + 55 * i)).collect();
+        assert_equivalent(
+            params(5, 0),
+            StartState::Offsets(offs),
+            3,
+            50_000,
+        );
+    }
+
+    #[test]
+    fn equivalent_across_seeds_and_sizes() {
+        for seed in [1, 2, 3] {
+            assert_equivalent(params(7, 150), StartState::Unsynchronized, seed, 60_000);
+        }
+        assert_equivalent(params(2, 60), StartState::Unsynchronized, 9, 60_000);
+    }
+
+    #[test]
+    fn fast_model_synchronizes_the_reference_system() {
+        let mut fast = FastModel::new(params(20, 100), StartState::Unsynchronized, 1993);
+        let report = fast.run_until_synchronized(1_000_000.0);
+        assert!(report.synchronized);
+        // Same answer as the event-driven engine.
+        let mut slow = PeriodicModel::new(params(20, 100), StartState::Unsynchronized, 1993);
+        let slow_report = slow.run_until_synchronized(1_000_000.0);
+        assert_eq!(report.at_secs, slow_report.at_secs);
+    }
+
+    #[test]
+    fn fast_model_is_actually_faster() {
+        // Not a benchmark, just a sanity ratio on a fixed workload.
+        let horizon = SimTime::from_secs(200_000);
+        let t0 = std::time::Instant::now();
+        let mut slow = PeriodicModel::new(params(20, 100), StartState::Unsynchronized, 5);
+        slow.run(horizon, &mut crate::record::NullRecorder);
+        let slow_time = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let mut fast = FastModel::new(params(20, 100), StartState::Unsynchronized, 5);
+        fast.run(horizon, &mut crate::record::NullRecorder);
+        let fast_time = t1.elapsed();
+        assert_eq!(slow.sends(), fast.sends());
+        assert!(
+            fast_time < slow_time,
+            "fast {fast_time:?} should beat event-driven {slow_time:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "AfterProcessing")]
+    fn on_expiry_policy_rejected() {
+        let p = params(5, 100).with_reset_policy(TimerResetPolicy::OnExpiry);
+        let _ = FastModel::new(p, StartState::Unsynchronized, 1);
+    }
+}

@@ -1,0 +1,646 @@
+//! The event-driven simulation of the Periodic Messages model.
+//!
+//! The implementation follows the paper's Section 3 description *exactly*,
+//! including the simplifying assumptions spelled out in Section 4:
+//! transmission time is zero, and all other routers are notified the instant
+//! a router's timer expires (they then spend `Tc` processing the message,
+//! concurrently with the sender spending `Tc` preparing it).
+
+use routesync_desim::{Duration, Engine, SimTime};
+use routesync_rng::{JitterPolicy, MinStd, TimerResetPolicy};
+
+use crate::params::{PeriodicParams, StartState, TriggerResponse};
+use crate::record::Recorder;
+
+/// Dense router index, `0..N`.
+pub type NodeId = usize;
+
+/// Simulation events. Message *delivery* is not an event: with zero
+/// transmission time it happens synchronously inside the sender's event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// A router's routing timer expired.
+    Expiry { node: NodeId, gen: u64 },
+    /// A router's busy period (tentatively) ends.
+    BusyEnd { node: NodeId, gen: u64 },
+    /// An externally injected network change: `node` emits a triggered
+    /// update.
+    Trigger { node: NodeId },
+}
+
+/// Per-router state.
+struct Node {
+    /// Materialized jitter policy (per-router constants already drawn).
+    jitter: JitterPolicy,
+    /// Private random stream.
+    rng: MinStd,
+    /// Whether the router is currently in a busy period.
+    busy: bool,
+    /// When the current busy period ends (meaningful only if `busy`).
+    busy_until: SimTime,
+    /// Whether this busy period includes the router's own outgoing message
+    /// (if so, the timer is re-armed when the busy period completes).
+    sent_own: bool,
+    /// Invalidates superseded `BusyEnd` events.
+    busy_gen: routesync_desim::TokenGen,
+    /// Invalidates cancelled `Expiry` events (triggered updates re-arm the
+    /// timer early).
+    timer_gen: routesync_desim::TokenGen,
+}
+
+/// The Periodic Messages model: `N` routers on a broadcast network.
+///
+/// Construct with [`PeriodicModel::new`], optionally inject triggered
+/// updates with [`PeriodicModel::schedule_trigger`], then drive with
+/// [`PeriodicModel::run`] and a [`Recorder`], or use the one-call runners in
+/// [`crate::experiment`].
+pub struct PeriodicModel {
+    params: PeriodicParams,
+    engine: Engine<Event>,
+    nodes: Vec<Node>,
+    /// Total routing messages sent.
+    sends: u64,
+    /// Pending simultaneous-reset group (flushed when time advances).
+    group_time: SimTime,
+    group: Vec<NodeId>,
+}
+
+impl PeriodicModel {
+    /// Build a model with the given parameters, initial phases, and master
+    /// seed. Runs are deterministic in `(params, start, seed)`.
+    pub fn new(params: PeriodicParams, start: StartState, seed: u64) -> Self {
+        let mut nodes = Vec::with_capacity(params.n);
+        let mut engine = Engine::new();
+        for id in 0..params.n {
+            let mut rng = routesync_rng::stream(seed, id as u64);
+            let jitter = params.jitter.materialize(&mut rng);
+            nodes.push(Node {
+                jitter,
+                rng,
+                busy: false,
+                busy_until: SimTime::ZERO,
+                sent_own: false,
+                busy_gen: routesync_desim::TokenGen::new(),
+                timer_gen: routesync_desim::TokenGen::new(),
+            });
+        }
+        let tp = params.tp();
+        for (id, node) in nodes.iter_mut().enumerate() {
+            let first = match &start {
+                StartState::Unsynchronized => {
+                    // Paper: "the transit time for the first routing message
+                    // is chosen from the uniform distribution on [0, Tp]".
+                    routesync_rng::dist::UniformDuration::new(Duration::ZERO, tp)
+                        .sample(&mut node.rng)
+                }
+                StartState::Synchronized => tp,
+                StartState::Offsets(offsets) => {
+                    assert_eq!(
+                        offsets.len(),
+                        params.n,
+                        "need exactly one offset per router"
+                    );
+                    offsets[id]
+                }
+            };
+            engine.schedule(
+                SimTime::ZERO + first,
+                Event::Expiry {
+                    node: id,
+                    gen: node.timer_gen.current(),
+                },
+            );
+        }
+        PeriodicModel {
+            params,
+            engine,
+            nodes,
+            sends: 0,
+            group_time: SimTime::ZERO,
+            group: Vec::new(),
+        }
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &PeriodicParams {
+        &self.params
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Total routing messages sent so far.
+    pub fn sends(&self) -> u64 {
+        self.sends
+    }
+
+    /// Completed rounds (one round = `N` routing messages, as in the
+    /// paper's cluster graphs).
+    pub fn round(&self) -> u64 {
+        self.sends / self.params.n as u64
+    }
+
+    /// Inject a network change at `at`: `node` emits a triggered update,
+    /// and (per [`TriggerResponse`]) every receiver responds with its own
+    /// immediate update — the paper's "wave of triggered updates".
+    pub fn schedule_trigger(&mut self, at: SimTime, node: NodeId) {
+        assert!(node < self.params.n, "no such node {node}");
+        self.engine.schedule(at, Event::Trigger { node });
+    }
+
+    /// Run until `horizon`, the recorder requests a stop, or (impossible in
+    /// this model, but defensively) the event queue drains. Returns the
+    /// simulated time reached.
+    pub fn run<R: Recorder>(&mut self, horizon: SimTime, recorder: &mut R) -> SimTime {
+        loop {
+            if recorder.should_stop() {
+                break;
+            }
+            let Some(t) = self.engine.peek_time() else {
+                break;
+            };
+            if t >= horizon {
+                break;
+            }
+            let (now, ev) = self.engine.pop().expect("peeked event vanished");
+            match ev {
+                Event::Expiry { node, gen } => {
+                    if self.nodes[node].timer_gen.is_live(gen) {
+                        self.finalize_if_due(node, now, recorder);
+                        self.send_message(now, node, false, true, recorder);
+                    }
+                }
+                Event::BusyEnd { node, gen } => {
+                    if self.nodes[node].busy_gen.is_live(gen) && self.nodes[node].busy {
+                        debug_assert_eq!(self.nodes[node].busy_until, now);
+                        self.finalize(node, recorder);
+                    }
+                }
+                Event::Trigger { node } => {
+                    self.finalize_if_due(node, now, recorder);
+                    if self.params.reset_policy == TimerResetPolicy::AfterProcessing {
+                        // The pending timer is abandoned; a fresh one is
+                        // armed when this busy period completes.
+                        self.nodes[node].timer_gen.bump();
+                    }
+                    self.send_message(now, node, true, false, recorder);
+                }
+            }
+        }
+        self.flush_group(recorder);
+        self.engine.now()
+    }
+
+    /// A router sends its routing message at `now`.
+    ///
+    /// `triggered` marks the broadcast as a triggered update (receivers may
+    /// respond immediately); `from_timer` distinguishes a normal expiry
+    /// from a triggered send (matters only for the `OnExpiry` reset
+    /// policy, whose timer chain is independent of processing).
+    fn send_message<R: Recorder>(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        triggered: bool,
+        from_timer: bool,
+        recorder: &mut R,
+    ) {
+        self.sends += 1;
+        recorder.on_send(now, node);
+        match self.params.reset_policy {
+            TimerResetPolicy::AfterProcessing => {
+                // Own preparation: Tc of busy time; the timer is re-armed
+                // only when the whole busy period completes.
+                self.extend_busy(node, now, true);
+            }
+            TimerResetPolicy::OnExpiry => {
+                // RFC 1058 alternative: re-arm immediately; the busy period
+                // still happens but does not touch the timer.
+                if from_timer {
+                    self.record_reset(now, node, recorder);
+                    self.arm_timer(node, now);
+                }
+                self.extend_busy(node, now, false);
+            }
+        }
+        // Zero transmission time: every other router is notified now.
+        for other in 0..self.params.n {
+            if other != node {
+                self.deliver(now, other, triggered, recorder);
+            }
+        }
+    }
+
+    /// A routing message reaches `node` at `now`.
+    fn deliver<R: Recorder>(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        triggered: bool,
+        recorder: &mut R,
+    ) {
+        self.finalize_if_due(node, now, recorder);
+        if triggered && self.params.trigger_response == TriggerResponse::SendImmediately {
+            // Paper step 4: "the router goes to step 1, without waiting for
+            // the timer to expire". The response itself is a normal update,
+            // so the wave stops after one hop.
+            if self.params.reset_policy == TimerResetPolicy::AfterProcessing {
+                self.nodes[node].timer_gen.bump();
+            }
+            self.send_message(now, node, false, false, recorder);
+        }
+        // Processing the incoming message itself.
+        self.extend_busy(node, now, false);
+    }
+
+    /// Start or extend `node`'s busy period by `Tc`; mark the period as
+    /// containing the router's own message if `own`.
+    fn extend_busy(&mut self, node: NodeId, now: SimTime, own: bool) {
+        let tc = self.params.tc;
+        let nd = &mut self.nodes[node];
+        if nd.busy && now < nd.busy_until {
+            nd.busy_until += tc;
+        } else {
+            debug_assert!(!nd.busy, "finalize_if_due must run before extend_busy");
+            nd.busy = true;
+            nd.busy_until = now + tc;
+        }
+        if own {
+            nd.sent_own = true;
+        }
+        let gen = nd.busy_gen.bump();
+        let at = nd.busy_until;
+        self.engine.schedule(at, Event::BusyEnd { node, gen });
+    }
+
+    /// If `node`'s busy period ends exactly at `now` but its `BusyEnd`
+    /// event has not popped yet (same-instant tie), complete it first —
+    /// a message arriving at the boundary belongs to the *next* busy
+    /// period, not the one that just finished.
+    fn finalize_if_due<R: Recorder>(&mut self, node: NodeId, now: SimTime, recorder: &mut R) {
+        if self.nodes[node].busy && now >= self.nodes[node].busy_until {
+            debug_assert_eq!(self.nodes[node].busy_until, now);
+            self.finalize(node, recorder);
+        }
+    }
+
+    /// Complete `node`'s busy period: go idle, and if the period contained
+    /// the router's own message, re-arm the timer — the simultaneous-reset
+    /// instant that defines cluster membership.
+    fn finalize<R: Recorder>(&mut self, node: NodeId, recorder: &mut R) {
+        let at = self.nodes[node].busy_until;
+        self.nodes[node].busy = false;
+        if self.nodes[node].sent_own {
+            self.nodes[node].sent_own = false;
+            if self.params.reset_policy == TimerResetPolicy::AfterProcessing {
+                self.record_reset(at, node, recorder);
+                self.arm_timer(node, at);
+            }
+        }
+    }
+
+    /// Draw the next interval from the router's jitter policy and schedule
+    /// the expiry.
+    fn arm_timer(&mut self, node: NodeId, at: SimTime) {
+        let nd = &mut self.nodes[node];
+        let interval = nd.jitter.sample(&mut nd.rng);
+        let gen = nd.timer_gen.current();
+        self.engine.schedule(at + interval, Event::Expiry { node, gen });
+    }
+
+    /// Group simultaneous resets into clusters and hand completed groups to
+    /// the recorder.
+    fn record_reset<R: Recorder>(&mut self, t: SimTime, node: NodeId, recorder: &mut R) {
+        if !self.group.is_empty() && t != self.group_time {
+            self.flush_group(recorder);
+        }
+        self.group_time = t;
+        self.group.push(node);
+    }
+
+    /// Emit the pending reset group, if any.
+    fn flush_group<R: Recorder>(&mut self, recorder: &mut R) {
+        if !self.group.is_empty() {
+            let round = self.sends / self.params.n as u64;
+            recorder.on_cluster(self.group_time, round, &self.group);
+            self.group.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{ClusterLog, EventKind, EventLog, NullRecorder, SendTrace};
+
+    fn small_params(tr_ms: u64) -> PeriodicParams {
+        PeriodicParams::new(
+            3,
+            Duration::from_secs(30),
+            Duration::from_millis(100),
+            Duration::from_millis(tr_ms),
+        )
+    }
+
+    /// A lone router with zero jitter behaves exactly periodically with
+    /// period Tp + Tc (expiry, Tc of preparation, reset, Tp until the next
+    /// expiry).
+    #[test]
+    fn lone_router_period_is_tp_plus_tc() {
+        let params = PeriodicParams::new(
+            1,
+            Duration::from_secs(30),
+            Duration::from_millis(100),
+            Duration::ZERO,
+        );
+        let mut model = PeriodicModel::new(
+            params,
+            StartState::Offsets(vec![Duration::from_secs(5)]),
+            1,
+        );
+        let mut trace = SendTrace::new();
+        model.run(SimTime::from_secs(200), &mut trace);
+        let sends = trace.sends();
+        assert!(sends.len() >= 6);
+        assert_eq!(sends[0].0, SimTime::from_secs(5));
+        for w in sends.windows(2) {
+            assert_eq!(w[1].0 - w[0].0, Duration::from_secs_f64(30.1));
+            assert_eq!(w[0].1, 0);
+        }
+    }
+
+    /// Two routers whose timers expire within Tc of each other must reset
+    /// at the same instant 2·Tc after the first expiry (the paper's
+    /// Figure 5 walk-through).
+    #[test]
+    fn two_routers_form_a_cluster_exactly_as_in_figure_5() {
+        let params = PeriodicParams::new(
+            2,
+            Duration::from_secs(30),
+            Duration::from_millis(100),
+            Duration::ZERO,
+        );
+        // B expires 50 ms after A: inside A's busy period.
+        let mut model = PeriodicModel::new(
+            params,
+            StartState::Offsets(vec![
+                Duration::from_secs(1),
+                Duration::from_millis(1050),
+            ]),
+            7,
+        );
+        let mut log = ClusterLog::new();
+        model.run(SimTime::from_secs(100), &mut log);
+        let first = log.groups().iter().find(|g| g.2 == 2).expect("a pair forms");
+        // Reset at t + 2 Tc = 1.0 + 0.2 s.
+        assert_eq!(first.0, SimTime::from_millis(1200));
+        // With Tr = 0 the pair never breaks: every subsequent reset group
+        // has size 2.
+        let after: Vec<_> = log
+            .groups()
+            .iter()
+            .filter(|g| g.0 >= SimTime::from_millis(1200))
+            .collect();
+        assert!(after.iter().all(|g| g.2 == 2));
+    }
+
+    /// Two routers further than Tc apart stay independent under zero
+    /// jitter.
+    #[test]
+    fn distant_routers_stay_lone_without_jitter() {
+        let params = PeriodicParams::new(
+            2,
+            Duration::from_secs(30),
+            Duration::from_millis(100),
+            Duration::ZERO,
+        );
+        let mut model = PeriodicModel::new(
+            params,
+            StartState::Offsets(vec![Duration::from_secs(1), Duration::from_secs(10)]),
+            7,
+        );
+        let mut log = ClusterLog::new();
+        model.run(SimTime::from_secs(1000), &mut log);
+        assert!(!log.groups().is_empty());
+        assert!(log.groups().iter().all(|g| g.2 == 1), "no cluster may form");
+    }
+
+    /// The boundary case: B's timer expires exactly at the end of A's
+    /// busy-period window. The expiry at t+Tc must NOT join A's busy period
+    /// (the paper's break-up condition is a gap strictly greater than Tc —
+    /// at exactly Tc the processing has just completed).
+    #[test]
+    fn expiry_exactly_at_busy_end_does_not_couple() {
+        let params = PeriodicParams::new(
+            2,
+            Duration::from_secs(30),
+            Duration::from_millis(100),
+            Duration::ZERO,
+        );
+        let mut model = PeriodicModel::new(
+            params,
+            StartState::Offsets(vec![
+                Duration::from_secs(1),
+                Duration::from_millis(1100), // exactly A's expiry + Tc
+            ]),
+            7,
+        );
+        let mut log = ClusterLog::new();
+        model.run(SimTime::from_secs(200), &mut log);
+        assert!(
+            log.groups().iter().all(|g| g.2 == 1),
+            "boundary expiry must not form a cluster: {:?}",
+            log.groups()
+        );
+    }
+
+    /// Simultaneous expiries couple: both busy for 2 Tc, one reset group of
+    /// size 2.
+    #[test]
+    fn simultaneous_expiries_form_a_pair() {
+        let params = PeriodicParams::new(
+            2,
+            Duration::from_secs(30),
+            Duration::from_millis(100),
+            Duration::ZERO,
+        );
+        let mut model = PeriodicModel::new(
+            params,
+            StartState::Offsets(vec![Duration::from_secs(2), Duration::from_secs(2)]),
+            7,
+        );
+        let mut log = ClusterLog::new();
+        model.run(SimTime::from_secs(100), &mut log);
+        assert_eq!(log.groups()[0].0, SimTime::from_secs_f64(2.2));
+        assert_eq!(log.groups()[0].2, 2);
+    }
+
+    /// A triggered update synchronizes the whole network in one wave: all
+    /// routers reset at trigger_time + N·Tc.
+    #[test]
+    fn triggered_update_synchronizes_everything() {
+        let params = small_params(0);
+        let mut model = PeriodicModel::new(
+            params,
+            StartState::Offsets(vec![
+                Duration::from_secs(5),
+                Duration::from_secs(15),
+                Duration::from_secs(25),
+            ]),
+            7,
+        );
+        model.schedule_trigger(SimTime::from_secs(2), 0);
+        let mut log = ClusterLog::new();
+        model.run(SimTime::from_secs(120), &mut log);
+        // Wave: trigger at t=2; 3 messages total; everyone busy 3·Tc.
+        assert_eq!(log.groups()[0].0, SimTime::from_secs_f64(2.3));
+        assert_eq!(log.groups()[0].2, 3);
+        // With Tr = 0 they stay synchronized forever afterwards.
+        assert!(log.groups().iter().all(|g| g.2 == 3));
+    }
+
+    /// Under TriggerResponse::Ignore a triggered update does not recruit
+    /// the other routers.
+    #[test]
+    fn ignored_triggers_do_not_synchronize() {
+        let params = small_params(0).with_trigger_response(TriggerResponse::Ignore);
+        let mut model = PeriodicModel::new(
+            params,
+            StartState::Offsets(vec![
+                Duration::from_secs(5),
+                Duration::from_secs(15),
+                Duration::from_secs(25),
+            ]),
+            7,
+        );
+        model.schedule_trigger(SimTime::from_secs(2), 0);
+        let mut log = ClusterLog::new();
+        model.run(SimTime::from_secs(120), &mut log);
+        assert!(log.groups().iter().all(|g| g.2 == 1));
+    }
+
+    /// Under the OnExpiry reset policy the timer chain is unaffected by
+    /// processing, so phases never couple — but an initially synchronized
+    /// system never desynchronizes either (the drawback the paper points
+    /// out for the RFC 1058 scheme with identical periods).
+    #[test]
+    fn on_expiry_policy_keeps_initial_phases() {
+        use routesync_rng::TimerResetPolicy;
+        let params = small_params(0).with_reset_policy(TimerResetPolicy::OnExpiry);
+        // Clustered start.
+        let mut model = PeriodicModel::new(params, StartState::Synchronized, 7);
+        let mut log = ClusterLog::new();
+        model.run(SimTime::from_secs(300), &mut log);
+        assert!(!log.groups().is_empty());
+        assert!(
+            log.groups().iter().all(|g| g.2 == 3),
+            "synchronized start persists under OnExpiry: {:?}",
+            log.groups()
+        );
+        // Spread start stays spread, and the inter-send period is exactly
+        // Tp (not Tp + Tc) because the timer ignores processing time.
+        let mut model = PeriodicModel::new(
+            params,
+            StartState::Offsets(vec![
+                Duration::from_secs(5),
+                Duration::from_secs(15),
+                Duration::from_secs(25),
+            ]),
+            7,
+        );
+        let mut trace = SendTrace::new();
+        model.run(SimTime::from_secs(300), &mut trace);
+        let node0: Vec<_> = trace.sends().iter().filter(|s| s.1 == 0).collect();
+        for w in node0.windows(2) {
+            assert_eq!(w[1].0 - w[0].0, Duration::from_secs(30));
+        }
+    }
+
+    /// The synchronized start state really is synchronized: the first
+    /// round's single reset group has size N.
+    #[test]
+    fn synchronized_start_resets_together() {
+        let params = small_params(10);
+        let mut model = PeriodicModel::new(params, StartState::Synchronized, 99);
+        let mut log = ClusterLog::new();
+        model.run(SimTime::from_secs(40), &mut log);
+        assert_eq!(log.groups()[0].2, 3);
+        // All three expire at Tp = 30 s; busy 3·Tc = 0.3 s.
+        assert_eq!(log.groups()[0].0, SimTime::from_secs_f64(30.3));
+    }
+
+    /// Determinism: identical (params, start, seed) ⇒ identical event
+    /// history.
+    #[test]
+    fn runs_are_reproducible() {
+        let params = small_params(50);
+        let run = |seed| {
+            let mut model = PeriodicModel::new(params, StartState::Unsynchronized, seed);
+            let mut log = EventLog::new();
+            model.run(SimTime::from_secs(500), &mut log);
+            log.events().to_vec()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds must differ");
+    }
+
+    /// Sends per round: every router sends once per cycle, so after a long
+    /// run sends ≈ elapsed / (Tp+Tc) × N.
+    #[test]
+    fn send_rate_matches_round_length() {
+        let params = small_params(10);
+        let mut model = PeriodicModel::new(params, StartState::Unsynchronized, 3);
+        model.run(SimTime::from_secs(3010), &mut NullRecorder);
+        let expected = 3010.0 / 30.1 * 3.0;
+        let got = model.sends() as f64;
+        assert!(
+            (got - expected).abs() <= 6.0,
+            "sends {got} far from {expected}"
+        );
+        assert_eq!(model.round(), model.sends() / 3);
+    }
+
+    /// The event log records an expiry ("send") for every reset and vice
+    /// versa under AfterProcessing.
+    #[test]
+    fn sends_and_resets_balance() {
+        let params = small_params(10);
+        let mut model = PeriodicModel::new(params, StartState::Unsynchronized, 5);
+        let mut log = EventLog::new();
+        model.run(SimTime::from_secs(1000), &mut log);
+        let sends = log
+            .events()
+            .iter()
+            .filter(|e| e.2 == EventKind::Send)
+            .count();
+        let resets = log
+            .events()
+            .iter()
+            .filter(|e| e.2 == EventKind::Reset)
+            .count();
+        // Every send leads to a reset; at the horizon at most N resets are
+        // still pending inside open busy periods.
+        assert!(sends - resets <= 3, "sends {sends} vs resets {resets}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no such node")]
+    fn trigger_on_unknown_node_panics() {
+        let params = small_params(10);
+        let mut model = PeriodicModel::new(params, StartState::Synchronized, 5);
+        model.schedule_trigger(SimTime::from_secs(1), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "one offset per router")]
+    fn wrong_offset_count_panics() {
+        let params = small_params(10);
+        let _ = PeriodicModel::new(
+            params,
+            StartState::Offsets(vec![Duration::ZERO]),
+            5,
+        );
+    }
+}

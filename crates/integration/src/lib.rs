@@ -1,0 +1,1 @@
+//! Integration-test host crate; see `tests/`.

@@ -1,0 +1,227 @@
+//! Cross-crate integration: the three levels of the reproduction — packet
+//! simulator, abstract model, Markov analysis — must tell the same story.
+
+use routesync_core::{experiment, PeriodicModel, PeriodicParams, StartState};
+use routesync_desim::{Duration, SimTime};
+use routesync_markov::{ChainParams, PeriodicChain};
+
+fn core_params(tr: f64) -> PeriodicParams {
+    PeriodicParams::new(
+        20,
+        Duration::from_secs(121),
+        Duration::from_millis(110),
+        Duration::from_secs_f64(tr),
+    )
+}
+
+fn chain(tr: f64) -> PeriodicChain {
+    PeriodicChain::new(ChainParams::paper_reference().with_tr(tr))
+}
+
+/// The Markov model's low-randomization verdict matches simulation: at
+/// Tr = 0.1 s the model says "synchronizes, never desynchronizes", and the
+/// simulation synchronizes.
+#[test]
+fn markov_low_region_matches_simulation() {
+    let c = chain(0.1);
+    let f_secs = c.f_n(19.0) * c.params().seconds_per_round();
+    assert!(f_secs < 1e7, "model says synchronization comes quickly");
+    assert!(
+        c.g_1() * c.params().seconds_per_round() > 1e9,
+        "model says it never comes back"
+    );
+    let mut model = PeriodicModel::new(core_params(0.1), StartState::Unsynchronized, 5);
+    let report = model.run_until_synchronized(2e6);
+    assert!(report.synchronized);
+    // The paper observes its analysis over-predicting simulations by 2-3x;
+    // the exact first-passage solution of the same chain over-predicts a
+    // little more (the paper's printed recursion under-counts waiting
+    // rounds — see routesync_markov::paper). Allow a wide one-sided band
+    // for a single seed: same order of magnitude on a log scale.
+    let sim = report.at_secs.expect("synchronized");
+    let ratio = f_secs / sim;
+    assert!(
+        (0.1..=100.0).contains(&ratio),
+        "analysis {f_secs:.0}s vs simulation {sim:.0}s (ratio {ratio:.2})"
+    );
+}
+
+/// The high-randomization verdict also matches: at Tr = 2.8·Tc a
+/// synchronized start breaks up in the simulation, in the ballpark the
+/// analysis predicts.
+#[test]
+fn markov_high_region_matches_simulation() {
+    let tr = 2.8 * 0.11;
+    let c = chain(tr);
+    let g_secs = c.g_1() * c.params().seconds_per_round();
+    assert!(g_secs < 1e6, "model: break-up within ~10 hours, got {g_secs}");
+    let mut model = PeriodicModel::new(core_params(tr), StartState::Synchronized, 9);
+    let report = model.run_until_cluster_at_most(1, 5e6);
+    assert!(report.desynchronized, "{report:?}");
+    let sim = report.at_secs.expect("desynchronized");
+    let ratio = g_secs / sim;
+    assert!(
+        (0.05..=20.0).contains(&ratio),
+        "analysis {g_secs:.0}s vs simulation {sim:.0}s"
+    );
+}
+
+/// The simulated f(2) (first pair formation) is in the ballpark of the
+/// paper's reference value of 19 rounds for the reference parameters.
+#[test]
+fn f2_estimate_matches_paper_reference() {
+    let seeds: Vec<u64> = (0..12).collect();
+    let f2 = experiment::estimate_f2_rounds(core_params(0.1), &seeds, 1e6)
+        .expect("pairs form");
+    assert!(
+        (4.0..80.0).contains(&f2),
+        "f2 = {f2} rounds is far from the paper's 19"
+    );
+}
+
+/// Simulated mean time-to-synchronize is monotone (within noise) across
+/// the paper's Figure 7 Tr values, and the Markov f(N) tracks the same
+/// ordering.
+#[test]
+fn figure7_ordering_holds_at_both_levels() {
+    let secs_per_round = 121.11;
+    let mut sim_means = Vec::new();
+    let mut markov_preds = Vec::new();
+    for mult in [0.6, 1.0] {
+        let tr = mult * 0.11;
+        let seeds: Vec<u64> = (0..6).collect();
+        let profiles = experiment::parallel_passage_up(core_params(tr), &seeds, 3e6);
+        let avg = experiment::average_profiles(profiles);
+        // At Tr = Tc some seeds can outlast the horizon (the paper's own
+        // Figure 7 run at this Tr took 7,796 rounds and the variance is
+        // large). Average over the runs that made it.
+        let (mean, reached) = avg[20];
+        assert!(reached >= 1, "no run synchronized at Tr = {tr}");
+        sim_means.push(mean.expect("reached >= 1"));
+        markov_preds.push(chain(tr).f_n(0.0) * secs_per_round);
+    }
+    assert!(
+        sim_means[1] > sim_means[0] * 0.8,
+        "simulation: larger Tr should not synchronize much faster: {sim_means:?}"
+    );
+    assert!(
+        markov_preds[1] > markov_preds[0],
+        "analysis: f(N) must grow with Tr: {markov_preds:?}"
+    );
+}
+
+/// The phase transition threshold from the Markov model separates actual
+/// simulated behaviour: below it a synchronized start survives a long
+/// horizon, above it the same start dissolves.
+#[test]
+fn recommended_tr_separates_simulated_behaviour() {
+    let params = ChainParams::paper_reference();
+    let threshold = PeriodicChain::recommended_tr(&params, 0.5);
+    // Below threshold (half of it): stays synchronized for 10^6 s.
+    let mut below = PeriodicModel::new(
+        core_params(threshold * 0.5),
+        StartState::Synchronized,
+        3,
+    );
+    let r = below.run_until_cluster_at_most(10, 1e6);
+    assert!(
+        !r.desynchronized,
+        "below threshold the cluster should hold: {r:?}"
+    );
+    // Well above threshold (3x): dissolves completely.
+    let mut above = PeriodicModel::new(
+        core_params(threshold * 3.0),
+        StartState::Synchronized,
+        3,
+    );
+    let r = above.run_until_cluster_at_most(1, 5e6);
+    assert!(r.desynchronized, "above threshold it must dissolve: {r:?}");
+}
+
+/// End-to-end facade check: the packet world and the analysis agree that
+/// IGRP-style synchronized updates hurt and jitter fixes them.
+#[test]
+fn netsim_loss_disappears_with_recommended_jitter() {
+    use routesync_netsim::{scenario, TimerStart};
+    use routesync_rng::JitterPolicy;
+
+    // Baseline: the nearnet scenario drops pings.
+    let mut base = scenario::nearnet(17);
+    base.sim.add_ping(
+        base.berkeley,
+        base.mit,
+        Duration::from_secs_f64(1.01),
+        400,
+        SimTime::from_secs(5),
+    );
+    base.sim.run_until(SimTime::from_secs(450));
+    let baseline_loss = base.sim.ping_stats(base.berkeley).loss_rate();
+    assert!(baseline_loss > 0.0);
+
+    // Fixed: same topology but timers drawn from [0.5 Tp, 1.5 Tp] and an
+    // unsynchronized start — update bursts no longer align, so the
+    // worst-case burst a ping can hit is far smaller.
+    let mut t = routesync_netsim::Topology::new();
+    let a = t.add_host("a");
+    let b = t.add_host("b");
+    let west = t.add_router("west");
+    let c1 = t.add_router("c1");
+    let c2 = t.add_router("c2");
+    let east = t.add_router("east");
+    let t1 = 1_544_000;
+    t.add_link(a, west, Duration::from_millis(1), 10_000_000, 50);
+    t.add_link(west, c1, Duration::from_millis(20), t1, 50);
+    t.add_link(c1, c2, Duration::from_millis(5), t1, 50);
+    t.add_link(c2, east, Duration::from_millis(20), t1, 50);
+    t.add_link(east, b, Duration::from_millis(1), 10_000_000, 50);
+    for (i, &core) in [c1, c2].iter().enumerate() {
+        for j in 0..5 {
+            let stub = t.add_router(format!("s{i}{j}"));
+            t.add_link(core, stub, Duration::from_millis(3), t1, 50);
+        }
+    }
+    let mut cfg = routesync_netsim::RouterConfig::new(
+        routesync_netsim::DvConfig::igrp()
+            .with_pad(280)
+            .with_jitter(JitterPolicy::UniformHalf {
+                tp: Duration::from_secs(90),
+            }),
+    );
+    cfg.pending_cap = 0;
+    cfg.start = TimerStart::Unsynchronized;
+    let mut sim = routesync_netsim::NetSim::new(t, cfg, 17);
+    sim.add_ping(a, b, Duration::from_secs_f64(1.01), 400, SimTime::from_secs(5));
+    sim.run_until(SimTime::from_secs(450));
+    let stats = sim.ping_stats(a);
+    // Jitter does NOT reduce the total loss here — each router's control
+    // CPU is busy for the same total time per cycle, and with blocked
+    // forwarding those windows drop pings wherever they fall. (Removing
+    // the loss itself took the NEARnet software fix — see the
+    // ablation_forwarding experiment.) What jitter removes is the
+    // *synchronization*: the long correlated bursts and the 90-second
+    // periodicity.
+    let baseline_bursts = routesync_stats::runs_of_loss(
+        &base.sim.ping_stats(base.berkeley).loss_flags(),
+    );
+    let fixed_bursts = routesync_stats::runs_of_loss(&stats.loss_flags());
+    let max_burst = |bs: &[routesync_stats::Outage]| {
+        bs.iter().map(|b| b.packets).max().unwrap_or(0)
+    };
+    assert!(
+        max_burst(&baseline_bursts) >= 2,
+        "synchronized updates drop several pings in a row: {baseline_bursts:?}"
+    );
+    assert!(
+        max_burst(&fixed_bursts) <= max_burst(&baseline_bursts),
+        "jitter must not make bursts longer"
+    );
+    // And the 89-ping autocorrelation signature is gone.
+    let acf = routesync_stats::autocorrelation(&stats.rtt_series(2.0), 120);
+    if let Some(lag) = routesync_stats::dominant_lag(&acf, 30) {
+        assert!(
+            acf[lag] < 0.35,
+            "jittered run still shows a strong periodic signature at lag {lag} (r={})",
+            acf[lag]
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! Property tests for the Periodic Messages model's invariants.
+
+use proptest::prelude::*;
+use routesync_core::{
+    ClusterLog, EventLog, PeriodicModel, PeriodicParams, Recorder, StartState,
+};
+use routesync_desim::{Duration, SimTime};
+
+/// A recorder asserting structural invariants while the model runs.
+#[derive(Default)]
+struct InvariantChecker {
+    n: usize,
+    last_cluster_time: Option<SimTime>,
+    sends: u64,
+    resets: u64,
+    violations: Vec<String>,
+}
+
+impl Recorder for InvariantChecker {
+    fn on_send(&mut self, _t: SimTime, node: usize) {
+        self.sends += 1;
+        if node >= self.n {
+            self.violations.push(format!("send from unknown node {node}"));
+        }
+    }
+
+    fn on_cluster(&mut self, t: SimTime, _round: u64, nodes: &[usize]) {
+        self.resets += nodes.len() as u64;
+        if nodes.is_empty() || nodes.len() > self.n {
+            self.violations
+                .push(format!("cluster of impossible size {}", nodes.len()));
+        }
+        let mut sorted = nodes.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != nodes.len() {
+            self.violations
+                .push(format!("duplicate node in cluster {nodes:?}"));
+        }
+        if let Some(prev) = self.last_cluster_time {
+            if t < prev {
+                self.violations
+                    .push(format!("cluster time went backwards: {t} < {prev}"));
+            }
+        }
+        self.last_cluster_time = Some(t);
+    }
+}
+
+fn params(n: usize, tp_s: u64, tc_ms: u64, tr_ms: u64) -> PeriodicParams {
+    PeriodicParams::new(
+        n,
+        Duration::from_secs(tp_s),
+        Duration::from_millis(tc_ms),
+        Duration::from_millis(tr_ms),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Core structural invariants hold for arbitrary small configurations:
+    /// clusters are well-formed, times are monotone, and every send is
+    /// eventually matched by exactly one timer reset (up to the ≤ N busy
+    /// periods still open at the horizon).
+    #[test]
+    fn model_invariants_hold(
+        n in 2usize..8,
+        tp_s in 10u64..200,
+        tc_ms in 1u64..500,
+        tr_ms in 0u64..1_000,
+        seed in 0u64..1_000,
+    ) {
+        let p = params(n, tp_s, tc_ms, tr_ms);
+        prop_assume!(p.tr() <= p.tp()); // the jitter policy requires it
+        let mut model = PeriodicModel::new(p, StartState::Unsynchronized, seed);
+        let mut checker = InvariantChecker { n, ..Default::default() };
+        model.run(SimTime::from_secs(tp_s * 50), &mut checker);
+        prop_assert!(checker.violations.is_empty(), "{:?}", checker.violations);
+        prop_assert!(checker.sends > 0);
+        prop_assert!(
+            checker.sends - checker.resets <= n as u64,
+            "sends {} vs resets {}",
+            checker.sends,
+            checker.resets
+        );
+        // Send count is within one round of the expected rate: each router
+        // cycles every ~Tp (+ busy time, bounded by n·Tc per round).
+        let round = tp_s as f64 + n as f64 * tc_ms as f64 / 1000.0;
+        let expected = (tp_s * 50) as f64 / round * n as f64;
+        prop_assert!(
+            (checker.sends as f64) >= expected * 0.7 && (checker.sends as f64) <= expected * 1.3 + n as f64,
+            "sends {} expected ~{expected}", checker.sends
+        );
+    }
+
+    /// Determinism: the full event log is a function of (params, start,
+    /// seed).
+    #[test]
+    fn runs_are_deterministic(
+        n in 2usize..6,
+        tr_ms in 0u64..500,
+        seed in 0u64..1_000,
+    ) {
+        let p = params(n, 30, 100, tr_ms);
+        let run = || {
+            let mut model = PeriodicModel::new(p, StartState::Unsynchronized, seed);
+            let mut log = EventLog::new();
+            model.run(SimTime::from_secs(2_000), &mut log);
+            log.events().to_vec()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// With zero jitter and initial offsets pairwise further apart than
+    /// Tc (and periods identical), no cluster can ever form.
+    #[test]
+    fn no_spurious_clusters_without_jitter(
+        n in 2usize..6,
+        seed in 0u64..100,
+    ) {
+        // Offsets 2·Tc apart with Tc = 100 ms: gaps stay constant forever.
+        let p = params(n, 60, 100, 0);
+        let offsets: Vec<Duration> =
+            (0..n).map(|i| Duration::from_millis(1_000 + 250 * i as u64)).collect();
+        let mut model = PeriodicModel::new(p, StartState::Offsets(offsets), seed);
+        let mut log = ClusterLog::new();
+        model.run(SimTime::from_secs(6_000), &mut log);
+        prop_assert!(log.groups().iter().all(|g| g.2 == 1),
+            "cluster formed without any randomness: {:?}",
+            log.groups().iter().find(|g| g.2 > 1));
+    }
+
+    /// A synchronized start with Tr < Tc/2 can never shed a single router
+    /// (the paper's break-up precondition, Eq. 1).
+    #[test]
+    fn frozen_clusters_never_break(
+        n in 2usize..7,
+        seed in 0u64..100,
+    ) {
+        // Tc = 200 ms, Tr = 90 ms < Tc/2.
+        let p = params(n, 30, 200, 90);
+        let mut model = PeriodicModel::new(p, StartState::Synchronized, seed);
+        let mut log = ClusterLog::new();
+        model.run(SimTime::from_secs(30 * 200), &mut log);
+        prop_assert!(!log.groups().is_empty());
+        prop_assert!(
+            log.groups().iter().all(|g| g.2 == n as u32),
+            "a frozen cluster shed members: {:?}",
+            log.groups().iter().find(|g| g.2 != n as u32)
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The burst-based fast engine and the event-driven engine are
+    /// observationally identical for arbitrary parameters, starts, and
+    /// seeds (send logs and cluster logs, canonicalized within equal
+    /// timestamps, up to the horizon-boundary tail).
+    #[test]
+    fn fast_engine_matches_event_engine(
+        n in 2usize..10,
+        tp_s in 20u64..200,
+        tc_ms in 10u64..400,
+        tr_ms in 0u64..1_000,
+        sync_start in proptest::bool::ANY,
+        seed in 0u64..10_000,
+    ) {
+        let p = params(n, tp_s, tc_ms, tr_ms);
+        prop_assume!(p.tr() <= p.tp());
+        let start = if sync_start {
+            StartState::Synchronized
+        } else {
+            StartState::Unsynchronized
+        };
+        let horizon = SimTime::from_secs(tp_s * 60);
+        let mut slow = PeriodicModel::new(p, start.clone(), seed);
+        let mut slow_rec = (routesync_core::SendTrace::new(), ClusterLog::new());
+        slow.run(horizon, &mut slow_rec);
+        let mut fast = routesync_core::FastModel::new(p, start, seed);
+        let mut fast_rec = (routesync_core::SendTrace::new(), ClusterLog::new());
+        fast.run(horizon, &mut fast_rec);
+
+        let canonical = |sends: &[(SimTime, usize)]| {
+            let mut v = sends.to_vec();
+            v.sort_by_key(|&(t, id)| (t, id));
+            v
+        };
+        let tail = 2 * n;
+        let a = canonical(slow_rec.0.sends());
+        let b = canonical(fast_rec.0.sends());
+        let keep = a.len().min(b.len()).saturating_sub(tail);
+        prop_assert_eq!(&a[..keep], &b[..keep]);
+        let ca: Vec<(SimTime, u32)> = slow_rec.1.groups().iter().map(|g| (g.0, g.2)).collect();
+        let cb: Vec<(SimTime, u32)> = fast_rec.1.groups().iter().map(|g| (g.0, g.2)).collect();
+        let keep = ca.len().min(cb.len()).saturating_sub(tail);
+        prop_assert_eq!(&ca[..keep], &cb[..keep]);
+        prop_assert!(keep >= 10, "window too small: {keep}");
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the Markov-chain model.
+
+use proptest::prelude::*;
+use routesync_markov::paper::{f_recursion, g_recursion, TDef};
+use routesync_markov::{BirthDeath, ChainParams, PeriodicChain};
+
+prop_compose! {
+    fn chain_params()(n in 3usize..40, tp in 10.0f64..500.0, tc in 0.01f64..0.5, tr_mult in 0.1f64..6.0)
+        -> ChainParams {
+        ChainParams { n, tp, tc, tr: tc * tr_mult }
+    }
+}
+
+proptest! {
+    /// Transition probabilities are probabilities, for any parameters.
+    #[test]
+    fn probabilities_are_valid(p in chain_params()) {
+        let chain = PeriodicChain::new(p);
+        let bd = chain.birth_death();
+        for i in 1..=p.n {
+            prop_assert!((0.0..=1.0).contains(&bd.p_up(i)));
+            prop_assert!((0.0..=1.0).contains(&bd.p_down(i)));
+            prop_assert!(bd.p_up(i) + bd.p_down(i) <= 1.0 + 1e-12);
+        }
+    }
+
+    /// f is non-decreasing in cluster size and in Tr; g is non-increasing
+    /// in cluster size; the unsynchronized fraction is in [0, 1].
+    #[test]
+    fn passage_times_are_monotone(p in chain_params(), f2 in 0.0f64..100.0) {
+        let chain = PeriodicChain::new(p);
+        let f = chain.f(f2);
+        for i in 2..p.n {
+            prop_assert!(f[i + 1] >= f[i] || f[i].is_infinite());
+        }
+        let g = chain.g();
+        for i in 1..p.n {
+            prop_assert!(g[i] >= g[i + 1] || g[i + 1].is_infinite());
+        }
+        let frac = chain.fraction_unsynchronized(f2);
+        prop_assert!(frac.is_nan() || (0.0..=1.0).contains(&frac));
+    }
+
+    /// The fraction unsynchronized is monotone non-decreasing in Tr
+    /// (more jitter never hurts desynchronization).
+    #[test]
+    fn fraction_monotone_in_tr(
+        n in 3usize..30,
+        tc in 0.01f64..0.5,
+        base_mult in 0.6f64..4.0,
+    ) {
+        let mk = |mult: f64| {
+            let p = ChainParams { n, tp: 121.0, tc, tr: tc * mult };
+            PeriodicChain::new(p).fraction_unsynchronized(0.0)
+        };
+        let a = mk(base_mult);
+        let b = mk(base_mult + 0.3);
+        // NaN only occurs when both passages are infinite, which cannot
+        // happen for tr > tc/2 bands chosen here — but guard anyway.
+        prop_assume!(!a.is_nan() && !b.is_nan());
+        prop_assert!(b >= a - 1e-9, "fraction fell from {a} to {b} as Tr grew");
+    }
+
+    /// The paper's recursion under the conditional reading of t equals the
+    /// exact birth-death first-passage times for *any* parameters.
+    #[test]
+    fn paper_recursion_is_exact(p in chain_params(), f2 in 0.0f64..50.0) {
+        let chain = PeriodicChain::new(p);
+        let f_exact = chain.f(f2);
+        let f_paper = f_recursion(&chain, f2, TDef::Conditional);
+        for i in 2..=p.n {
+            if f_exact[i].is_finite() {
+                let rel = (f_paper[i] - f_exact[i]).abs() / f_exact[i].max(1.0);
+                prop_assert!(rel < 1e-6, "f({i}): {} vs {}", f_paper[i], f_exact[i]);
+            }
+        }
+        let g_exact = chain.g();
+        let g_paper = g_recursion(&chain, TDef::Conditional);
+        for i in 1..p.n {
+            if g_exact[i].is_finite() {
+                let rel = (g_paper[i] - g_exact[i]).abs() / g_exact[i].max(1.0);
+                prop_assert!(rel < 1e-6, "g({i}): {} vs {}", g_paper[i], g_exact[i]);
+            }
+        }
+    }
+
+    /// Stationary distributions (when they exist) are normalized and
+    /// satisfy detailed balance.
+    #[test]
+    fn stationary_distribution_properties(p in chain_params()) {
+        let chain = PeriodicChain::new(p);
+        if let Some(pi) = chain.birth_death().stationary() {
+            let sum: f64 = pi[1..].iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            for i in 1..p.n {
+                let lhs = pi[i] * chain.birth_death().p_up(i);
+                let rhs = pi[i + 1] * chain.birth_death().p_down(i + 1);
+                prop_assert!((lhs - rhs).abs() <= 1e-9 * lhs.max(rhs).max(1e-300));
+            }
+        }
+    }
+
+    /// Exact hitting times agree with Monte-Carlo simulation of the chain
+    /// itself for small, well-conditioned chains.
+    #[test]
+    fn hitting_times_match_simulation(seed in 1u32..10_000) {
+        let bd = BirthDeath::new(
+            vec![0.0, 0.4, 0.3, 0.0],
+            vec![0.0, 0.0, 0.3, 0.5],
+        );
+        let exact = bd.hitting_time(1, 3);
+        let mut rng = routesync_rng::MinStd::new(seed);
+        let runs = 3_000;
+        let mut total = 0u64;
+        for _ in 0..runs {
+            total += bd.simulate_hitting(1, 3, &mut rng, 1_000_000).expect("hits");
+        }
+        let mc = total as f64 / runs as f64;
+        prop_assert!((mc - exact).abs() / exact < 0.15, "exact {exact} vs MC {mc}");
+    }
+}

@@ -1,0 +1,222 @@
+//! Property tests for the packet-level simulator over random topologies.
+
+use proptest::prelude::*;
+use routesync_desim::{Duration, SimTime};
+use routesync_netsim::{
+    DvConfig, ForwardingMode, NetSim, NodeId, RouterConfig, TimerStart, Topology,
+};
+
+/// A random connected router topology: a ring of `n` plus `chords` extra
+/// edges, with two hosts hanging off routers `ha` and `hb`.
+fn random_topology(
+    n: usize,
+    chord_seed: u64,
+    chords: usize,
+) -> (Topology, NodeId, NodeId, Vec<NodeId>) {
+    let mut t = Topology::new();
+    let routers: Vec<NodeId> = (0..n).map(|i| t.add_router(format!("r{i}"))).collect();
+    for i in 0..n {
+        t.add_link(
+            routers[i],
+            routers[(i + 1) % n],
+            Duration::from_millis(1 + (i as u64 % 7)),
+            1_544_000,
+            50,
+        );
+    }
+    let mut x = chord_seed | 1;
+    let mut step = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for _ in 0..chords {
+        let a = (step() % n as u64) as usize;
+        let b = (step() % n as u64) as usize;
+        if a != b {
+            t.add_link(routers[a], routers[b], Duration::from_millis(2), 1_544_000, 50);
+        }
+    }
+    let ha = t.add_host("ha");
+    let hb = t.add_host("hb");
+    let ra = (step() % n as u64) as usize;
+    let mut rb = (step() % n as u64) as usize;
+    if rb == ra {
+        rb = (rb + 1) % n;
+    }
+    t.add_link(ha, routers[ra], Duration::from_millis(1), 10_000_000, 50);
+    t.add_link(hb, routers[rb], Duration::from_millis(1), 10_000_000, 50);
+    (t, ha, hb, routers)
+}
+
+fn config() -> RouterConfig {
+    let mut cfg = RouterConfig::new(DvConfig::igrp()); // quiet within short tests
+    cfg.forwarding = ForwardingMode::Concurrent;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Prepopulated routes are consistent: every router's next hop toward
+    /// every destination is a direct neighbour, and following next hops
+    /// reaches the destination without loops (in ≤ n+2 steps) — i.e. BFS
+    /// produced a real shortest-path forest.
+    #[test]
+    fn prepopulated_routes_are_loop_free(
+        n in 3usize..12,
+        chords in 0usize..6,
+        chord_seed in 1u64..10_000,
+    ) {
+        let (t, ha, hb, routers) = random_topology(n, chord_seed, chords);
+        let neighbors: Vec<std::collections::HashSet<NodeId>> = (0..t.node_count())
+            .map(|v| t.neighbors(v).into_iter().map(|(m, _)| m).collect())
+            .collect();
+        let sim = NetSim::new(t, config(), 1);
+        let nodes: Vec<NodeId> = routers.iter().copied().chain([ha, hb]).collect();
+        for &src in &routers {
+            for &dst in &nodes {
+                if src == dst {
+                    continue;
+                }
+                // Walk the next-hop chain.
+                let mut cur = src;
+                let mut steps = 0;
+                loop {
+                    let Some(hop) = sim.table(cur).lookup(dst, 16) else {
+                        // Hosts terminate chains; routers must always have
+                        // a route in a connected graph.
+                        prop_assert!(false, "no route {cur} -> {dst}");
+                        unreachable!();
+                    };
+                    prop_assert!(
+                        neighbors[cur].contains(&hop),
+                        "{cur}'s next hop {hop} toward {dst} is not adjacent"
+                    );
+                    if hop == dst {
+                        break;
+                    }
+                    cur = hop;
+                    steps += 1;
+                    prop_assert!(steps <= n + 2, "loop detected toward {dst}");
+                    // Hosts never relay.
+                    prop_assert!(routers.contains(&cur), "path relays through a host");
+                }
+            }
+        }
+    }
+
+    /// Conservation: pings over a healthy random topology are all
+    /// delivered, and the counters add up (sent = delivered, no drops).
+    #[test]
+    fn healthy_network_conserves_packets(
+        n in 3usize..10,
+        chords in 0usize..5,
+        chord_seed in 1u64..10_000,
+        probes in 1u64..30,
+    ) {
+        let (t, ha, hb, _) = random_topology(n, chord_seed, chords);
+        let mut sim = NetSim::new(t, config(), 2);
+        sim.add_ping(
+            ha,
+            hb,
+            Duration::from_secs_f64(1.01),
+            probes,
+            SimTime::from_secs(1),
+        );
+        sim.run_until(SimTime::from_secs(2 + probes + 60));
+        let c = sim.counters();
+        prop_assert_eq!(sim.ping_stats(ha).lost(), 0, "losses: {:?}", c);
+        prop_assert_eq!(c.sent, 2 * probes);
+        prop_assert_eq!(c.delivered, 2 * probes);
+        prop_assert_eq!(
+            c.drop_no_route + c.drop_queue + c.drop_cpu + c.drop_link_down + c.drop_ttl,
+            0
+        );
+    }
+
+    /// Determinism of the whole packet simulator in (topology, seed).
+    #[test]
+    fn netsim_is_deterministic(
+        n in 3usize..8,
+        chord_seed in 1u64..1_000,
+        seed in 0u64..1_000,
+    ) {
+        let run = || {
+            let (t, ha, hb, _) = random_topology(n, chord_seed, 2);
+            let mut cfg = RouterConfig::new(DvConfig::rip().with_jitter(
+                routesync_rng::JitterPolicy::Uniform {
+                    tp: Duration::from_secs(30),
+                    tr: Duration::from_secs(5),
+                },
+            ));
+            cfg.forwarding = ForwardingMode::BlockedDuringUpdates;
+            let mut sim = NetSim::new(t, cfg, seed);
+            sim.add_ping(ha, hb, Duration::from_secs_f64(1.01), 20, SimTime::from_secs(1));
+            sim.run_until(SimTime::from_secs(120));
+            (
+                sim.counters().clone(),
+                sim.ping_stats(ha).clone(),
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Delivered packets actually travel the shortest router path: the
+    /// recorded hop list of every ping/pong matches a BFS-shortest path
+    /// length, never relays through hosts, and never repeats a router.
+    #[test]
+    fn delivered_paths_are_shortest(
+        n in 3usize..10,
+        chords in 0usize..5,
+        chord_seed in 1u64..10_000,
+    ) {
+        let (t, ha, hb, routers) = random_topology(n, chord_seed, chords);
+        // BFS distance between the two hosts, relaying only via routers.
+        let dist = {
+            let mut dist = vec![usize::MAX; t.node_count()];
+            let mut q = std::collections::VecDeque::new();
+            dist[hb] = 0;
+            q.push_back(hb);
+            while let Some(u) = q.pop_front() {
+                if u != hb && !routers.contains(&u) {
+                    continue;
+                }
+                for (v, _) in t.neighbors(u) {
+                    if dist[v] == usize::MAX {
+                        dist[v] = dist[u] + 1;
+                        q.push_back(v);
+                    }
+                }
+            }
+            dist[ha]
+        };
+        let mut cfg = config();
+        cfg.record_paths = true;
+        let mut sim = NetSim::new(t, cfg, 3);
+        sim.add_ping(ha, hb, Duration::from_secs_f64(1.01), 5, SimTime::from_secs(1));
+        sim.run_until(SimTime::from_secs(30));
+        let paths = sim.delivered_paths();
+        prop_assert_eq!(paths.len(), 10, "5 pings + 5 pongs recorded");
+        for (dst, hops) in paths {
+            // Router count on the host-to-host path = distance − 1.
+            prop_assert_eq!(
+                hops.len(),
+                dist - 1,
+                "path to {} not shortest: {:?}",
+                dst,
+                hops
+            );
+            let mut dedup = hops.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), hops.len(), "router repeated: {:?}", hops);
+            prop_assert!(hops.iter().all(|h| routers.contains(h)));
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests for the Section 1 phenomena models.
+
+use proptest::prelude::*;
+use routesync_desim::{Duration, SimTime};
+use routesync_phenomena::client_server::{ClientServerModel, ClientServerParams};
+use routesync_phenomena::external_clock::{self, ClockAlignment, ClockParams};
+use routesync_phenomena::tcp::{DropPolicy, TcpBottleneck, TcpParams};
+use routesync_rng::{JitterPolicy, MinStd};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// TCP invariants: windows stay at/above the floor, the aggregate trace
+    /// is complete, utilization metrics are sane, and runs are
+    /// deterministic in the seed.
+    #[test]
+    fn tcp_invariants(
+        k in 2usize..12,
+        capacity in 20u64..400,
+        buffer in 1u64..100,
+        policy_tail in any::<bool>(),
+        seed in 1u32..10_000,
+    ) {
+        let policy = if policy_tail { DropPolicy::TailDrop } else { DropPolicy::RandomSingle };
+        let params = TcpParams { connections: k, capacity, buffer, policy, min_window: 1 };
+        let run = |seed: u32| {
+            let mut rng = MinStd::new(seed);
+            let mut b = TcpBottleneck::new(params, &mut rng);
+            let report = b.run(600, &mut rng);
+            (report, b.windows().to_vec(), b.aggregate().to_vec())
+        };
+        let (report, windows, aggregate) = run(seed);
+        prop_assert!(windows.iter().all(|&w| w >= 1));
+        prop_assert_eq!(aggregate.len(), 600);
+        prop_assert!(report.mean_utilization >= 0.0);
+        prop_assert!(report.utilization_swing >= 0.0);
+        prop_assert!(report.mass_halving_events <= report.halving_events);
+        let again = run(seed);
+        prop_assert_eq!(report, again.0);
+    }
+
+    /// Client-server invariants: recovery always completes within a long
+    /// horizon, burst sizes never exceed the population, and the
+    /// post-recovery timeout count is bounded by (clients × retries that
+    /// fit the horizon).
+    #[test]
+    fn client_server_invariants(
+        clients in 1usize..30,
+        fixed in any::<bool>(),
+        seed in 0u64..500,
+    ) {
+        let retry = if fixed {
+            ClientServerParams::fixed_retry()
+        } else {
+            ClientServerParams::jittered_retry()
+        };
+        let params = ClientServerParams::sprite(clients, retry);
+        let mut model = ClientServerModel::new(params, seed);
+        let report = model.run(SimTime::from_secs(2_000));
+        prop_assert!(report.peak_retry_burst <= clients);
+        prop_assert!(
+            report.recovery_secs.is_some(),
+            "all clients must recover: {report:?}"
+        );
+        prop_assert!(report.recovery_secs.expect("checked") >= 0.0);
+    }
+
+    /// External clock: arrivals are conserved (modulo edge spill) and the
+    /// uniform alignment is never burstier than on-the-hour.
+    #[test]
+    fn clock_invariants(
+        users in 1usize..300,
+        periods in 1u64..20,
+        seed in 1u32..10_000,
+    ) {
+        let mut rng = MinStd::new(seed);
+        let hour = external_clock::simulate(
+            &ClockParams::hourly(users, ClockAlignment::OnTheHour),
+            periods,
+            60,
+            &mut rng,
+        );
+        let uniform = external_clock::simulate(
+            &ClockParams::hourly(users, ClockAlignment::UniformOffset),
+            periods,
+            60,
+            &mut rng,
+        );
+        let expect = (users as u64) * periods;
+        for p in [&hour, &uniform] {
+            let total: u64 = p.bins.iter().sum();
+            prop_assert!(total <= expect && total + users as u64 >= expect);
+        }
+        prop_assert!(hour.peak_to_mean() + 1e-9 >= uniform.peak_to_mean() || users < 4,
+            "hour {} must be at least as bursty as uniform {}",
+            hour.peak_to_mean(), uniform.peak_to_mean());
+    }
+
+    /// The storm model with zero-length outage behaves like a plain
+    /// polling system regardless of retry policy: no post-recovery
+    /// timeouts for modest populations.
+    #[test]
+    fn no_outage_no_storm(clients in 1usize..20, seed in 0u64..200) {
+        let mut params = ClientServerParams::sprite(
+            clients,
+            ClientServerParams::fixed_retry(),
+        );
+        params.fail_from = SimTime::from_secs(50);
+        params.fail_until = SimTime(params.fail_from.as_nanos() + 1);
+        let mut model = ClientServerModel::new(params, seed);
+        let report = model.run(SimTime::from_secs(800));
+        prop_assert_eq!(report.timeouts_after_recovery, 0, "{:?}", report);
+    }
+
+    /// Jitter policy support sanity for the retry policies used by the
+    /// storm model.
+    #[test]
+    fn retry_policies_draw_within_bounds(seed in 1u32..10_000) {
+        let mut rng = MinStd::new(seed);
+        for _ in 0..32 {
+            let f = ClientServerParams::fixed_retry().sample(&mut rng);
+            prop_assert_eq!(f, Duration::from_secs(10));
+            let j = ClientServerParams::jittered_retry().sample(&mut rng);
+            prop_assert!(j >= Duration::from_secs(5) && j <= Duration::from_secs(15));
+        }
+    }
+}
+
+/// Non-proptest determinism check across the whole phenomena crate.
+#[test]
+fn phenomena_are_deterministic() {
+    let tcp = |seed| {
+        let mut rng = MinStd::new(seed);
+        let mut b = TcpBottleneck::new(
+            TcpParams::classic(6, DropPolicy::RandomSingle),
+            &mut rng,
+        );
+        b.run(500, &mut rng)
+    };
+    assert_eq!(tcp(5), tcp(5));
+
+    let clock = |seed| {
+        let mut rng = MinStd::new(seed);
+        external_clock::simulate(
+            &ClockParams::hourly(50, ClockAlignment::QuarterMarks),
+            6,
+            60,
+            &mut rng,
+        )
+    };
+    assert_eq!(clock(5), clock(5));
+
+    let _ = JitterPolicy::None {
+        tp: Duration::from_secs(1),
+    };
+}

@@ -1,0 +1,96 @@
+//! Serde round-trips for the public configuration and result types —
+//! experiment configs must survive being written to and read from disk.
+
+use routesync_core::{PeriodicParams, StartState, TriggerResponse};
+use routesync_desim::{Duration, SimTime};
+use routesync_markov::ChainParams;
+use routesync_netsim::{dv::HelloConfig, Counters, DvConfig, RouterConfig, Topology};
+use routesync_phenomena::{ClientServerParams, ClockParams, TcpParams};
+use routesync_rng::{JitterPolicy, MinStd, TimerResetPolicy};
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string_pretty(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn time_types_roundtrip_as_raw_nanoseconds() {
+    let t = SimTime::from_secs_f64(121.11);
+    assert_eq!(roundtrip(&t), t);
+    assert_eq!(serde_json::to_string(&t).expect("json"), "121110000000");
+    let d = Duration::from_millis(110);
+    assert_eq!(roundtrip(&d), d);
+}
+
+#[test]
+fn core_params_roundtrip() {
+    let p = PeriodicParams::paper_reference()
+        .with_reset_policy(TimerResetPolicy::OnExpiry)
+        .with_trigger_response(TriggerResponse::Ignore)
+        .with_jitter(JitterPolicy::FixedPerRouter {
+            tp: Duration::from_secs(30),
+            tr: Duration::from_secs(2),
+        });
+    assert_eq!(roundtrip(&p), p);
+    let s = StartState::Offsets(vec![Duration::from_secs(1), Duration::from_secs(2)]);
+    assert_eq!(roundtrip(&s), s);
+}
+
+#[test]
+fn chain_params_roundtrip() {
+    let p = ChainParams::paper_reference().with_tr(0.25).with_n(30);
+    assert_eq!(roundtrip(&p), p);
+}
+
+#[test]
+fn netsim_configs_roundtrip() {
+    let dv = DvConfig::igrp()
+        .with_pad(280)
+        .with_hello(HelloConfig::standard())
+        .with_holddown(Some(Duration::from_secs(280)));
+    assert_eq!(roundtrip(&dv), dv);
+    let rc = RouterConfig::new(dv);
+    assert_eq!(roundtrip(&rc), rc);
+    let c = Counters::default();
+    assert_eq!(roundtrip(&c), c);
+}
+
+#[test]
+fn topology_roundtrips_with_structure_intact() {
+    let mut t = Topology::new();
+    let a = t.add_host("a");
+    let r = t.add_router("r");
+    t.add_link(a, r, Duration::from_millis(1), 1_000_000, 10);
+    let back: Topology = roundtrip(&t);
+    assert_eq!(back.node_count(), 2);
+    assert_eq!(back.link_count(), 1);
+    assert_eq!(back.neighbors(a), vec![(r, 0)]);
+    assert_eq!(back.name(r), "r");
+}
+
+#[test]
+fn phenomena_params_roundtrip() {
+    let cs = ClientServerParams::sprite(40, ClientServerParams::jittered_retry());
+    assert_eq!(roundtrip(&cs), cs);
+    let tcp = TcpParams::classic(8, routesync_phenomena::DropPolicy::RandomSingle);
+    assert_eq!(roundtrip(&tcp), tcp);
+    let clock = ClockParams::hourly(100, routesync_phenomena::ClockAlignment::OnTheHour);
+    assert_eq!(roundtrip(&clock), clock);
+}
+
+#[test]
+fn rng_state_roundtrips_and_resumes_identically() {
+    // Serializing a generator mid-stream and resuming must continue the
+    // exact sequence (checkpointable experiments).
+    let mut g = MinStd::new(12345);
+    for _ in 0..100 {
+        g.next();
+    }
+    let mut resumed: MinStd = roundtrip(&g);
+    for _ in 0..100 {
+        assert_eq!(g.next(), resumed.next());
+    }
+}

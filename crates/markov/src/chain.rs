@@ -1,0 +1,498 @@
+//! The paper's Markov chain for the Periodic Messages system.
+
+use serde::{Deserialize, Serialize};
+
+use crate::birthdeath::BirthDeath;
+
+/// Parameters of the chain (all times in seconds, matching the paper's
+/// notation).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChainParams {
+    /// Number of routers `N` (chain states are `1..=N`).
+    pub n: usize,
+    /// Mean timer period `Tp`.
+    pub tp: f64,
+    /// Per-message processing time `Tc`.
+    pub tc: f64,
+    /// Random half-width `Tr`.
+    pub tr: f64,
+}
+
+impl ChainParams {
+    /// The paper's reference parameters: `N = 20`, `Tp = 121 s`,
+    /// `Tc = 0.11 s`, `Tr = 0.1 s`.
+    pub fn paper_reference() -> Self {
+        ChainParams {
+            n: 20,
+            tp: 121.0,
+            tc: 0.11,
+            tr: 0.1,
+        }
+    }
+
+    /// Same parameters with a different `Tr`.
+    pub fn with_tr(mut self, tr: f64) -> Self {
+        self.tr = tr;
+        self
+    }
+
+    /// Same parameters with a different `N`.
+    pub fn with_n(mut self, n: usize) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// Seconds per round, `Tp + Tc` — the unit conversion used throughout
+    /// the paper's figures.
+    pub fn seconds_per_round(&self) -> f64 {
+        self.tp + self.tc
+    }
+
+    fn validate(&self) {
+        assert!(self.n >= 2, "need at least two routers");
+        assert!(
+            self.tp > 0.0 && self.tc > 0.0 && self.tr >= 0.0,
+            "times must be positive (Tr may be zero)"
+        );
+    }
+}
+
+/// Which randomization regime the parameters fall in (the three regions of
+/// the paper's Figure 12 discussion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Region {
+    /// The system moves easily from unsynchronized to synchronized and
+    /// essentially never back: synchronization is the equilibrium.
+    Low,
+    /// Both transitions take a long time; the system lingers wherever it
+    /// starts.
+    Moderate,
+    /// The system moves easily back to unsynchronized and rarely
+    /// synchronizes: jitter has won.
+    High,
+}
+
+/// The Periodic Messages Markov chain (paper Section 5).
+#[derive(Debug, Clone)]
+pub struct PeriodicChain {
+    params: ChainParams,
+    chain: BirthDeath,
+}
+
+impl PeriodicChain {
+    /// Build the chain for the given parameters.
+    ///
+    /// `p_{1,2}` is a free parameter in the paper and is represented here
+    /// as 0 inside the [`BirthDeath`] (state 1's upward exit is supplied
+    /// separately as `f(2)` wherever needed).
+    pub fn new(params: ChainParams) -> Self {
+        params.validate();
+        let n = params.n;
+        let mut p_up = vec![0.0; n + 1];
+        let mut p_down = vec![0.0; n + 1];
+        #[allow(clippy::needless_range_loop)] // index == Markov state
+        for i in 2..=n {
+            p_down[i] = Self::p_break(&params, i);
+        }
+        #[allow(clippy::needless_range_loop)]
+        for i in 2..n {
+            p_up[i] = Self::p_grow(&params, i);
+        }
+        // Eqs. 1 and 2 are independent approximations and can sum above 1
+        // for extreme parameters (e.g. tiny Tp with large Tc, where a
+        // cluster both catches its neighbour and sheds its head "every
+        // round"). Renormalize such states so the row is a distribution;
+        // within the paper's parameter ranges this never triggers.
+        for i in 2..=n {
+            let sum = p_up[i] + p_down[i];
+            if sum > 1.0 {
+                p_up[i] /= sum;
+                p_down[i] /= sum;
+            }
+        }
+        PeriodicChain {
+            params,
+            chain: BirthDeath::new(p_up, p_down),
+        }
+    }
+
+    /// The chain parameters.
+    pub fn params(&self) -> &ChainParams {
+        &self.params
+    }
+
+    /// The underlying birth-death chain.
+    pub fn birth_death(&self) -> &BirthDeath {
+        &self.chain
+    }
+
+    /// Eq. 1: `p_{i,i−1} = (1 − Tc/(2·Tr))^{i−1}` — the probability that
+    /// the first of `i` timers (uniform in a `2·Tr` window) fires more than
+    /// `Tc` before the second, letting the head router escape. Zero when
+    /// `Tr ≤ Tc/2` (a cluster can then never break up).
+    pub fn p_break(params: &ChainParams, i: usize) -> f64 {
+        assert!(i >= 2, "break-up needs a cluster");
+        if params.tr <= params.tc / 2.0 {
+            return 0.0;
+        }
+        (1.0 - params.tc / (2.0 * params.tr)).powi(i as i32 - 1)
+    }
+
+    /// Eq. 2: `p_{i,i+1} = 1 − exp(−((N−i+1)/Tp)·d(i))` where
+    /// `d(i) = (i−1)·Tc − Tr·(i−1)/(i+1)` is the cluster's per-round drift
+    /// relative to a lone router. Clamped to 0 when the drift is negative
+    /// (large `Tr` makes clusters drift *slower* than they spread).
+    pub fn p_grow(params: &ChainParams, i: usize) -> f64 {
+        assert!((2..params.n).contains(&i), "growth defined for 2..N-1");
+        let drift = (i as f64 - 1.0) * params.tc
+            - params.tr * (i as f64 - 1.0) / (i as f64 + 1.0);
+        if drift <= 0.0 {
+            return 0.0;
+        }
+        let rate = (params.n - i + 1) as f64 / params.tp;
+        -(-rate * drift).exp_m1()
+    }
+
+    /// `f(i)` for `i = 1..=N`, in rounds: the expected number of rounds to
+    /// first reach cluster size `i` from an unsynchronized start, given the
+    /// free parameter `f(2) = f2` (rounds).
+    ///
+    /// `f(1) = 0` by convention; values become `+∞` beyond any state whose
+    /// growth probability is zero.
+    pub fn f(&self, f2: f64) -> Vec<f64> {
+        assert!(f2 >= 0.0, "f(2) must be non-negative");
+        let n = self.params.n;
+        let mut f = vec![0.0; n + 1];
+        if n >= 2 {
+            f[2] = f2;
+        }
+        // E[T(i→i+1)] = (1 + p_down(i)·E[T(i−1→i)]) / p_up(i), where
+        // E[T(1→2)] = f2.
+        let mut prev_step = f2;
+        for i in 2..n {
+            let p_up = self.chain.p_up(i);
+            let step = if p_up == 0.0 {
+                f64::INFINITY
+            } else {
+                (1.0 + self.chain.p_down(i) * prev_step) / p_up
+            };
+            f[i + 1] = f[i] + step;
+            prev_step = step;
+        }
+        f
+    }
+
+    /// `g(i)` for `i = 1..=N`, in rounds: the expected number of rounds to
+    /// first fall to cluster size `i` from a synchronized start
+    /// (`g(N) = 0`). Independent of `f(2)`/`p_{1,2}` — the paper notes the
+    /// downward walk never needs to leave state 1.
+    pub fn g(&self) -> Vec<f64> {
+        let n = self.params.n;
+        let down = self.chain.expected_down_steps();
+        let mut g = vec![0.0; n + 1];
+        for i in (1..n).rev() {
+            g[i] = g[i + 1] + down[i + 1];
+        }
+        g
+    }
+
+    /// `f(N)` in rounds.
+    pub fn f_n(&self, f2: f64) -> f64 {
+        self.f(f2)[self.params.n]
+    }
+
+    /// `g(1)` in rounds.
+    pub fn g_1(&self) -> f64 {
+        self.g()[1]
+    }
+
+    /// Variance of the time to synchronize `T(1→N)` in rounds², with the
+    /// free first step `E[T(1→2)] = f2` treated as geometric.
+    ///
+    /// The coefficient of variation is O(1) for the paper's parameters —
+    /// the model's own explanation for the enormous seed-to-seed spread in
+    /// the Figure 7/10 simulations.
+    pub fn f_variance(&self, f2: f64) -> f64 {
+        self.chain.passage_up_variance(f2)
+    }
+
+    /// Variance of the time to desynchronize `T(N→1)` in rounds².
+    pub fn g_variance(&self) -> f64 {
+        self.chain.passage_down_variance()
+    }
+
+    /// The estimated fraction of time the system spends unsynchronized,
+    /// `f(N) / (f(N) + g(1))` (paper Section 5.3). 1 when the system can
+    /// never synchronize, 0 when it can never desynchronize.
+    pub fn fraction_unsynchronized(&self, f2: f64) -> f64 {
+        let f = self.f_n(f2);
+        let g = self.g_1();
+        match (f.is_infinite(), g.is_infinite()) {
+            (true, false) => 1.0,
+            (false, true) => 0.0,
+            (true, true) => f64::NAN,
+            (false, false) => f / (f + g),
+        }
+    }
+
+    /// Classify the randomization regime relative to a patience horizon
+    /// (in rounds): [`Region::Low`] if synchronization arrives within the
+    /// horizon but break-up does not, [`Region::High`] for the reverse,
+    /// [`Region::Moderate`] when both (or neither) exceed it.
+    pub fn region(&self, f2: f64, horizon_rounds: f64) -> Region {
+        let syncs = self.f_n(f2) <= horizon_rounds;
+        let breaks = self.g_1() <= horizon_rounds;
+        match (syncs, breaks) {
+            (true, false) => Region::Low,
+            (false, true) => Region::High,
+            _ => Region::Moderate,
+        }
+    }
+
+    /// The smallest `Tr` (by bisection over `(Tc/2, Tp/2]`) for which the
+    /// system is predominately unsynchronized:
+    /// `fraction_unsynchronized ≥ target` (e.g. 0.95).
+    ///
+    /// This is the paper's engineering guideline made executable; for the
+    /// reference parameters it lands in the "choose `Tr` at least ten times
+    /// `Tc`" zone, and `Tr = Tp/2` (the `[0.5·Tp, 1.5·Tp]` policy) always
+    /// satisfies it.
+    pub fn recommended_tr(params: &ChainParams, target: f64) -> f64 {
+        assert!((0.0..1.0).contains(&target), "target fraction in [0,1)");
+        let frac = |tr: f64| {
+            let chain = PeriodicChain::new(params.with_tr(tr));
+            // f(2) = 0 is the conservative choice: it *underestimates* the
+            // time to synchronize, so the recommended Tr errs high.
+            chain.fraction_unsynchronized(0.0)
+        };
+        let mut hi = params.tp / 2.0;
+        if frac(hi) < target {
+            // Even Tp/2 cannot reach the target (pathological parameters);
+            // return the endpoint, the strongest jitter the model allows.
+            return hi;
+        }
+        let mut lo = params.tc / 2.0;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if frac(mid) >= target {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference() -> PeriodicChain {
+        PeriodicChain::new(ChainParams::paper_reference())
+    }
+
+    #[test]
+    fn break_probability_matches_eq_1() {
+        let p = ChainParams::paper_reference(); // Tc = 0.11, Tr = 0.1
+        // 1 − Tc/(2·Tr) = 1 − 0.55 = 0.45.
+        assert!((PeriodicChain::p_break(&p, 2) - 0.45).abs() < 1e-12);
+        assert!((PeriodicChain::p_break(&p, 4) - 0.45f64.powi(3)).abs() < 1e-12);
+        // Below the Tr = Tc/2 threshold clusters never shed.
+        let frozen = p.with_tr(0.05);
+        assert_eq!(PeriodicChain::p_break(&frozen, 5), 0.0);
+    }
+
+    #[test]
+    fn growth_probability_matches_eq_2() {
+        let p = ChainParams::paper_reference();
+        // i = 2: drift = Tc − Tr/3; rate = (N−1)/Tp.
+        let drift: f64 = 0.11 - 0.1 / 3.0;
+        let expect = 1.0 - (-(19.0 / 121.0) * drift).exp();
+        assert!((PeriodicChain::p_grow(&p, 2) - expect).abs() < 1e-12);
+        // Large Tr makes small clusters drift backwards: clamped to zero.
+        let damped = p.with_tr(1.0);
+        assert_eq!(PeriodicChain::p_grow(&damped, 2), 0.0);
+    }
+
+    #[test]
+    fn growth_probabilities_are_positive_at_reference() {
+        // Note p_{i,i+1} is *not* monotone in i: the cluster's drift
+        // (i−1)·Tc − Tr·(i−1)/(i+1) grows with i, but the density of
+        // remaining lone routers (N−i+1)/Tp shrinks. Both effects are real;
+        // what matters for the low-randomization regime is that every
+        // growth probability is bounded away from zero.
+        let c = reference();
+        for i in 2..20 {
+            let p = c.birth_death().p_up(i);
+            assert!(p > 1e-4 && p < 1.0, "p_up({i}) = {p}");
+        }
+        // The drift itself does grow with cluster size.
+        let p = ChainParams::paper_reference();
+        let drift = |i: f64| (i - 1.0) * p.tc - p.tr * (i - 1.0) / (i + 1.0);
+        for i in 2..19 {
+            assert!(drift(i as f64 + 1.0) > drift(i as f64));
+        }
+    }
+
+    #[test]
+    fn f_is_monotone_and_finite_at_reference() {
+        let c = reference();
+        let f = c.f(19.0); // the paper's f(2) = 19 rounds
+        for i in 2..20 {
+            assert!(f[i + 1] >= f[i], "f must be monotone");
+        }
+        assert!(f[20].is_finite());
+        // Paper's Figure 10 scale: f(N) converted to seconds is of order
+        // 10^5 for Tr = 0.1 s.
+        let secs = f[20] * c.params().seconds_per_round();
+        assert!(
+            (1e4..1e7).contains(&secs),
+            "f(N) = {secs} s is outside the Figure 10/12 ballpark"
+        );
+    }
+
+    #[test]
+    fn g_is_decreasing_in_i_and_explodes_for_small_tr() {
+        let c = reference();
+        let g = c.g();
+        for i in 1..20 {
+            assert!(g[i] >= g[i + 1], "g must decrease toward g(N)=0");
+        }
+        assert_eq!(g[20], 0.0);
+        // At Tr = 0.1 < Tc/2? No: Tc/2 = 0.055, so breakup is possible but
+        // slow. g(1) must dwarf f(N): the reference system is in the low
+        // region (it synchronizes and stays).
+        let f_n = c.f_n(19.0);
+        assert!(g[1] > 100.0 * f_n, "g(1) = {} vs f(N) = {f_n}", g[1]);
+    }
+
+    #[test]
+    fn frozen_jitter_gives_infinite_g() {
+        let c = PeriodicChain::new(ChainParams::paper_reference().with_tr(0.05));
+        assert!(c.g_1().is_infinite());
+        assert_eq!(c.fraction_unsynchronized(19.0), 0.0);
+    }
+
+    #[test]
+    fn huge_jitter_gives_infinite_f() {
+        let c = PeriodicChain::new(ChainParams::paper_reference().with_tr(3.0));
+        assert!(c.f_n(19.0).is_infinite());
+        assert_eq!(c.fraction_unsynchronized(19.0), 1.0);
+    }
+
+    /// The headline phase transition (Figure 14): sweeping Tr across
+    /// [Tc, 2.5·Tc] flips the unsynchronized fraction from ≈0 to ≈1.
+    #[test]
+    fn fraction_unsynchronized_has_sharp_transition_in_tr() {
+        let base = ChainParams::paper_reference();
+        let frac = |mult: f64| {
+            PeriodicChain::new(base.with_tr(mult * base.tc)).fraction_unsynchronized(19.0)
+        };
+        assert!(frac(1.0) < 0.05, "Tr = Tc is predominately synchronized");
+        assert!(frac(2.5) > 0.95, "Tr = 2.5 Tc is predominately unsynchronized");
+        // Sharpness: the whole flip happens within that factor-2.5 window,
+        // and is monotone across it.
+        let mut last = frac(1.0);
+        for k in 1..=15 {
+            let f = frac(1.0 + 1.5 * k as f64 / 15.0);
+            assert!(f >= last - 1e-9, "fraction must rise with Tr");
+            last = f;
+        }
+    }
+
+    /// Figure 15: at fixed Tr, adding routers flips the system from
+    /// predominately unsynchronized to predominately synchronized.
+    #[test]
+    fn fraction_unsynchronized_has_sharp_transition_in_n() {
+        let base = ChainParams {
+            n: 20,
+            tp: 121.0,
+            tc: 0.11,
+            tr: 0.3,
+        };
+        let frac = |n: usize| {
+            PeriodicChain::new(base.with_n(n)).fraction_unsynchronized(0.0)
+        };
+        assert!(frac(5) > 0.95, "few routers stay unsynchronized");
+        assert!(frac(28) < 0.05, "many routers synchronize");
+        // Find the transition width: count n where the fraction is between
+        // 10% and 90% — the paper's point is that this window is a handful
+        // of routers wide.
+        let mid: Vec<usize> = (3..=28)
+            .filter(|&n| {
+                let f = frac(n);
+                (0.1..=0.9).contains(&f)
+            })
+            .collect();
+        assert!(
+            mid.len() <= 4,
+            "transition should span only a few routers: {mid:?}"
+        );
+    }
+
+    #[test]
+    fn recommended_tr_matches_paper_guidelines() {
+        let p = ChainParams::paper_reference();
+        let tr = PeriodicChain::recommended_tr(&p, 0.95);
+        // Paper: "choosing Tr at least ten times greater than Tc ensures
+        // that clusters ... will be quickly broken up", and Tr = Tp/2
+        // always suffices. The solved threshold sits between ~2·Tc and
+        // 10·Tc for the reference parameters and far below Tp/2.
+        assert!(tr > p.tc, "threshold must exceed Tc (got {tr})");
+        assert!(tr < 10.0 * p.tc, "threshold far below the 10·Tc rule of thumb");
+        assert!(tr < p.tp / 2.0);
+        // And the recommendation actually achieves the target.
+        let achieved =
+            PeriodicChain::new(p.with_tr(tr)).fraction_unsynchronized(0.0);
+        assert!(achieved >= 0.95);
+    }
+
+    #[test]
+    fn region_classification() {
+        let base = ChainParams::paper_reference();
+        let horizon = 1e7 / base.seconds_per_round(); // the paper's 10^7 s sims
+        let region = |mult: f64| {
+            PeriodicChain::new(base.with_tr(mult * base.tc)).region(19.0, horizon)
+        };
+        assert_eq!(region(0.9), Region::Low);
+        assert_eq!(region(4.0), Region::High);
+        // Somewhere in between both passages exceed the horizon.
+        let mids: Vec<f64> = (10..40)
+            .map(|k| k as f64 / 10.0)
+            .filter(|&m| region(m) == Region::Moderate)
+            .collect();
+        assert!(!mids.is_empty(), "a moderate band must exist");
+    }
+
+    #[test]
+    fn passage_variances_are_positive_and_finite_at_reference() {
+        let c = reference();
+        let fv = c.f_variance(19.0);
+        assert!(fv.is_finite() && fv > 0.0, "f variance {fv}");
+        let c3 = PeriodicChain::new(ChainParams::paper_reference().with_tr(0.3));
+        let gv = c3.g_variance();
+        assert!(gv.is_finite() && gv > 0.0, "g variance {gv}");
+        // Frozen clusters make the downward passage (and its variance)
+        // infinite.
+        let frozen = PeriodicChain::new(ChainParams::paper_reference().with_tr(0.05));
+        assert!(frozen.g_variance().is_infinite());
+    }
+
+    #[test]
+    fn f_with_zero_f2_is_lower_bound() {
+        let c = reference();
+        assert!(c.f_n(0.0) <= c.f_n(19.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two routers")]
+    fn tiny_n_rejected() {
+        let _ = PeriodicChain::new(ChainParams {
+            n: 1,
+            tp: 121.0,
+            tc: 0.11,
+            tr: 0.1,
+        });
+    }
+}

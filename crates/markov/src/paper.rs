@@ -1,0 +1,182 @@
+//! The Section 5.2 recursions exactly as printed in the paper.
+//!
+//! The paper defines `t_{i,j}` as "the expected number of rounds until the
+//! Markov chain moves from state i to state j, **given that** the next
+//! state after state i is state j", and prints (for `q = p_{j,j−1} +
+//! p_{j,j+1}`):
+//!
+//! ```text
+//! t_{j,j+1} = Σ_{x≥1} x·(1−q)^{x−1}·p_{j,j+1} = p_{j,j+1} / q²
+//! ```
+//!
+//! Note a subtlety: the number of rounds until the chain first *moves* is
+//! geometric in `q` and independent of the direction moved, so the
+//! conditional expectation in the prose definition is `1/q` for both
+//! directions; the printed series `p_{j,j+1}/q²` is that conditional
+//! expectation multiplied by the probability `p_{j,j+1}/q` of the
+//! conditioning event (i.e. the *unconditional* expectation of
+//! `rounds × 1{moved up}`). This module implements **both** readings:
+//!
+//! * [`TDef::Printed`] — the formula as printed, `t = p/q²`.
+//! * [`TDef::Conditional`] — the prose definition, `t = 1/q`, which makes
+//!   the paper's recursions algebraically identical to the exact
+//!   birth-death first-passage times of [`crate::BirthDeath`] (verified in
+//!   tests).
+//!
+//! Either way the recursions below are the paper's Eqs. (3) and (5),
+//! evaluated directly (the closed forms (4) and (6) are their unique
+//! solutions, so nothing is lost by iterating).
+
+use crate::chain::PeriodicChain;
+
+/// Which reading of `t_{j,j±1}` to use (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TDef {
+    /// `t_{j,j±1} = p_{j,j±1} / (p_{j,j−1}+p_{j,j+1})²` — as printed.
+    Printed,
+    /// `t_{j,j±1} = 1 / (p_{j,j−1}+p_{j,j+1})` — the prose definition.
+    Conditional,
+}
+
+fn t_terms(chain: &PeriodicChain, j: usize, def: TDef) -> (f64, f64) {
+    let bd = chain.birth_death();
+    let q = bd.p_up(j) + bd.p_down(j);
+    match def {
+        TDef::Printed => (bd.p_up(j) / (q * q), bd.p_down(j) / (q * q)),
+        TDef::Conditional => (1.0 / q, 1.0 / q),
+    }
+}
+
+/// `f(i)` for `i = 1..=N` by the paper's Eq. (3):
+///
+/// ```text
+/// f(i) − ((p_{i−1,i−2} + p_{i−1,i}) / p_{i−1,i})·f(i−1)
+///      + (p_{i−1,i−2} / p_{i−1,i})·f(i−2) = c(i)
+/// c(i) = t_{i−1,i} + (p_{i−1,i−2} / p_{i−1,i})·t_{i−1,i−2}
+/// ```
+///
+/// with `f(1) = 0` and the free parameter `f(2) = f2`.
+pub fn f_recursion(chain: &PeriodicChain, f2: f64, def: TDef) -> Vec<f64> {
+    let n = chain.params().n;
+    let bd = chain.birth_death();
+    let mut f = vec![0.0; n + 1];
+    if n >= 2 {
+        f[2] = f2;
+    }
+    for i in 3..=n {
+        let p_down = bd.p_down(i - 1); // p_{i−1,i−2}
+        let p_up = bd.p_up(i - 1); // p_{i−1,i}
+        let (t_up, t_down) = t_terms(chain, i - 1, def);
+        let c = t_up + (p_down / p_up) * t_down;
+        f[i] = c + ((p_down + p_up) / p_up) * f[i - 1] - (p_down / p_up) * f[i - 2];
+    }
+    f
+}
+
+/// `g(i)` for `i = 1..=N` by the paper's Eq. (5):
+///
+/// ```text
+/// g(i) − ((p_{i+1,i+2} + p_{i+1,i}) / p_{i+1,i})·g(i+1)
+///      + (p_{i+1,i+2} / p_{i+1,i})·g(i+2) = d(i)
+/// d(i) = t_{i+1,i} + (p_{i+1,i+2} / p_{i+1,i})·t_{i+1,i+2}
+/// ```
+///
+/// with `g(N) = 0` (and `p_{N,N+1} = 0`, so `g(N+1)` never contributes).
+/// As the paper notes, `g` does not depend on `p_{1,2}` or `f(2)`.
+pub fn g_recursion(chain: &PeriodicChain, def: TDef) -> Vec<f64> {
+    let n = chain.params().n;
+    let bd = chain.birth_death();
+    let mut g = vec![0.0; n + 2];
+    for i in (1..n).rev() {
+        let p_up = bd.p_up(i + 1); // p_{i+1,i+2}
+        let p_down = bd.p_down(i + 1); // p_{i+1,i}
+        let (t_up, t_down) = t_terms(chain, i + 1, def);
+        let d = t_down + (p_up / p_down) * t_up;
+        g[i] = d + ((p_up + p_down) / p_down) * g[i + 1] - (p_up / p_down) * g[i + 2];
+    }
+    g.truncate(n + 1);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::ChainParams;
+
+    fn reference() -> PeriodicChain {
+        PeriodicChain::new(ChainParams::paper_reference())
+    }
+
+    /// With the conditional reading of t, the paper's recursion reproduces
+    /// the exact birth-death first-passage times — the two derivations are
+    /// the same mathematics.
+    #[test]
+    fn conditional_recursion_equals_exact_birth_death() {
+        let chain = reference();
+        let f2 = 19.0;
+        let f_exact = chain.f(f2);
+        let f_paper = f_recursion(&chain, f2, TDef::Conditional);
+        for i in 2..=20 {
+            let rel = (f_paper[i] - f_exact[i]).abs() / f_exact[i].max(1.0);
+            assert!(rel < 1e-9, "f({i}): {} vs {}", f_paper[i], f_exact[i]);
+        }
+        let g_exact = chain.g();
+        let g_paper = g_recursion(&chain, TDef::Conditional);
+        for i in 1..=20 {
+            let rel = (g_paper[i] - g_exact[i]).abs() / g_exact[i].max(1.0);
+            assert!(rel < 1e-9, "g({i}): {} vs {}", g_paper[i], g_exact[i]);
+        }
+    }
+
+    /// The printed t = p/q² is smaller than the conditional 1/q whenever
+    /// both transitions are possible, so the printed recursion
+    /// under-counts the waiting rounds; the deviation is bounded (t differs
+    /// by at most the factor q ≤ 1) and does not change the phase-transition
+    /// shape.
+    #[test]
+    fn printed_recursion_underestimates_but_tracks_exact() {
+        let chain = reference();
+        let f_exact = chain.f(19.0);
+        let f_printed = f_recursion(&chain, 19.0, TDef::Printed);
+        for i in 3..=20 {
+            assert!(
+                f_printed[i] <= f_exact[i] + 1e-9,
+                "printed f({i}) must not exceed exact"
+            );
+            // Same order of magnitude throughout.
+            assert!(f_printed[i] > 0.05 * f_exact[i]);
+        }
+        let g_exact = chain.g();
+        let g_printed = g_recursion(&chain, TDef::Printed);
+        for i in 1..20 {
+            assert!(g_printed[i] <= g_exact[i] + 1e-9);
+            assert!(g_printed[i] > 0.05 * g_exact[i]);
+        }
+    }
+
+    /// g(N−1) = 1/p_{N,N−1} under the conditional reading — the first
+    /// step down from full synchronization is a pure geometric wait.
+    #[test]
+    fn first_step_down_is_geometric() {
+        let chain = reference();
+        let g = g_recursion(&chain, TDef::Conditional);
+        let p = chain.birth_death().p_down(20);
+        assert!((g[19] - 1.0 / p).abs() < 1e-9);
+    }
+
+    /// Monotonicity survives in both readings.
+    #[test]
+    fn recursions_are_monotone() {
+        let chain = reference();
+        for def in [TDef::Printed, TDef::Conditional] {
+            let f = f_recursion(&chain, 19.0, def);
+            for i in 2..20 {
+                assert!(f[i + 1] >= f[i], "{def:?} f not monotone at {i}");
+            }
+            let g = g_recursion(&chain, def);
+            for i in 1..20 {
+                assert!(g[i] >= g[i + 1], "{def:?} g not monotone at {i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Measurement applications and their statistics.
+//!
+//! The paper's evidence comes from two instruments: a `ping` train
+//! (1000 probes at 1.01-second intervals, Figure 1) and an MBone audio
+//! stream (constant-bit-rate frames, Figure 3). [`PingStats`] and
+//! [`CbrReceiverStats`] record what those instruments saw.
+
+use routesync_desim::Duration;
+use serde::{Deserialize, Serialize};
+
+use crate::topology::NodeId;
+
+/// Application state attached to a node (driven by the simulator's
+/// `AppTick` events).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum App {
+    /// Periodic echo probes.
+    Ping {
+        dst: NodeId,
+        interval: Duration,
+        count: u64,
+        sent: u64,
+    },
+    /// Constant-bit-rate media source.
+    Cbr {
+        dst: NodeId,
+        interval: Duration,
+        count: u64,
+        sent: u64,
+    },
+    /// Poisson background traffic.
+    Poisson {
+        dst: NodeId,
+        mean_interval: Duration,
+        until: routesync_desim::SimTime,
+    },
+}
+
+/// Round-trip results of a ping train, indexed by probe sequence number.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PingStats {
+    /// Send time (seconds) per probe.
+    pub sent_at: Vec<f64>,
+    /// Round-trip time in seconds per probe; `None` = reply never came
+    /// back (within the run).
+    pub rtts: Vec<Option<f64>>,
+}
+
+impl PingStats {
+    /// Pre-size for `count` probes.
+    pub fn with_capacity(count: usize) -> Self {
+        PingStats {
+            sent_at: Vec::with_capacity(count),
+            rtts: Vec::with_capacity(count),
+        }
+    }
+
+    /// Record that probe `seq` left at `t` seconds.
+    pub(crate) fn note_sent(&mut self, seq: u64, t: f64) {
+        debug_assert_eq!(seq as usize, self.sent_at.len());
+        self.sent_at.push(t);
+        self.rtts.push(None);
+    }
+
+    /// Record the round-trip time of probe `seq`.
+    pub(crate) fn record(&mut self, seq: u64, rtt: f64) {
+        if let Some(slot) = self.rtts.get_mut(seq as usize) {
+            *slot = Some(rtt);
+        }
+    }
+
+    /// Number of probes sent.
+    pub fn sent(&self) -> usize {
+        self.sent_at.len()
+    }
+
+    /// Number of probes lost.
+    pub fn lost(&self) -> usize {
+        self.rtts.iter().filter(|r| r.is_none()).count()
+    }
+
+    /// Loss fraction.
+    pub fn loss_rate(&self) -> f64 {
+        if self.rtts.is_empty() {
+            0.0
+        } else {
+            self.lost() as f64 / self.rtts.len() as f64
+        }
+    }
+
+    /// The RTT series with losses replaced by `loss_value` seconds — the
+    /// transformation the paper applies before computing Figure 2's
+    /// autocorrelation ("dropped packets are assigned a roundtrip time of
+    /// two seconds").
+    pub fn rtt_series(&self, loss_value: f64) -> Vec<f64> {
+        self.rtts
+            .iter()
+            .map(|r| r.unwrap_or(loss_value))
+            .collect()
+    }
+
+    /// Per-probe loss flags (for `routesync_stats::outage::runs_of_loss`).
+    pub fn loss_flags(&self) -> Vec<bool> {
+        self.rtts.iter().map(|r| r.is_none()).collect()
+    }
+}
+
+/// Arrival log of a constant-bit-rate stream at its sink.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CbrReceiverStats {
+    /// Arrival time in seconds, per received frame (in arrival order).
+    pub arrivals: Vec<f64>,
+    /// Highest sequence number seen plus one (frames sent can be inferred
+    /// by the caller from the source config).
+    pub max_seq_seen: u64,
+}
+
+impl CbrReceiverStats {
+    /// Record the arrival of frame `seq` at `t` seconds.
+    pub(crate) fn record(&mut self, seq: u64, t: f64) {
+        self.arrivals.push(t);
+        self.max_seq_seen = self.max_seq_seen.max(seq + 1);
+    }
+
+    /// Number of frames received.
+    pub fn received(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Outages: gaps in the arrival process longer than
+    /// `threshold × interval` (see
+    /// `routesync_stats::outage::outages_from_gaps`).
+    pub fn outages(&self, interval: f64, threshold: f64) -> Vec<routesync_stats::Outage> {
+        routesync_stats::outages_from_gaps(&self.arrivals, interval, threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_stats_bookkeeping() {
+        let mut s = PingStats::with_capacity(3);
+        s.note_sent(0, 0.0);
+        s.note_sent(1, 1.01);
+        s.note_sent(2, 2.02);
+        s.record(0, 0.030);
+        s.record(2, 0.031);
+        assert_eq!(s.sent(), 3);
+        assert_eq!(s.lost(), 1);
+        assert!((s.loss_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.rtt_series(2.0), vec![0.030, 2.0, 0.031]);
+        assert_eq!(s.loss_flags(), vec![false, true, false]);
+    }
+
+    #[test]
+    fn late_or_unknown_pong_is_ignored() {
+        let mut s = PingStats::with_capacity(1);
+        s.note_sent(0, 0.0);
+        s.record(7, 0.5); // never sent: must not panic or record
+        assert_eq!(s.lost(), 1);
+    }
+
+    #[test]
+    fn cbr_stats_detect_outages() {
+        let mut s = CbrReceiverStats::default();
+        for k in 0..10u64 {
+            s.record(k, 0.02 * k as f64);
+        }
+        // 2-second outage, then resume.
+        for k in 110..115u64 {
+            s.record(k, 0.02 * k as f64);
+        }
+        assert_eq!(s.received(), 15);
+        assert_eq!(s.max_seq_seen, 115);
+        let outs = s.outages(0.02, 1.5);
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].packets, 100);
+    }
+}

@@ -1,0 +1,730 @@
+//! Distance-vector routing: tables and protocol configuration.
+//!
+//! This is the protocol family the paper's measurements concern — RIP,
+//! IGRP, DECnet DNA IV, EGP and Hello all broadcast their full routing
+//! table on a periodic timer. The table logic here is RIP-shaped
+//! (RFC 1058): hop-count metric with an infinity of 16, split horizon with
+//! poisoned reverse, triggered updates on metric changes, route timeout and
+//! garbage collection. The *timing* of updates (the part the paper is
+//! about) is driven by [`crate::sim::NetSim`] through the same
+//! [`JitterPolicy`]/[`TimerResetPolicy`] knobs as the abstract model.
+
+use std::collections::HashMap;
+
+use routesync_desim::{Duration, SimTime};
+use routesync_rng::{JitterPolicy, TimerResetPolicy};
+use serde::{Deserialize, Serialize};
+
+use crate::topology::NodeId;
+
+/// One advertised route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteEntry {
+    /// Destination node.
+    pub dst: NodeId,
+    /// Advertised metric (hop count; `infinity` = unreachable).
+    pub metric: u32,
+}
+
+/// Hello (neighbour liveness) protocol configuration.
+///
+/// The paper lists the DCN Hello protocol \[Mi83\] among the periodic
+/// protocols matching its model. With hellos enabled, routers learn of
+/// link failures by *missing hellos* (after `dead_multiplier` intervals)
+/// instead of by oracle; each hello interval is drawn uniformly from
+/// `[0.75, 1.25] × interval` — the jitter every modern hello protocol
+/// applies, for exactly this paper's reasons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HelloConfig {
+    /// Nominal hello interval (e.g. 10 s).
+    pub interval: Duration,
+    /// A neighbour is dead after this many silent intervals (e.g. 3-4).
+    pub dead_multiplier: u32,
+}
+
+impl HelloConfig {
+    /// OSPF-flavoured defaults: 10-second hellos, dead after 4 intervals.
+    pub fn standard() -> Self {
+        HelloConfig {
+            interval: Duration::from_secs(10),
+            dead_multiplier: 4,
+        }
+    }
+
+    /// The dead interval.
+    pub fn dead_after(&self) -> Duration {
+        self.interval * self.dead_multiplier as u64
+    }
+}
+
+/// When routing information is transmitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum UpdateMode {
+    /// The classic periodic full-table broadcast (RIP/IGRP/DECnet/EGP) —
+    /// the behaviour the paper's model captures.
+    #[default]
+    PeriodicFullTable,
+    /// BGP-style: one full advertisement at session start, then updates
+    /// only on change; the periodic timer sends only a tiny keepalive.
+    /// The paper's Section 3 footnote singles this design out ("BGP …
+    /// only requires routers to send incremental update messages") — it
+    /// removes the periodic control-plane burst entirely, so there is
+    /// nothing to synchronize. Route aging is disabled (liveness is the
+    /// hello protocol's job, as in real BGP sessions).
+    Incremental,
+}
+
+/// Protocol configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DvConfig {
+    /// Timer policy for periodic updates (carries `Tp` and `Tr`).
+    pub jitter: JitterPolicy,
+    /// Periodic full tables vs incremental-only.
+    pub update_mode: UpdateMode,
+    /// When the update timer is re-armed — the paper's central knob.
+    pub reset_policy: TimerResetPolicy,
+    /// Unreachable metric (16 for RIP).
+    pub infinity: u32,
+    /// A route not refreshed for this long times out to `infinity`
+    /// (180 s for RIP).
+    pub route_timeout: Duration,
+    /// An unreachable route is kept (and advertised as poisoned) for this
+    /// long before being deleted (RIP's garbage-collection timer, 120 s).
+    pub gc_timeout: Duration,
+    /// Whether metric changes emit immediate triggered updates.
+    pub triggered_updates: bool,
+    /// IGRP-style hold-down: after a destination becomes unreachable,
+    /// ignore alternative routes to it (from anyone but the original next
+    /// hop) for this long. Prevents believing stale "good news" during a
+    /// failure cascade, at the price of slower legitimate recovery.
+    pub holddown: Option<Duration>,
+    /// Split horizon with poisoned reverse.
+    pub split_horizon: bool,
+    /// Neighbour liveness via periodic hellos. `None` = failures are
+    /// signalled instantly by the simulator (an oracle — convenient for
+    /// experiments that are not about detection latency).
+    pub hello: Option<HelloConfig>,
+    /// Extra synthetic entries appended to every update, modelling the
+    /// large tables of 1992 backbone routers (NEARnet's carried ~300
+    /// routes); they inflate wire size and processing cost but are ignored
+    /// by receivers.
+    pub advertise_pad: usize,
+}
+
+impl DvConfig {
+    /// RIP: 30-second updates (RFC 1058).
+    pub fn rip() -> Self {
+        DvConfig {
+            jitter: JitterPolicy::None {
+                tp: Duration::from_secs(30),
+            },
+            update_mode: UpdateMode::PeriodicFullTable,
+            reset_policy: TimerResetPolicy::AfterProcessing,
+            infinity: 16,
+            route_timeout: Duration::from_secs(180),
+            gc_timeout: Duration::from_secs(120),
+            triggered_updates: true,
+            split_horizon: true,
+            hello: None,
+            holddown: None,
+            advertise_pad: 0,
+        }
+    }
+
+    /// IGRP: 90-second updates with a 280-second hold-down.
+    pub fn igrp() -> Self {
+        DvConfig {
+            jitter: JitterPolicy::None {
+                tp: Duration::from_secs(90),
+            },
+            route_timeout: Duration::from_secs(270),
+            holddown: Some(Duration::from_secs(280)),
+            ..Self::rip()
+        }
+    }
+
+    /// DECnet DNA Phase IV: 120-second updates (the protocol whose
+    /// synchronization on the authors' own Ethernet started this paper).
+    pub fn decnet() -> Self {
+        DvConfig {
+            jitter: JitterPolicy::None {
+                tp: Duration::from_secs(120),
+            },
+            route_timeout: Duration::from_secs(360),
+            ..Self::rip()
+        }
+    }
+
+    /// BGP-flavoured: incremental updates with 60-second keepalives and
+    /// hello-based liveness; no periodic full-table burst, no route aging.
+    pub fn bgp() -> Self {
+        DvConfig {
+            jitter: JitterPolicy::None {
+                tp: Duration::from_secs(60),
+            },
+            update_mode: UpdateMode::Incremental,
+            hello: Some(HelloConfig::standard()),
+            // Aging is meaningless without periodic refresh.
+            route_timeout: Duration::MAX,
+            ..Self::rip()
+        }
+    }
+
+    /// EGP: 180-second updates (NSFNET backbone to regionals).
+    pub fn egp() -> Self {
+        DvConfig {
+            jitter: JitterPolicy::None {
+                tp: Duration::from_secs(180),
+            },
+            route_timeout: Duration::from_secs(540),
+            ..Self::rip()
+        }
+    }
+
+    /// Replace the jitter policy (e.g. to apply the paper's fix).
+    pub fn with_jitter(mut self, jitter: JitterPolicy) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Replace the hold-down setting.
+    pub fn with_holddown(mut self, holddown: Option<Duration>) -> Self {
+        self.holddown = holddown;
+        self
+    }
+
+    /// Enable hello-based neighbour liveness.
+    pub fn with_hello(mut self, hello: HelloConfig) -> Self {
+        self.hello = Some(hello);
+        self
+    }
+
+    /// Replace the advertised-table padding.
+    pub fn with_pad(mut self, pad: usize) -> Self {
+        self.advertise_pad = pad;
+        self
+    }
+}
+
+/// A route as held in the table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Route {
+    /// Current metric.
+    pub metric: u32,
+    /// Next hop towards the destination.
+    pub next_hop: NodeId,
+    /// Last time this route was refreshed.
+    pub last_heard: SimTime,
+    /// If set, alternative routes to this destination are refused until
+    /// this instant (hold-down).
+    pub holddown_until: Option<SimTime>,
+    /// When the route became unreachable (drives garbage collection).
+    pub dead_since: Option<SimTime>,
+}
+
+/// A router's routing table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoutingTable {
+    me: NodeId,
+    routes: HashMap<NodeId, Route>,
+}
+
+impl RoutingTable {
+    /// A table for router `me`, containing only the self-route.
+    pub fn new(me: NodeId) -> Self {
+        let mut routes = HashMap::new();
+        routes.insert(
+            me,
+            Route {
+                metric: 0,
+                next_hop: me,
+                last_heard: SimTime::MAX, // never expires
+                holddown_until: None,
+                dead_since: None,
+            },
+        );
+        RoutingTable { me, routes }
+    }
+
+    /// Install a directly connected destination (metric 1, never expires —
+    /// adjacency loss is signalled via [`RoutingTable::fail_via`]).
+    pub fn install_direct(&mut self, neighbor: NodeId) {
+        self.routes.insert(
+            neighbor,
+            Route {
+                metric: 1,
+                next_hop: neighbor,
+                last_heard: SimTime::MAX,
+                holddown_until: None,
+                dead_since: None,
+            },
+        );
+    }
+
+    /// Install an arbitrary route (used for pre-converged scenarios).
+    pub fn install(&mut self, dst: NodeId, metric: u32, next_hop: NodeId) {
+        self.routes.insert(
+            dst,
+            Route {
+                metric,
+                next_hop,
+                last_heard: SimTime::MAX,
+                holddown_until: None,
+                dead_since: None,
+            },
+        );
+    }
+
+    /// Bellman-Ford step for an update from `from` (a directly connected
+    /// neighbour). Returns `true` if any route changed (feeds triggered
+    /// updates).
+    pub fn process_update(
+        &mut self,
+        from: NodeId,
+        entries: &[RouteEntry],
+        now: SimTime,
+        infinity: u32,
+    ) -> bool {
+        self.process_update_with(from, entries, now, infinity, None)
+    }
+
+    /// [`RoutingTable::process_update`] with an optional hold-down: after
+    /// a route is lost, "good news" from anyone but the original next hop
+    /// is refused until the hold-down expires.
+    pub fn process_update_with(
+        &mut self,
+        from: NodeId,
+        entries: &[RouteEntry],
+        now: SimTime,
+        infinity: u32,
+        holddown: Option<Duration>,
+    ) -> bool {
+        let mut changed = false;
+        for e in entries {
+            let cand = (e.metric + 1).min(infinity);
+            match self.routes.get_mut(&e.dst) {
+                Some(r) if r.next_hop == from => {
+                    // Updates from the current next hop are authoritative,
+                    // better or worse.
+                    r.last_heard = now;
+                    if r.metric != cand {
+                        if cand >= infinity && r.metric < infinity {
+                            // Route lost: start hold-down and the gc clock.
+                            r.holddown_until = holddown.map(|h| now + h);
+                            r.dead_since = Some(now);
+                        } else if cand < infinity {
+                            r.dead_since = None;
+                        }
+                        r.metric = cand;
+                        changed = true;
+                    }
+                }
+                Some(r) => {
+                    let held = matches!(r.holddown_until, Some(hu) if now < hu);
+                    if cand < r.metric && !held {
+                        *r = Route {
+                            metric: cand,
+                            next_hop: from,
+                            last_heard: now,
+                            holddown_until: None,
+                            dead_since: None,
+                        };
+                        changed = true;
+                    }
+                }
+                None => {
+                    if cand < infinity {
+                        self.routes.insert(
+                            e.dst,
+                            Route {
+                                metric: cand,
+                                next_hop: from,
+                                last_heard: now,
+                                holddown_until: None,
+                                dead_since: None,
+                            },
+                        );
+                        changed = true;
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// Mark every route through `next_hop` unreachable (link/neighbour
+    /// failure). Returns `true` if anything changed.
+    pub fn fail_via(&mut self, next_hop: NodeId, infinity: u32) -> bool {
+        self.fail_via_with(next_hop, infinity, SimTime::ZERO, None)
+    }
+
+    /// [`RoutingTable::fail_via`] that also starts a hold-down on each
+    /// lost route.
+    pub fn fail_via_with(
+        &mut self,
+        next_hop: NodeId,
+        infinity: u32,
+        now: SimTime,
+        holddown: Option<Duration>,
+    ) -> bool {
+        let mut changed = false;
+        for (dst, r) in self.routes.iter_mut() {
+            if *dst != self.me && r.next_hop == next_hop && r.metric < infinity {
+                r.metric = infinity;
+                r.holddown_until = holddown.map(|h| now + h);
+                r.dead_since = Some(now);
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Time out routes not refreshed within `timeout`. Returns `true` if
+    /// anything changed.
+    pub fn expire(&mut self, now: SimTime, timeout: Duration, infinity: u32) -> bool {
+        let mut changed = false;
+        for (dst, r) in self.routes.iter_mut() {
+            if *dst != self.me
+                && r.last_heard != SimTime::MAX
+                && r.metric < infinity
+                && r.last_heard + timeout <= now
+            {
+                r.metric = infinity;
+                r.dead_since = Some(now);
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Drop every unreachable route immediately.
+    pub fn gc(&mut self, infinity: u32) {
+        self.routes
+            .retain(|&dst, r| dst == self.me || r.metric < infinity);
+    }
+
+    /// Drop unreachable routes that have been dead for at least `grace`
+    /// (RIP's garbage-collection timer: the poisoned route is advertised
+    /// for a while so neighbours hear the bad news, then deleted).
+    pub fn gc_due(&mut self, now: SimTime, grace: Duration, infinity: u32) {
+        let me = self.me;
+        self.routes.retain(|&dst, r| {
+            dst == me
+                || r.metric < infinity
+                || !matches!(r.dead_since, Some(d) if d + grace <= now)
+        });
+    }
+
+    /// Next hop towards `dst`, if a live route exists.
+    pub fn lookup(&self, dst: NodeId, infinity: u32) -> Option<NodeId> {
+        self.routes
+            .get(&dst)
+            .filter(|r| r.metric < infinity)
+            .map(|r| r.next_hop)
+    }
+
+    /// Metric towards `dst`.
+    pub fn metric(&self, dst: NodeId) -> Option<u32> {
+        self.routes.get(&dst).map(|r| r.metric)
+    }
+
+    /// Number of entries (including the self-route).
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether the table holds only the self-route.
+    pub fn is_empty(&self) -> bool {
+        self.routes.len() <= 1
+    }
+
+    /// The advertisement for an interface whose set of on-link neighbours
+    /// is `link_peers`: with split horizon, routes learned through that
+    /// interface are poisoned (advertised at `infinity`).
+    pub fn advertisement(
+        &self,
+        link_peers: &[NodeId],
+        split_horizon: bool,
+        infinity: u32,
+    ) -> Vec<RouteEntry> {
+        let mut out: Vec<RouteEntry> = self
+            .routes
+            .iter()
+            .map(|(&dst, r)| {
+                let poisoned =
+                    split_horizon && dst != self.me && link_peers.contains(&r.next_hop);
+                RouteEntry {
+                    dst,
+                    metric: if poisoned { infinity } else { r.metric },
+                }
+            })
+            .collect();
+        out.sort_unstable_by_key(|e| e.dst);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn now(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn bellman_ford_prefers_shorter_routes() {
+        let mut t = RoutingTable::new(0);
+        t.install_direct(1);
+        t.install_direct(2);
+        // Node 1 advertises node 9 at metric 3 → via 1 at 4.
+        assert!(t.process_update(1, &[RouteEntry { dst: 9, metric: 3 }], now(1), 16));
+        assert_eq!(t.metric(9), Some(4));
+        assert_eq!(t.lookup(9, 16), Some(1));
+        // Node 2 advertises 9 at metric 1 → better, switch.
+        assert!(t.process_update(2, &[RouteEntry { dst: 9, metric: 1 }], now(2), 16));
+        assert_eq!(t.metric(9), Some(2));
+        assert_eq!(t.lookup(9, 16), Some(2));
+        // Node 1 advertising metric 5 is worse and not the next hop: no-op.
+        assert!(!t.process_update(1, &[RouteEntry { dst: 9, metric: 5 }], now(3), 16));
+        assert_eq!(t.lookup(9, 16), Some(2));
+    }
+
+    #[test]
+    fn updates_from_next_hop_are_authoritative_even_when_worse() {
+        let mut t = RoutingTable::new(0);
+        t.install_direct(1);
+        t.process_update(1, &[RouteEntry { dst: 9, metric: 2 }], now(1), 16);
+        assert_eq!(t.metric(9), Some(3));
+        // The next hop's path degraded: we must follow it up.
+        assert!(t.process_update(1, &[RouteEntry { dst: 9, metric: 7 }], now(2), 16));
+        assert_eq!(t.metric(9), Some(8));
+        // And a poisoned route from the next hop tears ours down.
+        assert!(t.process_update(1, &[RouteEntry { dst: 9, metric: 16 }], now(3), 16));
+        assert_eq!(t.metric(9), Some(16));
+        assert_eq!(t.lookup(9, 16), None);
+    }
+
+    #[test]
+    fn metrics_clamp_at_infinity() {
+        let mut t = RoutingTable::new(0);
+        t.process_update(1, &[RouteEntry { dst: 9, metric: 15 }], now(1), 16);
+        // 15 + 1 = 16 = infinity: not installed as fresh route.
+        assert_eq!(t.lookup(9, 16), None);
+    }
+
+    #[test]
+    fn split_horizon_poisons_reverse_routes() {
+        let mut t = RoutingTable::new(0);
+        t.install_direct(1);
+        t.process_update(1, &[RouteEntry { dst: 9, metric: 1 }], now(1), 16);
+        let adv = t.advertisement(&[1], true, 16);
+        let get = |d: NodeId| adv.iter().find(|e| e.dst == d).expect("present").metric;
+        assert_eq!(get(0), 0, "self route advertised normally");
+        assert_eq!(get(1), 16, "route to the peer itself is poisoned");
+        assert_eq!(get(9), 16, "route learned from this interface is poisoned");
+        // On a different interface the same routes go out normally.
+        let adv2 = t.advertisement(&[2], true, 16);
+        let get2 = |d: NodeId| adv2.iter().find(|e| e.dst == d).expect("present").metric;
+        assert_eq!(get2(9), 2);
+        assert_eq!(get2(1), 1);
+        // Without split horizon nothing is poisoned.
+        let adv3 = t.advertisement(&[1], false, 16);
+        let get3 = |d: NodeId| adv3.iter().find(|e| e.dst == d).expect("present").metric;
+        assert_eq!(get3(9), 2);
+    }
+
+    #[test]
+    fn expiry_and_gc() {
+        let mut t = RoutingTable::new(0);
+        t.process_update(1, &[RouteEntry { dst: 9, metric: 1 }], now(10), 16);
+        // Not yet expired at 100 s with a 180 s timeout.
+        assert!(!t.expire(now(100), Duration::from_secs(180), 16));
+        // Expired at 200 s.
+        assert!(t.expire(now(200), Duration::from_secs(180), 16));
+        assert_eq!(t.metric(9), Some(16));
+        assert_eq!(t.len(), 2);
+        t.gc(16);
+        assert_eq!(t.len(), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn direct_routes_never_expire() {
+        let mut t = RoutingTable::new(0);
+        t.install_direct(1);
+        assert!(!t.expire(now(10_000), Duration::from_secs(180), 16));
+        assert_eq!(t.metric(1), Some(1));
+    }
+
+    #[test]
+    fn fail_via_poisons_all_dependent_routes() {
+        let mut t = RoutingTable::new(0);
+        t.install_direct(1);
+        t.install_direct(2);
+        t.process_update(1, &[RouteEntry { dst: 8, metric: 1 }], now(1), 16);
+        t.process_update(2, &[RouteEntry { dst: 9, metric: 1 }], now(1), 16);
+        assert!(t.fail_via(1, 16));
+        assert_eq!(t.metric(1), Some(16));
+        assert_eq!(t.metric(8), Some(16));
+        assert_eq!(t.metric(9), Some(2), "routes via 2 survive");
+        assert!(!t.fail_via(1, 16), "idempotent");
+    }
+
+    #[test]
+    fn presets_have_paper_periods() {
+        assert_eq!(DvConfig::rip().jitter.tp(), Duration::from_secs(30));
+        assert_eq!(DvConfig::igrp().jitter.tp(), Duration::from_secs(90));
+        assert_eq!(DvConfig::decnet().jitter.tp(), Duration::from_secs(120));
+        assert_eq!(DvConfig::egp().jitter.tp(), Duration::from_secs(180));
+        assert!(DvConfig::rip().split_horizon);
+        assert_eq!(DvConfig::rip().infinity, 16);
+    }
+
+    #[test]
+    fn holddown_refuses_alternative_good_news() {
+        let hd = Some(Duration::from_secs(280));
+        let mut t = RoutingTable::new(0);
+        t.install_direct(1);
+        t.install_direct(2);
+        t.process_update_with(1, &[RouteEntry { dst: 9, metric: 1 }], now(1), 16, hd);
+        assert_eq!(t.metric(9), Some(2));
+        // The next hop poisons the route: hold-down starts.
+        assert!(t.process_update_with(
+            1,
+            &[RouteEntry { dst: 9, metric: 16 }],
+            now(10),
+            16,
+            hd
+        ));
+        assert_eq!(t.lookup(9, 16), None);
+        // Node 2 now offers a perfectly good alternative — refused while
+        // held down.
+        assert!(!t.process_update_with(
+            2,
+            &[RouteEntry { dst: 9, metric: 1 }],
+            now(20),
+            16,
+            hd
+        ));
+        assert_eq!(t.lookup(9, 16), None, "held down");
+        // After the hold-down expires the alternative is accepted.
+        assert!(t.process_update_with(
+            2,
+            &[RouteEntry { dst: 9, metric: 1 }],
+            now(300),
+            16,
+            hd
+        ));
+        assert_eq!(t.lookup(9, 16), Some(2));
+    }
+
+    #[test]
+    fn holddown_still_accepts_news_from_original_next_hop() {
+        let hd = Some(Duration::from_secs(280));
+        let mut t = RoutingTable::new(0);
+        t.install_direct(1);
+        t.process_update_with(1, &[RouteEntry { dst: 9, metric: 1 }], now(1), 16, hd);
+        t.process_update_with(1, &[RouteEntry { dst: 9, metric: 16 }], now(10), 16, hd);
+        // The same next hop recovering is authoritative even in hold-down.
+        assert!(t.process_update_with(
+            1,
+            &[RouteEntry { dst: 9, metric: 1 }],
+            now(20),
+            16,
+            hd
+        ));
+        assert_eq!(t.lookup(9, 16), Some(1));
+    }
+
+    #[test]
+    fn fail_via_with_holddown_blocks_alternatives() {
+        let hd = Some(Duration::from_secs(100));
+        let mut t = RoutingTable::new(0);
+        t.install_direct(1);
+        t.install_direct(2);
+        t.process_update_with(1, &[RouteEntry { dst: 9, metric: 1 }], now(1), 16, hd);
+        assert!(t.fail_via_with(1, 16, now(50), hd));
+        assert!(!t.process_update_with(
+            2,
+            &[RouteEntry { dst: 9, metric: 1 }],
+            now(60),
+            16,
+            hd
+        ));
+        assert!(t.process_update_with(
+            2,
+            &[RouteEntry { dst: 9, metric: 1 }],
+            now(151),
+            16,
+            hd
+        ));
+    }
+
+    #[test]
+    fn no_holddown_means_immediate_recovery() {
+        let mut t = RoutingTable::new(0);
+        t.install_direct(1);
+        t.install_direct(2);
+        t.process_update(1, &[RouteEntry { dst: 9, metric: 1 }], now(1), 16);
+        t.process_update(1, &[RouteEntry { dst: 9, metric: 16 }], now(10), 16);
+        assert!(t.process_update(2, &[RouteEntry { dst: 9, metric: 1 }], now(11), 16));
+        assert_eq!(t.lookup(9, 16), Some(2));
+    }
+
+    #[test]
+    fn advertisement_is_sorted_and_complete() {
+        let mut t = RoutingTable::new(5);
+        t.install_direct(3);
+        t.install_direct(8);
+        let adv = t.advertisement(&[], true, 16);
+        let dsts: Vec<NodeId> = adv.iter().map(|e| e.dst).collect();
+        assert_eq!(dsts, vec![3, 5, 8]);
+    }
+}
+
+#[cfg(test)]
+mod gc_tests {
+    use super::*;
+
+    fn now(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn gc_due_waits_for_the_grace_period() {
+        let mut t = RoutingTable::new(0);
+        t.process_update(1, &[RouteEntry { dst: 9, metric: 1 }], now(1), 16);
+        // Poisoned by the next hop at t = 10.
+        t.process_update(1, &[RouteEntry { dst: 9, metric: 16 }], now(10), 16);
+        assert_eq!(t.metric(9), Some(16));
+        // Still present within the grace window (advertised as poisoned).
+        t.gc_due(now(100), Duration::from_secs(120), 16);
+        assert_eq!(t.metric(9), Some(16));
+        // Gone after it.
+        t.gc_due(now(131), Duration::from_secs(120), 16);
+        assert_eq!(t.metric(9), None);
+    }
+
+    #[test]
+    fn revived_route_escapes_gc() {
+        let mut t = RoutingTable::new(0);
+        t.process_update(1, &[RouteEntry { dst: 9, metric: 1 }], now(1), 16);
+        t.process_update(1, &[RouteEntry { dst: 9, metric: 16 }], now(10), 16);
+        // The next hop recovers the route before the grace expires.
+        t.process_update(1, &[RouteEntry { dst: 9, metric: 2 }], now(50), 16);
+        t.gc_due(now(500), Duration::from_secs(120), 16);
+        assert_eq!(t.metric(9), Some(3));
+    }
+
+    #[test]
+    fn expired_routes_are_gc_eligible() {
+        let mut t = RoutingTable::new(0);
+        t.process_update(1, &[RouteEntry { dst: 9, metric: 1 }], now(1), 16);
+        assert!(t.expire(now(200), Duration::from_secs(180), 16));
+        t.gc_due(now(200), Duration::from_secs(120), 16);
+        assert_eq!(t.metric(9), Some(16), "grace not yet over");
+        t.gc_due(now(321), Duration::from_secs(120), 16);
+        assert_eq!(t.metric(9), None);
+    }
+}

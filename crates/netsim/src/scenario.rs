@@ -1,0 +1,333 @@
+//! Canned topologies for the paper's measurement figures, plus analysis
+//! helpers for update-timeline clustering.
+//!
+//! Unlike the abstract Periodic Messages model — where coupled routers
+//! re-arm their timers at literally the same nanosecond — the packet-level
+//! simulator has transmission and propagation delays, so a "synchronized"
+//! group of routers re-arms within a small window rather than at one
+//! instant (exactly what the DECnet/IGRP measurements showed: bursts of
+//! updates bunched together every period). [`cluster_windows`] groups a
+//! reset timeline accordingly.
+
+use routesync_desim::{Duration, SimTime};
+
+use crate::dv::DvConfig;
+use crate::sim::{ForwardingMode, NetSim, RouterConfig, TimerStart};
+use crate::topology::{NodeId, Topology};
+
+/// Handles into the NEARnet-like scenario of Figures 1-2.
+pub struct Nearnet {
+    /// The simulator, ready to run (attach a ping train first).
+    pub sim: NetSim,
+    /// The probing host (Berkeley).
+    pub berkeley: NodeId,
+    /// The probed host (MIT).
+    pub mit: NodeId,
+    /// The core routers the path crosses.
+    pub cores: Vec<NodeId>,
+}
+
+/// Build the NEARnet-like ping scenario: Berkeley and MIT hosts joined by
+/// a four-router backbone whose cores each serve several regional stub
+/// routers. All routers run IGRP-style 90-second updates from a
+/// synchronized start, carry ~300-route tables (`advertise_pad`), cost
+/// 1 ms/route to process, and **block forwarding during update
+/// processing** — the pre-fix behaviour that produced the paper's
+/// 90-second-periodic ping drops.
+pub fn nearnet(seed: u64) -> Nearnet {
+    let mut t = Topology::new();
+    let berkeley = t.add_host("berkeley");
+    let mit = t.add_host("mit");
+    let west = t.add_router("west-gw");
+    let c1 = t.add_router("core-1");
+    let c2 = t.add_router("core-2");
+    let east = t.add_router("east-gw");
+    let t1 = 1_544_000; // T1 line rate
+    t.add_link(berkeley, west, Duration::from_millis(1), 10_000_000, 50);
+    t.add_link(west, c1, Duration::from_millis(20), t1, 50);
+    t.add_link(c1, c2, Duration::from_millis(5), t1, 50);
+    t.add_link(c2, east, Duration::from_millis(20), t1, 50);
+    t.add_link(east, mit, Duration::from_millis(1), 10_000_000, 50);
+    // Regional stubs hanging off each core: their synchronized updates are
+    // the control-plane load that keeps the cores busy for seconds.
+    for (i, &core) in [c1, c2].iter().enumerate() {
+        for j in 0..5 {
+            let stub = t.add_router(format!("regional-{i}-{j}"));
+            t.add_link(core, stub, Duration::from_millis(3), t1, 50);
+        }
+    }
+    let cfg = RouterConfig {
+        dv: DvConfig::igrp().with_pad(280),
+        cost_per_route: Duration::from_millis(1),
+        forwarding: ForwardingMode::BlockedDuringUpdates,
+        pending_cap: 0,
+        start: TimerStart::Synchronized,
+        prepopulate: true,
+        record_timeline: false,
+        record_paths: false,
+    };
+    let sim = NetSim::new(t, cfg, seed);
+    Nearnet {
+        sim,
+        berkeley,
+        mit,
+        cores: vec![west, c1, c2, east],
+    }
+}
+
+/// Handles into the MBone audiocast scenario of Figure 3.
+pub struct Audiocast {
+    /// The simulator, ready to run (attach the CBR source first).
+    pub sim: NetSim,
+    /// The audio source host.
+    pub source: NodeId,
+    /// The audio sink host.
+    pub sink: NodeId,
+}
+
+/// Build the audiocast scenario: a CBR audio stream tunnelled across
+/// RIP-speaking routers (30-second synchronized updates) that block
+/// forwarding while processing — the conjectured cause of the workshop's
+/// 30-second-periodic loss spikes.
+pub fn mbone_audiocast(seed: u64) -> Audiocast {
+    let mut t = Topology::new();
+    let source = t.add_host("source");
+    let sink = t.add_host("sink");
+    let r: Vec<NodeId> = (0..3).map(|i| t.add_router(format!("tunnel-{i}"))).collect();
+    let e1 = 2_048_000;
+    t.add_link(source, r[0], Duration::from_millis(1), 10_000_000, 50);
+    t.add_link(r[0], r[1], Duration::from_millis(10), e1, 50);
+    t.add_link(r[1], r[2], Duration::from_millis(10), e1, 50);
+    t.add_link(r[2], sink, Duration::from_millis(1), 10_000_000, 50);
+    for (i, &router) in r.iter().enumerate() {
+        for j in 0..4 {
+            let stub = t.add_router(format!("leaf-{i}-{j}"));
+            t.add_link(router, stub, Duration::from_millis(2), e1, 50);
+        }
+    }
+    let cfg = RouterConfig {
+        dv: DvConfig::rip().with_pad(150),
+        cost_per_route: Duration::from_millis(1),
+        forwarding: ForwardingMode::BlockedDuringUpdates,
+        pending_cap: 0,
+        start: TimerStart::Synchronized,
+        prepopulate: true,
+        record_timeline: false,
+        record_paths: false,
+    };
+    let sim = NetSim::new(t, cfg, seed);
+    Audiocast {
+        sim,
+        source,
+        sink,
+    }
+}
+
+/// Handles into the shared-LAN scenario (the paper's own DECnet Ethernet).
+pub struct LanScenario {
+    /// The simulator (timeline recording on).
+    pub sim: NetSim,
+    /// The routers on the segment.
+    pub routers: Vec<NodeId>,
+}
+
+/// `n` routers on one broadcast LAN, DECnet-style 120-second updates with
+/// jitter half-width `jitter_tr`, timeline recording enabled — the
+/// packet-level counterpart of the abstract Periodic Messages model, used
+/// to validate the abstraction.
+pub fn lan(n: usize, jitter_tr: Duration, start: TimerStart, seed: u64) -> LanScenario {
+    let mut t = Topology::new();
+    let routers: Vec<NodeId> = (0..n).map(|i| t.add_router(format!("r{i}"))).collect();
+    t.add_lan(&routers, Duration::from_micros(50), 10_000_000, 100);
+    let dv = DvConfig::decnet()
+        .with_jitter(routesync_rng::JitterPolicy::Uniform {
+            tp: Duration::from_secs(120),
+            tr: jitter_tr,
+        })
+        .with_pad(100);
+    let cfg = RouterConfig {
+        dv,
+        cost_per_route: Duration::from_millis(1),
+        forwarding: ForwardingMode::BlockedDuringUpdates,
+        pending_cap: 2,
+        start,
+        prepopulate: true,
+        record_timeline: true,
+        record_paths: false,
+    };
+    let sim = NetSim::new(t, cfg, seed);
+    LanScenario { sim, routers }
+}
+
+/// Handles into the random-mesh scenario.
+pub struct Mesh {
+    /// The simulator (timeline recording on).
+    pub sim: NetSim,
+    /// The routers.
+    pub routers: Vec<NodeId>,
+}
+
+/// `n` routers in a ring plus `chords` random extra links — a multi-hop
+/// topology where routing updates only reach *neighbours*, so any
+/// synchronization must spread transitively through the graph rather than
+/// over a shared medium. DECnet-style 120-second updates with jitter
+/// half-width `jitter_tr`.
+pub fn random_mesh(
+    n: usize,
+    chords: usize,
+    jitter_tr: Duration,
+    start: TimerStart,
+    seed: u64,
+) -> Mesh {
+    assert!(n >= 3, "a ring needs at least three routers");
+    let mut t = Topology::new();
+    let routers: Vec<NodeId> = (0..n).map(|i| t.add_router(format!("m{i}"))).collect();
+    let e1 = 2_048_000;
+    for i in 0..n {
+        t.add_link(
+            routers[i],
+            routers[(i + 1) % n],
+            Duration::from_millis(2),
+            e1,
+            50,
+        );
+    }
+    let mut rng = routesync_rng::stream(seed, 0xC0FFEE);
+    let mut added = std::collections::HashSet::new();
+    let mut placed = 0usize;
+    let mut attempts = 0usize;
+    while placed < chords && attempts < chords * 20 {
+        attempts += 1;
+        let a = routesync_rng::dist::below(&mut rng, n as u64) as usize;
+        let b = routesync_rng::dist::below(&mut rng, n as u64) as usize;
+        let (lo, hi) = (a.min(b), a.max(b));
+        if lo == hi || hi == lo + 1 || (lo == 0 && hi == n - 1) {
+            continue; // self-link or ring edge
+        }
+        if added.insert((lo, hi)) {
+            t.add_link(routers[lo], routers[hi], Duration::from_millis(2), e1, 50);
+            placed += 1;
+        }
+    }
+    let dv = DvConfig::decnet()
+        .with_jitter(routesync_rng::JitterPolicy::Uniform {
+            tp: Duration::from_secs(120),
+            tr: jitter_tr,
+        })
+        .with_pad(100);
+    let cfg = RouterConfig {
+        dv,
+        cost_per_route: Duration::from_millis(1),
+        forwarding: ForwardingMode::BlockedDuringUpdates,
+        pending_cap: 2,
+        start,
+        prepopulate: true,
+        record_timeline: true,
+        record_paths: false,
+    };
+    let sim = NetSim::new(t, cfg, seed);
+    Mesh { sim, routers }
+}
+
+/// Group a reset/update timeline into clusters: consecutive events whose
+/// inter-arrival gap is at most `window` belong to the same cluster.
+/// Returns `(start_time, size)` per cluster.
+///
+/// `log` must be time-sorted (the simulator's logs are).
+pub fn cluster_windows(log: &[(SimTime, usize)], window: Duration) -> Vec<(SimTime, usize)> {
+    let mut out: Vec<(SimTime, usize)> = Vec::new();
+    let mut start: Option<SimTime> = None;
+    let mut last: Option<SimTime> = None;
+    let mut size = 0usize;
+    for &(t, _) in log {
+        match last {
+            Some(prev) if t.since(prev) <= window => {
+                size += 1;
+                last = Some(t);
+            }
+            _ => {
+                if let Some(s) = start {
+                    out.push((s, size));
+                }
+                start = Some(t);
+                last = Some(t);
+                size = 1;
+            }
+        }
+    }
+    if let Some(s) = start {
+        out.push((s, size));
+    }
+    out
+}
+
+/// The largest cluster per period-sized bucket of the timeline — a
+/// windowed analogue of the abstract model's cluster graph.
+pub fn largest_cluster_series(
+    log: &[(SimTime, usize)],
+    window: Duration,
+    period: Duration,
+) -> Vec<(u64, usize)> {
+    let clusters = cluster_windows(log, window);
+    let mut out: Vec<(u64, usize)> = Vec::new();
+    for (t, size) in clusters {
+        let bucket = t.as_nanos() / period.as_nanos();
+        match out.last_mut() {
+            Some((b, max)) if *b == bucket => *max = (*max).max(size),
+            _ => out.push((bucket, size)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_windows_groups_by_gap() {
+        let s = |ms: u64| SimTime::from_millis(ms);
+        let log = vec![
+            (s(0), 0),
+            (s(10), 1),
+            (s(15), 2),
+            (s(1000), 3),
+            (s(1001), 4),
+            (s(5000), 5),
+        ];
+        let clusters = cluster_windows(&log, Duration::from_millis(100));
+        assert_eq!(
+            clusters,
+            vec![(s(0), 3), (s(1000), 2), (s(5000), 1)]
+        );
+    }
+
+    #[test]
+    fn cluster_windows_handles_empty_and_single() {
+        assert!(cluster_windows(&[], Duration::from_millis(1)).is_empty());
+        let one = vec![(SimTime::from_secs(1), 7)];
+        assert_eq!(
+            cluster_windows(&one, Duration::from_millis(1)),
+            vec![(SimTime::from_secs(1), 1)]
+        );
+    }
+
+    #[test]
+    fn largest_cluster_series_buckets_by_period() {
+        let s = |sec: u64| SimTime::from_secs(sec);
+        let log = vec![
+            (s(10), 0),
+            (s(10), 1), // cluster of 2 in bucket 0
+            (s(50), 2), // lone in bucket 0
+            (s(130), 3),
+            (s(130), 4),
+            (s(130), 5), // cluster of 3 in bucket 1
+        ];
+        let series = largest_cluster_series(
+            &log,
+            Duration::from_secs(1),
+            Duration::from_secs(120),
+        );
+        assert_eq!(series, vec![(0, 2), (1, 3)]);
+    }
+}

@@ -1,0 +1,1101 @@
+//! The event-driven network simulator.
+//!
+//! The piece that matters for the paper is the **router CPU model**:
+//! routing updates cost `cost_per_route × routes` of control-plane CPU, the
+//! update timer is (by default) re-armed only when that processing
+//! completes — the Periodic Messages coupling — and while the CPU is busy a
+//! [`ForwardingMode::BlockedDuringUpdates`] router cannot forward data
+//! packets. That last behaviour is what turned NEARnet's synchronized IGRP
+//! updates into 90-second-periodic ping loss; the 1992 software fix is
+//! [`ForwardingMode::Concurrent`].
+
+use std::collections::{HashMap, VecDeque};
+
+use routesync_desim::{Duration, Engine, SimTime, TokenGen};
+use routesync_rng::{JitterPolicy, MinStd, TimerResetPolicy};
+use serde::{Deserialize, Serialize};
+
+use crate::app::{App, CbrReceiverStats, PingStats};
+use crate::dv::{DvConfig, RouteEntry, RoutingTable, UpdateMode};
+use crate::packet::{Packet, Payload, RoutingUpdate};
+use crate::topology::{LinkId, Medium, NodeId, NodeKind, Topology};
+
+/// Whether the router can forward data packets while the control CPU is
+/// processing routing updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ForwardingMode {
+    /// Data packets arriving during update processing wait in a small
+    /// holding queue and overflow to the floor — the pre-1992 behaviour
+    /// behind the paper's Figure 1.
+    BlockedDuringUpdates,
+    /// Forwarding is unaffected by control-plane load — the NEARnet fix.
+    Concurrent,
+}
+
+/// Initial phases of the routing timers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimerStart {
+    /// Every router's first update fires at the same instant (the
+    /// power-failure / triggered-wave scenario, and the steady state the
+    /// NEARnet measurements caught).
+    Synchronized,
+    /// First updates drawn uniformly from `[0, Tp]`.
+    Unsynchronized,
+}
+
+/// Per-router configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouterConfig {
+    /// Protocol parameters.
+    pub dv: DvConfig,
+    /// Control-CPU time per route entry (the paper quotes ~1 ms/route on
+    /// the Xerox PARC ciscos).
+    pub cost_per_route: Duration,
+    /// Data-plane behaviour during update processing.
+    pub forwarding: ForwardingMode,
+    /// Holding-queue capacity for data packets while the CPU is busy.
+    pub pending_cap: usize,
+    /// Initial timer phases.
+    pub start: TimerStart,
+    /// Install shortest-path routes at t = 0 instead of waiting for the
+    /// protocol to converge (steady-state experiments).
+    pub prepopulate: bool,
+    /// Record `(time, router)` for every timer re-arm and update send
+    /// (needed by the synchronization analyses; off for pure traffic
+    /// runs).
+    pub record_timeline: bool,
+    /// Record the router path of every delivered data packet (costs an
+    /// allocation per hop; for path-validation tests and debugging).
+    pub record_paths: bool,
+}
+
+impl RouterConfig {
+    /// A reasonable default around a given protocol config.
+    pub fn new(dv: DvConfig) -> Self {
+        RouterConfig {
+            dv,
+            cost_per_route: Duration::from_millis(1),
+            forwarding: ForwardingMode::BlockedDuringUpdates,
+            pending_cap: 2,
+            start: TimerStart::Synchronized,
+            prepopulate: true,
+            record_timeline: false,
+            record_paths: false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    Arrive { to: NodeId, pkt_id: u64 },
+    HelloTimer { node: NodeId },
+    TxDone { link: LinkId, slot: usize },
+    CpuFree { node: NodeId, gen: u64 },
+    DvTimer { node: NodeId, gen: u64 },
+    AppTick { node: NodeId },
+    LinkDown { link: LinkId },
+    LinkUp { link: LinkId },
+}
+
+/// Drop/delivery counters, readable after a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Packets handed to the network by applications and protocols.
+    pub sent: u64,
+    /// Packets delivered to their destination node.
+    pub delivered: u64,
+    /// Data packets forwarded by routers.
+    pub forwarded: u64,
+    /// Dropped: no route to destination.
+    pub drop_no_route: u64,
+    /// Dropped: link output queue full.
+    pub drop_queue: u64,
+    /// Dropped: router CPU busy with routing updates (blocked mode).
+    pub drop_cpu: u64,
+    /// Dropped: link was down.
+    pub drop_link_down: u64,
+    /// Dropped: TTL expired (a transient routing loop ate the packet).
+    pub drop_ttl: u64,
+    /// Routing updates transmitted (per link).
+    pub updates_sent: u64,
+    /// Routing updates processed.
+    pub updates_processed: u64,
+    /// Hello packets transmitted (per link).
+    pub hellos_sent: u64,
+}
+
+struct TxSlot {
+    busy: bool,
+    queue: VecDeque<(Packet, Option<NodeId>)>,
+}
+
+struct LinkState {
+    up: bool,
+    slots: Vec<TxSlot>,
+}
+
+struct NodeState {
+    kind: NodeKind,
+    table: RoutingTable,
+    rng: MinStd,
+    jitter: JitterPolicy,
+    cpu_busy: bool,
+    cpu_until: SimTime,
+    cpu_gen: TokenGen,
+    timer_gen: TokenGen,
+    arm_when_free: bool,
+    pending_triggered: bool,
+    pending_data: VecDeque<Packet>,
+    app: Option<App>,
+    /// Per-neighbour liveness (hello protocol): last hello heard and
+    /// whether the adjacency is currently up.
+    neighbor_liveness: HashMap<NodeId, (SimTime, bool)>,
+    /// Incremental mode: whether the initial full advertisement went out.
+    sent_initial_full: bool,
+    ping_stats: PingStats,
+    cbr_stats: CbrReceiverStats,
+    default_router: Option<NodeId>,
+}
+
+/// The simulator. Build with [`NetSim::new`], attach traffic with
+/// `add_ping`/`add_cbr`/`add_poisson`, then [`NetSim::run_until`].
+pub struct NetSim {
+    topo: Topology,
+    cfg: RouterConfig,
+    engine: Engine<Ev>,
+    nodes: Vec<NodeState>,
+    links: Vec<LinkState>,
+    /// In-flight packets, keyed by id carried in `Ev::Arrive` (keeps the
+    /// event type `Copy` and cheap).
+    in_flight: HashMap<u64, Packet>,
+    next_pkt_id: u64,
+    /// `(neighbor → link)` per node.
+    adjacency: Vec<HashMap<NodeId, LinkId>>,
+    counters: Counters,
+    reset_log: Vec<(SimTime, NodeId)>,
+    update_log: Vec<(SimTime, NodeId)>,
+    delivered_paths: Vec<(NodeId, Vec<NodeId>)>,
+}
+
+impl NetSim {
+    /// Build a simulator over `topo`. Every router shares `cfg`; `seed`
+    /// fixes all randomness.
+    pub fn new(topo: Topology, cfg: RouterConfig, seed: u64) -> Self {
+        let n = topo.node_count();
+        let engine = Engine::new();
+        let mut nodes = Vec::with_capacity(n);
+        let mut adjacency = Vec::with_capacity(n);
+        for id in 0..n {
+            let mut rng = routesync_rng::stream(seed, id as u64);
+            let jitter = cfg.dv.jitter.materialize(&mut rng);
+            let mut table = RoutingTable::new(id);
+            for (nb, _) in topo.neighbors(id) {
+                table.install_direct(nb);
+            }
+            let default_router = topo
+                .neighbors(id)
+                .into_iter()
+                .find(|&(nb, _)| topo.kind(nb) == NodeKind::Router)
+                .map(|(nb, _)| nb);
+            adjacency.push(topo.neighbors(id).into_iter().collect());
+            nodes.push(NodeState {
+                kind: topo.kind(id),
+                table,
+                rng,
+                jitter,
+                cpu_busy: false,
+                cpu_until: SimTime::ZERO,
+                cpu_gen: TokenGen::new(),
+                timer_gen: TokenGen::new(),
+                arm_when_free: false,
+                pending_triggered: false,
+                pending_data: VecDeque::new(),
+                app: None,
+                neighbor_liveness: HashMap::new(),
+                sent_initial_full: false,
+                ping_stats: PingStats::default(),
+                cbr_stats: CbrReceiverStats::default(),
+                default_router,
+            });
+        }
+        let links = (0..topo.link_count())
+            .map(|l| LinkState {
+                up: true,
+                slots: topo
+                    .link(l)
+                    .nodes
+                    .iter()
+                    .map(|_| TxSlot {
+                        busy: false,
+                        queue: VecDeque::new(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        let mut sim = NetSim {
+            topo,
+            cfg,
+            engine,
+            nodes,
+            links,
+            in_flight: HashMap::new(),
+            next_pkt_id: 0,
+            adjacency,
+            counters: Counters::default(),
+            reset_log: Vec::new(),
+            update_log: Vec::new(),
+            delivered_paths: Vec::new(),
+        };
+        if cfg.prepopulate {
+            sim.prepopulate_routes();
+        }
+        // Arm the routing timers.
+        let tp = cfg.dv.jitter.tp();
+        for id in sim.topo.routers() {
+            let first = match cfg.start {
+                TimerStart::Synchronized => tp,
+                TimerStart::Unsynchronized => {
+                    routesync_rng::dist::UniformDuration::new(Duration::ZERO, tp)
+                        .sample(&mut sim.nodes[id].rng)
+                }
+            };
+            let gen = sim.nodes[id].timer_gen.current();
+            sim.engine
+                .schedule(SimTime::ZERO + first, Ev::DvTimer { node: id, gen });
+        }
+        if let Some(hello) = cfg.dv.hello {
+            for id in sim.topo.routers() {
+                // Stagger the first hellos uniformly over one interval and
+                // presume neighbours alive from t = 0.
+                for (nb, _) in sim.topo.neighbors(id) {
+                    if sim.topo.kind(nb) == NodeKind::Router {
+                        sim.nodes[id]
+                            .neighbor_liveness
+                            .insert(nb, (SimTime::ZERO, true));
+                    }
+                }
+                let first = routesync_rng::dist::UniformDuration::new(
+                    Duration::ZERO,
+                    hello.interval,
+                )
+                .sample(&mut sim.nodes[id].rng);
+                sim.engine
+                    .schedule(SimTime::ZERO + first, Ev::HelloTimer { node: id });
+            }
+        }
+        sim
+    }
+
+    /// Install shortest-path (hop count) routes on every router, for
+    /// steady-state experiments that should not wait for convergence.
+    /// Hosts can terminate paths but never relay.
+    fn prepopulate_routes(&mut self) {
+        let n = self.topo.node_count();
+        for dst in 0..n {
+            // BFS from the destination; expand only through routers.
+            let mut dist = vec![u32::MAX; n];
+            let mut next_hop = vec![usize::MAX; n];
+            let mut queue = VecDeque::new();
+            dist[dst] = 0;
+            queue.push_back(dst);
+            while let Some(u) = queue.pop_front() {
+                if u != dst && self.topo.kind(u) != NodeKind::Router {
+                    continue; // hosts don't relay
+                }
+                for (v, _) in self.topo.neighbors(u) {
+                    if dist[v] == u32::MAX {
+                        dist[v] = dist[u] + 1;
+                        next_hop[v] = u;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            for r in self.topo.routers() {
+                if r != dst && dist[r] != u32::MAX {
+                    self.nodes[r].table.install(dst, dist[r], next_hop[r]);
+                }
+            }
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Drop/delivery counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// A node's routing table.
+    pub fn table(&self, node: NodeId) -> &RoutingTable {
+        &self.nodes[node].table
+    }
+
+    /// Overwrite one route on a router (scenario/test setup — e.g. to
+    /// install a deliberately inconsistent state and watch the protocol or
+    /// the TTL guard clean it up).
+    pub fn install_route(&mut self, node: NodeId, dst: NodeId, metric: u32, next_hop: NodeId) {
+        self.nodes[node].table.install(dst, metric, next_hop);
+    }
+
+    /// Ping statistics recorded at `node` (the ping *sender*).
+    pub fn ping_stats(&self, node: NodeId) -> &PingStats {
+        &self.nodes[node].ping_stats
+    }
+
+    /// CBR receive statistics recorded at `node` (the audio *sink*).
+    pub fn cbr_stats(&self, node: NodeId) -> &CbrReceiverStats {
+        &self.nodes[node].cbr_stats
+    }
+
+    /// Timer re-arm instants per router (requires
+    /// [`RouterConfig::record_timeline`]).
+    pub fn reset_log(&self) -> &[(SimTime, NodeId)] {
+        &self.reset_log
+    }
+
+    /// Periodic-update send instants per router (requires
+    /// [`RouterConfig::record_timeline`]).
+    pub fn update_log(&self) -> &[(SimTime, NodeId)] {
+        &self.update_log
+    }
+
+    /// Router paths of delivered data packets, in delivery order
+    /// (requires [`RouterConfig::record_paths`]).
+    pub fn delivered_paths(&self) -> &[(NodeId, Vec<NodeId>)] {
+        &self.delivered_paths
+    }
+
+    /// Attach a ping sender at `src` probing `dst`: `count` probes,
+    /// `interval` apart, starting at `start`.
+    pub fn add_ping(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        interval: Duration,
+        count: u64,
+        start: SimTime,
+    ) {
+        self.nodes[src].app = Some(App::Ping {
+            dst,
+            interval,
+            count,
+            sent: 0,
+        });
+        self.nodes[src].ping_stats = PingStats::with_capacity(count as usize);
+        self.engine.schedule(start, Ev::AppTick { node: src });
+    }
+
+    /// Attach a constant-bit-rate source at `src` streaming to `dst`.
+    pub fn add_cbr(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        interval: Duration,
+        count: u64,
+        start: SimTime,
+    ) {
+        self.nodes[src].app = Some(App::Cbr {
+            dst,
+            interval,
+            count,
+            sent: 0,
+        });
+        self.engine.schedule(start, Ev::AppTick { node: src });
+    }
+
+    /// Attach a Poisson background source at `src` towards `dst` with the
+    /// given mean inter-packet interval, active until `until`.
+    pub fn add_poisson(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        mean_interval: Duration,
+        until: SimTime,
+        start: SimTime,
+    ) {
+        self.nodes[src].app = Some(App::Poisson {
+            dst,
+            mean_interval,
+            until,
+        });
+        self.engine.schedule(start, Ev::AppTick { node: src });
+    }
+
+    /// Take `link` down at `at` (routers on it poison dependent routes and
+    /// emit triggered updates).
+    pub fn schedule_link_down(&mut self, link: LinkId, at: SimTime) {
+        self.engine.schedule(at, Ev::LinkDown { link });
+    }
+
+    /// Bring `link` back up at `at`.
+    pub fn schedule_link_up(&mut self, link: LinkId, at: SimTime) {
+        self.engine.schedule(at, Ev::LinkUp { link });
+    }
+
+    /// Run the simulation until `horizon`.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        loop {
+            match self.engine.peek_time() {
+                None => break,
+                Some(t) if t >= horizon => break,
+                Some(_) => {}
+            }
+            let (now, ev) = self.engine.pop().expect("peeked event vanished");
+            self.dispatch(now, ev);
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Arrive { to, pkt_id } => {
+                let pkt = self
+                    .in_flight
+                    .remove(&pkt_id)
+                    .expect("arrival without in-flight packet");
+                self.on_arrive(now, to, pkt);
+            }
+            Ev::TxDone { link, slot } => self.on_tx_done(now, link, slot),
+            Ev::CpuFree { node, gen } => {
+                if self.nodes[node].cpu_gen.is_live(gen) && self.nodes[node].cpu_busy {
+                    debug_assert_eq!(self.nodes[node].cpu_until, now);
+                    self.on_cpu_free(now, node);
+                }
+            }
+            Ev::DvTimer { node, gen } => {
+                if self.nodes[node].timer_gen.is_live(gen) {
+                    self.on_dv_timer(now, node);
+                }
+            }
+            Ev::HelloTimer { node } => self.on_hello_timer(now, node),
+            Ev::AppTick { node } => self.on_app_tick(now, node),
+            Ev::LinkDown { link } => self.on_link_down(now, link),
+            Ev::LinkUp { link } => self.on_link_up(now, link),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transmission
+    // ------------------------------------------------------------------
+
+    /// Queue `pkt` for transmission by `from` on `link`. `dst_hint` selects
+    /// the receiving node on a broadcast medium (`None` = all attached).
+    fn transmit(&mut self, now: SimTime, from: NodeId, link: LinkId, pkt: Packet, dst_hint: Option<NodeId>) {
+        if !self.links[link].up {
+            self.counters.drop_link_down += 1;
+            return;
+        }
+        let slot = self.slot_of(link, from);
+        if self.links[link].slots[slot].busy {
+            let cap = self.topo.link(link).queue_cap;
+            let q = &mut self.links[link].slots[slot].queue;
+            if q.len() < cap {
+                q.push_back((pkt, dst_hint));
+            } else {
+                self.counters.drop_queue += 1;
+            }
+        } else {
+            self.start_tx(now, link, slot, pkt, dst_hint);
+        }
+    }
+
+    fn slot_of(&self, link: LinkId, node: NodeId) -> usize {
+        self.topo
+            .link(link)
+            .nodes
+            .iter()
+            .position(|&n| n == node)
+            .expect("node not attached to link")
+    }
+
+    fn start_tx(
+        &mut self,
+        now: SimTime,
+        link: LinkId,
+        slot: usize,
+        pkt: Packet,
+        dst_hint: Option<NodeId>,
+    ) {
+        let l = self.topo.link(link);
+        let tx_time = l.tx_time(pkt.size);
+        let arrive_at = now + tx_time + l.delay;
+        let sender = l.nodes[slot];
+        let receivers: Vec<NodeId> = match (l.medium, dst_hint) {
+            (Medium::PointToPoint, _) => vec![l.other_end(sender)],
+            (Medium::Broadcast, Some(d)) => vec![d],
+            (Medium::Broadcast, None) => {
+                l.nodes.iter().copied().filter(|&n| n != sender).collect()
+            }
+        };
+        for to in receivers {
+            let id = self.next_pkt_id;
+            self.next_pkt_id += 1;
+            self.in_flight.insert(id, pkt.clone());
+            self.engine.schedule(arrive_at, Ev::Arrive { to, pkt_id: id });
+        }
+        self.links[link].slots[slot].busy = true;
+        self.engine
+            .schedule(now + tx_time, Ev::TxDone { link, slot });
+    }
+
+    fn on_tx_done(&mut self, now: SimTime, link: LinkId, slot: usize) {
+        self.links[link].slots[slot].busy = false;
+        if let Some((pkt, hint)) = self.links[link].slots[slot].queue.pop_front() {
+            if self.links[link].up {
+                self.start_tx(now, link, slot, pkt, hint);
+            } else {
+                self.counters.drop_link_down += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Arrival, forwarding, local delivery
+    // ------------------------------------------------------------------
+
+    fn on_arrive(&mut self, now: SimTime, to: NodeId, pkt: Packet) {
+        if matches!(pkt.payload, Payload::Hello) {
+            if self.nodes[to].kind == NodeKind::Router {
+                self.on_hello(now, to, pkt.src);
+            }
+            return;
+        }
+        if let Payload::Routing(ref update) = pkt.payload {
+            if self.nodes[to].kind == NodeKind::Router {
+                self.process_routing(now, to, update.clone());
+            }
+            // Hosts ignore routing chatter.
+            return;
+        }
+        if pkt.dst == to {
+            self.deliver_local(now, to, pkt);
+            return;
+        }
+        match self.nodes[to].kind {
+            NodeKind::Host => {
+                // Hosts never relay.
+                self.counters.drop_no_route += 1;
+            }
+            NodeKind::Router => {
+                let blocked = self.cfg.forwarding == ForwardingMode::BlockedDuringUpdates
+                    && self.cpu_busy_now(to, now);
+                if blocked {
+                    if self.nodes[to].pending_data.len() < self.cfg.pending_cap {
+                        self.nodes[to].pending_data.push_back(pkt);
+                    } else {
+                        self.counters.drop_cpu += 1;
+                    }
+                } else {
+                    self.forward(now, to, pkt);
+                }
+            }
+        }
+    }
+
+    fn cpu_busy_now(&self, node: NodeId, now: SimTime) -> bool {
+        self.nodes[node].cpu_busy && now < self.nodes[node].cpu_until
+    }
+
+    fn forward(&mut self, now: SimTime, router: NodeId, mut pkt: Packet) {
+        if pkt.ttl == 0 {
+            self.counters.drop_ttl += 1;
+            return;
+        }
+        pkt.ttl -= 1;
+        if self.cfg.record_paths {
+            pkt.hops.push(router);
+        }
+        let infinity = self.cfg.dv.infinity;
+        match self.nodes[router].table.lookup(pkt.dst, infinity) {
+            None => self.counters.drop_no_route += 1,
+            Some(next) => match self.adjacency[router].get(&next).copied() {
+                None => self.counters.drop_no_route += 1,
+                Some(link) => {
+                    self.counters.forwarded += 1;
+                    self.transmit(now, router, link, pkt, Some(next));
+                }
+            },
+        }
+    }
+
+    fn deliver_local(&mut self, now: SimTime, node: NodeId, pkt: Packet) {
+        self.counters.delivered += 1;
+        if self.cfg.record_paths && !matches!(pkt.payload, Payload::Routing(_) | Payload::Hello) {
+            self.delivered_paths.push((node, pkt.hops.clone()));
+        }
+        match pkt.payload {
+            Payload::Ping { seq, sent_ns } => {
+                // Echo.
+                let reply = Packet::new(node, pkt.src, pkt.size, Payload::Pong { seq, sent_ns });
+                self.send_from(now, node, reply);
+            }
+            Payload::Pong { seq, sent_ns } => {
+                let rtt = (now.as_nanos() - sent_ns) as f64 / 1e9;
+                self.nodes[node].ping_stats.record(seq, rtt);
+            }
+            Payload::Audio { seq } => {
+                self.nodes[node].cbr_stats.record(seq, now.as_secs_f64());
+            }
+            Payload::Data => {}
+            Payload::Hello | Payload::Routing(_) => unreachable!("handled in on_arrive"),
+        }
+    }
+
+    /// Send a locally originated packet from `node` (host or router).
+    fn send_from(&mut self, now: SimTime, node: NodeId, pkt: Packet) {
+        self.counters.sent += 1;
+        if pkt.dst == node {
+            self.deliver_local(now, node, pkt);
+            return;
+        }
+        match self.nodes[node].kind {
+            NodeKind::Router => self.forward(now, node, pkt),
+            NodeKind::Host => {
+                // Directly attached destination?
+                if let Some(&link) = self.adjacency[node].get(&pkt.dst) {
+                    let dst = pkt.dst;
+                    self.transmit(now, node, link, pkt, Some(dst));
+                    return;
+                }
+                match self.nodes[node].default_router {
+                    None => self.counters.drop_no_route += 1,
+                    Some(r) => {
+                        let link = self.adjacency[node][&r];
+                        self.transmit(now, node, link, pkt, Some(r));
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Control plane
+    // ------------------------------------------------------------------
+
+    fn process_routing(&mut self, now: SimTime, node: NodeId, update: RoutingUpdate) {
+        self.counters.updates_processed += 1;
+        // CPU cost of digesting the whole update, padding included.
+        let cost = self.cfg.cost_per_route * update.entries.len() as u64;
+        self.cpu_add(now, node, cost);
+        let n = self.topo.node_count();
+        let real: Vec<RouteEntry> = update
+            .entries
+            .iter()
+            .copied()
+            .filter(|e| e.dst < n)
+            .collect();
+        let changed = self.nodes[node].table.process_update_with(
+            update.origin,
+            &real,
+            now,
+            self.cfg.dv.infinity,
+            self.cfg.dv.holddown,
+        );
+        if changed && self.cfg.dv.triggered_updates {
+            self.note_change(now, node);
+        }
+    }
+
+    /// A routing change at `node` wants a triggered update out.
+    fn note_change(&mut self, now: SimTime, node: NodeId) {
+        if self.cpu_busy_now(node, now) {
+            self.nodes[node].pending_triggered = true;
+        } else {
+            self.emit_update(now, node, true);
+        }
+    }
+
+    fn on_dv_timer(&mut self, now: SimTime, node: NodeId) {
+        match self.cfg.dv.update_mode {
+            UpdateMode::PeriodicFullTable => {
+                // Housekeeping at update time: age out stale routes (their
+                // poisoning rides along in this very update).
+                self.nodes[node].table.expire(
+                    now,
+                    self.cfg.dv.route_timeout,
+                    self.cfg.dv.infinity,
+                );
+                self.nodes[node]
+                    .table
+                    .gc_due(now, self.cfg.dv.gc_timeout, self.cfg.dv.infinity);
+                self.emit_update(now, node, false);
+            }
+            UpdateMode::Incremental => {
+                if self.nodes[node].sent_initial_full {
+                    // Just a keepalive: no table, (almost) no CPU.
+                    self.emit_keepalive(now, node);
+                } else {
+                    self.nodes[node].sent_initial_full = true;
+                    self.emit_update(now, node, false);
+                }
+            }
+        }
+        match self.cfg.dv.reset_policy {
+            TimerResetPolicy::AfterProcessing => {
+                self.nodes[node].arm_when_free = true;
+                // If the CPU somehow finished instantly (zero-cost config),
+                // arm right away.
+                if !self.cpu_busy_now(node, now) {
+                    self.arm_timer(now, node);
+                }
+            }
+            TimerResetPolicy::OnExpiry => self.arm_timer(now, node),
+        }
+    }
+
+    /// Build and transmit a full-table update on every interface.
+    fn emit_update(&mut self, now: SimTime, node: NodeId, triggered: bool) {
+        if self.cfg.record_timeline && !triggered {
+            self.update_log.push((now, node));
+        }
+        let pad = self.cfg.dv.advertise_pad;
+        // Preparation cost: the whole table once, plus padding.
+        let prep =
+            self.cfg.cost_per_route * (self.nodes[node].table.len() + pad) as u64;
+        self.cpu_add(now, node, prep);
+        let links: Vec<LinkId> = self.topo.links_of(node).to_vec();
+        for link in links {
+            if !self.links[link].up {
+                continue;
+            }
+            let peers: Vec<NodeId> = self
+                .topo
+                .link(link)
+                .nodes
+                .iter()
+                .copied()
+                .filter(|&m| m != node)
+                .collect();
+            let mut entries = self.nodes[node].table.advertisement(
+                &peers,
+                self.cfg.dv.split_horizon,
+                self.cfg.dv.infinity,
+            );
+            // Padding entries model the ~300-route backbone tables; they
+            // carry an out-of-range dst and are filtered by receivers (but
+            // still cost wire time and CPU).
+            for k in 0..pad {
+                entries.push(RouteEntry {
+                    dst: usize::MAX - k,
+                    metric: self.cfg.dv.infinity,
+                });
+            }
+            let size = Packet::routing_size(entries.len());
+            let pkt = Packet::new(
+                node,
+                node, // dst unused for routing broadcast
+                size,
+                Payload::Routing(RoutingUpdate {
+                    origin: node,
+                    triggered,
+                    entries,
+                }),
+            );
+            self.counters.updates_sent += 1;
+            self.transmit(now, node, link, pkt, None);
+        }
+    }
+
+    /// Periodic hello tick: greet every router neighbour and check for
+    /// silent ones.
+    fn on_hello_timer(&mut self, now: SimTime, node: NodeId) {
+        let Some(hello) = self.cfg.dv.hello else {
+            return;
+        };
+        // Send hellos on every up link (to all router neighbours).
+        let links: Vec<LinkId> = self.topo.links_of(node).to_vec();
+        for link in links {
+            if !self.links[link].up {
+                continue;
+            }
+            let pkt = Packet::new(node, node, 44, Payload::Hello);
+            self.counters.hellos_sent += 1;
+            self.transmit(now, node, link, pkt, None);
+        }
+        // Declare silent neighbours dead.
+        let dead_after = hello.dead_after();
+        let silent: Vec<NodeId> = self.nodes[node]
+            .neighbor_liveness
+            .iter()
+            .filter(|&(_, &(last, alive))| alive && last + dead_after <= now)
+            .map(|(&nb, _)| nb)
+            .collect();
+        let mut changed = false;
+        for nb in silent {
+            self.nodes[node]
+                .neighbor_liveness
+                .insert(nb, (SimTime::ZERO, false));
+            if self.nodes[node].table.fail_via_with(
+                nb,
+                self.cfg.dv.infinity,
+                now,
+                self.cfg.dv.holddown,
+            ) {
+                changed = true;
+            }
+        }
+        if changed && self.cfg.dv.triggered_updates {
+            self.note_change(now, node);
+        }
+        // Re-arm with the standard 0.75-1.25x jitter.
+        let lo = hello.interval.as_nanos() * 3 / 4;
+        let hi = hello.interval.as_nanos() * 5 / 4;
+        let next = routesync_rng::dist::UniformDuration::new(
+            Duration::from_nanos(lo),
+            Duration::from_nanos(hi),
+        )
+        .sample(&mut self.nodes[node].rng);
+        self.engine.schedule(now + next, Ev::HelloTimer { node });
+    }
+
+    /// A hello from `from` reached `node`: refresh (or resurrect) the
+    /// adjacency.
+    fn on_hello(&mut self, now: SimTime, node: NodeId, from: NodeId) {
+        let was_alive = self.nodes[node]
+            .neighbor_liveness
+            .get(&from)
+            .map(|&(_, alive)| alive);
+        self.nodes[node]
+            .neighbor_liveness
+            .insert(from, (now, true));
+        if was_alive == Some(false) {
+            self.nodes[node].table.install_direct(from);
+            if self.cfg.dv.triggered_updates {
+                self.note_change(now, node);
+            }
+        }
+    }
+
+    /// Whether `node` currently considers `neighbor` alive (always true
+    /// without the hello protocol).
+    pub fn neighbor_alive(&self, node: NodeId, neighbor: NodeId) -> bool {
+        if self.cfg.dv.hello.is_none() {
+            return true;
+        }
+        self.nodes[node]
+            .neighbor_liveness
+            .get(&neighbor)
+            .is_some_and(|&(_, alive)| alive)
+    }
+
+    /// A tiny periodic session keepalive (incremental mode): an empty
+    /// routing update — 24 bytes of wire, no route entries, no measurable
+    /// CPU at the receiver.
+    fn emit_keepalive(&mut self, now: SimTime, node: NodeId) {
+        let links: Vec<LinkId> = self.topo.links_of(node).to_vec();
+        for link in links {
+            if !self.links[link].up {
+                continue;
+            }
+            let pkt = Packet::new(
+                node,
+                node,
+                Packet::routing_size(0),
+                Payload::Routing(RoutingUpdate {
+                    origin: node,
+                    triggered: false,
+                    entries: Vec::new(),
+                }),
+            );
+            self.counters.updates_sent += 1;
+            self.transmit(now, node, link, pkt, None);
+        }
+    }
+
+    fn cpu_add(&mut self, now: SimTime, node: NodeId, cost: Duration) {
+        if cost.is_zero() {
+            return;
+        }
+        let nd = &mut self.nodes[node];
+        if nd.cpu_busy && now < nd.cpu_until {
+            nd.cpu_until += cost;
+        } else {
+            nd.cpu_busy = true;
+            nd.cpu_until = now + cost;
+        }
+        let gen = nd.cpu_gen.bump();
+        let at = nd.cpu_until;
+        self.engine.schedule(at, Ev::CpuFree { node, gen });
+    }
+
+    fn on_cpu_free(&mut self, now: SimTime, node: NodeId) {
+        self.nodes[node].cpu_busy = false;
+        if self.nodes[node].pending_triggered {
+            self.nodes[node].pending_triggered = false;
+            self.emit_update(now, node, true);
+            // The triggered emission re-busied the CPU; timer arming and
+            // queue draining happen at the next CpuFree.
+            if self.cpu_busy_now(node, now) {
+                return;
+            }
+        }
+        if self.nodes[node].arm_when_free {
+            self.arm_timer(now, node);
+        }
+        // Forward everything that waited out the control-plane burst.
+        while let Some(pkt) = self.nodes[node].pending_data.pop_front() {
+            self.forward(now, node, pkt);
+        }
+    }
+
+    fn arm_timer(&mut self, now: SimTime, node: NodeId) {
+        self.nodes[node].arm_when_free = false;
+        if self.cfg.record_timeline {
+            self.reset_log.push((now, node));
+        }
+        let nd = &mut self.nodes[node];
+        let interval = nd.jitter.sample(&mut nd.rng);
+        let gen = nd.timer_gen.current();
+        self.engine
+            .schedule(now + interval, Ev::DvTimer { node, gen });
+    }
+
+    // ------------------------------------------------------------------
+    // Applications
+    // ------------------------------------------------------------------
+
+    fn on_app_tick(&mut self, now: SimTime, node: NodeId) {
+        let Some(app) = self.nodes[node].app.clone() else {
+            return;
+        };
+        match app {
+            App::Ping {
+                dst,
+                interval,
+                count,
+                sent,
+            } => {
+                if sent >= count {
+                    return;
+                }
+                let pkt = Packet::new(
+                    node,
+                    dst,
+                    64,
+                    Payload::Ping {
+                        seq: sent,
+                        sent_ns: now.as_nanos(),
+                    },
+                );
+                self.nodes[node].ping_stats.note_sent(sent, now.as_secs_f64());
+                self.send_from(now, node, pkt);
+                self.nodes[node].app = Some(App::Ping {
+                    dst,
+                    interval,
+                    count,
+                    sent: sent + 1,
+                });
+                if sent + 1 < count {
+                    self.engine
+                        .schedule(now + interval, Ev::AppTick { node });
+                }
+            }
+            App::Cbr {
+                dst,
+                interval,
+                count,
+                sent,
+            } => {
+                if sent >= count {
+                    return;
+                }
+                // ~20 ms of 64 kbit/s PCM plus headers.
+                let pkt = Packet::new(node, dst, 320, Payload::Audio { seq: sent });
+                self.send_from(now, node, pkt);
+                self.nodes[node].app = Some(App::Cbr {
+                    dst,
+                    interval,
+                    count,
+                    sent: sent + 1,
+                });
+                if sent + 1 < count {
+                    self.engine
+                        .schedule(now + interval, Ev::AppTick { node });
+                }
+            }
+            App::Poisson {
+                dst,
+                mean_interval,
+                until,
+            } => {
+                if now >= until {
+                    return;
+                }
+                let pkt = Packet::new(node, dst, 512, Payload::Data);
+                self.send_from(now, node, pkt);
+                let exp = routesync_rng::dist::Exp::new(mean_interval.as_secs_f64());
+                let gap = exp.sample(&mut self.nodes[node].rng).max(1e-6);
+                self.engine
+                    .schedule(now + Duration::from_secs_f64(gap), Ev::AppTick { node });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Link failures
+    // ------------------------------------------------------------------
+
+    fn on_link_down(&mut self, now: SimTime, link: LinkId) {
+        if !self.links[link].up {
+            return;
+        }
+        self.links[link].up = false;
+        for slot in &mut self.links[link].slots {
+            self.counters.drop_link_down += slot.queue.len() as u64;
+            slot.queue.clear();
+        }
+        if self.cfg.dv.hello.is_some() {
+            // Failure detection is the hello protocol's job.
+            return;
+        }
+        let attached: Vec<NodeId> = self.topo.link(link).nodes.clone();
+        for &r in &attached {
+            if self.topo.kind(r) != NodeKind::Router {
+                continue;
+            }
+            let mut changed = false;
+            for &m in &attached {
+                if m != r
+                    && self.nodes[r].table.fail_via_with(
+                        m,
+                        self.cfg.dv.infinity,
+                        now,
+                        self.cfg.dv.holddown,
+                    )
+                {
+                    changed = true;
+                }
+            }
+            if changed && self.cfg.dv.triggered_updates {
+                self.note_change(now, r);
+            }
+        }
+    }
+
+    fn on_link_up(&mut self, now: SimTime, link: LinkId) {
+        if self.links[link].up {
+            return;
+        }
+        self.links[link].up = true;
+        if self.cfg.dv.hello.is_some() {
+            // Adjacencies come back when hellos resume.
+            return;
+        }
+        let attached: Vec<NodeId> = self.topo.link(link).nodes.clone();
+        for &r in &attached {
+            if self.topo.kind(r) != NodeKind::Router {
+                continue;
+            }
+            for &m in &attached {
+                if m != r {
+                    self.nodes[r].table.install_direct(m);
+                }
+            }
+            if self.cfg.dv.triggered_updates {
+                self.note_change(now, r);
+            }
+        }
+    }
+}

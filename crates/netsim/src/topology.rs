@@ -1,0 +1,273 @@
+//! Network topology: nodes, point-to-point links, and broadcast LANs.
+
+use routesync_desim::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Dense node index.
+pub type NodeId = usize;
+/// Dense link index.
+pub type LinkId = usize;
+
+/// What a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// End system: sources/sinks application traffic, does not run the
+    /// routing protocol; forwards nothing.
+    Host,
+    /// Runs the distance-vector protocol and forwards packets.
+    Router,
+}
+
+/// Transmission medium of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Medium {
+    /// Two endpoints, full duplex.
+    PointToPoint,
+    /// A shared segment: a frame sent by any attached node reaches every
+    /// other attached node (collisions are not modelled, matching the
+    /// paper's simplification).
+    Broadcast,
+}
+
+/// A link: its medium, attached nodes, and per-sender transmission
+/// parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Link {
+    /// Medium (exactly 2 attached nodes for point-to-point).
+    pub medium: Medium,
+    /// Attached nodes.
+    pub nodes: Vec<NodeId>,
+    /// One-way propagation delay.
+    pub delay: Duration,
+    /// Serialization rate in bits per second (`0` = infinite).
+    pub bandwidth_bps: u64,
+    /// Per-sender output queue capacity in packets (beyond the one being
+    /// transmitted); drop-tail.
+    pub queue_cap: usize,
+}
+
+impl Link {
+    /// Serialization time of `bytes` on this link.
+    pub fn tx_time(&self, bytes: usize) -> Duration {
+        if self.bandwidth_bps == 0 {
+            return Duration::ZERO;
+        }
+        let nanos = (bytes as u128 * 8 * 1_000_000_000) / self.bandwidth_bps as u128;
+        Duration::from_nanos(nanos as u64)
+    }
+
+    /// The attached node that is not `from` (point-to-point only).
+    pub fn other_end(&self, from: NodeId) -> NodeId {
+        debug_assert_eq!(self.medium, Medium::PointToPoint);
+        if self.nodes[0] == from {
+            self.nodes[1]
+        } else {
+            debug_assert_eq!(self.nodes[1], from);
+            self.nodes[0]
+        }
+    }
+}
+
+/// An immutable network description, built with the `add_*` methods and
+/// then handed to [`crate::sim::NetSim`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Topology {
+    nodes: Vec<(NodeKind, String)>,
+    links: Vec<Link>,
+    /// For each node, the links it is attached to.
+    attachments: Vec<Vec<LinkId>>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node; returns its id.
+    pub fn add_node(&mut self, kind: NodeKind, name: impl Into<String>) -> NodeId {
+        self.nodes.push((kind, name.into()));
+        self.attachments.push(Vec::new());
+        self.nodes.len() - 1
+    }
+
+    /// Add a host.
+    pub fn add_host(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(NodeKind::Host, name)
+    }
+
+    /// Add a router.
+    pub fn add_router(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(NodeKind::Router, name)
+    }
+
+    /// Connect two nodes with a point-to-point link.
+    pub fn add_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        delay: Duration,
+        bandwidth_bps: u64,
+        queue_cap: usize,
+    ) -> LinkId {
+        assert!(a < self.nodes.len() && b < self.nodes.len(), "unknown node");
+        assert_ne!(a, b, "self-links are not allowed");
+        self.links.push(Link {
+            medium: Medium::PointToPoint,
+            nodes: vec![a, b],
+            delay,
+            bandwidth_bps,
+            queue_cap,
+        });
+        let id = self.links.len() - 1;
+        self.attachments[a].push(id);
+        self.attachments[b].push(id);
+        id
+    }
+
+    /// Create a broadcast LAN attaching `nodes`.
+    pub fn add_lan(
+        &mut self,
+        nodes: &[NodeId],
+        delay: Duration,
+        bandwidth_bps: u64,
+        queue_cap: usize,
+    ) -> LinkId {
+        assert!(nodes.len() >= 2, "a LAN needs at least two nodes");
+        for &n in nodes {
+            assert!(n < self.nodes.len(), "unknown node {n}");
+        }
+        self.links.push(Link {
+            medium: Medium::Broadcast,
+            nodes: nodes.to_vec(),
+            delay,
+            bandwidth_bps,
+            queue_cap,
+        });
+        let id = self.links.len() - 1;
+        for &n in nodes {
+            self.attachments[n].push(id);
+        }
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// A node's kind.
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        self.nodes[n].0
+    }
+
+    /// A node's name.
+    pub fn name(&self, n: NodeId) -> &str {
+        &self.nodes[n].1
+    }
+
+    /// A link by id.
+    pub fn link(&self, l: LinkId) -> &Link {
+        &self.links[l]
+    }
+
+    /// Links attached to a node.
+    pub fn links_of(&self, n: NodeId) -> &[LinkId] {
+        &self.attachments[n]
+    }
+
+    /// The neighbours of a node: `(neighbour, via link)` pairs, one per
+    /// other node on each attached link.
+    pub fn neighbors(&self, n: NodeId) -> Vec<(NodeId, LinkId)> {
+        let mut out = Vec::new();
+        for &l in &self.attachments[n] {
+            for &m in &self.links[l].nodes {
+                if m != n {
+                    out.push((m, l));
+                }
+            }
+        }
+        out
+    }
+
+    /// All router node ids.
+    pub fn routers(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&n| self.kind(n) == NodeKind::Router)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_wires_attachments_and_neighbors() {
+        let mut t = Topology::new();
+        let h = t.add_host("h");
+        let r1 = t.add_router("r1");
+        let r2 = t.add_router("r2");
+        let l0 = t.add_link(h, r1, Duration::from_millis(1), 1_000_000, 10);
+        let l1 = t.add_link(r1, r2, Duration::from_millis(5), 1_000_000, 10);
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.link_count(), 2);
+        assert_eq!(t.links_of(r1), &[l0, l1]);
+        assert_eq!(t.neighbors(h), vec![(r1, l0)]);
+        let mut n1 = t.neighbors(r1);
+        n1.sort_unstable();
+        assert_eq!(n1, vec![(h, l0), (r2, l1)]);
+        assert_eq!(t.routers(), vec![r1, r2]);
+        assert_eq!(t.kind(h), NodeKind::Host);
+        assert_eq!(t.name(r2), "r2");
+    }
+
+    #[test]
+    fn lan_attaches_everyone() {
+        let mut t = Topology::new();
+        let rs: Vec<NodeId> = (0..4).map(|i| t.add_router(format!("r{i}"))).collect();
+        let lan = t.add_lan(&rs, Duration::from_micros(10), 10_000_000, 50);
+        assert_eq!(t.link(lan).medium, Medium::Broadcast);
+        for &r in &rs {
+            assert_eq!(t.links_of(r), &[lan]);
+            assert_eq!(t.neighbors(r).len(), 3);
+        }
+    }
+
+    #[test]
+    fn tx_time_is_exact() {
+        let mut t = Topology::new();
+        let a = t.add_router("a");
+        let b = t.add_router("b");
+        // 1 Mbit/s: 125 bytes take 1 ms.
+        let l = t.add_link(a, b, Duration::ZERO, 1_000_000, 1);
+        assert_eq!(t.link(l).tx_time(125), Duration::from_millis(1));
+        assert_eq!(t.link(l).tx_time(0), Duration::ZERO);
+        // Infinite bandwidth.
+        let l2 = t.add_link(a, b, Duration::ZERO, 0, 1);
+        assert_eq!(t.link(l2).tx_time(1_000_000), Duration::ZERO);
+    }
+
+    #[test]
+    fn other_end_resolves_both_directions() {
+        let mut t = Topology::new();
+        let a = t.add_router("a");
+        let b = t.add_router("b");
+        let l = t.add_link(a, b, Duration::ZERO, 0, 1);
+        assert_eq!(t.link(l).other_end(a), b);
+        assert_eq!(t.link(l).other_end(b), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn self_link_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_router("a");
+        t.add_link(a, a, Duration::ZERO, 0, 1);
+    }
+}

@@ -1,0 +1,432 @@
+//! Client-server recovery storms (paper Section 1, the Sprite anecdote).
+//!
+//! "In the Sprite operating system clients check with the file server
+//! every 30 seconds; in an early version of the system, when the file
+//! server recovered after a failure, or after a busy period, a number of
+//! clients would become synchronized in their recovery procedures.
+//! Because the recovery procedures involved synchronized timeouts, this
+//! synchronization resulted in a substantial delay in the recovery
+//! procedure."
+//!
+//! The model: `n` clients poll a server every `poll_period`, initially at
+//! independent phases. Polls cost the server `service_time`; it serves one
+//! at a time with a bounded queue. A failure window is injected; polls
+//! during it go unanswered and time out. When the server **recovers, it
+//! announces itself** (the Sprite recovery broadcast) and every client
+//! with a failed poll re-polls *at that instant* — the shared reference
+//! event that synchronizes them. The recovering server can only absorb
+//! `queue_cap + 1` requests; the rest are dropped, time out together
+//! (`reply_timeout` later — a synchronized timeout), and retry together
+//! after `retry`:
+//!
+//! * a **fixed** retry interval keeps the cohort in lock-step: the
+//!   recovery proceeds in waves of `queue_cap + 1` clients every
+//!   `reply_timeout + retry`, with every intervening wave hammering the
+//!   server — the paper's "substantial delay in the recovery procedure";
+//! * a **jittered** retry disperses the cohort after the first wave and
+//!   the queue drains at service speed.
+
+use routesync_desim::{Duration, Engine, SimTime, TokenGen};
+use routesync_rng::{JitterPolicy, MinStd};
+use serde::{Deserialize, Serialize};
+
+/// Model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClientServerParams {
+    /// Number of polling clients.
+    pub clients: usize,
+    /// Poll period (Sprite: 30 s).
+    pub poll_period: Duration,
+    /// Server time to handle one poll.
+    pub service_time: Duration,
+    /// Server queue capacity beyond the request in service.
+    pub queue_cap: usize,
+    /// Client retry behaviour after an unanswered poll.
+    pub retry: JitterPolicy,
+    /// How long a client waits for a reply before declaring a timeout.
+    pub reply_timeout: Duration,
+    /// Failure window start.
+    pub fail_from: SimTime,
+    /// Failure window end (the recovery broadcast instant).
+    pub fail_until: SimTime,
+}
+
+impl ClientServerParams {
+    /// The Sprite-flavoured default: 30-second polls, a server that needs
+    /// 250 ms per poll with room for 8 queued requests, a 60-second
+    /// outage.
+    pub fn sprite(clients: usize, retry: JitterPolicy) -> Self {
+        ClientServerParams {
+            clients,
+            poll_period: Duration::from_secs(30),
+            service_time: Duration::from_millis(250),
+            queue_cap: 8,
+            retry,
+            reply_timeout: Duration::from_secs(5),
+            fail_from: SimTime::from_secs(100),
+            fail_until: SimTime::from_secs(160),
+        }
+    }
+
+    /// The broken design: retry on a fixed 10-second timer.
+    pub fn fixed_retry() -> JitterPolicy {
+        JitterPolicy::None {
+            tp: Duration::from_secs(10),
+        }
+    }
+
+    /// The fixed design: retry after 5-15 s, uniform.
+    pub fn jittered_retry() -> JitterPolicy {
+        JitterPolicy::Uniform {
+            tp: Duration::from_secs(10),
+            tr: Duration::from_secs(5),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// A client's poll fires (regular or retry). Stale generations are
+    /// polls cancelled by the recovery broadcast.
+    Poll { client: usize, gen: u64 },
+    /// The server finishes the request at the head of its queue.
+    ServiceDone,
+    /// A client gives up waiting for a reply.
+    Timeout { client: usize, gen: u64 },
+    /// The server comes back and broadcasts recovery.
+    Recovered,
+}
+
+/// What the run measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StormReport {
+    /// Seconds from the recovery broadcast until every client has received
+    /// a successful reply (recovery complete); `None` if some client never
+    /// recovered within the horizon.
+    pub recovery_secs: Option<f64>,
+    /// Largest number of poll arrivals at the server within any single
+    /// second, measured from 2 s after the broadcast (so the broadcast
+    /// response itself, identical under both designs, is excluded).
+    pub peak_retry_burst: usize,
+    /// Client timeouts observed after the recovery broadcast.
+    pub timeouts_after_recovery: u64,
+    /// Post-recovery seconds in which at least five clients — and at
+    /// least half of the still-unserved cohort — timed out together.
+    pub synchronized_timeout_waves: usize,
+}
+
+/// The client-server model.
+pub struct ClientServerModel {
+    params: ClientServerParams,
+    engine: Engine<Ev>,
+    rng: MinStd,
+    poll_gen: Vec<TokenGen>,
+    timeout_gen: Vec<TokenGen>,
+    /// Time of each client's last successful reply.
+    last_reply: Vec<Option<SimTime>>,
+    /// Each client's first successful reply after the recovery broadcast.
+    first_reply_post: Vec<Option<SimTime>>,
+    /// Whether the client's most recent poll went unanswered (pending
+    /// retry) — the cohort the recovery broadcast re-activates.
+    awaiting_retry: Vec<bool>,
+    /// Server queue: client ids, head in service.
+    queue: std::collections::VecDeque<usize>,
+    /// Poll arrival log at the server.
+    arrivals: Vec<SimTime>,
+    /// Timeout log after recovery: (time ns, cohort size at that time).
+    post_recovery_timeouts: Vec<(u64, usize)>,
+    recovered: bool,
+}
+
+impl ClientServerModel {
+    /// Build and schedule the initial (independent-phase) polls plus the
+    /// failure/recovery events.
+    pub fn new(params: ClientServerParams, seed: u64) -> Self {
+        assert!(params.clients > 0, "need at least one client");
+        assert!(params.fail_from < params.fail_until, "empty failure window");
+        let mut rng = routesync_rng::stream(seed, 0);
+        let mut engine = Engine::new();
+        let poll_gen = vec![TokenGen::new(); params.clients];
+        for (c, gen) in poll_gen.iter().enumerate() {
+            let phase = routesync_rng::dist::UniformDuration::new(
+                Duration::ZERO,
+                params.poll_period,
+            )
+            .sample(&mut rng);
+            engine.schedule(
+                SimTime::ZERO + phase,
+                Ev::Poll {
+                    client: c,
+                    gen: gen.current(),
+                },
+            );
+        }
+        engine.schedule(params.fail_until, Ev::Recovered);
+        ClientServerModel {
+            poll_gen,
+            timeout_gen: vec![TokenGen::new(); params.clients],
+            last_reply: vec![None; params.clients],
+            first_reply_post: vec![None; params.clients],
+            awaiting_retry: vec![false; params.clients],
+            queue: std::collections::VecDeque::new(),
+            arrivals: Vec::new(),
+            post_recovery_timeouts: Vec::new(),
+            recovered: false,
+            params,
+            engine,
+            rng,
+        }
+    }
+
+    fn server_down(&self, t: SimTime) -> bool {
+        t >= self.params.fail_from && t < self.params.fail_until
+    }
+
+    /// Run until `horizon` and report.
+    pub fn run(&mut self, horizon: SimTime) -> StormReport {
+        while let Some(t) = self.engine.peek_time() {
+            if t >= horizon {
+                break;
+            }
+            let (now, ev) = self.engine.pop().expect("peeked");
+            match ev {
+                Ev::Poll { client, gen } => {
+                    if self.poll_gen[client].is_live(gen) {
+                        self.on_poll(now, client);
+                    }
+                }
+                Ev::ServiceDone => self.on_service_done(now),
+                Ev::Timeout { client, gen } => {
+                    if self.timeout_gen[client].is_live(gen) {
+                        self.on_timeout(now, client);
+                    }
+                }
+                Ev::Recovered => self.on_recovered(now),
+            }
+        }
+        self.report()
+    }
+
+    /// Poll arrival instants at the server (for plotting the storm).
+    pub fn server_arrivals(&self) -> &[SimTime] {
+        &self.arrivals
+    }
+
+    /// Post-recovery timeout instants as `(nanoseconds, unserved cohort)`.
+    pub fn post_recovery_timeouts(&self) -> &[(u64, usize)] {
+        &self.post_recovery_timeouts
+    }
+
+    fn arm_timeout(&mut self, now: SimTime, client: usize) {
+        let gen = self.timeout_gen[client].bump();
+        self.engine.schedule(
+            now + self.params.reply_timeout,
+            Ev::Timeout { client, gen },
+        );
+    }
+
+    fn on_poll(&mut self, now: SimTime, client: usize) {
+        self.arrivals.push(now);
+        self.awaiting_retry[client] = false;
+        if self.server_down(now) || self.queue.len() > self.params.queue_cap {
+            // Lost (server down) or dropped (queue full): the client's
+            // reply timeout will fire.
+            self.arm_timeout(now, client);
+            return;
+        }
+        self.queue.push_back(client);
+        self.arm_timeout(now, client);
+        if self.queue.len() == 1 {
+            self.engine
+                .schedule(now + self.params.service_time, Ev::ServiceDone);
+        }
+    }
+
+    fn on_service_done(&mut self, now: SimTime) {
+        if let Some(client) = self.queue.pop_front() {
+            self.timeout_gen[client].bump();
+            self.last_reply[client] = Some(now);
+            if self.recovered && self.first_reply_post[client].is_none() {
+                self.first_reply_post[client] = Some(now);
+            }
+            let gen = self.poll_gen[client].bump();
+            self.engine.schedule(
+                now + self.params.poll_period,
+                Ev::Poll { client, gen },
+            );
+        }
+        if !self.queue.is_empty() {
+            self.engine
+                .schedule(now + self.params.service_time, Ev::ServiceDone);
+        }
+    }
+
+    fn on_timeout(&mut self, now: SimTime, client: usize) {
+        if self.recovered {
+            let unserved = self.first_reply_post.iter().filter(|r| r.is_none()).count();
+            self.post_recovery_timeouts.push((now.as_nanos(), unserved));
+        }
+        // Abandon a queued-but-unserved request (keep the head: it is in
+        // service and will complete, wasting server time — faithful to a
+        // server that answers a client that has already given up).
+        if let Some(pos) = self.queue.iter().position(|&c| c == client) {
+            if pos != 0 {
+                self.queue.remove(pos);
+            }
+        }
+        self.awaiting_retry[client] = true;
+        let retry = self.params.retry.sample(&mut self.rng);
+        let gen = self.poll_gen[client].bump();
+        self.engine.schedule(now + retry, Ev::Poll { client, gen });
+    }
+
+    /// The recovery broadcast: every client that is waiting out a retry
+    /// re-polls immediately — the shared event that synchronizes the
+    /// cohort.
+    fn on_recovered(&mut self, now: SimTime) {
+        self.recovered = true;
+        for client in 0..self.params.clients {
+            if self.awaiting_retry[client] {
+                let gen = self.poll_gen[client].bump(); // cancel the pending retry
+                self.engine.schedule(now, Ev::Poll { client, gen });
+            }
+        }
+    }
+
+    fn report(&self) -> StormReport {
+        let fail_end = self.params.fail_until;
+        let recovery = self
+            .first_reply_post
+            .iter()
+            .map(|r| r.map(|t| t.as_secs_f64() - fail_end.as_secs_f64()))
+            .collect::<Option<Vec<f64>>>()
+            .map(|v| v.into_iter().fold(0.0f64, f64::max));
+        // Retry bursts: arrivals per second, starting 2 s after the
+        // broadcast (the broadcast response itself is design-independent).
+        let cutoff = fail_end + Duration::from_secs(2);
+        let mut per_sec = std::collections::HashMap::new();
+        for &t in self.arrivals.iter().filter(|&&t| t >= cutoff) {
+            *per_sec
+                .entry(t.as_nanos() / 1_000_000_000)
+                .or_insert(0usize) += 1;
+        }
+        // Synchronized timeout waves: group post-recovery timeouts by
+        // their second; a wave is a second capturing ≥ 3/4 of the cohort
+        // that was still unserved at that moment.
+        let mut waves = std::collections::HashMap::new();
+        for &(t, unserved) in &self.post_recovery_timeouts {
+            let e = waves.entry(t / 1_000_000_000).or_insert((0usize, unserved));
+            e.0 += 1;
+        }
+        let synchronized_waves = waves
+            .values()
+            .filter(|&&(count, unserved)| {
+                count >= 5 && unserved > 0 && count * 2 >= unserved
+            })
+            .count();
+        StormReport {
+            recovery_secs: recovery,
+            peak_retry_burst: per_sec.values().copied().max().unwrap_or(0),
+            timeouts_after_recovery: self.post_recovery_timeouts.len() as u64,
+            synchronized_timeout_waves: synchronized_waves,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(retry: JitterPolicy, clients: usize, seed: u64) -> StormReport {
+        let params = ClientServerParams::sprite(clients, retry);
+        let mut model = ClientServerModel::new(params, seed);
+        model.run(SimTime::from_secs(1200))
+    }
+
+    #[test]
+    fn no_failure_means_no_storm() {
+        let mut params =
+            ClientServerParams::sprite(30, ClientServerParams::fixed_retry());
+        params.fail_from = SimTime::from_secs(100);
+        params.fail_until = SimTime(params.fail_from.as_nanos() + 1);
+        let mut model = ClientServerModel::new(params, 1);
+        let r = model.run(SimTime::from_secs(600));
+        assert_eq!(r.timeouts_after_recovery, 0, "{r:?}");
+        assert!(r.recovery_secs.is_some());
+        assert!(r.peak_retry_burst <= 4, "{r:?}");
+    }
+
+    #[test]
+    fn fixed_retry_creates_a_synchronized_storm() {
+        let r = run(ClientServerParams::fixed_retry(), 40, 2);
+        // Waves: the recovering server absorbs queue_cap+1 = 9 clients per
+        // round; the other ~31 time out together and return together.
+        assert!(
+            r.peak_retry_burst >= 15,
+            "expected a lock-step retry burst: {r:?}"
+        );
+        assert!(r.synchronized_timeout_waves >= 2, "{r:?}");
+        assert!(r.timeouts_after_recovery >= 30, "{r:?}");
+    }
+
+    #[test]
+    fn jittered_retry_disperses_the_storm() {
+        let fixed = run(ClientServerParams::fixed_retry(), 40, 2);
+        let jittered = run(ClientServerParams::jittered_retry(), 40, 2);
+        assert!(
+            jittered.peak_retry_burst * 2 <= fixed.peak_retry_burst,
+            "jitter must at least halve the burst: {jittered:?} vs {fixed:?}"
+        );
+        assert!(
+            jittered.synchronized_timeout_waves <= 1,
+            "jittered retries must not re-align: {jittered:?}"
+        );
+        assert!(jittered.recovery_secs.is_some());
+    }
+
+    #[test]
+    fn recovery_time_improves_with_jitter() {
+        let mut fixed_total = 0.0;
+        let mut jittered_total = 0.0;
+        for seed in [3, 4, 5, 6] {
+            let fixed = run(ClientServerParams::fixed_retry(), 40, seed);
+            let jittered = run(ClientServerParams::jittered_retry(), 40, seed);
+            fixed_total += fixed.recovery_secs.expect("recovers");
+            jittered_total += jittered.recovery_secs.expect("recovers");
+        }
+        assert!(
+            jittered_total < fixed_total,
+            "mean recovery with jitter ({}) must beat fixed ({})",
+            jittered_total / 4.0,
+            fixed_total / 4.0
+        );
+    }
+
+    #[test]
+    fn every_client_eventually_recovers() {
+        for retry in [
+            ClientServerParams::fixed_retry(),
+            ClientServerParams::jittered_retry(),
+        ] {
+            let r = run(retry, 40, 8);
+            assert!(
+                r.recovery_secs.is_some(),
+                "{retry:?} left clients stranded: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = run(ClientServerParams::fixed_retry(), 25, 9);
+        let b = run(ClientServerParams::fixed_retry(), 25, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_clients_rejected() {
+        let params = ClientServerParams::sprite(0, ClientServerParams::fixed_retry());
+        let _ = ClientServerModel::new(params, 1);
+    }
+}

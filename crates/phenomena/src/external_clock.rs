@@ -1,0 +1,230 @@
+//! Synchronization to an external clock (paper Section 1).
+//!
+//! "Two processes can become synchronized with each other simply by both
+//! being synchronized to an external clock. For example, \[Pa93a\] shows
+//! DECnet traffic peaks on the hour and half-hour intervals; \[Pa93b\]
+//! shows peaks in ftp traffic as several users fetch the most recent
+//! weather map from Colorado every hour on the hour."
+//!
+//! The model: `users` independent periodic jobs (cron entries, hourly
+//! fetches). Each fires once per `period` at an alignment chosen by
+//! [`ClockAlignment`]:
+//!
+//! * `OnTheHour` — everyone schedules at offset ≈ 0 ("on the hour"), with
+//!   only small clock skew and start-delay noise. The processes never
+//!   interact, yet the aggregate is a spike train.
+//! * `QuarterMarks` — offsets cluster on the 0/15/30/45-minute marks, the
+//!   human-schedule pattern (weaker but still strong alignment).
+//! * `UniformOffset` — each job picks a uniformly random offset once.
+//!   Same workload, flat aggregate.
+//!
+//! The synchronization metric is the peak-to-mean ratio of per-bin
+//! arrivals — the quantity a capacity planner actually suffers.
+
+use rand_core::RngCore;
+use routesync_desim::Duration;
+use serde::{Deserialize, Serialize};
+
+/// How jobs align to the wall clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClockAlignment {
+    /// All jobs at offset ~0 with a little skew.
+    OnTheHour,
+    /// Jobs pick one of the four quarter-hour marks (weighted toward 0).
+    QuarterMarks,
+    /// Each job picks a uniform offset within the period, once.
+    UniformOffset,
+}
+
+/// Model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClockParams {
+    /// Number of independent jobs.
+    pub users: usize,
+    /// The shared period (e.g. one hour).
+    pub period: Duration,
+    /// Alignment policy.
+    pub alignment: ClockAlignment,
+    /// Std-dev-ish bound of per-firing noise (clock skew, start latency):
+    /// each firing is shifted by a uniform draw from `[0, noise]`.
+    pub noise: Duration,
+}
+
+impl ClockParams {
+    /// Hourly jobs with up to 30 s of skew.
+    pub fn hourly(users: usize, alignment: ClockAlignment) -> Self {
+        ClockParams {
+            users,
+            period: Duration::from_secs(3600),
+            alignment,
+            noise: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Aggregate load measured over a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadProfile {
+    /// Arrivals per bin across the whole run.
+    pub bins: Vec<u64>,
+    /// Bin width in seconds.
+    pub bin_secs: f64,
+}
+
+impl LoadProfile {
+    /// Peak-to-mean ratio of the per-bin arrival counts (1.0 = perfectly
+    /// flat; `users × periods / bins` spike trains score near the bin
+    /// count per period).
+    pub fn peak_to_mean(&self) -> f64 {
+        if self.bins.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.bins.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mean = total as f64 / self.bins.len() as f64;
+        let peak = *self.bins.iter().max().expect("non-empty") as f64;
+        peak / mean
+    }
+
+    /// Fraction of all arrivals landing in the busiest 5 % of bins.
+    pub fn top_bin_concentration(&self) -> f64 {
+        if self.bins.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.bins.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut sorted = self.bins.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top = (sorted.len().div_ceil(20)).max(1);
+        sorted[..top].iter().sum::<u64>() as f64 / total as f64
+    }
+}
+
+/// Simulate `periods` whole periods and histogram arrivals into
+/// `bins_per_period` bins.
+pub fn simulate(
+    params: &ClockParams,
+    periods: u64,
+    bins_per_period: usize,
+    rng: &mut impl RngCore,
+) -> LoadProfile {
+    assert!(params.users > 0, "need at least one user");
+    assert!(bins_per_period > 0, "need at least one bin");
+    assert!(!params.period.is_zero(), "period must be positive");
+    let period_ns = params.period.as_nanos();
+    // Per-job constant offset.
+    let offsets: Vec<u64> = (0..params.users)
+        .map(|_| match params.alignment {
+            ClockAlignment::OnTheHour => 0,
+            ClockAlignment::QuarterMarks => {
+                // Weighted: half the users at :00, the rest spread over
+                // the other marks (the shape of human cron habits).
+                let pick = routesync_rng::dist::below(rng, 8);
+                let quarter = match pick {
+                    0..=3 => 0,
+                    4 | 5 => 2,
+                    6 => 1,
+                    _ => 3,
+                };
+                quarter * period_ns / 4
+            }
+            ClockAlignment::UniformOffset => routesync_rng::dist::below(rng, period_ns),
+        })
+        .collect();
+    let mut bins = vec![0u64; bins_per_period * periods as usize];
+    let bin_ns = period_ns / bins_per_period as u64;
+    for p in 0..periods {
+        for &off in &offsets {
+            let noise = if params.noise.is_zero() {
+                0
+            } else {
+                routesync_rng::dist::below(rng, params.noise.as_nanos() + 1)
+            };
+            let t = p * period_ns + off + noise;
+            let idx = (t / bin_ns) as usize;
+            if idx < bins.len() {
+                bins[idx] += 1;
+            }
+        }
+    }
+    LoadProfile {
+        bins,
+        bin_secs: bin_ns as f64 / 1e9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routesync_rng::MinStd;
+
+    fn profile(alignment: ClockAlignment, seed: u32) -> LoadProfile {
+        let params = ClockParams::hourly(200, alignment);
+        let mut rng = MinStd::new(seed);
+        simulate(&params, 24, 60, &mut rng) // a day of hourly jobs, 1-min bins
+    }
+
+    #[test]
+    fn on_the_hour_spikes() {
+        let p = profile(ClockAlignment::OnTheHour, 11);
+        // 200 jobs land inside the first minute of each hour: the peak bin
+        // holds ~200 arrivals while the mean is 200/60 ≈ 3.3.
+        assert!(p.peak_to_mean() > 30.0, "{}", p.peak_to_mean());
+        assert!(p.top_bin_concentration() > 0.9);
+    }
+
+    #[test]
+    fn quarter_marks_are_intermediate() {
+        let hour = profile(ClockAlignment::OnTheHour, 11).peak_to_mean();
+        let quarter = profile(ClockAlignment::QuarterMarks, 11).peak_to_mean();
+        let flat = profile(ClockAlignment::UniformOffset, 11).peak_to_mean();
+        assert!(
+            quarter < hour && quarter > flat,
+            "expected hour {hour} > quarter {quarter} > uniform {flat}"
+        );
+    }
+
+    #[test]
+    fn uniform_offsets_flatten_the_load() {
+        let p = profile(ClockAlignment::UniformOffset, 11);
+        assert!(p.peak_to_mean() < 4.0, "{}", p.peak_to_mean());
+        assert!(p.top_bin_concentration() < 0.25);
+    }
+
+    #[test]
+    fn totals_are_conserved() {
+        for alignment in [
+            ClockAlignment::OnTheHour,
+            ClockAlignment::QuarterMarks,
+            ClockAlignment::UniformOffset,
+        ] {
+            let p = profile(alignment, 5);
+            let total: u64 = p.bins.iter().sum();
+            // noise can push the last firings past the final bin edge;
+            // allow that sliver.
+            assert!(
+                total >= 200 * 24 - 200 && total <= 200 * 24,
+                "{alignment:?}: {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_profile_metrics_are_zero() {
+        let p = LoadProfile {
+            bins: vec![],
+            bin_secs: 60.0,
+        };
+        assert_eq!(p.peak_to_mean(), 0.0);
+        assert_eq!(p.top_bin_concentration(), 0.0);
+        let z = LoadProfile {
+            bins: vec![0, 0],
+            bin_secs: 60.0,
+        };
+        assert_eq!(z.peak_to_mean(), 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! # routesync-phenomena — the paper's wider synchronization catalogue
+//!
+//! Section 1 of Floyd & Jacobson argues that routing messages are just one
+//! instance of a general tendency: "a complex coupled system, like a
+//! modern computer network, evolves to a state of order and
+//! synchronization if left to itself". The paper names three more
+//! examples; this crate implements each one as a small, testable model so
+//! the claim can be exercised rather than cited:
+//!
+//! * [`tcp`] — **TCP window increase/decrease cycles** (Zhang & Clark
+//!   1990; Floyd & Jacobson 1992): connections sharing a drop-tail
+//!   bottleneck lose packets in the same round-trip time and halve their
+//!   windows together, locking into a global sawtooth. Randomizing the
+//!   gateway's drop choice (the RED lineage) breaks the lock-step.
+//! * [`client_server`] — **client-server recovery storms** (the Sprite
+//!   operating system anecdote): clients polling a server on fixed timers
+//!   become synchronized by an outage — every client that timed out during
+//!   the failure retries on the same schedule afterwards, and the
+//!   synchronized retries keep the recovering server saturated. Retry
+//!   jitter is the fix, for exactly the paper's reasons.
+//! * [`external_clock`] — **synchronization to an external clock** (the
+//!   hourly weather-map fetches, DECnet's on-the-hour traffic peaks):
+//!   processes that are never coupled to each other at all still
+//!   synchronize by aligning to the same wall clock. No amount of
+//!   per-process independence helps; only schedule randomization does.
+//!
+//! Each model exposes the same two knobs the routing analysis turns —
+//! a deterministic schedule versus a jittered one — and a measurement of
+//! how synchronized the aggregate became, so the experiments harness can
+//! show the common structure: **determinism + weak coupling ⇒ lock-step;
+//! sufficient randomization ⇒ independence.**
+
+//! ## Example
+//!
+//! ```
+//! use routesync_phenomena::tcp::{DropPolicy, TcpBottleneck, TcpParams};
+//!
+//! let mut rng = routesync_rng::MinStd::new(7);
+//! let mut tail = TcpBottleneck::new(TcpParams::classic(8, DropPolicy::TailDrop), &mut rng);
+//! let report = tail.run(4_000, &mut rng);
+//! assert!(report.is_synchronized(), "drop-tail locks the sawtooths together");
+//!
+//! let mut rng = routesync_rng::MinStd::new(7);
+//! let mut red = TcpBottleneck::new(TcpParams::classic(8, DropPolicy::RandomSingle), &mut rng);
+//! assert!(!red.run(4_000, &mut rng).is_synchronized());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client_server;
+pub mod external_clock;
+pub mod tcp;
+
+pub use client_server::{ClientServerModel, ClientServerParams, StormReport};
+pub use external_clock::{ClockAlignment, ClockParams, LoadProfile};
+pub use tcp::{DropPolicy, TcpBottleneck, TcpParams, TcpReport};

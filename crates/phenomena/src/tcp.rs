@@ -1,0 +1,335 @@
+//! TCP window increase/decrease synchronization (paper Section 1).
+//!
+//! The model is the classic round-based abstraction of Zhang & Clark
+//! (1990): `K` long-lived TCP connections share one bottleneck of capacity
+//! `C` packets per round-trip time with a drop-tail buffer of `B` packets.
+//! Each round every connection ships `cwnd` packets and grows its window
+//! by one (congestion avoidance). When the offered load exceeds `C + B`,
+//! the overflow must be dropped, and the *gateway's drop policy* decides
+//! who backs off:
+//!
+//! * [`DropPolicy::TailDrop`] — a drop-tail queue under synchronized
+//!   arrivals damages *every* connection in the overflow round: all halve
+//!   together and the aggregate oscillates in lock-step between ~50 % and
+//!   100 % utilization (the "global synchronization" that motivated RED).
+//! * [`DropPolicy::RandomSingle`] — drop from one randomly chosen
+//!   connection (probability proportional to its share, which is what a
+//!   random-early-drop gateway approximates): only that connection halves,
+//!   cycles desynchronize, and the aggregate stays near capacity.
+//!
+//! The paper cites exactly this contrast: "the synchronization of window
+//! increase/decrease cycles can be avoided by adding randomization to the
+//! gateway's algorithm for choosing packets to drop" \[FJ92\].
+
+use rand_core::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Gateway drop policy at overflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropPolicy {
+    /// Every connection with outstanding packets in the overflow round is
+    /// hit: all halve together.
+    TailDrop,
+    /// One connection, chosen with probability proportional to its window,
+    /// is hit per overflow event.
+    RandomSingle,
+}
+
+/// Model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TcpParams {
+    /// Number of connections `K`.
+    pub connections: usize,
+    /// Bottleneck capacity in packets per RTT.
+    pub capacity: u64,
+    /// Buffer size in packets.
+    pub buffer: u64,
+    /// Gateway drop policy.
+    pub policy: DropPolicy,
+    /// Smallest window after a decrease.
+    pub min_window: u64,
+}
+
+impl TcpParams {
+    /// A bottleneck in the regime of the 1990 study: a handful of
+    /// connections, capacity much larger than `K`, a buffer of about a
+    /// quarter of the capacity.
+    pub fn classic(connections: usize, policy: DropPolicy) -> Self {
+        TcpParams {
+            connections,
+            capacity: 200,
+            buffer: 50,
+            policy,
+            min_window: 1,
+        }
+    }
+}
+
+/// The shared-bottleneck model.
+#[derive(Debug, Clone)]
+pub struct TcpBottleneck {
+    params: TcpParams,
+    /// Current congestion windows.
+    cwnd: Vec<u64>,
+    /// Aggregate offered load per completed round.
+    aggregate: Vec<u64>,
+    /// Per-connection halving rounds (for synchronization measurement).
+    halvings: Vec<Vec<u64>>,
+    round: u64,
+}
+
+impl TcpBottleneck {
+    /// Start all connections at distinct small windows (an unsynchronized
+    /// initial condition — synchronization must *emerge* to be counted).
+    pub fn new(params: TcpParams, rng: &mut impl RngCore) -> Self {
+        assert!(params.connections > 0, "need at least one connection");
+        assert!(params.capacity > 0, "capacity must be positive");
+        let spread = (params.capacity / params.connections as u64).max(2);
+        let cwnd = (0..params.connections)
+            .map(|_| 1 + routesync_rng::dist::below(rng, spread))
+            .collect();
+        TcpBottleneck {
+            params,
+            cwnd,
+            aggregate: Vec::new(),
+            halvings: vec![Vec::new(); params.connections],
+            round: 0,
+        }
+    }
+
+    /// Current windows.
+    pub fn windows(&self) -> &[u64] {
+        &self.cwnd
+    }
+
+    /// Aggregate offered load per round so far.
+    pub fn aggregate(&self) -> &[u64] {
+        &self.aggregate
+    }
+
+    /// Advance one round-trip time.
+    pub fn step(&mut self, rng: &mut impl RngCore) {
+        let total: u64 = self.cwnd.iter().sum();
+        self.aggregate.push(total);
+        if total > self.params.capacity + self.params.buffer {
+            match self.params.policy {
+                DropPolicy::TailDrop => {
+                    // Overflow hits everyone: synchronized halving.
+                    for (i, w) in self.cwnd.iter_mut().enumerate() {
+                        *w = (*w / 2).max(self.params.min_window);
+                        self.halvings[i].push(self.round);
+                    }
+                }
+                DropPolicy::RandomSingle => {
+                    // One victim, window-proportional.
+                    let x = routesync_rng::dist::below(rng, total);
+                    let mut acc = 0u64;
+                    for (i, w) in self.cwnd.iter_mut().enumerate() {
+                        acc += *w;
+                        if x < acc {
+                            *w = (*w / 2).max(self.params.min_window);
+                            self.halvings[i].push(self.round);
+                            break;
+                        }
+                    }
+                }
+            }
+        } else {
+            // Congestion avoidance: everyone grows by one per RTT.
+            for w in self.cwnd.iter_mut() {
+                *w += 1;
+            }
+        }
+        self.round += 1;
+    }
+
+    /// Run `rounds` round-trips and summarize.
+    pub fn run(&mut self, rounds: u64, rng: &mut impl RngCore) -> TcpReport {
+        for _ in 0..rounds {
+            self.step(rng);
+        }
+        self.report()
+    }
+
+    /// Summarize the synchronization state of the run so far.
+    pub fn report(&self) -> TcpReport {
+        // Skip the slow-start-ish warmup: analyze the second half.
+        let half = self.aggregate.len() / 2;
+        let tail = &self.aggregate[half..];
+        let cap = (self.params.capacity + self.params.buffer) as f64;
+        let mut m = routesync_stats::Moments::new();
+        for &a in tail {
+            m.push(a as f64 / cap);
+        }
+        // Synchronized halving events: rounds in which at least 3/4 of the
+        // connections halved together.
+        let threshold = (self.params.connections * 3).div_ceil(4);
+        let mut by_round = std::collections::HashMap::new();
+        for rounds in &self.halvings {
+            for &r in rounds {
+                if r >= half as u64 {
+                    *by_round.entry(r).or_insert(0usize) += 1;
+                }
+            }
+        }
+        let mass_halvings = by_round.values().filter(|&&c| c >= threshold).count();
+        let total_halving_events = by_round.len();
+        TcpReport {
+            mean_utilization: m.mean(),
+            min_utilization: m.min(),
+            utilization_swing: m.max() - m.min(),
+            mass_halving_events: mass_halvings,
+            halving_events: total_halving_events,
+        }
+    }
+}
+
+/// Synchronization summary of a bottleneck run (second half of the run,
+/// utilization measured against `capacity + buffer`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TcpReport {
+    /// Mean offered load as a fraction of capacity+buffer.
+    pub mean_utilization: f64,
+    /// Minimum per-round offered fraction (synchronized halving drives
+    /// this toward ~0.5).
+    pub min_utilization: f64,
+    /// Max minus min offered fraction.
+    pub utilization_swing: f64,
+    /// Overflow rounds where ≥ 3/4 of connections halved together.
+    pub mass_halving_events: usize,
+    /// All overflow rounds.
+    pub halving_events: usize,
+}
+
+impl TcpReport {
+    /// Whether the run shows global window synchronization.
+    pub fn is_synchronized(&self) -> bool {
+        self.halving_events > 0
+            && self.mass_halving_events * 2 >= self.halving_events
+            && self.utilization_swing > 0.3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routesync_rng::MinStd;
+
+    fn run(policy: DropPolicy, seed: u32) -> TcpReport {
+        let mut rng = MinStd::new(seed);
+        let mut b = TcpBottleneck::new(TcpParams::classic(8, policy), &mut rng);
+        b.run(4_000, &mut rng)
+    }
+
+    #[test]
+    fn tail_drop_synchronizes_windows() {
+        let r = run(DropPolicy::TailDrop, 7);
+        assert!(r.is_synchronized(), "{r:?}");
+        // The sawtooth bottoms out near half occupancy.
+        assert!(r.min_utilization < 0.62, "{r:?}");
+        assert!(r.mass_halving_events >= 5, "{r:?}");
+    }
+
+    #[test]
+    fn random_drop_desynchronizes_windows() {
+        let r = run(DropPolicy::RandomSingle, 7);
+        assert!(!r.is_synchronized(), "{r:?}");
+        assert_eq!(r.mass_halving_events, 0, "{r:?}");
+        // Aggregate stays much closer to the ceiling.
+        assert!(r.min_utilization > 0.7, "{r:?}");
+        assert!(
+            r.utilization_swing < 0.3,
+            "random drop should smooth the aggregate: {r:?}"
+        );
+    }
+
+    #[test]
+    fn random_drop_beats_tail_drop_on_utilization_floor() {
+        for seed in [1, 2, 3] {
+            let tail = run(DropPolicy::TailDrop, seed);
+            let rand = run(DropPolicy::RandomSingle, seed);
+            assert!(
+                rand.min_utilization > tail.min_utilization,
+                "seed {seed}: {rand:?} vs {tail:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn windows_respect_floor_and_growth() {
+        let mut rng = MinStd::new(3);
+        let params = TcpParams {
+            connections: 4,
+            capacity: 10,
+            buffer: 2,
+            policy: DropPolicy::TailDrop,
+            min_window: 1,
+        };
+        let mut b = TcpBottleneck::new(params, &mut rng);
+        for _ in 0..200 {
+            b.step(&mut rng);
+            for &w in b.windows() {
+                assert!(w >= 1);
+            }
+        }
+        // With a tiny pipe the system must have overflowed at least once.
+        let report = b.report();
+        assert!(report.halving_events > 0);
+    }
+
+    #[test]
+    fn aggregate_trace_has_one_entry_per_round() {
+        let mut rng = MinStd::new(5);
+        let mut b = TcpBottleneck::new(TcpParams::classic(3, DropPolicy::TailDrop), &mut rng);
+        b.run(123, &mut rng);
+        assert_eq!(b.aggregate().len(), 123);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one connection")]
+    fn zero_connections_rejected() {
+        let mut rng = MinStd::new(5);
+        let _ = TcpBottleneck::new(TcpParams::classic(0, DropPolicy::TailDrop), &mut rng);
+    }
+}
+
+#[cfg(test)]
+mod spectral_tests {
+    //! The synchronized sawtooth is *periodic*: the aggregate load under
+    //! tail drop shows a strong spectral line at the cycle length, while
+    //! random drops leave a much flatter spectrum.
+    use super::*;
+    use routesync_rng::MinStd;
+
+    fn aggregate(policy: DropPolicy) -> Vec<f64> {
+        let mut rng = MinStd::new(99);
+        let mut b = TcpBottleneck::new(TcpParams::classic(8, policy), &mut rng);
+        b.run(4_000, &mut rng);
+        let agg = b.aggregate();
+        agg[agg.len() / 2..].iter().map(|&a| a as f64).collect()
+    }
+
+    #[test]
+    fn tail_drop_aggregate_is_spectrally_periodic() {
+        let tail = aggregate(DropPolicy::TailDrop);
+        // The synchronized sawtooth halves everyone from ~250 to ~125 and
+        // regrows by 8/RTT: a cycle of ~15-16 RTTs.
+        let period = routesync_stats::dominant_period(&tail, 4.0, 100.0)
+            .expect("spectrum defined");
+        assert!(
+            (8.0..40.0).contains(&period),
+            "sawtooth period {period} RTTs out of range"
+        );
+        let snr_tail =
+            routesync_stats::periodogram::peak_to_median_power(&tail, 4.0, 100.0)
+                .expect("defined");
+        let rand = aggregate(DropPolicy::RandomSingle);
+        let snr_rand =
+            routesync_stats::periodogram::peak_to_median_power(&rand, 4.0, 100.0)
+                .expect("defined");
+        assert!(
+            snr_tail > 3.0 * snr_rand,
+            "tail-drop line ({snr_tail:.1}) must dwarf random-drop ({snr_rand:.1})"
+        );
+    }
+}

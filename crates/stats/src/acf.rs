@@ -1,0 +1,127 @@
+//! Sample autocorrelation.
+//!
+//! Figure 2 of the paper plots the autocorrelation of 1000 ping round-trip
+//! times (with drops assigned a 2-second RTT) and reads off the ≈ 89-ping
+//! periodicity of the loss bursts as a spike at lag 89. [`autocorrelation`]
+//! computes the same statistic; [`dominant_lag`] finds the spike.
+
+/// The sample autocorrelation function at lags `0..=max_lag`.
+///
+/// Uses the standard biased estimator
+/// `r(k) = Σ (x_t − x̄)(x_{t+k} − x̄) / Σ (x_t − x̄)²`,
+/// which guarantees `|r(k)| ≤ 1` and `r(0) = 1`.
+///
+/// Returns an empty vector if the series is shorter than 2 points or has
+/// zero variance (autocorrelation undefined).
+pub fn autocorrelation(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = xs.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let denom: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum();
+    if denom == 0.0 {
+        return Vec::new();
+    }
+    let max_lag = max_lag.min(n - 1);
+    (0..=max_lag)
+        .map(|k| {
+            let num: f64 = xs[..n - k]
+                .iter()
+                .zip(&xs[k..])
+                .map(|(a, b)| (a - mean) * (b - mean))
+                .sum();
+            num / denom
+        })
+        .collect()
+}
+
+/// The lag in `[min_lag, acf.len())` with the largest autocorrelation.
+///
+/// `min_lag` must be ≥ 1 to skip the trivial `r(0) = 1`; pass a larger
+/// value to skip short-range correlation (e.g. consecutive drops within one
+/// burst). Returns `None` when no lags are in range.
+pub fn dominant_lag(acf: &[f64], min_lag: usize) -> Option<usize> {
+    if min_lag == 0 || min_lag >= acf.len() {
+        return None;
+    }
+    acf.iter()
+        .enumerate()
+        .skip(min_lag)
+        .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite acf"))
+        .map(|(lag, _)| lag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r0_is_one_and_bounded() {
+        let xs: Vec<f64> = (0..200).map(|i| ((i * 13) % 17) as f64).collect();
+        let acf = autocorrelation(&xs, 50);
+        assert!((acf[0] - 1.0).abs() < 1e-12);
+        for &r in &acf {
+            assert!(r.abs() <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn periodic_signal_peaks_at_its_period() {
+        // A spike every 89 samples on a flat baseline — the shape of the
+        // paper's ping experiment.
+        let mut xs = vec![0.1f64; 1000];
+        for i in (0..1000).step_by(89) {
+            xs[i] = 2.0;
+            if i + 1 < 1000 {
+                xs[i + 1] = 2.0;
+            }
+        }
+        let acf = autocorrelation(&xs, 200);
+        let lag = dominant_lag(&acf, 10).expect("lags available");
+        assert_eq!(lag, 89, "acf peak should sit at the drop period");
+        assert!(acf[89] > 0.5);
+    }
+
+    #[test]
+    fn white_noise_has_small_lagged_correlation() {
+        // A deterministic xorshift "noise" series.
+        let mut x = 0x2545F491_4F6CDD1Du64;
+        let xs: Vec<f64> = (0..2000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect();
+        let acf = autocorrelation(&xs, 20);
+        for &r in &acf[1..] {
+            assert!(r.abs() < 0.1, "white noise lag correlation {r} too large");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(autocorrelation(&[], 10).is_empty());
+        assert!(autocorrelation(&[1.0], 10).is_empty());
+        assert!(autocorrelation(&[3.0; 50], 10).is_empty(), "zero variance");
+        assert_eq!(dominant_lag(&[1.0, 0.5], 0), None);
+        assert_eq!(dominant_lag(&[1.0], 1), None);
+    }
+
+    #[test]
+    fn max_lag_is_clamped_to_series_length() {
+        let xs = [1.0, 2.0, 1.0, 2.0, 1.0];
+        let acf = autocorrelation(&xs, 100);
+        assert_eq!(acf.len(), 5); // lags 0..=4
+    }
+
+    #[test]
+    fn alternating_series_has_negative_lag1() {
+        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let acf = autocorrelation(&xs, 2);
+        assert!(acf[1] < -0.9);
+        assert!(acf[2] > 0.9);
+    }
+}

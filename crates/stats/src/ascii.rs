@@ -1,0 +1,147 @@
+//! Minimal ASCII plotting for the experiment harness.
+//!
+//! Every experiment binary writes a CSV *and* prints a terminal rendering so
+//! the figure shape (the thing the reproduction is judged on) is visible
+//! without any plotting stack. Only scatter/line grids and horizontal bar
+//! charts are needed.
+
+/// Render a scatter plot of `(x, y)` points on a `width × height` character
+/// grid, with axis labels on the extremes.
+///
+/// Points are marked with `mark`; multiple points in a cell keep the mark.
+/// Returns the plot as a newline-joined `String`. Empty input produces an
+/// explanatory one-line string.
+pub fn scatter(points: &[(f64, f64)], width: usize, height: usize, mark: char) -> String {
+    scatter_multi(&[(points, mark)], width, height)
+}
+
+/// Scatter plot with several series, each with its own mark. Later series
+/// overwrite earlier ones where they collide.
+pub fn scatter_multi(series: &[(&[(f64, f64)], char)], width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(pts, _)| pts.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if all.is_empty() {
+        return "(no finite points to plot)".to_string();
+    }
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        ymin = ymin.min(y);
+        ymax = ymax.max(y);
+    }
+    if xmin == xmax {
+        xmax = xmin + 1.0;
+    }
+    if ymin == ymax {
+        ymax = ymin + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (pts, mark) in series {
+        for &(x, y) in pts.iter().filter(|(x, y)| x.is_finite() && y.is_finite()) {
+            let col = (((x - xmin) / (xmax - xmin)) * (width - 1) as f64).round() as usize;
+            let row = (((y - ymin) / (ymax - ymin)) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - row][col] = *mark;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{ymax:>12.4} ┐\n"));
+    for row in &grid {
+        out.push_str("             │");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{ymin:>12.4} ┴"));
+    out.push_str(&"─".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>14}{:>width$.4}\n",
+        format!("{xmin:.4}"),
+        xmax,
+        width = width
+    ));
+    out
+}
+
+/// Render a horizontal bar chart of labelled non-negative values.
+pub fn bars(rows: &[(String, f64)], width: usize) -> String {
+    let width = width.max(10);
+    let max = rows.iter().map(|r| r.1).fold(0.0f64, f64::max);
+    if rows.is_empty() || max <= 0.0 {
+        return "(nothing to plot)".to_string();
+    }
+    let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in rows {
+        let n = ((v / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:>label_w$} │{} {v:.4}\n",
+            "█".repeat(n),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_renders_extremes() {
+        let pts = [(0.0, 0.0), (10.0, 5.0), (5.0, 2.5)];
+        let plot = scatter(&pts, 40, 10, 'x');
+        assert!(plot.contains('x'));
+        assert!(plot.contains("0.0000"));
+        assert!(plot.contains("10.0000"));
+        assert!(plot.contains("5.0000"));
+        // 10 grid rows plus 3 frame lines.
+        assert_eq!(plot.lines().count(), 13);
+    }
+
+    #[test]
+    fn scatter_handles_empty_and_nan() {
+        assert!(scatter(&[], 40, 10, 'x').contains("no finite points"));
+        let plot = scatter(&[(f64::NAN, 1.0)], 40, 10, 'x');
+        assert!(plot.contains("no finite points"));
+    }
+
+    #[test]
+    fn scatter_handles_degenerate_ranges() {
+        let plot = scatter(&[(1.0, 1.0), (1.0, 1.0)], 30, 5, 'o');
+        assert!(plot.contains('o'));
+    }
+
+    #[test]
+    fn multi_series_marks_coexist() {
+        let a = [(0.0, 0.0)];
+        let b = [(10.0, 10.0)];
+        let plot = scatter_multi(&[(&a, 'a'), (&b, 'b')], 30, 8);
+        assert!(plot.contains('a'));
+        assert!(plot.contains('b'));
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let rows = vec![
+            ("small".to_string(), 1.0),
+            ("big".to_string(), 4.0),
+        ];
+        let plot = bars(&rows, 20);
+        let small_len = plot.lines().next().unwrap().matches('█').count();
+        let big_len = plot.lines().nth(1).unwrap().matches('█').count();
+        assert_eq!(big_len, 20);
+        assert_eq!(small_len, 5);
+    }
+
+    #[test]
+    fn bars_handle_empty() {
+        assert!(bars(&[], 20).contains("nothing"));
+        assert!(bars(&[("z".into(), 0.0)], 20).contains("nothing"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Fixed-bin histograms.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[lo, hi)` with equal-width bins, plus underflow and
+/// overflow counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// A histogram over `[lo, hi)` with `nbins` bins.
+    ///
+    /// Panics if `nbins == 0`, bounds are non-finite, or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(nbins > 0, "need at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Counts per bin.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at/above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total recorded observations, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The inclusive lower edge of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        self.lo + (self.hi - self.lo) * i as f64 / self.bins.len() as f64
+    }
+
+    /// The exclusive upper edge of bin `i`.
+    pub fn bin_hi(&self, i: usize) -> f64 {
+        self.bin_lo(i + 1)
+    }
+
+    /// Iterator of `(bin_lo, bin_hi, count)` rows.
+    pub fn rows(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        (0..self.bins.len()).map(|i| (self.bin_lo(i), self.bin_hi(i), self.bins[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_the_right_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [0.0, 0.5, 1.0, 9.99, 5.0] {
+            h.push(x);
+        }
+        assert_eq!(h.bins()[0], 2); // 0.0, 0.5
+        assert_eq!(h.bins()[1], 1); // 1.0
+        assert_eq!(h.bins()[9], 1); // 9.99
+        assert_eq!(h.bins()[5], 1); // 5.0
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn under_and_overflow_are_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(-0.1);
+        h.push(1.0); // hi is exclusive
+        h.push(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+        assert!(h.bins().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn bin_edges_partition_the_range() {
+        let h = Histogram::new(2.0, 12.0, 5);
+        assert_eq!(h.bin_lo(0), 2.0);
+        assert_eq!(h.bin_hi(4), 12.0);
+        for i in 0..4 {
+            assert_eq!(h.bin_hi(i), h.bin_lo(i + 1));
+        }
+        let rows: Vec<_> = h.rows().collect();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[2], (6.0, 8.0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn inverted_range_panics() {
+        let _ = Histogram::new(5.0, 1.0, 3);
+    }
+
+    #[test]
+    fn boundary_value_just_below_hi() {
+        let mut h = Histogram::new(0.0, 1.0, 3);
+        h.push(1.0 - 1e-15);
+        assert_eq!(h.bins()[2], 1);
+    }
+}

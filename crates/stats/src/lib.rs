@@ -1,0 +1,52 @@
+//! # routesync-stats — time-series statistics for the experiments
+//!
+//! The paper's evidence is statistical: the autocorrelation of ping
+//! round-trip times with a spike at lag ≈ 89 (Figure 2), the distribution of
+//! audio outage durations (Figure 3), cluster-size trajectories (Figures
+//! 6-8). This crate holds the numeric tools the experiment harness uses to
+//! regenerate those artifacts:
+//!
+//! * [`acf`] — sample autocorrelation and dominant-lag detection.
+//! * [`moments`] — online (Welford) mean/variance, min/max, summaries.
+//! * [`hist`] — fixed-bin histograms and quantiles.
+//! * [`outage`] — extracting loss bursts / outages from packet logs.
+//! * [`periodogram`] — DFT power spectrum and dominant-period detection
+//!   (the frequency-domain twin of Figure 2's autocorrelation).
+//! * [`regress`] — ordinary least squares on (x, y) pairs (used to verify
+//!   the "a cluster of size i drifts at slope (i−1)·Tc per round" claim).
+//! * [`ascii`] — terminal scatter/line plots for the experiment binaries,
+//!   so every figure has a human-readable rendering next to its CSV.
+
+//! ## Example
+//!
+//! ```
+//! // A 2-second spike every 89 samples on a 100 ms baseline — the shape
+//! // of the paper's ping experiment.
+//! let mut rtts = vec![0.1f64; 1000];
+//! for i in (0..1000).step_by(89) {
+//!     rtts[i] = 2.0;
+//! }
+//! let acf = routesync_stats::autocorrelation(&rtts, 120);
+//! assert_eq!(routesync_stats::dominant_lag(&acf, 30), Some(89));
+//! let period = routesync_stats::dominant_period(&rtts, 30.0, 130.0).unwrap();
+//! assert!((period - 89.0).abs() < 5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acf;
+pub mod ascii;
+pub mod hist;
+pub mod moments;
+pub mod outage;
+pub mod periodogram;
+pub mod regress;
+
+pub use acf::{autocorrelation, dominant_lag};
+pub use hist::Histogram;
+pub use moments::{summary, Moments, Summary};
+pub use outage::{outages_from_gaps, runs_of_loss, Outage};
+pub use periodogram::dominant_period;
+pub use periodogram::periodogram as power_spectrum;
+pub use regress::{linear_fit, LinearFit};

@@ -1,0 +1,249 @@
+//! Online moments (Welford) and batch summaries.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable online mean/variance accumulator (Welford's
+/// algorithm), plus min/max.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Moments {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Moments {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold in one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Moments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A batch summary of a slice of observations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Observation count.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (unbiased).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (average of middle pair for even n).
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Summarize a slice. Returns `None` for an empty slice or one containing
+/// non-finite values.
+pub fn summary(xs: &[f64]) -> Option<Summary> {
+    if xs.is_empty() || xs.iter().any(|x| !x.is_finite()) {
+        return None;
+    }
+    let mut m = Moments::new();
+    for &x in xs {
+        m.push(x);
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2]
+    } else {
+        (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+    };
+    Some(Summary {
+        n: xs.len(),
+        mean: m.mean(),
+        std_dev: m.std_dev(),
+        min: m.min(),
+        median,
+        max: m.max(),
+    })
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of a slice by linear interpolation on the
+/// sorted data. Returns `None` on empty input or out-of-range `q`.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values required"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let i = pos.floor() as usize;
+    let frac = pos - i as f64;
+    Some(if i + 1 < sorted.len() {
+        sorted[i] * (1.0 - frac) + sorted[i + 1] * frac
+    } else {
+        sorted[i]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut m = Moments::new();
+        for &x in &xs {
+            m.push(x);
+        }
+        assert_eq!(m.count(), 8);
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        // Naive unbiased variance = 32 / 7.
+        assert!((m.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(m.min(), 2.0);
+        assert_eq!(m.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_moments_are_safe() {
+        let m = Moments::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.count(), 0);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Moments::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = Moments::new();
+        let mut right = Moments::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.variance() - whole.variance()).abs() < 1e-10);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Moments::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a.clone();
+        a.merge(&Moments::new());
+        assert_eq!(a.mean(), before.mean());
+        let mut empty = Moments::new();
+        empty.merge(&before);
+        assert_eq!(empty.mean(), before.mean());
+        assert_eq!(empty.count(), 2);
+    }
+
+    #[test]
+    fn summary_median_even_and_odd() {
+        let s = summary(&[3.0, 1.0, 2.0]).expect("non-empty");
+        assert_eq!(s.median, 2.0);
+        let s = summary(&[4.0, 1.0, 2.0, 3.0]).expect("non-empty");
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn summary_rejects_empty_and_nan() {
+        assert!(summary(&[]).is_none());
+        assert!(summary(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile(&xs, 0.0), Some(10.0));
+        assert_eq!(quantile(&xs, 1.0), Some(40.0));
+        assert_eq!(quantile(&xs, 0.5), Some(25.0));
+        assert!(quantile(&xs, 1.5).is_none());
+        assert!(quantile(&[], 0.5).is_none());
+    }
+}

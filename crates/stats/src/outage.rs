@@ -1,0 +1,165 @@
+//! Outage extraction from packet logs.
+//!
+//! Figure 3 of the paper plots, for an audio stream, "the duration of each
+//! audio outage" against time — isolated single-packet losses appear as
+//! small blips, and the synchronized routing bursts as 30-second-periodic
+//! spikes lasting seconds. Two extraction paths are provided:
+//!
+//! * [`runs_of_loss`] — from a per-packet delivered/lost sequence (what a
+//!   ping sender with sequence numbers sees, Figure 1).
+//! * [`outages_from_gaps`] — from receiver arrival timestamps of a
+//!   constant-bit-rate stream (what an audio tool sees, Figure 3).
+
+use serde::{Deserialize, Serialize};
+
+/// One contiguous loss event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Outage {
+    /// Time (or index) at which the outage began.
+    pub start: f64,
+    /// Duration in the same unit as `start` (seconds for gap-based
+    /// extraction, packet count for run-based extraction).
+    pub duration: f64,
+    /// Number of packets lost.
+    pub packets: u64,
+}
+
+/// Extract maximal runs of consecutive losses from a delivered/lost
+/// sequence. `true` means lost. The `start` of each outage is the index of
+/// its first lost packet and `duration` the run length in packets.
+pub fn runs_of_loss(lost: &[bool]) -> Vec<Outage> {
+    let mut outages = Vec::new();
+    let mut run_start: Option<usize> = None;
+    for (i, &l) in lost.iter().enumerate() {
+        match (l, run_start) {
+            (true, None) => run_start = Some(i),
+            (false, Some(s)) => {
+                outages.push(Outage {
+                    start: s as f64,
+                    duration: (i - s) as f64,
+                    packets: (i - s) as u64,
+                });
+                run_start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = run_start {
+        outages.push(Outage {
+            start: s as f64,
+            duration: (lost.len() - s) as f64,
+            packets: (lost.len() - s) as u64,
+        });
+    }
+    outages
+}
+
+/// Extract outages from the arrival times of a CBR stream with inter-packet
+/// spacing `interval` (seconds).
+///
+/// A gap between consecutive arrivals longer than `threshold × interval`
+/// counts as an outage; its duration is the gap minus one nominal interval
+/// and its packet count the number of missing slots. `arrivals` must be
+/// sorted ascending.
+pub fn outages_from_gaps(arrivals: &[f64], interval: f64, threshold: f64) -> Vec<Outage> {
+    assert!(interval > 0.0, "interval must be positive");
+    assert!(threshold >= 1.0, "threshold below one flags every gap");
+    let mut outages = Vec::new();
+    for w in arrivals.windows(2) {
+        let gap = w[1] - w[0];
+        debug_assert!(gap >= 0.0, "arrivals must be sorted");
+        if gap > threshold * interval {
+            let missing = (gap / interval).round() as u64 - 1;
+            outages.push(Outage {
+                start: w[0] + interval,
+                duration: gap - interval,
+                packets: missing.max(1),
+            });
+        }
+    }
+    outages
+}
+
+/// Overall loss fraction of a delivered/lost sequence.
+pub fn loss_rate(lost: &[bool]) -> f64 {
+    if lost.is_empty() {
+        return 0.0;
+    }
+    lost.iter().filter(|&&l| l).count() as f64 / lost.len() as f64
+}
+
+/// The gaps (in the same unit as the inputs) between consecutive outage
+/// starts — periodic routing-update damage shows up as a tight cluster of
+/// inter-outage gaps at the update period.
+pub fn inter_outage_gaps(outages: &[Outage]) -> Vec<f64> {
+    outages.windows(2).map(|w| w[1].start - w[0].start).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_are_maximal_and_positioned() {
+        let lost = [false, true, true, false, false, true, false, true];
+        let runs = runs_of_loss(&lost);
+        assert_eq!(runs.len(), 3);
+        assert_eq!((runs[0].start, runs[0].packets), (1.0, 2));
+        assert_eq!((runs[1].start, runs[1].packets), (5.0, 1));
+        assert_eq!((runs[2].start, runs[2].packets), (7.0, 1));
+    }
+
+    #[test]
+    fn trailing_run_is_closed() {
+        let lost = [false, true, true];
+        let runs = runs_of_loss(&lost);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].packets, 2);
+    }
+
+    #[test]
+    fn all_delivered_means_no_outages() {
+        assert!(runs_of_loss(&[false; 10]).is_empty());
+        assert!(runs_of_loss(&[]).is_empty());
+    }
+
+    #[test]
+    fn gap_extraction_finds_missing_slots() {
+        // 20 ms audio: packets at 0.00, 0.02, then an outage, resume 0.10.
+        let arrivals = [0.00, 0.02, 0.10, 0.12];
+        let outs = outages_from_gaps(&arrivals, 0.02, 1.5);
+        assert_eq!(outs.len(), 1);
+        let o = outs[0];
+        assert!((o.start - 0.04).abs() < 1e-12);
+        assert!((o.duration - 0.06).abs() < 1e-12);
+        assert_eq!(o.packets, 3);
+    }
+
+    #[test]
+    fn jitter_below_threshold_is_not_an_outage() {
+        let arrivals = [0.0, 0.021, 0.043, 0.062]; // ±10% jitter
+        assert!(outages_from_gaps(&arrivals, 0.02, 1.5).is_empty());
+    }
+
+    #[test]
+    fn loss_rate_counts() {
+        assert_eq!(loss_rate(&[]), 0.0);
+        assert_eq!(loss_rate(&[true, false, true, false]), 0.5);
+        assert!((loss_rate(&[true, false, false, false]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inter_outage_gaps_expose_periodicity() {
+        // Outages every ~90 s, like the NEARnet pings.
+        let outages: Vec<Outage> = (0..5)
+            .map(|k| Outage {
+                start: 90.0 * k as f64,
+                duration: 2.0,
+                packets: 3,
+            })
+            .collect();
+        let gaps = inter_outage_gaps(&outages);
+        assert_eq!(gaps.len(), 4);
+        assert!(gaps.iter().all(|&g| (g - 90.0).abs() < 1e-9));
+    }
+}

@@ -1,0 +1,176 @@
+//! Periodogram (discrete Fourier power spectrum) for periodicity
+//! detection.
+//!
+//! The autocorrelation view of the paper's Figure 2 has a frequency-domain
+//! twin: synchronized routing damage shows up as a spectral line at the
+//! update frequency (1/90 s for IGRP, 1/30 s for RIP). The naive
+//! `O(n·k)` DFT here is plenty for the ≤ 10⁴-sample series the
+//! experiments produce, and avoids pulling in an FFT dependency.
+
+/// Power at each Fourier frequency `k/n` (cycles per sample) for
+/// `k = 1 ..= n/2`, mean removed.
+///
+/// Returns `(frequency, power)` pairs; power is normalized by `n` so that
+/// white noise has roughly constant expected power across frequencies.
+/// Empty for series shorter than 4 samples or with zero variance.
+pub fn periodogram(xs: &[f64]) -> Vec<(f64, f64)> {
+    let n = xs.len();
+    if n < 4 {
+        return Vec::new();
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    if xs.iter().all(|&x| (x - mean).abs() < 1e-300) {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(n / 2);
+    for k in 1..=n / 2 {
+        let w = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+        let (mut re, mut im) = (0.0f64, 0.0f64);
+        for (t, &x) in xs.iter().enumerate() {
+            let v = x - mean;
+            let a = w * t as f64;
+            re += v * a.cos();
+            im += v * a.sin();
+        }
+        out.push((k as f64 / n as f64, (re * re + im * im) / n as f64));
+    }
+    out
+}
+
+/// The period (in samples) with the most spectral power, restricted to
+/// periods in `[min_period, max_period]`. `None` when the spectrum is
+/// empty or no frequency falls in the window.
+pub fn dominant_period(
+    xs: &[f64],
+    min_period: f64,
+    max_period: f64,
+) -> Option<f64> {
+    assert!(min_period > 0.0 && max_period >= min_period, "bad window");
+    let spec = periodogram(xs);
+    spec.iter()
+        .filter(|(f, _)| {
+            let period = 1.0 / f;
+            (min_period..=max_period).contains(&period)
+        })
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite power"))
+        .map(|(f, _)| 1.0 / f)
+}
+
+/// Ratio of the peak power in the window to the median power over the
+/// whole spectrum — a crude signal-to-noise figure for "is there a real
+/// periodicity here?". `None` when undefined.
+pub fn peak_to_median_power(
+    xs: &[f64],
+    min_period: f64,
+    max_period: f64,
+) -> Option<f64> {
+    let spec = periodogram(xs);
+    if spec.is_empty() {
+        return None;
+    }
+    let peak = spec
+        .iter()
+        .filter(|(f, _)| {
+            let period = 1.0 / f;
+            (min_period..=max_period).contains(&period)
+        })
+        .map(|&(_, p)| p)
+        .fold(f64::NEG_INFINITY, f64::max);
+    if !peak.is_finite() {
+        return None;
+    }
+    let mut powers: Vec<f64> = spec.iter().map(|&(_, p)| p).collect();
+    powers.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = powers[powers.len() / 2];
+    if median <= 0.0 {
+        return None;
+    }
+    Some(peak / median)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_sinusoid_peaks_at_its_period() {
+        let period = 25.0;
+        let xs: Vec<f64> = (0..500)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / period).sin())
+            .collect();
+        let found = dominant_period(&xs, 5.0, 100.0).expect("spectrum");
+        assert!(
+            (found - period).abs() / period < 0.05,
+            "found {found}, wanted {period}"
+        );
+        let snr = peak_to_median_power(&xs, 5.0, 100.0).expect("defined");
+        assert!(snr > 100.0, "a pure tone must dominate: {snr}");
+    }
+
+    #[test]
+    fn drop_train_like_figure_2_peaks_near_89() {
+        // Flat RTTs with 2-second spikes every 89 samples.
+        let mut xs = vec![0.1f64; 1000];
+        for i in (0..1000).step_by(89) {
+            xs[i] = 2.0;
+            if i + 1 < 1000 {
+                xs[i + 1] = 2.0;
+            }
+        }
+        let found = dominant_period(&xs, 30.0, 130.0).expect("spectrum");
+        assert!((80.0..100.0).contains(&found), "found {found}");
+    }
+
+    #[test]
+    fn white_noise_has_no_dominant_tone() {
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let xs: Vec<f64> = (0..1024)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect();
+        let snr = peak_to_median_power(&xs, 10.0, 200.0).expect("defined");
+        assert!(snr < 30.0, "noise should not show a strong line: {snr}");
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        assert!(periodogram(&[]).is_empty());
+        assert!(periodogram(&[1.0, 2.0]).is_empty());
+        assert!(periodogram(&[5.0; 64]).is_empty(), "zero variance");
+        assert!(dominant_period(&[5.0; 64], 2.0, 10.0).is_none());
+        assert!(peak_to_median_power(&[], 1.0, 2.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad window")]
+    fn inverted_window_panics() {
+        let _ = dominant_period(&[1.0, 2.0, 3.0, 4.0, 5.0], 10.0, 2.0);
+    }
+
+    #[test]
+    fn parsevalish_sanity() {
+        // Total spectral power ≈ n/2 × variance for a long random series
+        // (Parseval, with our 1/n normalization and one-sided spectrum).
+        let mut x = 123456789u64;
+        let xs: Vec<f64> = (0..512)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        let total: f64 = periodogram(&xs).iter().map(|&(_, p)| p).sum();
+        let expect = var * xs.len() as f64 / 2.0;
+        assert!(
+            (total - expect).abs() / expect < 0.05,
+            "Parseval: {total} vs {expect}"
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Ordinary least squares on (x, y) pairs.
+//!
+//! Used by tests and experiments to verify quantitative claims from the
+//! paper's Section 4, e.g. that a cluster of size `i` advances across the
+//! time-offset space at slope ≈ `(i−1)·Tc − Tr·(i−1)/(i+1)` per round.
+
+use serde::{Deserialize, Serialize};
+
+/// The result of a simple linear regression `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination `R²` (1 for a perfect fit; 0 when the
+    /// model explains nothing).
+    pub r_squared: f64,
+}
+
+/// Least-squares fit of a line through `(x, y)` pairs.
+///
+/// Returns `None` if fewer than two points are given or all `x` are equal
+/// (slope undefined).
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = points
+        .iter()
+        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
+        .sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let syy: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let r_squared = if syy == 0.0 {
+        1.0 // a horizontal perfect fit
+    } else {
+        let ss_res: f64 = points
+            .iter()
+            .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+            .sum();
+        1.0 - ss_res / syy
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 - 2.0)).collect();
+        let fit = linear_fit(&pts).expect("enough points");
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 2.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_gives_reasonable_fit() {
+        // Deterministic "noise" from a quadratic residue sequence.
+        let pts: Vec<(f64, f64)> = (0..100)
+            .map(|i| {
+                let noise = (((i * i) % 17) as f64 - 8.0) / 40.0;
+                (i as f64, 0.5 * i as f64 + 1.0 + noise)
+            })
+            .collect();
+        let fit = linear_fit(&pts).expect("enough points");
+        assert!((fit.slope - 0.5).abs() < 0.01);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn horizontal_line_has_zero_slope_r2_one() {
+        let pts: Vec<(f64, f64)> = (0..5).map(|i| (i as f64, 7.0)).collect();
+        let fit = linear_fit(&pts).expect("enough points");
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 7.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(linear_fit(&[]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0)]).is_none());
+        assert!(linear_fit(&[(3.0, 1.0), (3.0, 5.0)]).is_none(), "vertical");
+    }
+}

@@ -1,0 +1,47 @@
+//! The MBone audiocast (paper Figure 3): a 50 packet/s audio stream
+//! crossing RIP routers whose synchronized 30-second updates block
+//! forwarding.
+//!
+//! ```text
+//! cargo run --release --example audiocast
+//! ```
+
+use routesync::desim::{Duration, SimTime};
+use routesync::netsim::scenario;
+use routesync::stats::ascii;
+
+fn main() {
+    let seconds = 600u64;
+    let mut a = scenario::mbone_audiocast(0xA0D10);
+    a.sim.add_cbr(
+        a.source,
+        a.sink,
+        Duration::from_millis(20),
+        seconds * 50,
+        SimTime::from_secs(2),
+    );
+    a.sim.run_until(SimTime::from_secs(seconds + 20));
+    let stats = a.sim.cbr_stats(a.sink);
+    let sent = seconds * 50;
+    println!(
+        "audio: {} frames sent, {} received ({:.1}% delivered)",
+        sent,
+        stats.received(),
+        stats.received() as f64 / sent as f64 * 100.0
+    );
+    let outages = stats.outages(0.02, 2.0);
+    println!("\nFigure 3 — outage duration vs time:");
+    let pts: Vec<(f64, f64)> = outages.iter().map(|o| (o.start, o.duration)).collect();
+    println!("{}", ascii::scatter(&pts, 100, 14, '|'));
+    println!("outages (start s, duration s, packets):");
+    for o in outages.iter().filter(|o| o.packets >= 10) {
+        println!(
+            "  {:>7.2}s  {:>6.3}s  {:>4} packets",
+            o.start, o.duration, o.packets
+        );
+    }
+    println!(
+        "\nThe big spikes recur every ~30 s — the RIP update period — while\n\
+         single-packet blips scatter randomly, matching the paper's Figure 3."
+    );
+}

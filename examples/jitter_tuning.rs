@@ -1,0 +1,58 @@
+//! Jitter tuning guide: for each classic routing protocol, how much timer
+//! randomization does a network of a given size need?
+//!
+//! ```text
+//! cargo run --release --example jitter_tuning [n_routers]
+//! ```
+//!
+//! Uses the Markov model's phase-transition analysis (paper Section 5.3)
+//! to solve for the minimum `Tr`, and prints it next to the paper's two
+//! rules of thumb (`10·Tc` and `Tp/2`).
+
+use routesync::markov::{ChainParams, PeriodicChain};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20);
+    // (protocol, period s, per-update processing estimate s)
+    let protocols = [
+        ("RIP (30 s)", 30.0, 0.11),
+        ("IGRP (90 s)", 90.0, 0.30),
+        ("DECnet DNA IV (120 s)", 120.0, 0.11),
+        ("EGP (180 s)", 180.0, 0.30),
+    ];
+    println!("minimum jitter for a {n}-router network to stay ≥95% unsynchronized\n");
+    println!(
+        "{:<24} {:>8} {:>8} {:>12} {:>10} {:>10}",
+        "protocol", "Tp (s)", "Tc (s)", "Tr_min (s)", "Tr/Tc", "Tp/2 (s)"
+    );
+    for (name, tp, tc) in protocols {
+        let params = ChainParams {
+            n,
+            tp,
+            tc,
+            tr: tc, // placeholder; the solver sweeps Tr
+        };
+        let tr = PeriodicChain::recommended_tr(&params, 0.95);
+        println!(
+            "{:<24} {:>8.0} {:>8.2} {:>12.2} {:>10.1} {:>10.1}",
+            name,
+            tp,
+            tc,
+            tr,
+            tr / tc,
+            tp / 2.0
+        );
+    }
+    println!(
+        "\nReading: Tr_min is the phase-transition threshold for this N; the\n\
+         paper recommends at least 10·Tc, and drawing each interval from\n\
+         [0.5·Tp, 1.5·Tp] (i.e. Tr = Tp/2) is always safely above threshold."
+    );
+    println!(
+        "\nTry growing the network: `cargo run --release --example jitter_tuning 40`\n\
+         — the required jitter climbs with every router you add."
+    );
+}

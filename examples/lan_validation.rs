@@ -1,0 +1,73 @@
+//! Validate the abstract Periodic Messages model against the packet-level
+//! simulator: the same DECnet-on-an-Ethernet situation at both levels of
+//! abstraction.
+//!
+//! ```text
+//! cargo run --release --example lan_validation
+//! ```
+//!
+//! Level 1: the abstract model (zero transmission time, instant
+//! notification) — clusters are routers resetting at the *same
+//! nanosecond*. Level 2: the packet simulator (real frames, serialization,
+//! propagation, per-update CPU costs) — clusters are resets bunched within
+//! a small window. Both must agree on the paper's claims: tiny jitter
+//! preserves a synchronized state, half-period jitter destroys it.
+
+use routesync::core::{ClusterLog, PeriodicModel, PeriodicParams, StartState};
+use routesync::desim::{Duration, SimTime};
+use routesync::netsim::scenario;
+use routesync::netsim::TimerStart;
+
+fn abstract_model(tr: Duration) -> u32 {
+    let params = PeriodicParams::new(
+        8,
+        Duration::from_secs(120),
+        Duration::from_millis(110),
+        tr,
+    );
+    let mut model = PeriodicModel::new(params, StartState::Synchronized, 42);
+    let mut log = ClusterLog::new();
+    model.run(SimTime::from_secs(150_000), &mut log);
+    // Largest cluster over the final 50 groups.
+    log.groups().iter().rev().take(50).map(|g| g.2).max().unwrap_or(0)
+}
+
+fn packet_model(tr: Duration) -> usize {
+    let mut l = scenario::lan(8, tr, TimerStart::Synchronized, 42);
+    l.sim.run_until(SimTime::from_secs(150_000));
+    let tail: Vec<_> = l
+        .sim
+        .reset_log()
+        .iter()
+        .filter(|(t, _)| *t > SimTime::from_secs(100_000))
+        .cloned()
+        .collect();
+    scenario::cluster_windows(&tail, Duration::from_secs(3))
+        .iter()
+        .map(|c| c.1)
+        .max()
+        .unwrap_or(0)
+}
+
+fn main() {
+    println!("8 DECnet-style routers (120 s updates) on one Ethernet,");
+    println!("starting synchronized; largest cluster near the end of 150,000 s:\n");
+    println!(
+        "{:<28} {:>16} {:>16}",
+        "jitter", "abstract model", "packet simulator"
+    );
+    for (label, tr) in [
+        ("Tr = 50 ms (negligible)", Duration::from_millis(50)),
+        ("Tr = 60 s (= Tp/2)", Duration::from_secs(60)),
+    ] {
+        let a = abstract_model(tr);
+        let p = packet_model(tr);
+        println!("{label:<28} {a:>13}/8 {p:>13}/8");
+    }
+    println!(
+        "\nBoth levels agree: below the randomization threshold the cluster\n\
+         of 8 persists; at the paper's recommended Tr = Tp/2 it disperses.\n\
+         This is the justification for doing the paper's long parameter\n\
+         sweeps on the (much faster) abstract model."
+    );
+}

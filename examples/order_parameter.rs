@@ -1,0 +1,51 @@
+//! The Kuramoto view of routing-message synchronization.
+//!
+//! ```text
+//! cargo run --release --example order_parameter
+//! ```
+//!
+//! The paper frames its subject inside the classical coupled-oscillator
+//! literature (Huygens' wall clocks, fireflies). That field's standard
+//! metric, the order parameter `R = |mean of exp(i·phase)|`, is continuous
+//! where the paper's largest-cluster statistic is discrete — it shows the
+//! partial alignment building up *before* the first full cluster, and the
+//! abrupt completion of the collapse.
+
+use routesync::core::{analysis, PeriodicModel, PeriodicParams, SendTrace, StartState};
+use routesync::desim::SimTime;
+use routesync::stats::ascii;
+
+fn main() {
+    let params = PeriodicParams::paper_reference();
+    println!(
+        "N = {}, Tp = {}, Tc = {}, Tr = {} — the paper's reference system.\n",
+        params.n,
+        params.tp(),
+        params.tc,
+        params.tr()
+    );
+    let mut model = PeriodicModel::new(params, StartState::Unsynchronized, 1993);
+    let mut trace = SendTrace::new();
+    model.run(SimTime::from_secs(200_000), &mut trace);
+
+    let series = analysis::order_parameter_series(&trace, params.n, params.round_len());
+    println!("order parameter R per round (0 = spread, 1 = lock-step):");
+    println!("{}", ascii::scatter(&series, 100, 18, 'o'));
+
+    // Entropy tells the same story from the occupancy side.
+    let phases: Vec<f64> = analysis::final_phases(&trace, params.n, params.round_len())
+        .into_iter()
+        .flatten()
+        .collect();
+    println!(
+        "final snapshot: R = {:.4}, phase entropy = {:.4} (uniform = 1, one bin = 0)",
+        analysis::order_parameter(&phases, params.round_len().as_secs_f64()),
+        analysis::phase_entropy(&phases, params.round_len().as_secs_f64(), 24),
+    );
+    println!(
+        "\nShape to notice: R wanders near 0-0.3 for tens of thousands of\n\
+         seconds while clusters nucleate, then snaps to 1.0 — the same abrupt\n\
+         phase transition the cluster graph shows, in the oscillator\n\
+         community's units."
+    );
+}

@@ -1,0 +1,56 @@
+//! The Sprite recovery storm (paper Section 1): clients synchronized by a
+//! server failure, and the retry-jitter fix.
+//!
+//! ```text
+//! cargo run --release --example sprite_storm
+//! ```
+
+use routesync::desim::SimTime;
+use routesync::phenomena::client_server::{ClientServerModel, ClientServerParams};
+use routesync::stats::ascii;
+
+fn main() {
+    println!(
+        "40 clients poll a file server every 30 s; the server dies at t=100 s\n\
+         and recovers (with a broadcast) at t=160 s. It serves 4 polls/s with\n\
+         room for 8 queued requests.\n"
+    );
+    for (label, retry) in [
+        ("fixed 10 s retry timer (the broken design)", ClientServerParams::fixed_retry()),
+        ("retry uniform in [5 s, 15 s] (the fix)", ClientServerParams::jittered_retry()),
+    ] {
+        let params = ClientServerParams::sprite(40, retry);
+        let mut model = ClientServerModel::new(params, 1988);
+        let report = model.run(SimTime::from_secs(1200));
+        println!("== {label} ==");
+        // Arrival histogram around the recovery.
+        let pts: Vec<(f64, f64)> = {
+            let mut bins = std::collections::BTreeMap::new();
+            for t in model
+                .server_arrivals()
+                .iter()
+                .filter(|t| (150.0..260.0).contains(&t.as_secs_f64()))
+            {
+                *bins.entry(t.as_nanos() / 1_000_000_000).or_insert(0u32) += 1;
+            }
+            bins.into_iter()
+                .map(|(s, c)| (s as f64, c as f64))
+                .collect()
+        };
+        println!("server arrivals per second, t = 150..260 s:");
+        println!("{}", ascii::scatter(&pts, 90, 10, '#'));
+        println!(
+            "recovery completed {:.1} s after the broadcast; peak retry burst {}/s;\n\
+             {} timeouts after the server was already healthy; {} synchronized wave(s)\n",
+            report.recovery_secs.unwrap_or(f64::NAN),
+            report.peak_retry_burst,
+            report.timeouts_after_recovery,
+            report.synchronized_timeout_waves,
+        );
+    }
+    println!(
+        "The mechanism is the paper's: the recovery broadcast is a shared\n\
+         reference event; fixed timeouts keep the cohort in lock-step through\n\
+         every subsequent overload, jitter disperses it after one round."
+    );
+}

@@ -1,0 +1,52 @@
+//! TCP global synchronization at a shared bottleneck (paper Section 1,
+//! after Zhang & Clark 1990), and the randomized-drop fix that became RED.
+//!
+//! ```text
+//! cargo run --release --example tcp_global_sync
+//! ```
+
+use routesync::phenomena::tcp::{DropPolicy, TcpBottleneck, TcpParams};
+use routesync::stats::ascii;
+
+fn main() {
+    println!(
+        "8 TCP connections share a bottleneck of 200 packets/RTT with a\n\
+         50-packet drop-tail buffer. Congestion avoidance grows every window\n\
+         by 1/RTT; the drop policy decides who halves on overflow.\n"
+    );
+    for (label, policy) in [
+        ("drop-tail: overflow hits every connection", DropPolicy::TailDrop),
+        ("randomized drop: one victim per overflow [FJ92]", DropPolicy::RandomSingle),
+    ] {
+        let mut rng = routesync::rng::stream(1990, 0);
+        let mut b = TcpBottleneck::new(TcpParams::classic(8, policy), &mut rng);
+        let report = b.run(3_000, &mut rng);
+        let tail: Vec<(f64, f64)> = b
+            .aggregate()
+            .iter()
+            .rev()
+            .take(300)
+            .rev()
+            .enumerate()
+            .map(|(i, &a)| (i as f64, a as f64))
+            .collect();
+        println!("== {label} ==");
+        println!("aggregate offered load, last 300 RTTs:");
+        println!("{}", ascii::scatter(&tail, 90, 12, '#'));
+        println!(
+            "mean utilization {:.2}, floor {:.2}, swing {:.2}; {} of {} overflow\n\
+             events halved ≥3/4 of the connections together\n",
+            report.mean_utilization,
+            report.min_utilization,
+            report.utilization_swing,
+            report.mass_halving_events,
+            report.halving_events,
+        );
+    }
+    println!(
+        "Drop-tail locks all eight sawtooths in phase: the aggregate swings\n\
+         between ~half and full occupancy (wasting capacity at every trough).\n\
+         Random drops keep the cycles interleaved and the pipe full — the\n\
+         paper's point that the *gateway* must inject the randomness."
+    );
+}

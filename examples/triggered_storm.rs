@@ -1,0 +1,85 @@
+//! Triggered updates synchronize a network instantly; only jitter can
+//! un-synchronize it afterwards (paper Sections 3-4).
+//!
+//! ```text
+//! cargo run --release --example triggered_storm
+//! ```
+//!
+//! A link change makes one router emit a triggered update; every router
+//! responds immediately ("a wave of triggered updates"), leaving all
+//! timers aligned. With a small random component the network then stays
+//! synchronized indefinitely; with the paper's recommended jitter it
+//! recovers within a few rounds.
+
+use routesync::core::{
+    ClusterLog, PeriodicModel, PeriodicParams, StartState,
+};
+use routesync::desim::{Duration, SimTime};
+use routesync::rng::JitterPolicy;
+
+fn run(label: &str, jitter: JitterPolicy) {
+    let params = PeriodicParams::new(
+        20,
+        Duration::from_secs(121),
+        Duration::from_millis(110),
+        Duration::ZERO,
+    )
+    .with_jitter(jitter);
+    let mut model = PeriodicModel::new(params, StartState::Unsynchronized, 7);
+    // A network event at t = 1000 s: router 0 fires a triggered update.
+    model.schedule_trigger(SimTime::from_secs(1000), 0);
+    let mut log = ClusterLog::new();
+    model.run(SimTime::from_secs(100_000), &mut log);
+
+    // Cluster sizes just after the trigger and at the end of the run.
+    let after_trigger = log
+        .groups()
+        .iter()
+        .find(|g| g.0 >= SimTime::from_secs(1000))
+        .map(|g| g.2)
+        .unwrap_or(0);
+    let last_round: Vec<u32> = log
+        .groups()
+        .iter()
+        .rev()
+        .take(5)
+        .map(|g| g.2)
+        .collect();
+    println!("{label}:");
+    println!("  first reset group after the trigger: {after_trigger} routers together");
+    println!("  last reset groups of the run:        {last_round:?}");
+    println!();
+}
+
+fn main() {
+    println!(
+        "A triggered update at t = 1000 s recruits all 20 routers into one\n\
+         cluster (everyone responds immediately, then everyone re-arms at\n\
+         the same instant). What happens next depends on the jitter:\n"
+    );
+    run(
+        "no jitter (DECnet-style fixed 121 s timers)",
+        JitterPolicy::None {
+            tp: Duration::from_secs(121),
+        },
+    );
+    run(
+        "small jitter (Tr = 0.1 s, the paper's reference)",
+        JitterPolicy::Uniform {
+            tp: Duration::from_secs(121),
+            tr: Duration::from_millis(100),
+        },
+    );
+    run(
+        "recommended jitter (interval drawn from [0.5 Tp, 1.5 Tp])",
+        JitterPolicy::UniformHalf {
+            tp: Duration::from_secs(121),
+        },
+    );
+    println!(
+        "Shape to notice: the wave always creates a 20-cluster; without\n\
+         sufficient randomness it never decays (the paper's point that\n\
+         triggered updates make synchronized states *reachable*, and only\n\
+         jitter makes them *unstable*)."
+    );
+}

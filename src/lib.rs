@@ -1,0 +1,64 @@
+//! # routesync
+//!
+//! A reproduction of **Floyd & Jacobson, "The Synchronization of Periodic
+//! Routing Messages" (SIGCOMM 1993)** — the paper that explained why
+//! independent periodic processes in a network (routing updates above all)
+//! drift into lock-step, showed that the transition from unsynchronized to
+//! synchronized traffic is an abrupt phase transition, and quantified how
+//! much timer randomization is needed to prevent it.
+//!
+//! This crate is a facade that re-exports the workspace:
+//!
+//! * [`desim`] — deterministic discrete-event simulation engine.
+//! * [`rng`] — the Park-Miller "minimal standard" PRNG the paper recommends
+//!   for jitter, plus distributions and timer jitter policies.
+//! * [`core`] — the Periodic Messages model (paper Sections 3-4): router
+//!   state machines, cluster tracking, synchronization experiments.
+//! * [`markov`] — the birth-death Markov chain model (Section 5): expected
+//!   time to synchronize `f(i)`, to desynchronize `g(i)`, the fraction of
+//!   time unsynchronized, and the jitter guideline solver.
+//! * [`netsim`] — a packet-level network simulator with a real
+//!   distance-vector routing protocol, used to regenerate the paper's
+//!   measurement figures (periodic ping loss, audio outages).
+//! * [`stats`] — autocorrelation, histograms, outage extraction, and the
+//!   ASCII plots used by the experiment harness.
+//! * [`phenomena`] — the paper's Section 1 catalogue beyond routing:
+//!   TCP window synchronization at a shared bottleneck, client-server
+//!   recovery storms, and external-clock alignment.
+//!
+//! ## Quickstart
+//!
+//! Simulate 20 routers with the paper's reference parameters and watch them
+//! synchronize:
+//!
+//! ```
+//! use routesync::core::{PeriodicModel, PeriodicParams, StartState};
+//!
+//! let params = PeriodicParams::paper_reference(); // N=20, Tp=121s, Tc=0.11s, Tr=0.1s
+//! let mut model = PeriodicModel::new(params, StartState::Unsynchronized, 1993);
+//! let report = model.run_until_synchronized(1_000_000.0);
+//! assert!(report.synchronized, "20 routers with 0.1s jitter always collapse");
+//! ```
+//!
+//! And ask the Markov model how much jitter would have kept them apart:
+//!
+//! ```
+//! use routesync::markov::{PeriodicChain, ChainParams};
+//!
+//! let params = ChainParams::paper_reference();
+//! let tr = PeriodicChain::recommended_tr(&params, 0.95);
+//! // The threshold lies above the paper's per-draw jitter (0.1 s ≈ Tc) and
+//! // far below the always-safe Tr = Tp/2; the paper's 10·Tc rule of thumb
+//! // clears it with margin.
+//! assert!(tr > params.tc && tr < 10.0 * params.tc);
+//! ```
+
+pub mod cli;
+
+pub use routesync_core as core;
+pub use routesync_phenomena as phenomena;
+pub use routesync_desim as desim;
+pub use routesync_markov as markov;
+pub use routesync_netsim as netsim;
+pub use routesync_rng as rng;
+pub use routesync_stats as stats;

@@ -1,0 +1,26 @@
+//! `routesync` — command-line front end to the reproduction.
+//!
+//! ```text
+//! routesync simulate  --n 20 --tp 121 --tc 0.11 --tr 0.1 --horizon 1e6
+//! routesync analyze   --n 20 --tp 121 --tc 0.11 --tr 0.25 --f2 19
+//! routesync recommend --n 20 --tp 30 --tc 0.11 --target 0.95
+//! routesync protocols --n 20
+//! ```
+//!
+//! Argument parsing is deliberately hand-rolled (no CLI dependency): flags
+//! are `--key value`, every command has defaults matching the paper's
+//! reference parameters, and `--help` prints usage.
+
+use routesync::cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -36,7 +36,13 @@ fn bench_netsim(c: &mut Criterion) {
             }
             t.add_link(prev, z, Duration::from_millis(1), 10_000_000, 50);
             let mut sim = NetSim::new(t, RouterConfig::new(DvConfig::rip()), 3);
-            sim.add_cbr(a, z, Duration::from_millis(20), 5_000, SimTime::from_secs(1));
+            sim.add_cbr(
+                a,
+                z,
+                Duration::from_millis(20),
+                5_000,
+                SimTime::from_secs(1),
+            );
             sim.run_until(SimTime::from_secs(120));
             sim.counters().delivered
         });

@@ -1,9 +1,7 @@
 //! Ablations of the design choices called out in DESIGN.md.
 
 use routesync_core::{ClusterLog, PeriodicModel, PeriodicParams, StartState};
-use routesync_desim::{
-    BinaryHeapScheduler, CalendarQueue, Duration, Scheduler, SimTime,
-};
+use routesync_desim::{BinaryHeapScheduler, CalendarQueue, Duration, Scheduler, SimTime};
 use routesync_netsim::{scenario, ForwardingMode, NetSim};
 use routesync_rng::{JitterPolicy, TimerResetPolicy};
 use routesync_stats::ascii;
@@ -23,8 +21,7 @@ pub fn reset_policy(cfg: &Config) -> Outcome {
     };
     let on_expiry_params = base.with_reset_policy(TimerResetPolicy::OnExpiry);
     let on_expiry_sync = {
-        let mut m =
-            PeriodicModel::new(on_expiry_params, StartState::Unsynchronized, cfg.seed);
+        let mut m = PeriodicModel::new(on_expiry_params, StartState::Unsynchronized, cfg.seed);
         let mut log = ClusterLog::new();
         m.run(SimTime::from_secs_f64(horizon), &mut log);
         log.max_size()
@@ -103,8 +100,14 @@ pub fn jitter_policy(cfg: &Config) -> Outcome {
         "ablation_jitter_policy.csv",
         "policy,desynchronized,at_seconds",
         vec![
-            format!("uniform_tr_eq_tc,{},{:?}", small.desynchronized, small.at_secs),
-            format!("uniform_tr_10tc,{},{:?}", ten_tc.desynchronized, ten_tc.at_secs),
+            format!(
+                "uniform_tr_eq_tc,{},{:?}",
+                small.desynchronized, small.at_secs
+            ),
+            format!(
+                "uniform_tr_10tc,{},{:?}",
+                ten_tc.desynchronized, ten_tc.at_secs
+            ),
             format!("uniform_half_tp,{},{:?}", half.desynchronized, half.at_secs),
         ],
     );
@@ -193,8 +196,16 @@ pub fn forwarding(cfg: &Config) -> Outcome {
             .run_until(SimTime::from_secs(10 + (probes as f64 * 1.01) as u64 + 30));
         n.sim.ping_stats(n.berkeley).loss_rate()
     };
-    let blocked = loss(ForwardingMode::BlockedDuringUpdates);
-    let concurrent = loss(ForwardingMode::Concurrent);
+    // The two arms are independent simulations — run them through the
+    // deterministic parallel runner.
+    let arms = routesync_core::experiment::parallel_map(
+        &[
+            ForwardingMode::BlockedDuringUpdates,
+            ForwardingMode::Concurrent,
+        ],
+        |&mode| loss(mode),
+    );
+    let (blocked, concurrent) = (arms[0], arms[1]);
     let file = write_csv(
         cfg,
         "ablation_forwarding.csv",
@@ -246,7 +257,10 @@ pub fn scheduler(cfg: &Config) -> Outcome {
         for _ in 0..n_events {
             let (t, node) = s.pop().expect("queue never drains");
             acc = acc.wrapping_add(t.0 ^ node);
-            s.push(SimTime(t.0 + period - 100_000_000 + rng() % 200_000_000), node);
+            s.push(
+                SimTime(t.0 + period - 100_000_000 + rng() % 200_000_000),
+                node,
+            );
         }
         (acc, start.elapsed())
     }

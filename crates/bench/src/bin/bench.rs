@@ -1,0 +1,192 @@
+//! Machine-readable performance benchmark: `BENCH_core.json`.
+//!
+//! ```text
+//! cargo run --release -p routesync-bench --bin bench            # full run
+//! cargo run --release -p routesync-bench --bin bench -- --fast  # CI smoke
+//! cargo run --release -p routesync-bench --bin bench -- --out=path.json
+//! ```
+//!
+//! Measures, and writes as one JSON object:
+//! * `core_events_per_sec` — timer events/second through the fast
+//!   (heap-only) Periodic Messages engine.
+//! * `desim_events_per_sec` — the same model through the full desim
+//!   engine (calendar/heap scheduler behind [`routesync_core::PeriodicModel`]).
+//! * `netsim_packets_per_sec` — packet events/second through the
+//!   packet-level simulator on a LAN scenario with ping + Poisson load.
+//! * `figure_wall_secs` — wall time to regenerate a representative figure
+//!   (fig4, fast config).
+//! * `parallel_speedup` — serial vs all-cores wall-time ratio for a seed
+//!   ensemble through `routesync_exec`, after asserting the outputs are
+//!   bit-identical.
+//!
+//! All numbers are throughputs of this machine, not simulation results;
+//! the simulation results themselves are asserted equal where parallelism
+//! is involved.
+
+use std::time::Instant;
+
+use routesync_core::{experiment, FastModel, PeriodicModel, PeriodicParams, StartState};
+use routesync_desim::{Duration, SimTime};
+use serde::Serialize;
+
+/// The machine-readable report written to `BENCH_core.json`.
+#[derive(Serialize)]
+struct Report {
+    fast: bool,
+    core_events_per_sec: f64,
+    desim_events_per_sec: f64,
+    netsim_packets_per_sec: f64,
+    figure_wall_secs: f64,
+    ensemble: Ensemble,
+    parallel_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Ensemble {
+    seeds: usize,
+    threads: usize,
+    serial_wall_secs: f64,
+    parallel_wall_secs: f64,
+    outputs_identical: bool,
+}
+
+/// Counts `on_send` callbacks (one per routing-timer firing).
+#[derive(Default)]
+struct CountSends(u64);
+
+impl routesync_core::Recorder for CountSends {
+    fn on_send(&mut self, _t: SimTime, _node: routesync_core::NodeId) {
+        self.0 += 1;
+    }
+    fn reset(&mut self) {
+        self.0 = 0;
+    }
+}
+
+fn paper_params(n: usize) -> PeriodicParams {
+    PeriodicParams::new(
+        n,
+        Duration::from_secs_f64(121.0),
+        Duration::from_secs_f64(0.11),
+        Duration::from_secs_f64(0.1),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let out = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--out="))
+        .unwrap_or("BENCH_core.json")
+        .to_string();
+
+    let horizon_secs: u64 = if fast { 50_000 } else { 500_000 };
+    let n = 20;
+
+    // --- fast engine ---------------------------------------------------
+    let mut rec = CountSends::default();
+    let mut model = FastModel::new(paper_params(n), StartState::Unsynchronized, 1993);
+    let t0 = Instant::now();
+    model.run(SimTime::from_secs(horizon_secs), &mut rec);
+    let fast_wall = t0.elapsed().as_secs_f64();
+    let core_events_per_sec = rec.0 as f64 / fast_wall;
+
+    // --- desim engine --------------------------------------------------
+    let mut rec = CountSends::default();
+    let mut model = PeriodicModel::new(paper_params(n), StartState::Unsynchronized, 1993);
+    let t0 = Instant::now();
+    model.run(SimTime::from_secs(horizon_secs), &mut rec);
+    let desim_wall = t0.elapsed().as_secs_f64();
+    let desim_events_per_sec = rec.0 as f64 / desim_wall;
+
+    // --- netsim --------------------------------------------------------
+    let scen = routesync_netsim::scenario::lan(
+        8,
+        Duration::from_secs_f64(0.1),
+        routesync_netsim::TimerStart::Unsynchronized,
+        1993,
+    );
+    let mut sim = scen.sim;
+    let first = scen.routers[0];
+    let last = *scen.routers.last().expect("lan has routers");
+    sim.add_ping(
+        first,
+        last,
+        Duration::from_secs_f64(1.01),
+        if fast { 500 } else { 3_000 },
+        SimTime::from_secs(1),
+    );
+    let net_horizon = if fast { 600 } else { 3_600 };
+    let t0 = Instant::now();
+    sim.run_until(SimTime::from_secs(net_horizon));
+    let net_wall = t0.elapsed().as_secs_f64();
+    let c = sim.counters();
+    let packets = c.sent + c.forwarded + c.delivered + c.updates_processed + c.hellos_sent;
+    let netsim_packets_per_sec = packets as f64 / net_wall;
+
+    // --- one full figure -----------------------------------------------
+    let mut cfg = routesync_bench::Config::fast();
+    cfg.out_dir = std::env::temp_dir().join("routesync-bench-json");
+    let t0 = Instant::now();
+    let outcome = routesync_bench::run("fig4", &cfg);
+    let figure_wall_secs = t0.elapsed().as_secs_f64();
+    assert!(
+        outcome.passed(),
+        "fig4 failed its shape check:\n{}",
+        outcome.report()
+    );
+
+    // --- serial vs parallel ensemble -----------------------------------
+    let seeds: Vec<u64> = (0..if fast { 16 } else { 64 }).collect();
+    let ens_horizon = SimTime::from_secs(if fast { 30_000 } else { 100_000 });
+    let run_one = |m: &mut FastModel, _seed: u64| {
+        let mut rec = CountSends::default();
+        let end = m.run(ens_horizon, &mut rec);
+        (rec.0, end.as_nanos())
+    };
+    let t0 = Instant::now();
+    let serial = experiment::run_many(
+        paper_params(n),
+        StartState::Unsynchronized,
+        &seeds,
+        1,
+        run_one,
+    );
+    let serial_wall = t0.elapsed().as_secs_f64();
+    let threads = routesync_exec::resolve_threads(None);
+    let t0 = Instant::now();
+    let parallel = experiment::run_many(
+        paper_params(n),
+        StartState::Unsynchronized,
+        &seeds,
+        threads,
+        run_one,
+    );
+    let parallel_wall = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        serial, parallel,
+        "parallel ensemble diverged from the serial run"
+    );
+    let parallel_speedup = serial_wall / parallel_wall;
+
+    let report = Report {
+        fast,
+        core_events_per_sec,
+        desim_events_per_sec,
+        netsim_packets_per_sec,
+        figure_wall_secs,
+        ensemble: Ensemble {
+            seeds: seeds.len(),
+            threads,
+            serial_wall_secs: serial_wall,
+            parallel_wall_secs: parallel_wall,
+            outputs_identical: true,
+        },
+        parallel_speedup,
+    };
+    let body = serde_json::to_string_pretty(&report).expect("serialize bench report");
+    std::fs::write(&out, &body).expect("write bench json");
+    println!("{body}");
+    eprintln!("wrote {out}");
+}

@@ -27,10 +27,17 @@ fn main() {
             cfg.out_dir = a["--out=".len()..].into();
             false
         }
+        _ if a.starts_with("--threads=") => {
+            // The parallel runner reads this env var everywhere a figure
+            // fans out (see routesync_exec::resolve_threads); results are
+            // identical at any thread count.
+            std::env::set_var("ROUTESYNC_THREADS", &a["--threads=".len()..]);
+            false
+        }
         _ => true,
     });
     if args.is_empty() {
-        eprintln!("usage: experiments [--fast] [--seed=N] [--out=DIR] <id...|all>");
+        eprintln!("usage: experiments [--fast] [--seed=N] [--out=DIR] [--threads=N] <id...|all>");
         eprintln!("ids: {}", ALL.join(" "));
         std::process::exit(2);
     }

@@ -12,13 +12,18 @@
 //! * `f`         — Markov f(N) in seconds (f(2) = 19 unless --f2).
 //! * `g`         — Markov g(1) in seconds.
 //! * `sync-time` — simulated mean time to synchronize (fast engine,
-//!                 horizon --horizon seconds, averaged over --seeds runs).
+//!   horizon --horizon seconds, averaged over --seeds runs).
 //!
 //! Sweepable parameters: `tr`, `n`, `tc`, `tp`. Fixed values come from
 //! the paper's reference configuration unless overridden by --n/--tp/
 //! --tc/--tr. Output is CSV on stdout.
+//!
+//! All simulated work — every `(grid point, seed)` pair — fans out over
+//! the deterministic parallel runner, so `--threads N` (default: all
+//! cores; also honours `ROUTESYNC_THREADS`) changes wall time but never a
+//! single CSV byte.
 
-use routesync_core::{experiment, PeriodicParams, StartState};
+use routesync_core::{PeriodicParams, StartState};
 use routesync_desim::{Duration, SimTime};
 use routesync_markov::{ChainParams, PeriodicChain};
 
@@ -34,76 +39,115 @@ fn main() {
     let from: f64 = flag(&args, "from")
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.05);
-    let to: f64 = flag(&args, "to").and_then(|v| v.parse().ok()).unwrap_or(0.5);
+    let to: f64 = flag(&args, "to")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.5);
     let steps: usize = flag(&args, "steps")
         .and_then(|v| v.parse().ok())
         .unwrap_or(10)
         .max(2);
     let metric = flag(&args, "metric").unwrap_or_else(|| "fraction".into());
-    let f2: f64 = flag(&args, "f2").and_then(|v| v.parse().ok()).unwrap_or(19.0);
+    let f2: f64 = flag(&args, "f2")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(19.0);
     let horizon: f64 = flag(&args, "horizon")
         .and_then(|v| v.parse().ok())
         .unwrap_or(2e6);
     let n_seeds: u64 = flag(&args, "seeds")
         .and_then(|v| v.parse().ok())
         .unwrap_or(3);
+    let threads =
+        routesync_exec::resolve_threads(flag(&args, "threads").and_then(|v| v.parse().ok()));
     let base = ChainParams {
         n: flag(&args, "n").and_then(|v| v.parse().ok()).unwrap_or(20),
-        tp: flag(&args, "tp").and_then(|v| v.parse().ok()).unwrap_or(121.0),
-        tc: flag(&args, "tc").and_then(|v| v.parse().ok()).unwrap_or(0.11),
-        tr: flag(&args, "tr").and_then(|v| v.parse().ok()).unwrap_or(0.1),
+        tp: flag(&args, "tp")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(121.0),
+        tc: flag(&args, "tc")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.11),
+        tr: flag(&args, "tr")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.1),
     };
 
-    println!("{param},{metric}");
-    for k in 0..steps {
-        let x = from + (to - from) * k as f64 / (steps - 1) as f64;
-        let mut p = base;
-        match param.as_str() {
-            "tr" => p.tr = x,
-            "tc" => p.tc = x,
-            "tp" => p.tp = x,
-            "n" => p.n = x.round() as usize,
-            other => {
-                eprintln!("unknown --param {other} (tr|tc|tp|n)");
-                std::process::exit(2);
+    // Materialize the grid first so every simulated (point, seed) pair can
+    // fan out over one parallel runner call.
+    let grid: Vec<(f64, ChainParams)> = (0..steps)
+        .map(|k| {
+            let x = from + (to - from) * k as f64 / (steps - 1) as f64;
+            let mut p = base;
+            match param.as_str() {
+                "tr" => p.tr = x,
+                "tc" => p.tc = x,
+                "tp" => p.tp = x,
+                "n" => p.n = x.round() as usize,
+                other => {
+                    eprintln!("unknown --param {other} (tr|tc|tp|n)");
+                    std::process::exit(2);
+                }
             }
-        }
-        let y = match metric.as_str() {
-            "fraction" => PeriodicChain::new(p).fraction_unsynchronized(f2),
-            "f" => PeriodicChain::new(p).f_n(f2) * p.seconds_per_round(),
-            "g" => PeriodicChain::new(p).g_1() * p.seconds_per_round(),
-            "sync-time" => {
+            (x, p)
+        })
+        .collect();
+
+    let ys: Vec<f64> = match metric.as_str() {
+        "fraction" => routesync_exec::par_map_indexed(&grid, threads, |_, &(_, p)| {
+            PeriodicChain::new(p).fraction_unsynchronized(f2)
+        }),
+        "f" => routesync_exec::par_map_indexed(&grid, threads, |_, &(_, p)| {
+            PeriodicChain::new(p).f_n(f2) * p.seconds_per_round()
+        }),
+        "g" => routesync_exec::par_map_indexed(&grid, threads, |_, &(_, p)| {
+            PeriodicChain::new(p).g_1() * p.seconds_per_round()
+        }),
+        "sync-time" => {
+            // Flatten grid × seeds into one job list: with a handful of
+            // seeds per point, parallelizing only within a point would
+            // leave most cores idle.
+            let jobs: Vec<(usize, ChainParams, u64)> = grid
+                .iter()
+                .enumerate()
+                .flat_map(|(i, &(_, p))| (0..n_seeds).map(move |seed| (i, p, seed)))
+                .collect();
+            let times = routesync_exec::par_map_indexed(&jobs, threads, |_, &(_, p, seed)| {
                 let params = PeriodicParams::new(
                     p.n,
                     Duration::from_secs_f64(p.tp),
                     Duration::from_secs_f64(p.tc),
                     Duration::from_secs_f64(p.tr),
                 );
-                let seeds: Vec<u64> = (0..n_seeds).collect();
-                let times: Vec<f64> = experiment::parallel_map(&seeds, |&seed| {
-                    let mut m = routesync_core::FastModel::new(
-                        params,
-                        StartState::Unsynchronized,
-                        seed,
-                    );
-                    let mut fp = routesync_core::FirstPassageUp::new(p.n);
-                    m.run(SimTime::from_secs_f64(horizon), &mut fp);
-                    fp.first(p.n).map(|(t, _)| t.as_secs_f64())
+                let mut m =
+                    routesync_core::FastModel::new(params, StartState::Unsynchronized, seed);
+                let mut fp = routesync_core::FirstPassageUp::new(p.n);
+                m.run(SimTime::from_secs_f64(horizon), &mut fp);
+                fp.first(p.n).map(|(t, _)| t.as_secs_f64())
+            });
+            grid.iter()
+                .enumerate()
+                .map(|(i, _)| {
+                    let point: Vec<f64> = jobs
+                        .iter()
+                        .zip(&times)
+                        .filter(|((j, _, _), _)| *j == i)
+                        .filter_map(|(_, t)| *t)
+                        .collect();
+                    if point.is_empty() {
+                        f64::NAN
+                    } else {
+                        point.iter().sum::<f64>() / point.len() as f64
+                    }
                 })
-                .into_iter()
-                .flatten()
-                .collect();
-                if times.is_empty() {
-                    f64::NAN
-                } else {
-                    times.iter().sum::<f64>() / times.len() as f64
-                }
-            }
-            other => {
-                eprintln!("unknown --metric {other} (fraction|f|g|sync-time)");
-                std::process::exit(2);
-            }
-        };
+                .collect()
+        }
+        other => {
+            eprintln!("unknown --metric {other} (fraction|f|g|sync-time)");
+            std::process::exit(2);
+        }
+    };
+
+    println!("{param},{metric}");
+    for (&(x, _), y) in grid.iter().zip(ys) {
         println!("{x},{y}");
     }
 }

@@ -123,7 +123,10 @@ pub fn client_server(cfg: &Config) -> Outcome {
                 "jittered: recovery s".to_string(),
                 jittered.recovery_secs.unwrap_or(0.0),
             ),
-            ("fixed: peak burst".to_string(), fixed.peak_retry_burst as f64),
+            (
+                "fixed: peak burst".to_string(),
+                fixed.peak_retry_burst as f64,
+            ),
             (
                 "jittered: peak burst".to_string(),
                 jittered.peak_retry_burst as f64,
@@ -161,12 +164,7 @@ pub fn client_server(cfg: &Config) -> Outcome {
 pub fn external_clock(cfg: &Config) -> Outcome {
     let mut rng = routesync_rng::stream(cfg.seed, 1);
     let mut profile = |alignment| {
-        external_clock::simulate(
-            &ClockParams::hourly(200, alignment),
-            24,
-            60,
-            &mut rng,
-        )
+        external_clock::simulate(&ClockParams::hourly(200, alignment), 24, 60, &mut rng)
     };
     let hour = profile(ClockAlignment::OnTheHour);
     let quarter = profile(ClockAlignment::QuarterMarks);
@@ -219,8 +217,7 @@ pub fn external_clock(cfg: &Config) -> Outcome {
             Check {
                 claim: "random offsets flatten the same workload".into(),
                 measured: format!("peak/mean = {:.1}", uniform.peak_to_mean()),
-                pass: uniform.peak_to_mean() < 5.0
-                    && quarter.peak_to_mean() < hour.peak_to_mean(),
+                pass: uniform.peak_to_mean() < 5.0 && quarter.peak_to_mean() < hour.peak_to_mean(),
             },
         ],
     }
@@ -244,9 +241,8 @@ pub fn fixed_periods(cfg: &Config) -> Outcome {
     let tp = Duration::from_secs(121);
     let tc = Duration::from_millis(110);
     let spread = Duration::from_secs(2);
-    let params = PeriodicParams::new(20, tp, tc, Duration::ZERO).with_jitter(
-        JitterPolicy::FixedPerRouter { tp, tr: spread },
-    );
+    let params = PeriodicParams::new(20, tp, tc, Duration::ZERO)
+        .with_jitter(JitterPolicy::FixedPerRouter { tp, tr: spread });
     let horizon = if cfg.fast { 3.0e5 } else { 1.0e6 };
     // From an unsynchronized start: partial, *stable* clusters form.
     let mut model = PeriodicModel::new(params, StartState::Unsynchronized, cfg.seed);
@@ -569,8 +565,7 @@ pub fn incremental(cfg: &Config) -> Outcome {
         ),
         checks: vec![
             Check {
-                claim: "periodic full tables + blocked forwarding drop data every cycle"
-                    .into(),
+                claim: "periodic full tables + blocked forwarding drop data every cycle".into(),
                 measured: format!("loss {p_loss:.3}, {p_drops} cpu-blocked drops"),
                 pass: p_loss > 0.01 && p_drops > 0,
             },
@@ -588,10 +583,11 @@ pub fn incremental(cfg: &Config) -> Outcome {
 /// `f(N)/(f(N)+g(1))` fraction, plus direct Monte-Carlo of the chain.
 pub fn stationary(cfg: &Config) -> Outcome {
     let base = ChainParams::paper_reference();
-    let mut rows = Vec::new();
-    let mut disagreements = 0usize;
-    let mut compared = 0usize;
-    for k in 10..=40 {
+    // One grid point per k, each with its own Monte-Carlo — independent
+    // work fanned out over the deterministic parallel runner (per-k rng
+    // streams keep the output identical at any thread count).
+    let ks: Vec<usize> = (10..=40).collect();
+    let points = routesync_core::experiment::parallel_map(&ks, |&k| {
         let tr = k as f64 * 0.1 * base.tc;
         let chain = PeriodicChain::new(base.with_tr(tr));
         let frac_fg = chain.fraction_unsynchronized(0.0);
@@ -634,19 +630,24 @@ pub fn stationary(cfg: &Config) -> Outcome {
         } else {
             None
         };
-        if let Some(mc) = mc {
-            compared += 1;
-            let ratio = mc / exact;
-            if !(0.2..=5.0).contains(&ratio) {
-                disagreements += 1;
-            }
-        }
-        rows.push(format!(
+        let off = mc.map(|mc| !(0.2..=5.0).contains(&(mc / exact)));
+        let row = format!(
             "{:.1},{frac_fg},{},{},{exact}",
             tr / base.tc,
             frac_pi.unwrap_or(f64::NAN),
             mc.map(|m| m.to_string()).unwrap_or_else(|| "NA".into()),
-        ));
+        );
+        (row, off)
+    });
+    let mut rows = Vec::new();
+    let mut disagreements = 0usize;
+    let mut compared = 0usize;
+    for (row, off) in points {
+        rows.push(row);
+        if let Some(off) = off {
+            compared += 1;
+            disagreements += off as usize;
+        }
     }
     let file = write_csv(
         cfg,
@@ -660,8 +661,7 @@ pub fn stationary(cfg: &Config) -> Outcome {
         files: vec![file],
         rendering: String::new(),
         checks: vec![Check {
-            claim: "Monte-Carlo hitting times agree with the exact first-passage recursion"
-                .into(),
+            claim: "Monte-Carlo hitting times agree with the exact first-passage recursion".into(),
             measured: format!("{disagreements}/{compared} comparisons off by >5x"),
             pass: compared > 0 && disagreements * 10 <= compared,
         }],

@@ -1,8 +1,7 @@
 //! Figures 4-8: simulations of the Periodic Messages model.
 
 use routesync_core::{
-    ClusterLog, EventKind, EventLog, PeriodicModel, PeriodicParams, RoundMax, SendTrace,
-    StartState,
+    ClusterLog, EventKind, EventLog, PeriodicModel, PeriodicParams, RoundMax, SendTrace, StartState,
 };
 use routesync_desim::{Duration, SimTime};
 use routesync_stats::ascii;
@@ -33,9 +32,7 @@ pub fn fig4(cfg: &Config) -> Outcome {
         cfg,
         "fig4_time_offsets.csv",
         "time_s,offset_s,node",
-        offsets
-            .iter()
-            .map(|(t, o, n)| format!("{t},{o},{n}")),
+        offsets.iter().map(|(t, o, n)| format!("{t},{o},{n}")),
     );
     let pts: Vec<(f64, f64)> = offsets.iter().map(|&(t, o, _)| (t, o)).collect();
     let rendering = ascii::scatter(&pts, 100, 24, '.');
@@ -223,39 +220,40 @@ fn sweep(
     let base = PeriodicParams::paper_reference();
     // (Tr multiple, first-passage seconds, cluster-graph rows)
     type SweepRow = (f64, Option<f64>, Vec<(u64, f64, u32)>);
-    let results: Vec<SweepRow> =
-        routesync_core::experiment::parallel_map(multiples, |&mult| {
-            let params = with_tr(base, tr_multiple(&base, mult));
-            // Unsynchronized starts measure first passage *up* to N;
-            // synchronized starts measure first passage *down* to 1.
-            // The burst-based fast engine (equivalence-tested against the
-            // event engine) makes the 10^7-second sweeps cheap.
-            let mut fast = routesync_core::FastModel::new(params, start.clone(), cfg.seed);
-            let (rounds, passage): (RoundMax, Option<f64>) = match start {
-                StartState::Unsynchronized => {
-                    let mut rec =
-                        (RoundMax::new(), routesync_core::FirstPassageUp::new(params.n));
-                    fast.run(SimTime::from_secs_f64(horizon_s), &mut rec);
-                    let p = rec.1.first(params.n).map(|(t, _)| t.as_secs_f64());
-                    (rec.0, p)
-                }
-                _ => {
-                    let mut rec = (
-                        RoundMax::new(),
-                        routesync_core::FirstPassageDown::new(params.n, 1),
-                    );
-                    fast.run(SimTime::from_secs_f64(horizon_s), &mut rec);
-                    let p = rec.1.first(1).map(|(t, _)| t.as_secs_f64());
-                    (rec.0, p)
-                }
-            };
-            let series: Vec<(u64, f64, u32)> = rounds
-                .series()
-                .iter()
-                .map(|&(r, t, m)| (r, t.as_secs_f64(), m))
-                .collect();
-            (mult, passage, series)
-        });
+    let results: Vec<SweepRow> = routesync_core::experiment::parallel_map(multiples, |&mult| {
+        let params = with_tr(base, tr_multiple(&base, mult));
+        // Unsynchronized starts measure first passage *up* to N;
+        // synchronized starts measure first passage *down* to 1.
+        // The burst-based fast engine (equivalence-tested against the
+        // event engine) makes the 10^7-second sweeps cheap.
+        let mut fast = routesync_core::FastModel::new(params, start.clone(), cfg.seed);
+        let (rounds, passage): (RoundMax, Option<f64>) = match start {
+            StartState::Unsynchronized => {
+                let mut rec = (
+                    RoundMax::new(),
+                    routesync_core::FirstPassageUp::new(params.n),
+                );
+                fast.run(SimTime::from_secs_f64(horizon_s), &mut rec);
+                let p = rec.1.first(params.n).map(|(t, _)| t.as_secs_f64());
+                (rec.0, p)
+            }
+            _ => {
+                let mut rec = (
+                    RoundMax::new(),
+                    routesync_core::FirstPassageDown::new(params.n, 1),
+                );
+                fast.run(SimTime::from_secs_f64(horizon_s), &mut rec);
+                let p = rec.1.first(1).map(|(t, _)| t.as_secs_f64());
+                (rec.0, p)
+            }
+        };
+        let series: Vec<(u64, f64, u32)> = rounds
+            .series()
+            .iter()
+            .map(|&(r, t, m)| (r, t.as_secs_f64(), m))
+            .collect();
+        (mult, passage, series)
+    });
     let mut files = Vec::new();
     let mut rendering = String::new();
     for (mult, _, series) in &results {
@@ -270,8 +268,7 @@ fn sweep(
         rendering.push_str(&format!("-- Tr = {mult} Tc --\n"));
         rendering.push_str(&ascii::scatter(&pts, 90, 12, '+'));
     }
-    let passages: Vec<(f64, Option<f64>)> =
-        results.iter().map(|(m, p, _)| (*m, *p)).collect();
+    let passages: Vec<(f64, Option<f64>)> = results.iter().map(|(m, p, _)| (*m, *p)).collect();
     let outcome = Outcome {
         id: id.into(),
         title: title.into(),
@@ -308,7 +305,9 @@ pub fn fig7(cfg: &Config) -> Outcome {
             claim: "larger Tr takes (weakly) longer to synchronize".into(),
             measured: format!(
                 "t(0.6Tc) = {:?}, t(1.0Tc) = {:?}, t(1.4Tc) = {:?}",
-                t(0), t(1), t(2)
+                t(0),
+                t(1),
+                t(2)
             ),
             pass: match (t(0), t(2)) {
                 (Some(a), Some(b)) => b >= a,
@@ -344,7 +343,9 @@ pub fn fig8(cfg: &Config) -> Outcome {
             claim: "larger Tr breaks up (weakly) faster".into(),
             measured: format!(
                 "t(2.3Tc) = {:?}, t(2.5Tc) = {:?}, t(2.8Tc) = {:?}",
-                t(0), t(1), t(2)
+                t(0),
+                t(1),
+                t(2)
             ),
             pass: match (t(0), t(2)) {
                 (Some(a), Some(b)) => b <= a,

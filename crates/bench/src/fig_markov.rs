@@ -55,8 +55,7 @@ pub fn fig9(cfg: &Config) -> Outcome {
         rendering,
         checks: vec![
             Check {
-                claim: "break-up probability decays geometrically with cluster size (Eq. 1)"
-                    .into(),
+                claim: "break-up probability decays geometrically with cluster size (Eq. 1)".into(),
                 measured: format!(
                     "p(2→1) = {:.3}, p(20→19) = {:.6}, monotone = {monotone_down}",
                     bd.p_down(2),
@@ -65,8 +64,7 @@ pub fn fig9(cfg: &Config) -> Outcome {
                 pass: monotone_down && bd.p_down(2) > bd.p_down(20),
             },
             Check {
-                claim: "growth probabilities are positive in the low-randomization regime"
-                    .into(),
+                claim: "growth probabilities are positive in the low-randomization regime".into(),
                 measured: format!("min p_up(2..N-1) = {:.6}", {
                     (2..n).map(|i| bd.p_up(i)).fold(f64::INFINITY, f64::min)
                 }),
@@ -188,7 +186,8 @@ pub fn fig11(cfg: &Config) -> Outcome {
                 pass: avg[1].1 * 2 >= runs as usize,
             },
             Check {
-                claim: "analysis within a small constant factor of simulation (2-3x in the paper)".into(),
+                claim: "analysis within a small constant factor of simulation (2-3x in the paper)"
+                    .into(),
                 measured: format!("analysis/simulation at i=1: {ratio:?}"),
                 pass: ratio.is_some_and(|r| (0.5..=8.0).contains(&r)),
             },
@@ -233,9 +232,8 @@ pub fn fig12(cfg: &Config) -> Outcome {
     // "+" (synchronized starts), at the Tr values where a simulation can
     // finish: low-Tr sync times and high-Tr break-up times.
     let horizon = if cfg.fast { 3.0e5 } else { 3.0e6 };
-    let sim_sync: Vec<(f64, f64)> = routesync_core::experiment::parallel_map(
-        &[0.6f64, 0.8, 1.0],
-        |&m| {
+    let sim_sync: Vec<(f64, f64)> =
+        routesync_core::experiment::parallel_map(&[0.6f64, 0.8, 1.0], |&m| {
             let p = core_params(20, m * base.tc);
             let mut model = routesync_core::FastModel::new(
                 p,
@@ -244,14 +242,12 @@ pub fn fig12(cfg: &Config) -> Outcome {
             );
             let r = model.run_until_synchronized(horizon);
             (m, r.at_secs)
-        },
-    )
-    .into_iter()
-    .filter_map(|(m, s)| s.map(|s| (m, s.log10())))
-    .collect();
-    let sim_break: Vec<(f64, f64)> = routesync_core::experiment::parallel_map(
-        &[2.5f64, 2.8, 3.5, 4.0],
-        |&m| {
+        })
+        .into_iter()
+        .filter_map(|(m, s)| s.map(|s| (m, s.log10())))
+        .collect();
+    let sim_break: Vec<(f64, f64)> =
+        routesync_core::experiment::parallel_map(&[2.5f64, 2.8, 3.5, 4.0], |&m| {
             let p = core_params(20, m * base.tc);
             let mut model = routesync_core::PeriodicModel::new(
                 p,
@@ -260,11 +256,10 @@ pub fn fig12(cfg: &Config) -> Outcome {
             );
             let r = model.run_until_cluster_at_most(1, horizon);
             (m, r.at_secs)
-        },
-    )
-    .into_iter()
-    .filter_map(|(m, s)| s.map(|s| (m, s.log10())))
-    .collect();
+        })
+        .into_iter()
+        .filter_map(|(m, s)| s.map(|s| (m, s.log10())))
+        .collect();
     let marker_file = write_csv(
         cfg,
         "fig12_sim_markers.csv",
@@ -308,7 +303,9 @@ pub fn fig12(cfg: &Config) -> Outcome {
         .map(|(m, _)| m);
     Outcome {
         id: "fig12".into(),
-        title: "f(N) ('f', dotted: f(2)=0) and g(1) ('g') vs Tr/Tc, log10 seconds; x/+ = simulations".into(),
+        title:
+            "f(N) ('f', dotted: f(2)=0) and g(1) ('g') vs Tr/Tc, log10 seconds; x/+ = simulations"
+                .into(),
         files: vec![file, marker_file],
         rendering,
         checks: vec![
@@ -321,12 +318,14 @@ pub fn fig12(cfg: &Config) -> Outcome {
                 },
             },
             Check {
-                claim: "time to synchronize f(N) grows exponentially with Tr (spans many decades)".into(),
+                claim: "time to synchronize f(N) grows exponentially with Tr (spans many decades)"
+                    .into(),
                 measured: format!("log10 f spans {f_span:.1} decades over finite range"),
                 pass: f_span > 4.0,
             },
             Check {
-                claim: "the f/g crossover sits in the moderate-randomization band (Tr ≈ 1-3·Tc)".into(),
+                claim: "the f/g crossover sits in the moderate-randomization band (Tr ≈ 1-3·Tc)"
+                    .into(),
                 measured: format!("crossover at Tr/Tc = {crossover:?}"),
                 pass: crossover.is_some_and(|m| (0.8..=3.5).contains(&m)),
             },
@@ -411,7 +410,8 @@ pub fn fig13(cfg: &Config) -> Outcome {
                 pass: th(10, 0.11) <= th(20, 0.11) && th(20, 0.11) <= th(30, 0.11),
             },
             Check {
-                claim: "thresholds expressed in multiples of Tc are of the same order across Tc".into(),
+                claim: "thresholds expressed in multiples of Tc are of the same order across Tc"
+                    .into(),
                 measured: format!(
                     "threshold(Tc=0.01)/threshold(Tc=0.11) at N=20: {:.2}",
                     th(20, 0.01) / th(20, 0.11)

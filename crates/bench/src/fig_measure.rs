@@ -49,10 +49,7 @@ pub fn fig1(cfg: &Config) -> Outcome {
     let rendering = ascii::scatter(&pts, 90, 16, '.');
     let loss = stats.loss_rate();
     let bursts = runs_of_loss(&stats.loss_flags());
-    let burst_gaps: Vec<f64> = bursts
-        .windows(2)
-        .map(|w| w[1].start - w[0].start)
-        .collect();
+    let burst_gaps: Vec<f64> = bursts.windows(2).map(|w| w[1].start - w[0].start).collect();
     let near_period = burst_gaps
         .iter()
         .filter(|&&g| (80.0..=100.0).contains(&g))
@@ -102,7 +99,11 @@ pub fn fig2(cfg: &Config) -> Outcome {
         "lag,acf",
         acf.iter().enumerate().map(|(k, r)| format!("{k},{r}")),
     );
-    let pts: Vec<(f64, f64)> = acf.iter().enumerate().map(|(k, &r)| (k as f64, r)).collect();
+    let pts: Vec<(f64, f64)> = acf
+        .iter()
+        .enumerate()
+        .map(|(k, &r)| (k as f64, r))
+        .collect();
     let rendering = ascii::scatter(&pts, 90, 14, '*');
     // Search the first period only — with very regular bursts the
     // harmonic at 2×89 can edge out the fundamental.

@@ -21,10 +21,33 @@ pub use common::{Config, Outcome};
 
 /// Every experiment id, in paper order.
 pub const ALL: &[&str] = &[
-    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "fig13", "fig14", "fig15", "ablation_reset_policy", "ablation_jitter_policy",
-    "ablation_forwarding", "ablation_scheduler", "ext_tcp", "ext_client_server", "ext_clock",
-    "ext_fixed_periods", "ext_stationary", "ext_mesh", "ext_flap", "ext_incremental",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "ablation_reset_policy",
+    "ablation_jitter_policy",
+    "ablation_forwarding",
+    "ablation_scheduler",
+    "ext_tcp",
+    "ext_client_server",
+    "ext_clock",
+    "ext_fixed_periods",
+    "ext_stationary",
+    "ext_mesh",
+    "ext_flap",
+    "ext_incremental",
 ];
 
 /// Run one experiment by id.

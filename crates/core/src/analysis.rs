@@ -43,7 +43,10 @@ pub fn order_parameter(offsets: &[f64], period: f64) -> f64 {
 /// in one bin. A complementary view to [`order_parameter`] (entropy also
 /// penalizes multi-cluster states that happen to cancel on the circle).
 pub fn phase_entropy(offsets: &[f64], period: f64, bins: usize) -> f64 {
-    assert!(period > 0.0 && bins >= 2, "need a positive period and >= 2 bins");
+    assert!(
+        period > 0.0 && bins >= 2,
+        "need a positive period and >= 2 bins"
+    );
     if offsets.is_empty() {
         return 0.0;
     }
@@ -69,11 +72,7 @@ pub fn phase_entropy(offsets: &[f64], period: f64, bins: usize) -> f64 {
 /// Sends are grouped into consecutive windows of `n` messages (one round
 /// each); within a round, each router's phase is its send time modulo
 /// `round_len`. Returns `(round_end_time_secs, R)` pairs.
-pub fn order_parameter_series(
-    trace: &SendTrace,
-    n: usize,
-    round_len: Duration,
-) -> Vec<(f64, f64)> {
+pub fn order_parameter_series(trace: &SendTrace, n: usize, round_len: Duration) -> Vec<(f64, f64)> {
     assert!(n > 0, "need at least one router");
     let period = round_len.as_secs_f64();
     let sends = trace.sends();
@@ -140,9 +139,8 @@ mod tests {
     fn entropy_catches_two_cluster_states_that_r_misses() {
         // Two equal clusters on opposite sides of the circle: R ≈ 0 (they
         // cancel) but entropy is far from uniform.
-        let phases: Vec<f64> = std::iter::repeat(10.0)
-            .take(8)
-            .chain(std::iter::repeat(60.0).take(8))
+        let phases: Vec<f64> = std::iter::repeat_n(10.0, 8)
+            .chain(std::iter::repeat_n(60.0, 8))
             .collect();
         assert!(order_parameter(&phases, 100.0) < 1e-9);
         assert!(phase_entropy(&phases, 100.0, 16) < 0.3);
@@ -156,11 +154,12 @@ mod tests {
         model.run(SimTime::from_secs(200_000), &mut trace);
         let series = order_parameter_series(&trace, params.n, params.round_len());
         assert!(series.len() > 100);
-        let early: f64 =
-            series[..10].iter().map(|p| p.1).sum::<f64>() / 10.0;
-        let late: f64 =
-            series[series.len() - 10..].iter().map(|p| p.1).sum::<f64>() / 10.0;
-        assert!(early < 0.5, "unsynchronized start should have low R: {early}");
+        let early: f64 = series[..10].iter().map(|p| p.1).sum::<f64>() / 10.0;
+        let late: f64 = series[series.len() - 10..].iter().map(|p| p.1).sum::<f64>() / 10.0;
+        assert!(
+            early < 0.5,
+            "unsynchronized start should have low R: {early}"
+        );
         assert!(late > 0.99, "full synchronization is R = 1: {late}");
     }
 

@@ -69,17 +69,18 @@ impl PeriodicModel {
 /// First-passage profile upward: for one seed, the time (seconds) at which
 /// each cluster size `2..=N` was first reached, `None` where the horizon
 /// hit first. Index `i` is cluster size `i` (indices 0-1 unused/`Some(0)`).
-pub fn passage_up_profile(
-    params: PeriodicParams,
-    seed: u64,
-    max_secs: f64,
-) -> Vec<Option<f64>> {
+pub fn passage_up_profile(params: PeriodicParams, seed: u64, max_secs: f64) -> Vec<Option<f64>> {
     // The burst-based engine is observationally identical (proven by the
     // equivalence property tests) and ~N× faster for these long sweeps.
     let mut model = crate::FastModel::new(params, StartState::Unsynchronized, seed);
-    let mut fp = FirstPassageUp::new(params.n);
+    up_profile_of(&mut model, max_secs)
+}
+
+fn up_profile_of(model: &mut crate::FastModel, max_secs: f64) -> Vec<Option<f64>> {
+    let n = model.params().n;
+    let mut fp = FirstPassageUp::new(n);
     model.run(SimTime::from_secs_f64(max_secs), &mut fp);
-    (0..=params.n)
+    (0..=n)
         .map(|i| {
             if i < 2 {
                 Some(0.0)
@@ -92,17 +93,18 @@ pub fn passage_up_profile(
 
 /// First-passage profile downward from a synchronized start: the time at
 /// which the per-round largest cluster first fell to each size `1..N`.
-pub fn passage_down_profile(
-    params: PeriodicParams,
-    seed: u64,
-    max_secs: f64,
-) -> Vec<Option<f64>> {
+pub fn passage_down_profile(params: PeriodicParams, seed: u64, max_secs: f64) -> Vec<Option<f64>> {
     let mut model = crate::FastModel::new(params, StartState::Synchronized, seed);
-    let mut fp = FirstPassageDown::new(params.n, 1);
+    down_profile_of(&mut model, max_secs)
+}
+
+fn down_profile_of(model: &mut crate::FastModel, max_secs: f64) -> Vec<Option<f64>> {
+    let n = model.params().n;
+    let mut fp = FirstPassageDown::new(n, 1);
     model.run(SimTime::from_secs_f64(max_secs), &mut fp);
-    (0..=params.n)
+    (0..=n)
         .map(|i| {
-            if i == 0 || i >= params.n {
+            if i == 0 || i >= n {
                 Some(0.0)
             } else {
                 fp.first(i).map(|(t, _)| t.as_secs_f64())
@@ -114,9 +116,7 @@ pub fn passage_down_profile(
 /// Run `profiles` for many seeds in parallel (one OS thread per seed,
 /// `std::thread::scope`) and average element-wise over the runs where the
 /// passage happened. Returns `(mean_secs, count)` per cluster size.
-pub fn average_profiles(
-    profiles: Vec<Vec<Option<f64>>>,
-) -> Vec<(Option<f64>, usize)> {
+pub fn average_profiles(profiles: Vec<Vec<Option<f64>>>) -> Vec<(Option<f64>, usize)> {
     if profiles.is_empty() {
         return Vec::new();
     }
@@ -142,7 +142,14 @@ pub fn parallel_passage_up(
     seeds: &[u64],
     max_secs: f64,
 ) -> Vec<Vec<Option<f64>>> {
-    parallel_map(seeds, |&seed| passage_up_profile(params, seed, max_secs))
+    let threads = routesync_exec::resolve_threads(None);
+    run_many(
+        params,
+        StartState::Unsynchronized,
+        seeds,
+        threads,
+        |model, _| up_profile_of(model, max_secs),
+    )
 }
 
 /// Parallel multi-seed downward first-passage sweep.
@@ -151,64 +158,82 @@ pub fn parallel_passage_down(
     seeds: &[u64],
     max_secs: f64,
 ) -> Vec<Vec<Option<f64>>> {
-    parallel_map(seeds, |&seed| passage_down_profile(params, seed, max_secs))
+    let threads = routesync_exec::resolve_threads(None);
+    run_many(
+        params,
+        StartState::Synchronized,
+        seeds,
+        threads,
+        |model, _| down_profile_of(model, max_secs),
+    )
 }
 
-/// Map a function over items on scoped threads, preserving order.
+/// Map a function over items in parallel, preserving order.
 ///
-/// Simulation runs are independent and CPU-bound, so plain OS threads (not
-/// an async runtime) are the right tool; the number of live threads is
-/// capped at the available parallelism.
-pub fn parallel_map<T: Sync, R: Send>(
+/// Simulation runs are independent and CPU-bound, so this delegates to the
+/// deterministic chunked work-stealing runner in `routesync-exec`: results
+/// are bit-identical to the serial map regardless of thread count. The
+/// thread count comes from `ROUTESYNC_THREADS` or the available
+/// parallelism; use [`parallel_map_threads`] to pin it explicitly.
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    parallel_map_threads(items, routesync_exec::resolve_threads(None), f)
+}
+
+/// [`parallel_map`] with an explicit worker-thread count (1 = serial,
+/// inline on the calling thread).
+pub fn parallel_map_threads<T: Sync, R: Send>(
     items: &[T],
+    threads: usize,
     f: impl Fn(&T) -> R + Sync,
 ) -> Vec<R> {
-    let max_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let f = &f;
-    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
-    results.resize_with(items.len(), || None);
-    let mut remaining: Vec<(usize, &T)> = items.iter().enumerate().collect();
-    while !remaining.is_empty() {
-        let batch: Vec<(usize, &T)> = remaining
-            .drain(..remaining.len().min(max_threads))
-            .collect();
-        let mut outs: Vec<(usize, R)> = Vec::with_capacity(batch.len());
-        std::thread::scope(|s| {
-            let handles: Vec<_> = batch
-                .into_iter()
-                .map(|(i, item)| s.spawn(move || (i, f(item))))
-                .collect();
-            for h in handles {
-                outs.push(h.join().expect("worker thread panicked"));
-            }
-        });
-        for (i, r) in outs {
-            results[i] = Some(r);
-        }
-    }
-    results
-        .into_iter()
-        .map(|r| r.expect("every index filled"))
-        .collect()
+    routesync_exec::par_map_indexed(items, threads, |_, item| f(item))
+}
+
+/// Run one simulation per seed in parallel, reusing a single
+/// [`crate::FastModel`] (heap, node table, burst buffers) per worker
+/// thread instead of rebuilding it per seed.
+///
+/// `f` receives the model already reset to `(start, seed)` and the seed
+/// itself; its result must depend only on those (the reset contract is
+/// asserted by `fast::tests::reset_reproduces_fresh_model`), which makes
+/// the output independent of the thread count and bit-identical to a
+/// serial loop.
+pub fn run_many<R: Send>(
+    params: PeriodicParams,
+    start: StartState,
+    seeds: &[u64],
+    threads: usize,
+    f: impl Fn(&mut crate::FastModel, u64) -> R + Sync,
+) -> Vec<R> {
+    let start = &start;
+    routesync_exec::par_map_indexed_with(
+        seeds,
+        threads,
+        || crate::FastModel::new(params, start.clone(), 0),
+        move |model, _idx, &seed| {
+            model.reset(start, seed);
+            f(model, seed)
+        },
+    )
 }
 
 /// Estimate the paper's `f(2)` — the expected number of rounds for the
 /// first cluster of size 2 to form from an unsynchronized start — by Monte
 /// Carlo. Used as the default free parameter of the Markov-chain model.
-pub fn estimate_f2_rounds(
-    params: PeriodicParams,
-    seeds: &[u64],
-    max_secs: f64,
-) -> Option<f64> {
+pub fn estimate_f2_rounds(params: PeriodicParams, seeds: &[u64], max_secs: f64) -> Option<f64> {
     let round_len = params.round_len().as_secs_f64();
-    let times: Vec<f64> = parallel_map(seeds, |&seed| {
-        let mut model = crate::FastModel::new(params, StartState::Unsynchronized, seed);
-        let mut fp = FirstPassageUp::new(2);
-        model.run(SimTime::from_secs_f64(max_secs), &mut fp);
-        fp.first(2).map(|(t, _)| t.as_secs_f64())
-    })
+    let threads = routesync_exec::resolve_threads(None);
+    let times: Vec<f64> = run_many(
+        params,
+        StartState::Unsynchronized,
+        seeds,
+        threads,
+        |model, _| {
+            let mut fp = FirstPassageUp::new(2);
+            model.run(SimTime::from_secs_f64(max_secs), &mut fp);
+            fp.first(2).map(|(t, _)| t.as_secs_f64())
+        },
+    )
     .into_iter()
     .flatten()
     .collect();
@@ -280,10 +305,7 @@ mod tests {
 
     #[test]
     fn average_profiles_counts_only_completed_runs() {
-        let avg = average_profiles(vec![
-            vec![Some(10.0), None],
-            vec![Some(20.0), Some(4.0)],
-        ]);
+        let avg = average_profiles(vec![vec![Some(10.0), None], vec![Some(20.0), Some(4.0)]]);
         assert_eq!(avg[0], (Some(15.0), 2));
         assert_eq!(avg[1], (Some(4.0), 1));
         assert!(average_profiles(vec![]).is_empty());
@@ -294,6 +316,36 @@ mod tests {
         let items: Vec<u64> = (0..37).collect();
         let out = parallel_map(&items, |&x| x * 2);
         assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    /// `run_many` is independent of the thread count — the reuse-with-reset
+    /// fast path must be bit-identical to a serial fresh-model loop.
+    #[test]
+    fn run_many_is_thread_count_invariant() {
+        let params = PeriodicParams::paper_reference();
+        let seeds: Vec<u64> = (0..12).collect();
+        let serial = run_many(params, StartState::Unsynchronized, &seeds, 1, |m, _| {
+            m.run_until_synchronized(30_000.0)
+        });
+        for threads in [2, 4, 7] {
+            let parallel = run_many(
+                params,
+                StartState::Unsynchronized,
+                &seeds,
+                threads,
+                |m, _| m.run_until_synchronized(30_000.0),
+            );
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+        // And identical to per-seed fresh construction.
+        let fresh: Vec<_> = seeds
+            .iter()
+            .map(|&s| {
+                crate::FastModel::new(params, StartState::Unsynchronized, s)
+                    .run_until_synchronized(30_000.0)
+            })
+            .collect();
+        assert_eq!(serial, fresh);
     }
 
     #[test]

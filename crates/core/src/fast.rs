@@ -49,6 +49,11 @@ pub struct FastModel {
     heap: BinaryHeap<Reverse<(SimTime, NodeId)>>,
     now: SimTime,
     sends: u64,
+    /// Scratch: the current burst's members, reused across bursts and runs.
+    members: Vec<(SimTime, NodeId)>,
+    /// Scratch: the buffered reset group awaiting flush (see `run`).
+    pending_ids: Vec<NodeId>,
+    pending_at: Option<SimTime>,
 }
 
 impl FastModel {
@@ -60,33 +65,49 @@ impl FastModel {
             TimerResetPolicy::AfterProcessing,
             "FastModel implements the paper's AfterProcessing semantics only"
         );
-        let mut nodes = Vec::with_capacity(params.n);
-        let mut heap = BinaryHeap::with_capacity(params.n);
-        let tp = params.tp();
-        for id in 0..params.n {
+        let mut model = FastModel {
+            params,
+            nodes: Vec::with_capacity(params.n),
+            heap: BinaryHeap::with_capacity(params.n),
+            now: SimTime::ZERO,
+            sends: 0,
+            members: Vec::with_capacity(params.n),
+            pending_ids: Vec::with_capacity(params.n),
+            pending_at: None,
+        };
+        model.reset(&start, seed);
+        model
+    }
+
+    /// Re-initialise for a fresh run with a new start state and seed,
+    /// reusing every allocation (nodes, heap, scratch buffers). After
+    /// `reset`, the model is indistinguishable from
+    /// `FastModel::new(self.params, start, seed)`.
+    pub fn reset(&mut self, start: &StartState, seed: u64) {
+        self.heap.clear();
+        self.nodes.clear();
+        self.now = SimTime::ZERO;
+        self.sends = 0;
+        self.members.clear();
+        self.pending_ids.clear();
+        self.pending_at = None;
+        let tp = self.params.tp();
+        for id in 0..self.params.n {
             let mut rng = routesync_rng::stream(seed, id as u64);
-            let jitter = params.jitter.materialize(&mut rng);
-            let first = match &start {
-                StartState::Unsynchronized => routesync_rng::dist::UniformDuration::new(
-                    routesync_desim::Duration::ZERO,
-                    tp,
-                )
-                .sample(&mut rng),
+            let jitter = self.params.jitter.materialize(&mut rng);
+            let first = match start {
+                StartState::Unsynchronized => {
+                    routesync_rng::dist::UniformDuration::new(routesync_desim::Duration::ZERO, tp)
+                        .sample(&mut rng)
+                }
                 StartState::Synchronized => tp,
                 StartState::Offsets(offsets) => {
-                    assert_eq!(offsets.len(), params.n, "one offset per router");
+                    assert_eq!(offsets.len(), self.params.n, "one offset per router");
                     offsets[id]
                 }
             };
-            heap.push(Reverse((SimTime::ZERO + first, id)));
-            nodes.push(FastNode { jitter, rng });
-        }
-        FastModel {
-            params,
-            nodes,
-            heap,
-            now: SimTime::ZERO,
-            sends: 0,
+            self.heap.push(Reverse((SimTime::ZERO + first, id)));
+            self.nodes.push(FastNode { jitter, rng });
         }
     }
 
@@ -110,12 +131,12 @@ impl FastModel {
     /// the horizon is executed completely. Returns the time reached.
     pub fn run<R: Recorder>(&mut self, horizon: SimTime, recorder: &mut R) -> SimTime {
         let tc = self.params.tc;
-        let mut members: Vec<(SimTime, NodeId)> = Vec::with_capacity(self.params.n);
+        // The burst-member and reset-group buffers live on the model so a
+        // reused model (see `reset`) allocates nothing on the hot path.
         // The event-driven engine flushes a reset group to the recorder
         // only when the *next* group starts (its send counter then already
         // includes the following burst). Buffer one group to reproduce the
         // identical callback order and round accounting.
-        let mut pending: Option<(SimTime, Vec<NodeId>)> = None;
         loop {
             if recorder.should_stop() {
                 break;
@@ -127,44 +148,48 @@ impl FastModel {
                 break;
             }
             // Collect the burst.
-            members.clear();
+            self.members.clear();
             let Reverse(first) = self.heap.pop().expect("peeked");
-            members.push(first);
+            self.members.push(first);
             loop {
-                let boundary = e1 + tc.saturating_mul(members.len() as u64);
+                let boundary = e1 + tc.saturating_mul(self.members.len() as u64);
                 match self.heap.peek() {
                     Some(&Reverse((e, _))) if e < boundary => {
                         let Reverse(next) = self.heap.pop().expect("peeked");
-                        members.push(next);
+                        self.members.push(next);
                     }
                     _ => break,
                 }
             }
             // Emit sends in expiry order.
-            for &(e, node) in &members {
+            for &(e, node) in &self.members {
                 self.sends += 1;
                 recorder.on_send(e, node);
             }
             // Flush the previous burst's reset group (its round now counts
             // this burst's sends, exactly like the event engine).
-            if let Some((t, ids)) = pending.take() {
+            if let Some(t) = self.pending_at.take() {
                 let round = self.sends / self.params.n as u64;
-                recorder.on_cluster(t, round, &ids);
+                recorder.on_cluster(t, round, &self.pending_ids);
             }
             // Simultaneous reset.
-            let reset = e1 + tc * members.len() as u64;
+            let reset = e1 + tc * self.members.len() as u64;
             self.now = reset;
-            pending = Some((reset, members.iter().map(|&(_, id)| id).collect()));
+            self.pending_ids.clear();
+            self.pending_ids
+                .extend(self.members.iter().map(|&(_, id)| id));
+            self.pending_at = Some(reset);
             // Re-arm everyone.
-            for &(_, id) in &members {
+            for &(_, id) in &self.members {
                 let node = &mut self.nodes[id];
                 let interval = node.jitter.sample(&mut node.rng);
                 self.heap.push(Reverse((reset + interval, id)));
             }
         }
-        if let Some((t, ids)) = pending.take() {
+        if let Some(t) = self.pending_at.take() {
             let round = self.sends / self.params.n as u64;
-            recorder.on_cluster(t, round, &ids);
+            recorder.on_cluster(t, round, &self.pending_ids);
+            self.pending_ids.clear();
         }
         self.now
     }
@@ -232,10 +257,8 @@ mod tests {
             &sends_fast[..keep],
             "send logs diverge"
         );
-        let cl_slow: Vec<(SimTime, u32)> =
-            slow_rec.1.groups().iter().map(|g| (g.0, g.2)).collect();
-        let cl_fast: Vec<(SimTime, u32)> =
-            fast_rec.1.groups().iter().map(|g| (g.0, g.2)).collect();
+        let cl_slow: Vec<(SimTime, u32)> = slow_rec.1.groups().iter().map(|g| (g.0, g.2)).collect();
+        let cl_fast: Vec<(SimTime, u32)> = fast_rec.1.groups().iter().map(|g| (g.0, g.2)).collect();
         let keep = cl_slow.len().min(cl_fast.len()).saturating_sub(tail);
         assert_eq!(&cl_slow[..keep], &cl_fast[..keep], "cluster logs diverge");
         assert!(keep > 10, "equivalence window too small to be meaningful");
@@ -253,13 +276,10 @@ mod tests {
 
     #[test]
     fn equivalent_with_zero_jitter_and_custom_offsets() {
-        let offs: Vec<Duration> = (0..5).map(|i| Duration::from_millis(1000 + 55 * i)).collect();
-        assert_equivalent(
-            params(5, 0),
-            StartState::Offsets(offs),
-            3,
-            50_000,
-        );
+        let offs: Vec<Duration> = (0..5)
+            .map(|i| Duration::from_millis(1000 + 55 * i))
+            .collect();
+        assert_equivalent(params(5, 0), StartState::Offsets(offs), 3, 50_000);
     }
 
     #[test]
@@ -298,6 +318,27 @@ mod tests {
             fast_time < slow_time,
             "fast {fast_time:?} should beat event-driven {slow_time:?}"
         );
+    }
+
+    /// A reused (reset) model is bit-identical to a freshly constructed
+    /// one — the contract `run_many` relies on for cross-seed reuse.
+    #[test]
+    fn reset_reproduces_fresh_model() {
+        let p = params(10, 100);
+        let horizon = SimTime::from_secs(50_000);
+        let mut reused = FastModel::new(p, StartState::Unsynchronized, 1);
+        reused.run(horizon, &mut crate::record::NullRecorder);
+        for seed in [5u64, 9, 42] {
+            reused.reset(&StartState::Unsynchronized, seed);
+            let mut rec_reused = (SendTrace::new(), ClusterLog::new());
+            reused.run(horizon, &mut rec_reused);
+            let mut fresh = FastModel::new(p, StartState::Unsynchronized, seed);
+            let mut rec_fresh = (SendTrace::new(), ClusterLog::new());
+            fresh.run(horizon, &mut rec_fresh);
+            assert_eq!(rec_reused.0.sends(), rec_fresh.0.sends(), "seed {seed}");
+            assert_eq!(rec_reused.1.groups(), rec_fresh.1.groups(), "seed {seed}");
+            assert_eq!(reused.sends(), fresh.sends());
+        }
     }
 
     #[test]

@@ -307,7 +307,8 @@ impl PeriodicModel {
         let nd = &mut self.nodes[node];
         let interval = nd.jitter.sample(&mut nd.rng);
         let gen = nd.timer_gen.current();
-        self.engine.schedule(at + interval, Event::Expiry { node, gen });
+        self.engine
+            .schedule(at + interval, Event::Expiry { node, gen });
     }
 
     /// Group simultaneous resets into clusters and hand completed groups to
@@ -355,11 +356,8 @@ mod tests {
             Duration::from_millis(100),
             Duration::ZERO,
         );
-        let mut model = PeriodicModel::new(
-            params,
-            StartState::Offsets(vec![Duration::from_secs(5)]),
-            1,
-        );
+        let mut model =
+            PeriodicModel::new(params, StartState::Offsets(vec![Duration::from_secs(5)]), 1);
         let mut trace = SendTrace::new();
         model.run(SimTime::from_secs(200), &mut trace);
         let sends = trace.sends();
@@ -385,15 +383,16 @@ mod tests {
         // B expires 50 ms after A: inside A's busy period.
         let mut model = PeriodicModel::new(
             params,
-            StartState::Offsets(vec![
-                Duration::from_secs(1),
-                Duration::from_millis(1050),
-            ]),
+            StartState::Offsets(vec![Duration::from_secs(1), Duration::from_millis(1050)]),
             7,
         );
         let mut log = ClusterLog::new();
         model.run(SimTime::from_secs(100), &mut log);
-        let first = log.groups().iter().find(|g| g.2 == 2).expect("a pair forms");
+        let first = log
+            .groups()
+            .iter()
+            .find(|g| g.2 == 2)
+            .expect("a pair forms");
         // Reset at t + 2 Tc = 1.0 + 0.2 s.
         assert_eq!(first.0, SimTime::from_millis(1200));
         // With Tr = 0 the pair never breaks: every subsequent reset group
@@ -637,10 +636,6 @@ mod tests {
     #[should_panic(expected = "one offset per router")]
     fn wrong_offset_count_panics() {
         let params = small_params(10);
-        let _ = PeriodicModel::new(
-            params,
-            StartState::Offsets(vec![Duration::ZERO]),
-            5,
-        );
+        let _ = PeriodicModel::new(params, StartState::Offsets(vec![Duration::ZERO]), 5);
     }
 }

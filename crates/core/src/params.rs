@@ -159,11 +159,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "Tc must be positive")]
     fn zero_tc_rejected() {
-        let _ = PeriodicParams::new(
-            5,
-            Duration::from_secs(30),
-            Duration::ZERO,
-            Duration::ZERO,
-        );
+        let _ = PeriodicParams::new(5, Duration::from_secs(30), Duration::ZERO, Duration::ZERO);
     }
 }

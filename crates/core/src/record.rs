@@ -28,6 +28,11 @@ pub trait Recorder {
     fn should_stop(&self) -> bool {
         false
     }
+
+    /// Return to the freshly-constructed state, keeping allocations.
+    /// Multi-seed drivers (`run_many`) call this between runs so recorder
+    /// buffers are reused rather than reallocated per seed.
+    fn reset(&mut self) {}
 }
 
 /// A recorder that keeps nothing (pure timing/throughput runs).
@@ -51,6 +56,11 @@ impl<A: Recorder, B: Recorder> Recorder for (A, B) {
     fn should_stop(&self) -> bool {
         self.0.should_stop() || self.1.should_stop()
     }
+
+    fn reset(&mut self) {
+        self.0.reset();
+        self.1.reset();
+    }
 }
 
 /// Records every routing-message send — the raw data behind the paper's
@@ -73,10 +83,7 @@ impl SendTrace {
 
     /// Figure 4's coordinates: for each send, `(time in seconds,
     /// time mod round_len in seconds, node)`.
-    pub fn time_offsets(
-        &self,
-        round_len: routesync_desim::Duration,
-    ) -> Vec<(f64, f64, NodeId)> {
+    pub fn time_offsets(&self, round_len: routesync_desim::Duration) -> Vec<(f64, f64, NodeId)> {
         self.sends
             .iter()
             .map(|&(t, node)| (t.as_secs_f64(), (t % round_len).as_secs_f64(), node))
@@ -87,6 +94,10 @@ impl SendTrace {
 impl Recorder for SendTrace {
     fn on_send(&mut self, t: SimTime, node: NodeId) {
         self.sends.push((t, node));
+    }
+
+    fn reset(&mut self) {
+        self.sends.clear();
     }
 }
 
@@ -129,6 +140,10 @@ impl Recorder for EventLog {
             self.events.push((t, n, EventKind::Reset));
         }
     }
+
+    fn reset(&mut self) {
+        self.events.clear();
+    }
 }
 
 /// Records every reset group as `(time, round, size)` — fine for runs up to
@@ -158,6 +173,10 @@ impl ClusterLog {
 impl Recorder for ClusterLog {
     fn on_cluster(&mut self, t: SimTime, round: u64, nodes: &[NodeId]) {
         self.groups.push((t, round, nodes.len() as u32));
+    }
+
+    fn reset(&mut self) {
+        self.groups.clear();
     }
 }
 
@@ -234,6 +253,14 @@ impl Recorder for RoundMax {
         self.cur_max = self.cur_max.max(nodes.len() as u32);
         self.cur_t = t;
     }
+
+    fn reset(&mut self) {
+        self.series.clear();
+        self.cur_round = 0;
+        self.cur_max = 0;
+        self.cur_t = SimTime::ZERO;
+        self.started = false;
+    }
 }
 
 /// Detects the first time the system reaches each cluster size on the way
@@ -288,6 +315,11 @@ impl Recorder for FirstPassageUp {
 
     fn should_stop(&self) -> bool {
         self.max_seen >= self.target
+    }
+
+    fn reset(&mut self) {
+        self.first.iter_mut().for_each(|slot| *slot = None);
+        self.max_seen = 0;
     }
 }
 
@@ -373,6 +405,15 @@ impl Recorder for FirstPassageDown {
     fn should_stop(&self) -> bool {
         self.min_state <= self.target
     }
+
+    fn reset(&mut self) {
+        self.first.iter_mut().for_each(|slot| *slot = None);
+        self.min_state = self.first.len() - 1;
+        self.cur_round = 0;
+        self.cur_max = 0;
+        self.cur_t = SimTime::ZERO;
+        self.started = false;
+    }
 }
 
 #[cfg(test)]
@@ -396,10 +437,7 @@ mod tests {
         rm.on_cluster(SimTime::from_secs(300), 2, &[0, 1]);
         rm.on_cluster(SimTime::from_secs(400), 3, &[4]);
         assert_eq!(
-            rm.series()
-                .iter()
-                .map(|e| (e.0, e.2))
-                .collect::<Vec<_>>(),
+            rm.series().iter().map(|e| (e.0, e.2)).collect::<Vec<_>>(),
             vec![(0, 3), (1, 3), (2, 2)]
         );
         assert_eq!(rm.max_ever(), 3);
@@ -472,6 +510,30 @@ mod tests {
         let mut log = ClusterLog::new();
         log.on_cluster(SimTime::from_secs(1), 7, &[0, 1]);
         assert_eq!(log.groups(), &[(SimTime::from_secs(1), 7, 2)]);
+    }
+
+    #[test]
+    fn reset_restores_initial_behaviour() {
+        let mut fp = FirstPassageUp::new(3);
+        fp.on_cluster(SimTime::from_secs(5), 0, &[0, 1, 2]);
+        assert!(fp.reached());
+        fp.reset();
+        assert!(!fp.reached());
+        assert!(fp.first(2).is_none());
+
+        let mut down = FirstPassageDown::new(4, 1);
+        down.on_cluster(SimTime::from_secs(10), 0, &[0]);
+        down.on_cluster(SimTime::from_secs(130), 1, &[0]);
+        down.reset();
+        assert_eq!(down.min_state(), 4);
+        assert!(!down.should_stop());
+
+        let mut pair = (SendTrace::new(), RoundMax::new());
+        pair.on_send(SimTime::from_secs(1), 0);
+        pair.on_cluster(SimTime::from_secs(1), 0, &[0, 1]);
+        pair.reset();
+        assert!(pair.0.sends().is_empty());
+        assert_eq!(pair.1.max_ever(), 0);
     }
 
     #[test]

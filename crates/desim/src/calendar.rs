@@ -32,6 +32,10 @@ impl<E> Entry<E> {
 /// pending events whenever the queue is resized.
 pub struct CalendarQueue<E> {
     buckets: Vec<Vec<Entry<E>>>,
+    /// Bucket allocations recycled from the previous resize. Each resize
+    /// swaps `buckets` and `spare` instead of reallocating, so a queue
+    /// that has reached its steady-state geometry stops allocating.
+    spare: Vec<Vec<Entry<E>>>,
     /// Bucket width in nanoseconds (the "day" length). Always ≥ 1.
     width: u64,
     /// Index of the bucket currently being drained.
@@ -62,6 +66,7 @@ impl<E> CalendarQueue<E> {
         buckets.resize_with(nbuckets, Vec::new);
         CalendarQueue {
             buckets,
+            spare: Vec::new(),
             width: width_nanos,
             cursor: 0,
             bucket_top: width_nanos,
@@ -80,8 +85,7 @@ impl<E> CalendarQueue<E> {
         // Find the first element whose key is smaller (strictly) than the
         // new entry's key, scanning keys in descending order.
         let key = entry.key();
-        let pos = bucket
-            .partition_point(|e| e.key() > key);
+        let pos = bucket.partition_point(|e| e.key() > key);
         bucket.insert(pos, entry);
     }
 
@@ -89,8 +93,12 @@ impl<E> CalendarQueue<E> {
     fn resize(&mut self, nbuckets: usize) {
         let nbuckets = nbuckets.max(1);
         let width = self.estimate_width();
+        // Swap in the pooled bucket array from the previous resize and
+        // shape it to the new geometry; its inner Vecs keep their
+        // capacity, so redistribution below rarely allocates.
         let mut old = std::mem::take(&mut self.buckets);
-        self.buckets = Vec::with_capacity(nbuckets);
+        self.buckets = std::mem::take(&mut self.spare);
+        self.buckets.truncate(nbuckets);
         self.buckets.resize_with(nbuckets, Vec::new);
         self.width = width;
         for bucket in old.iter_mut() {
@@ -99,6 +107,8 @@ impl<E> CalendarQueue<E> {
                 Self::insert_sorted(&mut self.buckets[idx], entry);
             }
         }
+        // The drained old array becomes the pool for the next resize.
+        self.spare = old;
         // Re-aim the cursor at the bucket containing the next event.
         self.aim_cursor_at(self.last_time);
     }
@@ -112,12 +122,7 @@ impl<E> CalendarQueue<E> {
     /// Estimate a bucket width as ~the average separation of the earliest
     /// pending events (Brown's heuristic, simplified).
     fn estimate_width(&self) -> u64 {
-        let mut sample: Vec<u64> = self
-            .buckets
-            .iter()
-            .flatten()
-            .map(|e| e.time.0)
-            .collect();
+        let mut sample: Vec<u64> = self.buckets.iter().flatten().map(|e| e.time.0).collect();
         if sample.len() < 2 {
             return self.width.max(1);
         }

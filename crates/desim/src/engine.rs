@@ -201,10 +201,7 @@ mod tests {
         for k in 1..=10 {
             e.schedule(SimTime::from_secs(k), Ev::Tick(k as u32));
         }
-        assert_eq!(
-            e.run(SimTime::MAX, 3, |_, _, _| true),
-            RunOutcome::Budget
-        );
+        assert_eq!(e.run(SimTime::MAX, 3, |_, _, _| true), RunOutcome::Budget);
         assert_eq!(e.processed(), 3);
         assert_eq!(
             e.run(SimTime::MAX, u64::MAX, |_, _, Ev::Tick(k)| k < 6),
@@ -231,8 +228,7 @@ mod tests {
     #[test]
     fn engine_is_scheduler_agnostic() {
         let mut heap: Engine<u32> = Engine::new();
-        let mut cal: Engine<u32, CalendarQueue<u32>> =
-            Engine::with_scheduler(CalendarQueue::new());
+        let mut cal: Engine<u32, CalendarQueue<u32>> = Engine::with_scheduler(CalendarQueue::new());
         for k in 0..100u32 {
             let t = SimTime(((k as u64) * 7919) % 1000);
             heap.schedule(t, k);

@@ -1,0 +1,226 @@
+//! Deterministic parallel ensemble runner.
+//!
+//! Monte-Carlo ensembles dominate this workspace's wall time: every figure
+//! and sweep runs the same simulation over hundreds of independent seeds
+//! or grid points. Those runs are embarrassingly parallel, but naive
+//! parallelism breaks the repository's core guarantee — byte-identical
+//! output for a given seed, regardless of machine or thread count.
+//!
+//! [`par_map_indexed`] keeps that guarantee by construction:
+//!
+//! * work items are claimed in **chunks from a shared atomic counter**
+//!   (work stealing without queues or locks), so threads never idle while
+//!   work remains;
+//! * each result is tagged with its **input index** and merged back into
+//!   input order, so the output `Vec` is identical to the serial map no
+//!   matter how the chunks interleave;
+//! * each item's computation sees only its own inputs — callers derive
+//!   per-item RNG seeds from the item, never from shared mutable state.
+//!
+//! [`par_map_indexed_with`] adds per-worker scratch state (e.g. a reusable
+//! simulation model) so the hot path allocates once per thread instead of
+//! once per item.
+//!
+//! Worker panics propagate to the caller: `std::thread::scope` re-raises
+//! the first panic after all threads have stopped, and the shared counter
+//! is left past the end so the remaining workers drain quickly.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of chunks each thread should expect to claim on average.
+/// Larger values smooth out uneven item costs; smaller values reduce
+/// contention on the shared counter. Eight is a good middle ground for
+/// ensembles of hundreds of items.
+const CHUNKS_PER_THREAD: usize = 8;
+
+/// Resolve the worker-thread count for an ensemble run.
+///
+/// Order of precedence: an explicit `Some(n)` request, then the
+/// `ROUTESYNC_THREADS` environment variable, then the machine's available
+/// parallelism. Always at least 1.
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    if let Some(n) = requested {
+        return n.max(1);
+    }
+    if let Ok(var) = std::env::var("ROUTESYNC_THREADS") {
+        if let Ok(n) = var.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on up to `threads` worker threads, returning
+/// results in input order — bit-identical to the serial
+/// `items.iter().enumerate().map(..).collect()`.
+///
+/// `f` receives the item's index alongside the item so callers can derive
+/// deterministic per-item seeds. With `threads <= 1` (or one item) the
+/// map runs inline on the calling thread with no thread-pool overhead.
+///
+/// # Panics
+///
+/// If `f` panics for any item, the panic propagates to the caller after
+/// all workers have stopped.
+pub fn par_map_indexed<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_indexed_with(items, threads, || (), move |(), i, item| f(i, item))
+}
+
+/// Like [`par_map_indexed`], but each worker thread first builds scratch
+/// state with `init` and threads it through every item it processes.
+///
+/// This is the zero-allocation hook: a worker can build one simulation
+/// model (heap, buffers, recorder) and reset it per item instead of
+/// reallocating per item. Determinism is unaffected as long as `f`'s
+/// *result* depends only on `(index, item)` — the scratch state must be
+/// fully re-initialised from the item, which `reset`-style APIs enforce.
+pub fn par_map_indexed_with<T, R, S, F, I>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(&mut state, i, item))
+            .collect();
+    }
+
+    let chunk = items.len().div_ceil(threads * CHUNKS_PER_THREAD).max(1);
+    let cursor = AtomicUsize::new(0);
+
+    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            handles.push(scope.spawn(|| {
+                let mut state = init();
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= items.len() {
+                        break;
+                    }
+                    let end = (start + chunk).min(items.len());
+                    local.reserve(end - start);
+                    for (i, item) in items[start..end].iter().enumerate() {
+                        local.push((start + i, f(&mut state, start + i, item)));
+                    }
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            // join() returns Err only when the worker panicked; resume the
+            // panic on the caller (scope waits for the rest first).
+            match handle.join() {
+                Ok(local) => tagged.extend(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    debug_assert_eq!(tagged.len(), items.len());
+    // Merge back into input order. Chunks are contiguous, so an unstable
+    // sort by index is both cheap (mostly-sorted runs) and exact (indices
+    // are unique).
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn matches_serial_map_in_order() {
+        let items: Vec<u64> = (0..503).collect();
+        let serial: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x * 3 + i as u64)
+            .collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let parallel = par_map_indexed(&items, threads, |i, &x| x * 3 + i as u64);
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single_item() {
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(par_map_indexed(&empty, 4, |_, &x| x), Vec::<u32>::new());
+        assert_eq!(par_map_indexed(&[7u32], 4, |i, &x| x + i as u32), vec![7]);
+    }
+
+    #[test]
+    fn uses_all_requested_threads_for_large_inputs() {
+        let items: Vec<u32> = (0..1024).collect();
+        let peak = AtomicUsize::new(0);
+        let live = AtomicUsize::new(0);
+        par_map_indexed(&items, 4, |_, &x| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_micros(50));
+            live.fetch_sub(1, Ordering::SeqCst);
+            x
+        });
+        assert!(peak.load(Ordering::SeqCst) >= 2, "never ran concurrently");
+    }
+
+    #[test]
+    fn worker_state_is_reused_within_a_thread() {
+        let items: Vec<u64> = (0..256).collect();
+        let inits = AtomicUsize::new(0);
+        let out = par_map_indexed_with(
+            &items,
+            4,
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                Vec::<u64>::new()
+            },
+            |scratch, i, &x| {
+                scratch.clear();
+                scratch.extend([x, x + 1]);
+                scratch.iter().sum::<u64>() + i as u64
+            },
+        );
+        assert_eq!(out[10], 10 + 11 + 10);
+        let n = inits.load(Ordering::SeqCst);
+        assert!(n <= 4, "one init per worker at most, got {n}");
+    }
+
+    #[test]
+    fn panics_propagate_to_caller() {
+        let items: Vec<u32> = (0..100).collect();
+        let caught = std::panic::catch_unwind(|| {
+            par_map_indexed(&items, 4, |_, &x| {
+                assert!(x != 37, "injected failure");
+                x
+            })
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn resolve_threads_precedence() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(0)), 1);
+        assert!(resolve_threads(None) >= 1);
+    }
+}

@@ -54,7 +54,10 @@ fn markov_high_region_matches_simulation() {
     let tr = 2.8 * 0.11;
     let c = chain(tr);
     let g_secs = c.g_1() * c.params().seconds_per_round();
-    assert!(g_secs < 1e6, "model: break-up within ~10 hours, got {g_secs}");
+    assert!(
+        g_secs < 1e6,
+        "model: break-up within ~10 hours, got {g_secs}"
+    );
     let mut model = PeriodicModel::new(core_params(tr), StartState::Synchronized, 9);
     let report = model.run_until_cluster_at_most(1, 5e6);
     assert!(report.desynchronized, "{report:?}");
@@ -71,8 +74,7 @@ fn markov_high_region_matches_simulation() {
 #[test]
 fn f2_estimate_matches_paper_reference() {
     let seeds: Vec<u64> = (0..12).collect();
-    let f2 = experiment::estimate_f2_rounds(core_params(0.1), &seeds, 1e6)
-        .expect("pairs form");
+    let f2 = experiment::estimate_f2_rounds(core_params(0.1), &seeds, 1e6).expect("pairs form");
     assert!(
         (4.0..80.0).contains(&f2),
         "f2 = {f2} rounds is far from the paper's 19"
@@ -118,22 +120,14 @@ fn recommended_tr_separates_simulated_behaviour() {
     let params = ChainParams::paper_reference();
     let threshold = PeriodicChain::recommended_tr(&params, 0.5);
     // Below threshold (half of it): stays synchronized for 10^6 s.
-    let mut below = PeriodicModel::new(
-        core_params(threshold * 0.5),
-        StartState::Synchronized,
-        3,
-    );
+    let mut below = PeriodicModel::new(core_params(threshold * 0.5), StartState::Synchronized, 3);
     let r = below.run_until_cluster_at_most(10, 1e6);
     assert!(
         !r.desynchronized,
         "below threshold the cluster should hold: {r:?}"
     );
     // Well above threshold (3x): dissolves completely.
-    let mut above = PeriodicModel::new(
-        core_params(threshold * 3.0),
-        StartState::Synchronized,
-        3,
-    );
+    let mut above = PeriodicModel::new(core_params(threshold * 3.0), StartState::Synchronized, 3);
     let r = above.run_until_cluster_at_most(1, 5e6);
     assert!(r.desynchronized, "above threshold it must dissolve: {r:?}");
 }
@@ -190,7 +184,13 @@ fn netsim_loss_disappears_with_recommended_jitter() {
     cfg.pending_cap = 0;
     cfg.start = TimerStart::Unsynchronized;
     let mut sim = routesync_netsim::NetSim::new(t, cfg, 17);
-    sim.add_ping(a, b, Duration::from_secs_f64(1.01), 400, SimTime::from_secs(5));
+    sim.add_ping(
+        a,
+        b,
+        Duration::from_secs_f64(1.01),
+        400,
+        SimTime::from_secs(5),
+    );
     sim.run_until(SimTime::from_secs(450));
     let stats = sim.ping_stats(a);
     // Jitter does NOT reduce the total loss here — each router's control
@@ -200,13 +200,11 @@ fn netsim_loss_disappears_with_recommended_jitter() {
     // ablation_forwarding experiment.) What jitter removes is the
     // *synchronization*: the long correlated bursts and the 90-second
     // periodicity.
-    let baseline_bursts = routesync_stats::runs_of_loss(
-        &base.sim.ping_stats(base.berkeley).loss_flags(),
-    );
+    let baseline_bursts =
+        routesync_stats::runs_of_loss(&base.sim.ping_stats(base.berkeley).loss_flags());
     let fixed_bursts = routesync_stats::runs_of_loss(&stats.loss_flags());
-    let max_burst = |bs: &[routesync_stats::Outage]| {
-        bs.iter().map(|b| b.packets).max().unwrap_or(0)
-    };
+    let max_burst =
+        |bs: &[routesync_stats::Outage]| bs.iter().map(|b| b.packets).max().unwrap_or(0);
     assert!(
         max_burst(&baseline_bursts) >= 2,
         "synchronized updates drop several pings in a row: {baseline_bursts:?}"

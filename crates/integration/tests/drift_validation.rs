@@ -46,8 +46,7 @@ fn measured_cluster_period(i: usize, tr_ms: u64, seed: u64) -> (f64, f64) {
         "cluster of {i} must persist long enough to measure (got {} resets)",
         resets.len()
     );
-    let mean: f64 =
-        resets.windows(2).map(|w| w[1] - w[0]).sum::<f64>() / (resets.len() - 1) as f64;
+    let mean: f64 = resets.windows(2).map(|w| w[1] - w[0]).sum::<f64>() / (resets.len() - 1) as f64;
     let predicted = tp - tr * (i as f64 - 1.0) / (i as f64 + 1.0) + i as f64 * tc;
     (mean, predicted)
 }
@@ -89,15 +88,14 @@ fn lone_router_period_is_tp_plus_tc_on_average() {
         let resets: Vec<f64> = log
             .groups()
             .iter()
-            .filter(|g| g.1 % 1 == 0 && g.2 == 1)
+            .filter(|g| g.2 == 1)
             .map(|g| g.0.as_secs_f64())
             .collect();
         // All three routers are lone; their resets interleave. Take every
         // third reset (the same router each round, by construction of the
         // phases).
         let mine: Vec<f64> = resets.iter().copied().step_by(3).collect();
-        let mean =
-            mine.windows(2).map(|w| w[1] - w[0]).sum::<f64>() / (mine.len() - 1) as f64;
+        let mean = mine.windows(2).map(|w| w[1] - w[0]).sum::<f64>() / (mine.len() - 1) as f64;
         (mean, 121.11)
     };
     assert!(
@@ -118,8 +116,7 @@ fn relative_drift_matches_the_growth_term() {
     let lone_period = 121.11; // Tp + Tc (verified above)
     let measured_drift = cluster_period - lone_period;
     let tr = tr_ms as f64 / 1000.0;
-    let predicted_drift =
-        (i as f64 - 1.0) * 0.11 - tr * (i as f64 - 1.0) / (i as f64 + 1.0);
+    let predicted_drift = (i as f64 - 1.0) * 0.11 - tr * (i as f64 - 1.0) / (i as f64 + 1.0);
     assert!(
         (measured_drift - predicted_drift).abs() < 0.02,
         "drift {measured_drift:.4} vs {predicted_drift:.4}"

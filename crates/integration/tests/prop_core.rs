@@ -1,9 +1,7 @@
 //! Property tests for the Periodic Messages model's invariants.
 
 use proptest::prelude::*;
-use routesync_core::{
-    ClusterLog, EventLog, PeriodicModel, PeriodicParams, Recorder, StartState,
-};
+use routesync_core::{ClusterLog, EventLog, PeriodicModel, PeriodicParams, Recorder, StartState};
 use routesync_desim::{Duration, SimTime};
 
 /// A recorder asserting structural invariants while the model runs.
@@ -20,7 +18,8 @@ impl Recorder for InvariantChecker {
     fn on_send(&mut self, _t: SimTime, node: usize) {
         self.sends += 1;
         if node >= self.n {
-            self.violations.push(format!("send from unknown node {node}"));
+            self.violations
+                .push(format!("send from unknown node {node}"));
         }
     }
 

@@ -1,9 +1,7 @@
 //! Property tests for the discrete-event engine.
 
 use proptest::prelude::*;
-use routesync_desim::{
-    BinaryHeapScheduler, CalendarQueue, Duration, Scheduler, SimTime,
-};
+use routesync_desim::{BinaryHeapScheduler, CalendarQueue, Duration, Scheduler, SimTime};
 
 proptest! {
     /// The two scheduler implementations are observationally identical on

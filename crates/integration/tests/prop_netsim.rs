@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 use routesync_desim::{Duration, SimTime};
-use routesync_netsim::{
-    DvConfig, ForwardingMode, NetSim, NodeId, RouterConfig, TimerStart, Topology,
-};
+use routesync_netsim::{DvConfig, ForwardingMode, NetSim, NodeId, RouterConfig, Topology};
 
 /// A random connected router topology: a ring of `n` plus `chords` extra
 /// edges, with two hosts hanging off routers `ha` and `hb`.
@@ -35,7 +33,13 @@ fn random_topology(
         let a = (step() % n as u64) as usize;
         let b = (step() % n as u64) as usize;
         if a != b {
-            t.add_link(routers[a], routers[b], Duration::from_millis(2), 1_544_000, 50);
+            t.add_link(
+                routers[a],
+                routers[b],
+                Duration::from_millis(2),
+                1_544_000,
+                50,
+            );
         }
     }
     let ha = t.add_host("ha");

@@ -131,10 +131,7 @@ proptest! {
 fn phenomena_are_deterministic() {
     let tcp = |seed| {
         let mut rng = MinStd::new(seed);
-        let mut b = TcpBottleneck::new(
-            TcpParams::classic(6, DropPolicy::RandomSingle),
-            &mut rng,
-        );
+        let mut b = TcpBottleneck::new(TcpParams::classic(6, DropPolicy::RandomSingle), &mut rng);
         b.run(500, &mut rng)
     };
     assert_eq!(tcp(5), tcp(5));

@@ -144,8 +144,7 @@ impl PeriodicChain {
     /// (large `Tr` makes clusters drift *slower* than they spread).
     pub fn p_grow(params: &ChainParams, i: usize) -> f64 {
         assert!((2..params.n).contains(&i), "growth defined for 2..N-1");
-        let drift = (i as f64 - 1.0) * params.tc
-            - params.tr * (i as f64 - 1.0) / (i as f64 + 1.0);
+        let drift = (i as f64 - 1.0) * params.tc - params.tr * (i as f64 - 1.0) / (i as f64 + 1.0);
         if drift <= 0.0 {
             return 0.0;
         }
@@ -295,7 +294,7 @@ mod tests {
     #[test]
     fn break_probability_matches_eq_1() {
         let p = ChainParams::paper_reference(); // Tc = 0.11, Tr = 0.1
-        // 1 − Tc/(2·Tr) = 1 − 0.55 = 0.45.
+                                                // 1 − Tc/(2·Tr) = 1 − 0.55 = 0.45.
         assert!((PeriodicChain::p_break(&p, 2) - 0.45).abs() < 1e-12);
         assert!((PeriodicChain::p_break(&p, 4) - 0.45f64.powi(3)).abs() < 1e-12);
         // Below the Tr = Tc/2 threshold clusters never shed.
@@ -390,7 +389,10 @@ mod tests {
             PeriodicChain::new(base.with_tr(mult * base.tc)).fraction_unsynchronized(19.0)
         };
         assert!(frac(1.0) < 0.05, "Tr = Tc is predominately synchronized");
-        assert!(frac(2.5) > 0.95, "Tr = 2.5 Tc is predominately unsynchronized");
+        assert!(
+            frac(2.5) > 0.95,
+            "Tr = 2.5 Tc is predominately unsynchronized"
+        );
         // Sharpness: the whole flip happens within that factor-2.5 window,
         // and is monotone across it.
         let mut last = frac(1.0);
@@ -411,9 +413,7 @@ mod tests {
             tc: 0.11,
             tr: 0.3,
         };
-        let frac = |n: usize| {
-            PeriodicChain::new(base.with_n(n)).fraction_unsynchronized(0.0)
-        };
+        let frac = |n: usize| PeriodicChain::new(base.with_n(n)).fraction_unsynchronized(0.0);
         assert!(frac(5) > 0.95, "few routers stay unsynchronized");
         assert!(frac(28) < 0.05, "many routers synchronize");
         // Find the transition width: count n where the fraction is between
@@ -440,11 +440,13 @@ mod tests {
         // always suffices. The solved threshold sits between ~2·Tc and
         // 10·Tc for the reference parameters and far below Tp/2.
         assert!(tr > p.tc, "threshold must exceed Tc (got {tr})");
-        assert!(tr < 10.0 * p.tc, "threshold far below the 10·Tc rule of thumb");
+        assert!(
+            tr < 10.0 * p.tc,
+            "threshold far below the 10·Tc rule of thumb"
+        );
         assert!(tr < p.tp / 2.0);
         // And the recommendation actually achieves the target.
-        let achieved =
-            PeriodicChain::new(p.with_tr(tr)).fraction_unsynchronized(0.0);
+        let achieved = PeriodicChain::new(p.with_tr(tr)).fraction_unsynchronized(0.0);
         assert!(achieved >= 0.95);
     }
 
@@ -452,9 +454,8 @@ mod tests {
     fn region_classification() {
         let base = ChainParams::paper_reference();
         let horizon = 1e7 / base.seconds_per_round(); // the paper's 10^7 s sims
-        let region = |mult: f64| {
-            PeriodicChain::new(base.with_tr(mult * base.tc)).region(19.0, horizon)
-        };
+        let region =
+            |mult: f64| PeriodicChain::new(base.with_tr(mult * base.tc)).region(19.0, horizon);
         assert_eq!(region(0.9), Region::Low);
         assert_eq!(region(4.0), Region::High);
         // Somewhere in between both passages exceed the horizon.

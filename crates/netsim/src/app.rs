@@ -93,10 +93,7 @@ impl PingStats {
     /// autocorrelation ("dropped packets are assigned a roundtrip time of
     /// two seconds").
     pub fn rtt_series(&self, loss_value: f64) -> Vec<f64> {
-        self.rtts
-            .iter()
-            .map(|r| r.unwrap_or(loss_value))
-            .collect()
+        self.rtts.iter().map(|r| r.unwrap_or(loss_value)).collect()
     }
 
     /// Per-probe loss flags (for `routesync_stats::outage::runs_of_loss`).

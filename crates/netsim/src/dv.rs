@@ -409,9 +409,7 @@ impl RoutingTable {
     pub fn gc_due(&mut self, now: SimTime, grace: Duration, infinity: u32) {
         let me = self.me;
         self.routes.retain(|&dst, r| {
-            dst == me
-                || r.metric < infinity
-                || !matches!(r.dead_since, Some(d) if d + grace <= now)
+            dst == me || r.metric < infinity || !matches!(r.dead_since, Some(d) if d + grace <= now)
         });
     }
 
@@ -447,20 +445,30 @@ impl RoutingTable {
         split_horizon: bool,
         infinity: u32,
     ) -> Vec<RouteEntry> {
-        let mut out: Vec<RouteEntry> = self
-            .routes
-            .iter()
-            .map(|(&dst, r)| {
-                let poisoned =
-                    split_horizon && dst != self.me && link_peers.contains(&r.next_hop);
-                RouteEntry {
-                    dst,
-                    metric: if poisoned { infinity } else { r.metric },
-                }
-            })
-            .collect();
-        out.sort_unstable_by_key(|e| e.dst);
+        let mut out = Vec::with_capacity(self.routes.len());
+        self.advertisement_into(link_peers, split_horizon, infinity, &mut out);
         out
+    }
+
+    /// [`RoutingTable::advertisement`] into a caller-supplied buffer, so a
+    /// hot loop can reuse one allocation across links. Appends to `out`
+    /// (callers clear or pre-fill as they see fit).
+    pub fn advertisement_into(
+        &self,
+        link_peers: &[NodeId],
+        split_horizon: bool,
+        infinity: u32,
+        out: &mut Vec<RouteEntry>,
+    ) {
+        let first = out.len();
+        out.extend(self.routes.iter().map(|(&dst, r)| {
+            let poisoned = split_horizon && dst != self.me && link_peers.contains(&r.next_hop);
+            RouteEntry {
+                dst,
+                metric: if poisoned { infinity } else { r.metric },
+            }
+        }));
+        out[first..].sort_unstable_by_key(|e| e.dst);
     }
 }
 
@@ -590,32 +598,14 @@ mod tests {
         t.process_update_with(1, &[RouteEntry { dst: 9, metric: 1 }], now(1), 16, hd);
         assert_eq!(t.metric(9), Some(2));
         // The next hop poisons the route: hold-down starts.
-        assert!(t.process_update_with(
-            1,
-            &[RouteEntry { dst: 9, metric: 16 }],
-            now(10),
-            16,
-            hd
-        ));
+        assert!(t.process_update_with(1, &[RouteEntry { dst: 9, metric: 16 }], now(10), 16, hd));
         assert_eq!(t.lookup(9, 16), None);
         // Node 2 now offers a perfectly good alternative — refused while
         // held down.
-        assert!(!t.process_update_with(
-            2,
-            &[RouteEntry { dst: 9, metric: 1 }],
-            now(20),
-            16,
-            hd
-        ));
+        assert!(!t.process_update_with(2, &[RouteEntry { dst: 9, metric: 1 }], now(20), 16, hd));
         assert_eq!(t.lookup(9, 16), None, "held down");
         // After the hold-down expires the alternative is accepted.
-        assert!(t.process_update_with(
-            2,
-            &[RouteEntry { dst: 9, metric: 1 }],
-            now(300),
-            16,
-            hd
-        ));
+        assert!(t.process_update_with(2, &[RouteEntry { dst: 9, metric: 1 }], now(300), 16, hd));
         assert_eq!(t.lookup(9, 16), Some(2));
     }
 
@@ -627,13 +617,7 @@ mod tests {
         t.process_update_with(1, &[RouteEntry { dst: 9, metric: 1 }], now(1), 16, hd);
         t.process_update_with(1, &[RouteEntry { dst: 9, metric: 16 }], now(10), 16, hd);
         // The same next hop recovering is authoritative even in hold-down.
-        assert!(t.process_update_with(
-            1,
-            &[RouteEntry { dst: 9, metric: 1 }],
-            now(20),
-            16,
-            hd
-        ));
+        assert!(t.process_update_with(1, &[RouteEntry { dst: 9, metric: 1 }], now(20), 16, hd));
         assert_eq!(t.lookup(9, 16), Some(1));
     }
 
@@ -645,20 +629,8 @@ mod tests {
         t.install_direct(2);
         t.process_update_with(1, &[RouteEntry { dst: 9, metric: 1 }], now(1), 16, hd);
         assert!(t.fail_via_with(1, 16, now(50), hd));
-        assert!(!t.process_update_with(
-            2,
-            &[RouteEntry { dst: 9, metric: 1 }],
-            now(60),
-            16,
-            hd
-        ));
-        assert!(t.process_update_with(
-            2,
-            &[RouteEntry { dst: 9, metric: 1 }],
-            now(151),
-            16,
-            hd
-        ));
+        assert!(!t.process_update_with(2, &[RouteEntry { dst: 9, metric: 1 }], now(60), 16, hd));
+        assert!(t.process_update_with(2, &[RouteEntry { dst: 9, metric: 1 }], now(151), 16, hd));
     }
 
     #[test]

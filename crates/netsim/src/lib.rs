@@ -70,5 +70,7 @@ pub mod topology;
 pub use app::{CbrReceiverStats, PingStats};
 pub use dv::{DvConfig, HelloConfig, RouteEntry, RoutingTable};
 pub use packet::{Packet, Payload};
-pub use sim::{Counters, ForwardingMode, NetSim, RouterConfig, TimerStart};
+pub use sim::{
+    run_many, Counters, ForwardingMode, NetSim, PrecomputedRoutes, RouterConfig, TimerStart,
+};
 pub use topology::{LinkId, NodeId, NodeKind, Topology};

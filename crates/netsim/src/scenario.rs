@@ -93,7 +93,9 @@ pub fn mbone_audiocast(seed: u64) -> Audiocast {
     let mut t = Topology::new();
     let source = t.add_host("source");
     let sink = t.add_host("sink");
-    let r: Vec<NodeId> = (0..3).map(|i| t.add_router(format!("tunnel-{i}"))).collect();
+    let r: Vec<NodeId> = (0..3)
+        .map(|i| t.add_router(format!("tunnel-{i}")))
+        .collect();
     let e1 = 2_048_000;
     t.add_link(source, r[0], Duration::from_millis(1), 10_000_000, 50);
     t.add_link(r[0], r[1], Duration::from_millis(10), e1, 50);
@@ -116,11 +118,7 @@ pub fn mbone_audiocast(seed: u64) -> Audiocast {
         record_paths: false,
     };
     let sim = NetSim::new(t, cfg, seed);
-    Audiocast {
-        sim,
-        source,
-        sink,
-    }
+    Audiocast { sim, source, sink }
 }
 
 /// Handles into the shared-LAN scenario (the paper's own DECnet Ethernet).
@@ -296,10 +294,7 @@ mod tests {
             (s(5000), 5),
         ];
         let clusters = cluster_windows(&log, Duration::from_millis(100));
-        assert_eq!(
-            clusters,
-            vec![(s(0), 3), (s(1000), 2), (s(5000), 1)]
-        );
+        assert_eq!(clusters, vec![(s(0), 3), (s(1000), 2), (s(5000), 1)]);
     }
 
     #[test]
@@ -323,11 +318,7 @@ mod tests {
             (s(130), 4),
             (s(130), 5), // cluster of 3 in bucket 1
         ];
-        let series = largest_cluster_series(
-            &log,
-            Duration::from_secs(1),
-            Duration::from_secs(120),
-        );
+        let series = largest_cluster_series(&log, Duration::from_secs(1), Duration::from_secs(120));
         assert_eq!(series, vec![(0, 2), (1, 3)]);
     }
 }

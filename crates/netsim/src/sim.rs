@@ -165,22 +165,51 @@ pub struct NetSim {
     engine: Engine<Ev>,
     nodes: Vec<NodeState>,
     links: Vec<LinkState>,
-    /// In-flight packets, keyed by id carried in `Ev::Arrive` (keeps the
-    /// event type `Copy` and cheap).
-    in_flight: HashMap<u64, Packet>,
-    next_pkt_id: u64,
+    /// In-flight packets: a slab indexed by the id carried in
+    /// `Ev::Arrive` (keeps the event type `Copy` and cheap). Freed slots
+    /// are recycled through `free_slots`, so a steady-state run stops
+    /// allocating here entirely.
+    in_flight: Vec<Option<Packet>>,
+    free_slots: Vec<u64>,
     /// `(neighbor → link)` per node.
     adjacency: Vec<HashMap<NodeId, LinkId>>,
     counters: Counters,
     reset_log: Vec<(SimTime, NodeId)>,
     update_log: Vec<(SimTime, NodeId)>,
     delivered_paths: Vec<(NodeId, Vec<NodeId>)>,
+    /// Reusable scratch (hot-path buffers; always left cleared-or-stale,
+    /// never read across calls).
+    scratch_peers: Vec<NodeId>,
+    scratch_nodes: Vec<NodeId>,
+    scratch_entries: Vec<RouteEntry>,
 }
 
 impl NetSim {
     /// Build a simulator over `topo`. Every router shares `cfg`; `seed`
     /// fixes all randomness.
     pub fn new(topo: Topology, cfg: RouterConfig, seed: u64) -> Self {
+        Self::build(topo, cfg, seed, None)
+    }
+
+    /// Like [`NetSim::new`], but install shortest-path routes from a
+    /// [`PrecomputedRoutes`] computed once for the topology instead of
+    /// re-running the per-destination BFS — the ensemble amortization
+    /// behind [`run_many`]. Ignored unless `cfg.prepopulate` is set.
+    pub fn with_routes(
+        topo: Topology,
+        cfg: RouterConfig,
+        seed: u64,
+        routes: &PrecomputedRoutes,
+    ) -> Self {
+        Self::build(topo, cfg, seed, Some(routes))
+    }
+
+    fn build(
+        topo: Topology,
+        cfg: RouterConfig,
+        seed: u64,
+        routes: Option<&PrecomputedRoutes>,
+    ) -> Self {
         let n = topo.node_count();
         let engine = Engine::new();
         let mut nodes = Vec::with_capacity(n);
@@ -238,16 +267,25 @@ impl NetSim {
             engine,
             nodes,
             links,
-            in_flight: HashMap::new(),
-            next_pkt_id: 0,
+            in_flight: Vec::new(),
+            free_slots: Vec::new(),
             adjacency,
             counters: Counters::default(),
             reset_log: Vec::new(),
             update_log: Vec::new(),
             delivered_paths: Vec::new(),
+            scratch_peers: Vec::new(),
+            scratch_nodes: Vec::new(),
+            scratch_entries: Vec::new(),
         };
         if cfg.prepopulate {
-            sim.prepopulate_routes();
+            match routes {
+                Some(r) => sim.install_routes(r),
+                None => {
+                    let r = PrecomputedRoutes::compute(&sim.topo);
+                    sim.install_routes(&r);
+                }
+            }
         }
         // Arm the routing timers.
         let tp = cfg.dv.jitter.tp();
@@ -274,11 +312,9 @@ impl NetSim {
                             .insert(nb, (SimTime::ZERO, true));
                     }
                 }
-                let first = routesync_rng::dist::UniformDuration::new(
-                    Duration::ZERO,
-                    hello.interval,
-                )
-                .sample(&mut sim.nodes[id].rng);
+                let first =
+                    routesync_rng::dist::UniformDuration::new(Duration::ZERO, hello.interval)
+                        .sample(&mut sim.nodes[id].rng);
                 sim.engine
                     .schedule(SimTime::ZERO + first, Ev::HelloTimer { node: id });
             }
@@ -286,35 +322,11 @@ impl NetSim {
         sim
     }
 
-    /// Install shortest-path (hop count) routes on every router, for
+    /// Install `routes` (shortest-path, hop count) on every router, for
     /// steady-state experiments that should not wait for convergence.
-    /// Hosts can terminate paths but never relay.
-    fn prepopulate_routes(&mut self) {
-        let n = self.topo.node_count();
-        for dst in 0..n {
-            // BFS from the destination; expand only through routers.
-            let mut dist = vec![u32::MAX; n];
-            let mut next_hop = vec![usize::MAX; n];
-            let mut queue = VecDeque::new();
-            dist[dst] = 0;
-            queue.push_back(dst);
-            while let Some(u) = queue.pop_front() {
-                if u != dst && self.topo.kind(u) != NodeKind::Router {
-                    continue; // hosts don't relay
-                }
-                for (v, _) in self.topo.neighbors(u) {
-                    if dist[v] == u32::MAX {
-                        dist[v] = dist[u] + 1;
-                        next_hop[v] = u;
-                        queue.push_back(v);
-                    }
-                }
-            }
-            for r in self.topo.routers() {
-                if r != dst && dist[r] != u32::MAX {
-                    self.nodes[r].table.install(dst, dist[r], next_hop[r]);
-                }
-            }
+    fn install_routes(&mut self, routes: &PrecomputedRoutes) {
+        for &(r, dst, metric, next_hop) in &routes.entries {
+            self.nodes[r].table.install(dst, metric, next_hop);
         }
     }
 
@@ -451,10 +463,10 @@ impl NetSim {
     fn dispatch(&mut self, now: SimTime, ev: Ev) {
         match ev {
             Ev::Arrive { to, pkt_id } => {
-                let pkt = self
-                    .in_flight
-                    .remove(&pkt_id)
+                let pkt = self.in_flight[pkt_id as usize]
+                    .take()
                     .expect("arrival without in-flight packet");
+                self.free_slots.push(pkt_id);
                 self.on_arrive(now, to, pkt);
             }
             Ev::TxDone { link, slot } => self.on_tx_done(now, link, slot),
@@ -482,7 +494,14 @@ impl NetSim {
 
     /// Queue `pkt` for transmission by `from` on `link`. `dst_hint` selects
     /// the receiving node on a broadcast medium (`None` = all attached).
-    fn transmit(&mut self, now: SimTime, from: NodeId, link: LinkId, pkt: Packet, dst_hint: Option<NodeId>) {
+    fn transmit(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        link: LinkId,
+        pkt: Packet,
+        dst_hint: Option<NodeId>,
+    ) {
         if !self.links[link].up {
             self.counters.drop_link_down += 1;
             return;
@@ -522,22 +541,52 @@ impl NetSim {
         let tx_time = l.tx_time(pkt.size);
         let arrive_at = now + tx_time + l.delay;
         let sender = l.nodes[slot];
-        let receivers: Vec<NodeId> = match (l.medium, dst_hint) {
-            (Medium::PointToPoint, _) => vec![l.other_end(sender)],
-            (Medium::Broadcast, Some(d)) => vec![d],
-            (Medium::Broadcast, None) => {
-                l.nodes.iter().copied().filter(|&n| n != sender).collect()
+        let medium = l.medium;
+        match (medium, dst_hint) {
+            (Medium::PointToPoint, _) => {
+                let to = self.topo.link(link).other_end(sender);
+                self.schedule_arrival(arrive_at, to, pkt);
             }
-        };
-        for to in receivers {
-            let id = self.next_pkt_id;
-            self.next_pkt_id += 1;
-            self.in_flight.insert(id, pkt.clone());
-            self.engine.schedule(arrive_at, Ev::Arrive { to, pkt_id: id });
+            (Medium::Broadcast, Some(d)) => self.schedule_arrival(arrive_at, d, pkt),
+            (Medium::Broadcast, None) => {
+                // Every other attached node hears the frame; move the
+                // packet into the last copy instead of cloning it.
+                let count = self.topo.link(link).nodes.len();
+                let mut remaining = count - 1;
+                let mut pkt = Some(pkt);
+                for i in 0..count {
+                    let to = self.topo.link(link).nodes[i];
+                    if to == sender {
+                        continue;
+                    }
+                    remaining -= 1;
+                    let copy = if remaining == 0 {
+                        pkt.take().expect("broadcast packet reused")
+                    } else {
+                        pkt.as_ref().expect("broadcast packet gone").clone()
+                    };
+                    self.schedule_arrival(arrive_at, to, copy);
+                }
+            }
         }
         self.links[link].slots[slot].busy = true;
         self.engine
             .schedule(now + tx_time, Ev::TxDone { link, slot });
+    }
+
+    /// Park `pkt` in the in-flight slab and schedule its arrival.
+    fn schedule_arrival(&mut self, at: SimTime, to: NodeId, pkt: Packet) {
+        let id = match self.free_slots.pop() {
+            Some(id) => {
+                self.in_flight[id as usize] = Some(pkt);
+                id
+            }
+            None => {
+                self.in_flight.push(Some(pkt));
+                (self.in_flight.len() - 1) as u64
+            }
+        };
+        self.engine.schedule(at, Ev::Arrive { to, pkt_id: id });
     }
 
     fn on_tx_done(&mut self, now: SimTime, link: LinkId, slot: usize) {
@@ -562,11 +611,11 @@ impl NetSim {
             }
             return;
         }
-        if let Payload::Routing(ref update) = pkt.payload {
-            if self.nodes[to].kind == NodeKind::Router {
-                self.process_routing(now, to, update.clone());
-            }
+        if let Payload::Routing(update) = pkt.payload {
             // Hosts ignore routing chatter.
+            if self.nodes[to].kind == NodeKind::Router {
+                self.process_routing(now, to, &update);
+            }
             return;
         }
         if pkt.dst == to {
@@ -674,21 +723,20 @@ impl NetSim {
     // Control plane
     // ------------------------------------------------------------------
 
-    fn process_routing(&mut self, now: SimTime, node: NodeId, update: RoutingUpdate) {
+    fn process_routing(&mut self, now: SimTime, node: NodeId, update: &RoutingUpdate) {
         self.counters.updates_processed += 1;
         // CPU cost of digesting the whole update, padding included.
         let cost = self.cfg.cost_per_route * update.entries.len() as u64;
         self.cpu_add(now, node, cost);
+        // Strip the padding entries (out-of-range dst) into the reusable
+        // scratch buffer instead of a fresh Vec per update.
         let n = self.topo.node_count();
-        let real: Vec<RouteEntry> = update
-            .entries
-            .iter()
-            .copied()
-            .filter(|e| e.dst < n)
-            .collect();
+        self.scratch_entries.clear();
+        self.scratch_entries
+            .extend(update.entries.iter().copied().filter(|e| e.dst < n));
         let changed = self.nodes[node].table.process_update_with(
             update.origin,
-            &real,
+            &self.scratch_entries,
             now,
             self.cfg.dv.infinity,
             self.cfg.dv.holddown,
@@ -712,11 +760,9 @@ impl NetSim {
             UpdateMode::PeriodicFullTable => {
                 // Housekeeping at update time: age out stale routes (their
                 // poisoning rides along in this very update).
-                self.nodes[node].table.expire(
-                    now,
-                    self.cfg.dv.route_timeout,
-                    self.cfg.dv.infinity,
-                );
+                self.nodes[node]
+                    .table
+                    .expire(now, self.cfg.dv.route_timeout, self.cfg.dv.infinity);
                 self.nodes[node]
                     .table
                     .gc_due(now, self.cfg.dv.gc_timeout, self.cfg.dv.infinity);
@@ -752,26 +798,30 @@ impl NetSim {
         }
         let pad = self.cfg.dv.advertise_pad;
         // Preparation cost: the whole table once, plus padding.
-        let prep =
-            self.cfg.cost_per_route * (self.nodes[node].table.len() + pad) as u64;
+        let prep = self.cfg.cost_per_route * (self.nodes[node].table.len() + pad) as u64;
         self.cpu_add(now, node, prep);
-        let links: Vec<LinkId> = self.topo.links_of(node).to_vec();
-        for link in links {
+        for li in 0..self.topo.links_of(node).len() {
+            let link = self.topo.links_of(node)[li];
             if !self.links[link].up {
                 continue;
             }
-            let peers: Vec<NodeId> = self
-                .topo
-                .link(link)
-                .nodes
-                .iter()
-                .copied()
-                .filter(|&m| m != node)
-                .collect();
-            let mut entries = self.nodes[node].table.advertisement(
-                &peers,
+            self.scratch_peers.clear();
+            self.scratch_peers.extend(
+                self.topo
+                    .link(link)
+                    .nodes
+                    .iter()
+                    .copied()
+                    .filter(|&m| m != node),
+            );
+            // The entry list is owned by the packet, so an allocation is
+            // inherent — but size it exactly once instead of growing.
+            let mut entries = Vec::with_capacity(self.nodes[node].table.len() + pad);
+            self.nodes[node].table.advertisement_into(
+                &self.scratch_peers,
                 self.cfg.dv.split_horizon,
                 self.cfg.dv.infinity,
+                &mut entries,
             );
             // Padding entries model the ~300-route backbone tables; they
             // carry an out-of-range dst and are filtered by receivers (but
@@ -805,8 +855,8 @@ impl NetSim {
             return;
         };
         // Send hellos on every up link (to all router neighbours).
-        let links: Vec<LinkId> = self.topo.links_of(node).to_vec();
-        for link in links {
+        for li in 0..self.topo.links_of(node).len() {
+            let link = self.topo.links_of(node)[li];
             if !self.links[link].up {
                 continue;
             }
@@ -814,16 +864,22 @@ impl NetSim {
             self.counters.hellos_sent += 1;
             self.transmit(now, node, link, pkt, None);
         }
-        // Declare silent neighbours dead.
+        // Declare silent neighbours dead. The scratch buffer dodges a Vec
+        // per tick; sorting pins down the HashMap's iteration order so the
+        // failure sequence is reproducible.
         let dead_after = hello.dead_after();
-        let silent: Vec<NodeId> = self.nodes[node]
-            .neighbor_liveness
-            .iter()
-            .filter(|&(_, &(last, alive))| alive && last + dead_after <= now)
-            .map(|(&nb, _)| nb)
-            .collect();
+        let mut silent = std::mem::take(&mut self.scratch_nodes);
+        silent.clear();
+        silent.extend(
+            self.nodes[node]
+                .neighbor_liveness
+                .iter()
+                .filter(|&(_, &(last, alive))| alive && last + dead_after <= now)
+                .map(|(&nb, _)| nb),
+        );
+        silent.sort_unstable();
         let mut changed = false;
-        for nb in silent {
+        for &nb in &silent {
             self.nodes[node]
                 .neighbor_liveness
                 .insert(nb, (SimTime::ZERO, false));
@@ -836,6 +892,7 @@ impl NetSim {
                 changed = true;
             }
         }
+        self.scratch_nodes = silent;
         if changed && self.cfg.dv.triggered_updates {
             self.note_change(now, node);
         }
@@ -857,9 +914,7 @@ impl NetSim {
             .neighbor_liveness
             .get(&from)
             .map(|&(_, alive)| alive);
-        self.nodes[node]
-            .neighbor_liveness
-            .insert(from, (now, true));
+        self.nodes[node].neighbor_liveness.insert(from, (now, true));
         if was_alive == Some(false) {
             self.nodes[node].table.install_direct(from);
             if self.cfg.dv.triggered_updates {
@@ -884,8 +939,8 @@ impl NetSim {
     /// routing update — 24 bytes of wire, no route entries, no measurable
     /// CPU at the receiver.
     fn emit_keepalive(&mut self, now: SimTime, node: NodeId) {
-        let links: Vec<LinkId> = self.topo.links_of(node).to_vec();
-        for link in links {
+        for li in 0..self.topo.links_of(node).len() {
+            let link = self.topo.links_of(node)[li];
             if !self.links[link].up {
                 continue;
             }
@@ -979,7 +1034,9 @@ impl NetSim {
                         sent_ns: now.as_nanos(),
                     },
                 );
-                self.nodes[node].ping_stats.note_sent(sent, now.as_secs_f64());
+                self.nodes[node]
+                    .ping_stats
+                    .note_sent(sent, now.as_secs_f64());
                 self.send_from(now, node, pkt);
                 self.nodes[node].app = Some(App::Ping {
                     dst,
@@ -988,8 +1045,7 @@ impl NetSim {
                     sent: sent + 1,
                 });
                 if sent + 1 < count {
-                    self.engine
-                        .schedule(now + interval, Ev::AppTick { node });
+                    self.engine.schedule(now + interval, Ev::AppTick { node });
                 }
             }
             App::Cbr {
@@ -1011,8 +1067,7 @@ impl NetSim {
                     sent: sent + 1,
                 });
                 if sent + 1 < count {
-                    self.engine
-                        .schedule(now + interval, Ev::AppTick { node });
+                    self.engine.schedule(now + interval, Ev::AppTick { node });
                 }
             }
             App::Poisson {
@@ -1050,13 +1105,15 @@ impl NetSim {
             // Failure detection is the hello protocol's job.
             return;
         }
-        let attached: Vec<NodeId> = self.topo.link(link).nodes.clone();
-        for &r in &attached {
+        let attached = self.topo.link(link).nodes.len();
+        for ri in 0..attached {
+            let r = self.topo.link(link).nodes[ri];
             if self.topo.kind(r) != NodeKind::Router {
                 continue;
             }
             let mut changed = false;
-            for &m in &attached {
+            for mi in 0..attached {
+                let m = self.topo.link(link).nodes[mi];
                 if m != r
                     && self.nodes[r].table.fail_via_with(
                         m,
@@ -1083,18 +1140,163 @@ impl NetSim {
             // Adjacencies come back when hellos resume.
             return;
         }
-        let attached: Vec<NodeId> = self.topo.link(link).nodes.clone();
-        for &r in &attached {
+        let attached = self.topo.link(link).nodes.len();
+        for ri in 0..attached {
+            let r = self.topo.link(link).nodes[ri];
             if self.topo.kind(r) != NodeKind::Router {
                 continue;
             }
-            for &m in &attached {
+            for mi in 0..attached {
+                let m = self.topo.link(link).nodes[mi];
                 if m != r {
                     self.nodes[r].table.install_direct(m);
                 }
             }
             if self.cfg.dv.triggered_updates {
                 self.note_change(now, r);
+            }
+        }
+    }
+}
+
+/// Shortest-path (hop count) routes for a topology, computed once and
+/// installable on any number of simulators over the same topology — see
+/// [`NetSim::with_routes`] and [`run_many`]. Hosts can terminate paths but
+/// never relay.
+#[derive(Debug, Clone)]
+pub struct PrecomputedRoutes {
+    /// `(router, dst, metric, next_hop)` install tuples.
+    entries: Vec<(NodeId, NodeId, u32, NodeId)>,
+}
+
+impl PrecomputedRoutes {
+    /// Run the per-destination BFS over `topo` (buffers reused across
+    /// destinations).
+    pub fn compute(topo: &Topology) -> Self {
+        let n = topo.node_count();
+        let routers = topo.routers();
+        let mut entries = Vec::new();
+        let mut dist = vec![u32::MAX; n];
+        let mut next_hop = vec![usize::MAX; n];
+        let mut queue = VecDeque::with_capacity(n);
+        for dst in 0..n {
+            dist.iter_mut().for_each(|d| *d = u32::MAX);
+            next_hop.iter_mut().for_each(|h| *h = usize::MAX);
+            queue.clear();
+            // BFS from the destination; expand only through routers.
+            dist[dst] = 0;
+            queue.push_back(dst);
+            while let Some(u) = queue.pop_front() {
+                if u != dst && topo.kind(u) != NodeKind::Router {
+                    continue; // hosts don't relay
+                }
+                for (v, _) in topo.neighbors(u) {
+                    if dist[v] == u32::MAX {
+                        dist[v] = dist[u] + 1;
+                        next_hop[v] = u;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            for &r in &routers {
+                if r != dst && dist[r] != u32::MAX {
+                    entries.push((r, dst, dist[r], next_hop[r]));
+                }
+            }
+        }
+        PrecomputedRoutes { entries }
+    }
+}
+
+/// Run one simulation per seed, in parallel, amortizing the per-run setup:
+/// the shortest-path BFS runs once for the whole ensemble and the topology
+/// is cloned (not rebuilt) per run. `threads ≤ 1` runs serially; any
+/// thread count produces the results in seed order, bit-identical to the
+/// serial run (see `routesync-exec`).
+///
+/// `build_and_run` gets a fresh simulator plus its seed, attaches traffic,
+/// runs it, and returns whatever measurement the caller wants.
+pub fn run_many<R: Send>(
+    topo: &Topology,
+    cfg: RouterConfig,
+    seeds: &[u64],
+    threads: usize,
+    build_and_run: impl Fn(NetSim, u64) -> R + Sync,
+) -> Vec<R> {
+    let routes = if cfg.prepopulate {
+        Some(PrecomputedRoutes::compute(topo))
+    } else {
+        None
+    };
+    let routes = &routes;
+    routesync_exec::par_map_indexed(seeds, threads, move |_, &seed| {
+        let sim = match routes {
+            Some(r) => NetSim::with_routes(topo.clone(), cfg, seed, r),
+            None => NetSim::new(topo.clone(), cfg, seed),
+        };
+        build_and_run(sim, seed)
+    })
+}
+
+#[cfg(test)]
+mod ensemble_tests {
+    use super::*;
+    use crate::dv::DvConfig;
+
+    fn chain() -> Topology {
+        let mut t = Topology::new();
+        let a = t.add_host("a");
+        let r0 = t.add_router("r0");
+        let r1 = t.add_router("r1");
+        let b = t.add_host("b");
+        t.add_link(a, r0, Duration::from_millis(1), 10_000_000, 50);
+        t.add_link(r0, r1, Duration::from_millis(10), 1_544_000, 50);
+        t.add_link(r1, b, Duration::from_millis(1), 10_000_000, 50);
+        t
+    }
+
+    fn measure(mut sim: NetSim, _seed: u64) -> (Counters, usize) {
+        sim.add_ping(
+            0,
+            3,
+            Duration::from_secs_f64(1.01),
+            20,
+            SimTime::from_secs(1),
+        );
+        sim.run_until(SimTime::from_secs(60));
+        (sim.counters().clone(), sim.ping_stats(0).lost())
+    }
+
+    #[test]
+    fn run_many_matches_fresh_sims_at_any_thread_count() {
+        let topo = chain();
+        let cfg = RouterConfig::new(DvConfig::rip());
+        let seeds: Vec<u64> = (0..6).collect();
+        // Reference: a fresh simulator per seed, no sharing at all.
+        let fresh: Vec<(Counters, usize)> = seeds
+            .iter()
+            .map(|&s| measure(NetSim::new(topo.clone(), cfg, s), s))
+            .collect();
+        for threads in [1, 2, 4] {
+            let got = run_many(&topo, cfg, &seeds, threads, measure);
+            assert_eq!(got, fresh, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn precomputed_routes_match_the_builtin_bfs() {
+        let topo = chain();
+        let cfg = RouterConfig::new(DvConfig::rip());
+        let routes = PrecomputedRoutes::compute(&topo);
+        let plain = NetSim::new(topo.clone(), cfg, 9);
+        let shared = NetSim::with_routes(topo, cfg, 9, &routes);
+        for r in [1usize, 2] {
+            for dst in 0..4 {
+                assert_eq!(
+                    plain.table(r).metric(dst),
+                    shared.table(r).metric(dst),
+                    "router {r} dst {dst}"
+                );
             }
         }
     }

@@ -5,7 +5,6 @@ use routesync_netsim::scenario;
 use routesync_netsim::{
     DvConfig, ForwardingMode, NetSim, NodeId, RouterConfig, TimerStart, Topology,
 };
-use routesync_rng::JitterPolicy;
 
 /// host — r0 — r1 — host chain with known delays.
 fn chain() -> (Topology, NodeId, NodeId, NodeId, NodeId) {
@@ -38,7 +37,13 @@ fn quiet_config() -> RouterConfig {
 fn ping_round_trip_time_matches_path_delay() {
     let (t, a, b, _, _) = chain();
     let mut sim = NetSim::new(t, quiet_config(), 1);
-    sim.add_ping(a, b, Duration::from_secs_f64(1.01), 10, SimTime::from_secs(1));
+    sim.add_ping(
+        a,
+        b,
+        Duration::from_secs_f64(1.01),
+        10,
+        SimTime::from_secs(1),
+    );
     sim.run_until(SimTime::from_secs(60));
     let stats = sim.ping_stats(a);
     assert_eq!(stats.sent(), 10);
@@ -65,7 +70,13 @@ fn routing_protocol_converges_without_prepopulation() {
     assert_eq!(sim.table(r1).lookup(a, 16), Some(r0));
     assert_eq!(sim.table(r0).metric(b), Some(2));
     // And pings flow after convergence.
-    sim.add_ping(a, b, Duration::from_secs_f64(1.01), 5, SimTime::from_secs(121));
+    sim.add_ping(
+        a,
+        b,
+        Duration::from_secs_f64(1.01),
+        5,
+        SimTime::from_secs(121),
+    );
     sim.run_until(SimTime::from_secs(180));
     assert_eq!(sim.ping_stats(a).lost(), 0);
 }
@@ -116,7 +127,13 @@ fn concurrent_forwarding_eliminates_update_loss() {
         record_paths: false,
     };
     let mut sim = NetSim::new(t.clone(), cfg, 5);
-    sim.add_ping(a, b, Duration::from_secs_f64(1.01), 400, SimTime::from_secs(5));
+    sim.add_ping(
+        a,
+        b,
+        Duration::from_secs_f64(1.01),
+        400,
+        SimTime::from_secs(5),
+    );
     sim.run_until(SimTime::from_secs(450));
     assert_eq!(
         sim.ping_stats(a).lost(),
@@ -128,7 +145,13 @@ fn concurrent_forwarding_eliminates_update_loss() {
     // Flip only the forwarding mode: losses appear.
     cfg.forwarding = ForwardingMode::BlockedDuringUpdates;
     let mut sim = NetSim::new(t, cfg, 5);
-    sim.add_ping(a, b, Duration::from_secs_f64(1.01), 400, SimTime::from_secs(5));
+    sim.add_ping(
+        a,
+        b,
+        Duration::from_secs_f64(1.01),
+        400,
+        SimTime::from_secs(5),
+    );
     sim.run_until(SimTime::from_secs(450));
     assert!(sim.ping_stats(a).lost() > 0);
 }
@@ -185,7 +208,7 @@ fn audio_outages_recur_every_rip_period() {
     assert!(big.len() >= 3, "need several big spikes: {outages:?}");
     let mut events: Vec<f64> = Vec::new();
     for o in &big {
-        if events.last().map_or(true, |&e| o.start - e > 5.0) {
+        if events.last().is_none_or(|&e| o.start - e > 5.0) {
             events.push(o.start);
         }
     }
@@ -222,7 +245,13 @@ fn link_failure_triggers_updates_and_reroute() {
     // RIP converges on the alternate path only when r2's next periodic
     // update (t = 30 s) advertises it — triggered updates carry the *bad*
     // news, the periodic cycle carries the good news. Probe after that.
-    sim.add_ping(a, b, Duration::from_secs_f64(1.01), 20, SimTime::from_secs(32));
+    sim.add_ping(
+        a,
+        b,
+        Duration::from_secs_f64(1.01),
+        20,
+        SimTime::from_secs(32),
+    );
     sim.run_until(SimTime::from_secs(80));
     assert_eq!(sim.table(r0).lookup(b, 16), Some(r2), "rerouted via r2");
     let stats = sim.ping_stats(a);
@@ -254,7 +283,13 @@ fn link_failure_blackholes_until_the_periodic_cycle() {
     cfg.forwarding = ForwardingMode::Concurrent;
     let mut sim = NetSim::new(t, cfg, 11);
     sim.schedule_link_down(main, SimTime::from_secs(10));
-    sim.add_ping(a, b, Duration::from_secs_f64(1.01), 10, SimTime::from_secs(12));
+    sim.add_ping(
+        a,
+        b,
+        Duration::from_secs_f64(1.01),
+        10,
+        SimTime::from_secs(12),
+    );
     sim.run_until(SimTime::from_secs(29));
     assert_eq!(
         sim.ping_stats(a).lost(),
@@ -270,12 +305,7 @@ fn lan_routers_with_small_jitter_stay_synchronized() {
     // component far below the break-up threshold: the packet-level system
     // stays locked, exactly like the abstract model and the paper's
     // DECnet/IGRP observations.
-    let mut l = scenario::lan(
-        8,
-        Duration::from_millis(50),
-        TimerStart::Synchronized,
-        21,
-    );
+    let mut l = scenario::lan(8, Duration::from_millis(50), TimerStart::Synchronized, 21);
     l.sim.run_until(SimTime::from_secs(150_000));
     let tail: Vec<_> = l
         .sim
@@ -296,12 +326,7 @@ fn lan_routers_with_small_jitter_stay_synchronized() {
 #[test]
 fn lan_routers_with_half_period_jitter_stay_unsynchronized() {
     // The paper's recommended fix: Tr = Tp/2.
-    let mut l = scenario::lan(
-        8,
-        Duration::from_secs(60),
-        TimerStart::Unsynchronized,
-        22,
-    );
+    let mut l = scenario::lan(8, Duration::from_secs(60), TimerStart::Unsynchronized, 22);
     l.sim.run_until(SimTime::from_secs(150_000));
     let tail: Vec<_> = l
         .sim
@@ -323,7 +348,13 @@ fn lan_routers_with_half_period_jitter_stay_unsynchronized() {
 fn counters_are_consistent() {
     let (t, a, b, _, _) = chain();
     let mut sim = NetSim::new(t, quiet_config(), 2);
-    sim.add_ping(a, b, Duration::from_secs_f64(1.01), 50, SimTime::from_secs(1));
+    sim.add_ping(
+        a,
+        b,
+        Duration::from_secs_f64(1.01),
+        50,
+        SimTime::from_secs(1),
+    );
     sim.run_until(SimTime::from_secs(120));
     let c = sim.counters();
     // 50 pings + 50 pongs locally originated.
@@ -334,7 +365,7 @@ fn counters_are_consistent() {
     assert_eq!(c.forwarded, 200);
     assert_eq!(c.drop_no_route + c.drop_queue + c.drop_link_down, 0);
     assert!(c.updates_sent > 0);
-    assert_eq!(c.updates_processed > 0, true);
+    assert!(c.updates_processed > 0);
 }
 
 #[test]
@@ -399,9 +430,9 @@ fn count_to_infinity_without_split_horizon() {
         cfg.dv = DvConfig::rip();
         cfg.dv.split_horizon = split_horizon;
         cfg.dv.triggered_updates = false; // isolate the periodic bounce
-        // Synchronized updates make the two routers' advertisements cross
-        // in flight every round — the deterministic worst case for
-        // counting to infinity.
+                                          // Synchronized updates make the two routers' advertisements cross
+                                          // in flight every round — the deterministic worst case for
+                                          // counting to infinity.
         cfg.start = TimerStart::Synchronized;
         let mut sim = NetSim::new(t, cfg, 13);
         sim.schedule_link_down(al, SimTime::from_secs(35));
@@ -412,7 +443,11 @@ fn count_to_infinity_without_split_horizon() {
     // dead route back to r0, so both converge within ~2 periods.
     let (mut sim, a, r0, _r1) = build(true);
     sim.run_until(SimTime::from_secs(100));
-    assert_eq!(sim.table(r0).lookup(a, 16), None, "split horizon converges fast");
+    assert_eq!(
+        sim.table(r0).lookup(a, 16),
+        None,
+        "split horizon converges fast"
+    );
 
     // Without split horizon: the crossing advertisements keep reviving the
     // dead route with a metric one hop worse each round — the count climbs
@@ -466,15 +501,17 @@ fn ping_loss_periodicity_confirmed_in_frequency_domain() {
     );
     n.sim.run_until(SimTime::from_secs(1100));
     let series = n.sim.ping_stats(n.berkeley).rtt_series(2.0);
-    let period = routesync_stats::dominant_period(&series, 30.0, 130.0)
-        .expect("spectrum defined");
+    let period = routesync_stats::dominant_period(&series, 30.0, 130.0).expect("spectrum defined");
     assert!(
         (80.0..100.0).contains(&period),
         "dominant period {period} samples should sit near 89"
     );
-    let snr = routesync_stats::periodogram::peak_to_median_power(&series, 30.0, 130.0)
-        .expect("defined");
-    assert!(snr > 20.0, "the line should stand far above the noise: {snr}");
+    let snr =
+        routesync_stats::periodogram::peak_to_median_power(&series, 30.0, 130.0).expect("defined");
+    assert!(
+        snr > 20.0,
+        "the line should stand far above the noise: {snr}"
+    );
 }
 
 #[test]
@@ -521,7 +558,13 @@ fn ttl_kills_packets_caught_in_a_routing_loop() {
     // The mutually inconsistent state a transient loop leaves behind.
     sim.install_route(r0, a, 3, r1);
     sim.install_route(r1, a, 2, r0);
-    sim.add_ping(b, a, Duration::from_secs_f64(1.01), 10, SimTime::from_secs(5));
+    sim.add_ping(
+        b,
+        a,
+        Duration::from_secs_f64(1.01),
+        10,
+        SimTime::from_secs(5),
+    );
     sim.run_until(SimTime::from_secs(60));
     let c = sim.counters();
     assert!(c.drop_ttl >= 10, "looping packets must die by TTL: {c:?}");
@@ -567,7 +610,10 @@ fn hello_protocol_detects_failure_within_the_dead_interval() {
         "detection must not be instantaneous"
     );
     sim.run_until(SimTime::from_secs(160));
-    assert!(!sim.neighbor_alive(r0, r1), "silence must kill the adjacency");
+    assert!(
+        !sim.neighbor_alive(r0, r1),
+        "silence must kill the adjacency"
+    );
     // And the failure propagated into routing: b is now reached via r2.
     sim.run_until(SimTime::from_secs(220));
     assert_eq!(sim.table(r0).lookup(b, 16), Some(r2));
@@ -576,7 +622,10 @@ fn hello_protocol_detects_failure_within_the_dead_interval() {
     // route) come back.
     sim.schedule_link_up(main, SimTime::from_secs(220));
     sim.run_until(SimTime::from_secs(300));
-    assert!(sim.neighbor_alive(r0, r1), "hellos must resurrect the adjacency");
+    assert!(
+        sim.neighbor_alive(r0, r1),
+        "hellos must resurrect the adjacency"
+    );
     assert_eq!(sim.table(r0).metric(r1), Some(1));
 }
 
@@ -588,7 +637,13 @@ fn hello_protocol_is_quiet_about_healthy_links() {
     cfg.dv = DvConfig::rip().with_hello(HelloConfig::standard());
     cfg.forwarding = ForwardingMode::Concurrent;
     let mut sim = NetSim::new(t, cfg, 29);
-    sim.add_ping(a, b, Duration::from_secs_f64(1.01), 20, SimTime::from_secs(5));
+    sim.add_ping(
+        a,
+        b,
+        Duration::from_secs_f64(1.01),
+        20,
+        SimTime::from_secs(5),
+    );
     sim.run_until(SimTime::from_secs(120));
     // No false positives, no data impact.
     assert!(sim.neighbor_alive(r0, r1));
@@ -616,7 +671,13 @@ fn pending_queue_delays_instead_of_dropping() {
     let mut cfg = RouterConfig::new(DvConfig::igrp().with_pad(280));
     cfg.pending_cap = 50; // deep queue: nothing dropped, everything waits
     let mut sim = NetSim::new(t, cfg, 31);
-    sim.add_ping(a, b, Duration::from_secs_f64(1.01), 200, SimTime::from_secs(5));
+    sim.add_ping(
+        a,
+        b,
+        Duration::from_secs_f64(1.01),
+        200,
+        SimTime::from_secs(5),
+    );
     sim.run_until(SimTime::from_secs(240));
     let stats = sim.ping_stats(a);
     assert_eq!(stats.lost(), 0, "a deep queue must not drop");
@@ -682,7 +743,11 @@ fn dead_router_routes_age_out_and_are_garbage_collected() {
     // infinity — so r0's route dies at the next periodic exchange, and is
     // GC'd from the table at r0's following timer tick.
     sim.run_until(SimTime::from_secs(200));
-    assert_eq!(sim.table(r0).lookup(r2, 16), None, "poisoned via periodic updates");
+    assert_eq!(
+        sim.table(r0).lookup(r2, 16),
+        None,
+        "poisoned via periodic updates"
+    );
     sim.run_until(SimTime::from_secs(400));
     assert!(
         sim.table(r0).metric(r2).is_none(),
@@ -718,10 +783,19 @@ fn background_load_overflows_link_queues() {
         SimTime::from_secs(60),
         SimTime::from_secs(1),
     );
-    sim.add_ping(a, b, Duration::from_secs_f64(1.01), 40, SimTime::from_secs(2));
+    sim.add_ping(
+        a,
+        b,
+        Duration::from_secs_f64(1.01),
+        40,
+        SimTime::from_secs(2),
+    );
     sim.run_until(SimTime::from_secs(70));
     let c = sim.counters();
-    assert!(c.drop_queue > 0, "the bottleneck queue must overflow: {c:?}");
+    assert!(
+        c.drop_queue > 0,
+        "the bottleneck queue must overflow: {c:?}"
+    );
     // The pings that survive crossed a standing queue: median RTT well
     // above the unloaded ~24 ms.
     let rtts: Vec<f64> = sim.ping_stats(a).rtts.iter().flatten().copied().collect();
@@ -752,7 +826,13 @@ fn incremental_mode_converges_then_stays_quiet() {
     assert_eq!(sim.table(r1).lookup(a, 16), Some(r0));
     // Keepalives carry no entries: pings sail through even in blocked
     // mode with synchronized-ish timers.
-    sim.add_ping(a, b, Duration::from_secs_f64(1.01), 100, SimTime::from_secs(131));
+    sim.add_ping(
+        a,
+        b,
+        Duration::from_secs_f64(1.01),
+        100,
+        SimTime::from_secs(131),
+    );
     sim.run_until(SimTime::from_secs(260));
     assert_eq!(sim.ping_stats(a).lost(), 0, "{:?}", sim.counters());
     assert_eq!(sim.counters().drop_cpu, 0);
@@ -787,7 +867,13 @@ fn incremental_mode_avoids_the_periodic_loss_pathology() {
         let mut cfg = RouterConfig::new(dv);
         cfg.pending_cap = 0;
         let mut sim = NetSim::new(t, cfg, 47);
-        sim.add_ping(a, b, Duration::from_secs_f64(1.01), 400, SimTime::from_secs(95));
+        sim.add_ping(
+            a,
+            b,
+            Duration::from_secs_f64(1.01),
+            400,
+            SimTime::from_secs(95),
+        );
         sim.run_until(SimTime::from_secs(520));
         sim.ping_stats(a).loss_rate()
     };

@@ -148,11 +148,9 @@ impl ClientServerModel {
         let mut engine = Engine::new();
         let poll_gen = vec![TokenGen::new(); params.clients];
         for (c, gen) in poll_gen.iter().enumerate() {
-            let phase = routesync_rng::dist::UniformDuration::new(
-                Duration::ZERO,
-                params.poll_period,
-            )
-            .sample(&mut rng);
+            let phase =
+                routesync_rng::dist::UniformDuration::new(Duration::ZERO, params.poll_period)
+                    .sample(&mut rng);
             engine.schedule(
                 SimTime::ZERO + phase,
                 Ev::Poll {
@@ -219,10 +217,8 @@ impl ClientServerModel {
 
     fn arm_timeout(&mut self, now: SimTime, client: usize) {
         let gen = self.timeout_gen[client].bump();
-        self.engine.schedule(
-            now + self.params.reply_timeout,
-            Ev::Timeout { client, gen },
-        );
+        self.engine
+            .schedule(now + self.params.reply_timeout, Ev::Timeout { client, gen });
     }
 
     fn on_poll(&mut self, now: SimTime, client: usize) {
@@ -250,10 +246,8 @@ impl ClientServerModel {
                 self.first_reply_post[client] = Some(now);
             }
             let gen = self.poll_gen[client].bump();
-            self.engine.schedule(
-                now + self.params.poll_period,
-                Ev::Poll { client, gen },
-            );
+            self.engine
+                .schedule(now + self.params.poll_period, Ev::Poll { client, gen });
         }
         if !self.queue.is_empty() {
             self.engine
@@ -320,9 +314,7 @@ impl ClientServerModel {
         }
         let synchronized_waves = waves
             .values()
-            .filter(|&&(count, unserved)| {
-                count >= 5 && unserved > 0 && count * 2 >= unserved
-            })
+            .filter(|&&(count, unserved)| count >= 5 && unserved > 0 && count * 2 >= unserved)
             .count();
         StormReport {
             recovery_secs: recovery,
@@ -345,8 +337,7 @@ mod tests {
 
     #[test]
     fn no_failure_means_no_storm() {
-        let mut params =
-            ClientServerParams::sprite(30, ClientServerParams::fixed_retry());
+        let mut params = ClientServerParams::sprite(30, ClientServerParams::fixed_retry());
         params.fail_from = SimTime::from_secs(100);
         params.fail_until = SimTime(params.fail_from.as_nanos() + 1);
         let mut model = ClientServerModel::new(params, 1);

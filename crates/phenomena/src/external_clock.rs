@@ -207,7 +207,7 @@ mod tests {
             // noise can push the last firings past the final bin edge;
             // allow that sliver.
             assert!(
-                total >= 200 * 24 - 200 && total <= 200 * 24,
+                (200 * 24 - 200..=200 * 24).contains(&total),
                 "{alignment:?}: {total}"
             );
         }

@@ -314,19 +314,16 @@ mod spectral_tests {
         let tail = aggregate(DropPolicy::TailDrop);
         // The synchronized sawtooth halves everyone from ~250 to ~125 and
         // regrows by 8/RTT: a cycle of ~15-16 RTTs.
-        let period = routesync_stats::dominant_period(&tail, 4.0, 100.0)
-            .expect("spectrum defined");
+        let period = routesync_stats::dominant_period(&tail, 4.0, 100.0).expect("spectrum defined");
         assert!(
             (8.0..40.0).contains(&period),
             "sawtooth period {period} RTTs out of range"
         );
         let snr_tail =
-            routesync_stats::periodogram::peak_to_median_power(&tail, 4.0, 100.0)
-                .expect("defined");
+            routesync_stats::periodogram::peak_to_median_power(&tail, 4.0, 100.0).expect("defined");
         let rand = aggregate(DropPolicy::RandomSingle);
         let snr_rand =
-            routesync_stats::periodogram::peak_to_median_power(&rand, 4.0, 100.0)
-                .expect("defined");
+            routesync_stats::periodogram::peak_to_median_power(&rand, 4.0, 100.0).expect("defined");
         assert!(
             snr_tail > 3.0 * snr_rand,
             "tail-drop line ({snr_tail:.1}) must dwarf random-drop ({snr_rand:.1})"

@@ -170,10 +170,7 @@ mod tests {
     #[test]
     fn uniform_duration_stays_in_bounds_and_hits_them() {
         let mut g = rng();
-        let d = UniformDuration::centered(
-            Duration::from_secs(121),
-            Duration::from_millis(100),
-        );
+        let d = UniformDuration::centered(Duration::from_secs(121), Duration::from_millis(100));
         let lo = Duration::from_secs_f64(120.9);
         let hi = Duration::from_secs_f64(121.1);
         let mut min = Duration::MAX;

@@ -112,9 +112,7 @@ impl JitterPolicy {
     pub fn sample(&self, rng: &mut impl RngCore) -> Duration {
         match *self {
             JitterPolicy::None { tp } => tp,
-            JitterPolicy::Uniform { tp, tr } => {
-                UniformDuration::centered(tp, tr).sample(rng)
-            }
+            JitterPolicy::Uniform { tp, tr } => UniformDuration::centered(tp, tr).sample(rng),
             JitterPolicy::UniformHalf { tp } => {
                 UniformDuration::new(tp / 2, tp + tp / 2).sample(rng)
             }

@@ -282,7 +282,7 @@ mod tests {
         let mut g = MinStd::new(12345);
         for _ in 0..100_000 {
             let x = g.next();
-            assert!(x >= 1 && x < MODULUS);
+            assert!((1..MODULUS).contains(&x));
         }
     }
 

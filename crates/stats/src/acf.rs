@@ -119,7 +119,9 @@ mod tests {
 
     #[test]
     fn alternating_series_has_negative_lag1() {
-        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let acf = autocorrelation(&xs, 2);
         assert!(acf[1] < -0.9);
         assert!(acf[2] > 0.9);

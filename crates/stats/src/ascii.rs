@@ -80,10 +80,7 @@ pub fn bars(rows: &[(String, f64)], width: usize) -> String {
     let mut out = String::new();
     for (label, v) in rows {
         let n = ((v / max) * width as f64).round() as usize;
-        out.push_str(&format!(
-            "{label:>label_w$} │{} {v:.4}\n",
-            "█".repeat(n),
-        ));
+        out.push_str(&format!("{label:>label_w$} │{} {v:.4}\n", "█".repeat(n),));
     }
     out
 }
@@ -128,10 +125,7 @@ mod tests {
 
     #[test]
     fn bars_scale_to_max() {
-        let rows = vec![
-            ("small".to_string(), 1.0),
-            ("big".to_string(), 4.0),
-        ];
+        let rows = vec![("small".to_string(), 1.0), ("big".to_string(), 4.0)];
         let plot = bars(&rows, 20);
         let small_len = plot.lines().next().unwrap().matches('█').count();
         let big_len = plot.lines().nth(1).unwrap().matches('█').count();

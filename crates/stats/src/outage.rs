@@ -92,7 +92,10 @@ pub fn loss_rate(lost: &[bool]) -> f64 {
 /// starts — periodic routing-update damage shows up as a tight cluster of
 /// inter-outage gaps at the update period.
 pub fn inter_outage_gaps(outages: &[Outage]) -> Vec<f64> {
-    outages.windows(2).map(|w| w[1].start - w[0].start).collect()
+    outages
+        .windows(2)
+        .map(|w| w[1].start - w[0].start)
+        .collect()
 }
 
 #[cfg(test)]

@@ -40,11 +40,7 @@ pub fn periodogram(xs: &[f64]) -> Vec<(f64, f64)> {
 /// The period (in samples) with the most spectral power, restricted to
 /// periods in `[min_period, max_period]`. `None` when the spectrum is
 /// empty or no frequency falls in the window.
-pub fn dominant_period(
-    xs: &[f64],
-    min_period: f64,
-    max_period: f64,
-) -> Option<f64> {
+pub fn dominant_period(xs: &[f64], min_period: f64, max_period: f64) -> Option<f64> {
     assert!(min_period > 0.0 && max_period >= min_period, "bad window");
     let spec = periodogram(xs);
     spec.iter()
@@ -59,11 +55,7 @@ pub fn dominant_period(
 /// Ratio of the peak power in the window to the median power over the
 /// whole spectrum — a crude signal-to-noise figure for "is there a real
 /// periodicity here?". `None` when undefined.
-pub fn peak_to_median_power(
-    xs: &[f64],
-    min_period: f64,
-    max_period: f64,
-) -> Option<f64> {
+pub fn peak_to_median_power(xs: &[f64], min_period: f64, max_period: f64) -> Option<f64> {
     let spec = periodogram(xs);
     if spec.is_empty() {
         return None;

@@ -33,10 +33,7 @@ pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
     if sxx == 0.0 {
         return None;
     }
-    let sxy: f64 = points
-        .iter()
-        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
-        .sum();
+    let sxy: f64 = points.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
     let syy: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();

@@ -19,17 +19,18 @@ use routesync::netsim::scenario;
 use routesync::netsim::TimerStart;
 
 fn abstract_model(tr: Duration) -> u32 {
-    let params = PeriodicParams::new(
-        8,
-        Duration::from_secs(120),
-        Duration::from_millis(110),
-        tr,
-    );
+    let params = PeriodicParams::new(8, Duration::from_secs(120), Duration::from_millis(110), tr);
     let mut model = PeriodicModel::new(params, StartState::Synchronized, 42);
     let mut log = ClusterLog::new();
     model.run(SimTime::from_secs(150_000), &mut log);
     // Largest cluster over the final 50 groups.
-    log.groups().iter().rev().take(50).map(|g| g.2).max().unwrap_or(0)
+    log.groups()
+        .iter()
+        .rev()
+        .take(50)
+        .map(|g| g.2)
+        .max()
+        .unwrap_or(0)
 }
 
 fn packet_model(tr: Duration) -> usize {

@@ -22,7 +22,8 @@ fn main() {
     n.sim.run_until(SimTime::from_secs(1100));
     let stats = n.sim.ping_stats(n.berkeley);
 
-    println!("ping berkeley -> mit: {} probes, {} lost ({:.1}% loss)",
+    println!(
+        "ping berkeley -> mit: {} probes, {} lost ({:.1}% loss)",
         stats.sent(),
         stats.lost(),
         stats.loss_rate() * 100.0
@@ -45,7 +46,11 @@ fn main() {
     let series = stats.rtt_series(2.0);
     let acf = autocorrelation(&series, 200);
     println!("\nFigure 2 — autocorrelation of RTTs (drops := 2 s):");
-    let acf_pts: Vec<(f64, f64)> = acf.iter().enumerate().map(|(k, &r)| (k as f64, r)).collect();
+    let acf_pts: Vec<(f64, f64)> = acf
+        .iter()
+        .enumerate()
+        .map(|(k, &r)| (k as f64, r))
+        .collect();
     println!("{}", ascii::scatter(&acf_pts, 100, 14, '*'));
     if let Some(lag) = dominant_lag(&acf, 30) {
         println!(

@@ -56,7 +56,10 @@ fn main() {
         tr / chain_params.tc
     );
     println!("predominately unsynchronized. The paper's simple rule — draw the");
-    println!("timer from [0.5 Tp, 1.5 Tp] — gives Tr = {:.1} s, far above that.\n", chain_params.tp / 2.0);
+    println!(
+        "timer from [0.5 Tp, 1.5 Tp] — gives Tr = {:.1} s, far above that.\n",
+        chain_params.tp / 2.0
+    );
 
     // 3. Verify by simulation: same system, recommended jitter, started
     //    from the worst case (already synchronized).

@@ -16,8 +16,14 @@ fn main() {
          room for 8 queued requests.\n"
     );
     for (label, retry) in [
-        ("fixed 10 s retry timer (the broken design)", ClientServerParams::fixed_retry()),
-        ("retry uniform in [5 s, 15 s] (the fix)", ClientServerParams::jittered_retry()),
+        (
+            "fixed 10 s retry timer (the broken design)",
+            ClientServerParams::fixed_retry(),
+        ),
+        (
+            "retry uniform in [5 s, 15 s] (the fix)",
+            ClientServerParams::jittered_retry(),
+        ),
     ] {
         let params = ClientServerParams::sprite(40, retry);
         let mut model = ClientServerModel::new(params, 1988);

@@ -15,8 +15,14 @@ fn main() {
          by 1/RTT; the drop policy decides who halves on overflow.\n"
     );
     for (label, policy) in [
-        ("drop-tail: overflow hits every connection", DropPolicy::TailDrop),
-        ("randomized drop: one victim per overflow [FJ92]", DropPolicy::RandomSingle),
+        (
+            "drop-tail: overflow hits every connection",
+            DropPolicy::TailDrop,
+        ),
+        (
+            "randomized drop: one victim per overflow [FJ92]",
+            DropPolicy::RandomSingle,
+        ),
     ] {
         let mut rng = routesync::rng::stream(1990, 0);
         let mut b = TcpBottleneck::new(TcpParams::classic(8, policy), &mut rng);

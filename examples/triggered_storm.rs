@@ -11,9 +11,7 @@
 //! synchronized indefinitely; with the paper's recommended jitter it
 //! recovers within a few rounds.
 
-use routesync::core::{
-    ClusterLog, PeriodicModel, PeriodicParams, StartState,
-};
+use routesync::core::{ClusterLog, PeriodicModel, PeriodicParams, StartState};
 use routesync::desim::{Duration, SimTime};
 use routesync::rng::JitterPolicy;
 
@@ -38,13 +36,7 @@ fn run(label: &str, jitter: JitterPolicy) {
         .find(|g| g.0 >= SimTime::from_secs(1000))
         .map(|g| g.2)
         .unwrap_or(0);
-    let last_round: Vec<u32> = log
-        .groups()
-        .iter()
-        .rev()
-        .take(5)
-        .map(|g| g.2)
-        .collect();
+    let last_round: Vec<u32> = log.groups().iter().rev().take(5).map(|g| g.2).collect();
     println!("{label}:");
     println!("  first reset group after the trigger: {after_trigger} routers together");
     println!("  last reset groups of the run:        {last_round:?}");

@@ -59,11 +59,7 @@ fn get_f64(flags: &HashMap<String, String>, key: &str, default: f64) -> Result<f
     }
 }
 
-fn get_usize(
-    flags: &HashMap<String, String>,
-    key: &str,
-    default: usize,
-) -> Result<usize, String> {
+fn get_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
     match flags.get(key) {
         None => Ok(default),
         Some(v) => v
@@ -231,7 +227,12 @@ fn analyze(flags: &HashMap<String, String>) -> Result<String, String> {
         if rounds.is_infinite() {
             "never".to_string()
         } else {
-            format!("{:.3e} rounds = {:.3e} s (+/- {:.0e} rounds sd)", rounds, rounds * secs, f_sd)
+            format!(
+                "{:.3e} rounds = {:.3e} s (+/- {:.0e} rounds sd)",
+                rounds,
+                rounds * secs,
+                f_sd
+            )
         }
     };
     let _ = writeln!(out, "  E[time to synchronize]   f(N) = {}", fmt(f_n));
@@ -322,7 +323,9 @@ fn nearnet(flags: &HashMap<String, String>) -> Result<String, String> {
         return Ok(out);
     }
     if mode != "blocked" {
-        return Err(format!("--mode must be blocked or concurrent, got {mode:?}"));
+        return Err(format!(
+            "--mode must be blocked or concurrent, got {mode:?}"
+        ));
     }
     n.sim.add_ping(
         n.berkeley,
@@ -401,10 +404,7 @@ mod tests {
 
     #[test]
     fn simulate_plot_flag_adds_a_chart() {
-        let out = run(&args(
-            "simulate --n 5 --horizon 5000 --seed 1 --plot",
-        ))
-        .expect("ok");
+        let out = run(&args("simulate --n 5 --horizon 5000 --seed 1 --plot")).expect("ok");
         assert!(out.contains("largest cluster per round"), "{out}");
         assert!(out.contains('┐'), "{out}");
     }

@@ -56,9 +56,9 @@
 pub mod cli;
 
 pub use routesync_core as core;
-pub use routesync_phenomena as phenomena;
 pub use routesync_desim as desim;
 pub use routesync_markov as markov;
 pub use routesync_netsim as netsim;
+pub use routesync_phenomena as phenomena;
 pub use routesync_rng as rng;
 pub use routesync_stats as stats;

@@ -1,0 +1,236 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the subset used in this workspace's tests: the [`Rng`]
+//! extension trait (`gen`, `gen_range`, `gen_bool`) and
+//! `distributions::{Distribution, Uniform}` over the [`RngCore`] generators
+//! from the vendored `rand_core`.
+
+#![forbid(unsafe_code)]
+
+pub use rand_core::{Error, RngCore, SeedableRng};
+
+/// Types samplable uniformly "at standard" (the `Standard` distribution of
+/// the real crate): floats in `[0, 1)`, full-range integers, fair bools.
+pub trait StandardSample: Sized {
+    /// Draw one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits, uniform on [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty => $via:ident),+ $(,)?) => {$(
+        impl StandardSample for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )+};
+}
+
+standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+              u64 => next_u64, usize => next_u64,
+              i8 => next_u32, i16 => next_u32, i32 => next_u32,
+              i64 => next_u64, isize => next_u64);
+
+/// Types with a uniform sampler over a half-open range.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Draw uniformly from `[low, high)`. Panics if `low >= high`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! uniform_uint {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: low must be < high");
+                let span = (high as u128) - (low as u128);
+                // Widening-multiply rejection-free mapping (Lemire's trick
+                // without rejection: bias < 2^-64, irrelevant for tests).
+                let x = rng.next_u64() as u128;
+                low + ((x * span) >> 64) as $t
+            }
+        }
+    )+};
+}
+
+uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! uniform_int {
+    ($($t:ty : $u:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: low must be < high");
+                let span = (high as i128 - low as i128) as u128;
+                let x = rng.next_u64() as u128;
+                (low as i128 + ((x * span) >> 64) as i128) as $t
+            }
+        }
+    )+};
+}
+
+uniform_int!(i8: u8, i16: u16, i32: u32, i64: u64, isize: usize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: low must be < high");
+        let u = f64::sample_standard(rng);
+        low + u * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: low must be < high");
+        let u = f32::sample_standard(rng);
+        low + u * (high - low)
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+/// Extension methods over any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draw from the standard distribution for `T`.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draw uniformly from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// A biased coin flip with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// The subset of `rand::distributions` used by the workspace.
+pub mod distributions {
+    use super::{RngCore, SampleUniform, StandardSample};
+
+    /// A distribution over values of `T`.
+    pub trait Distribution<T> {
+        /// Draw one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The standard distribution (unit-interval floats, full-range ints).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl<T: StandardSample> Distribution<T> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            T::sample_standard(rng)
+        }
+    }
+
+    /// Uniform distribution over `[low, high)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+    }
+
+    impl<T: SampleUniform> Uniform<T> {
+        /// A uniform distribution over `[low, high)`.
+        pub fn new(low: T, high: T) -> Self {
+            assert!(low < high, "Uniform::new: low must be < high");
+            Uniform { low, high }
+        }
+    }
+
+    impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            T::sample_range(rng, self.low, self.high)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::*;
+
+    struct Sm(u64);
+
+    impl RngCore for Sm {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            rand_core::impls::fill_bytes_via_next(self, dest)
+        }
+    }
+
+    #[test]
+    fn gen_and_ranges_respect_bounds() {
+        let mut rng = Sm(1);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let u: u32 = rng.gen_range(10..20);
+            assert!((10..20).contains(&u));
+            let i: i64 = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+            let x: f64 = rng.gen_range(2.0..3.0);
+            assert!((2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_distribution_mean_is_centered() {
+        let mut rng = Sm(7);
+        let d = Uniform::new(0.0f64, 121.0);
+        let mean = (0..20_000).map(|_| d.sample(&mut rng)).sum::<f64>() / 20_000.0;
+        assert!((mean - 60.5).abs() < 1.5, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = Sm(3);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&heads), "heads {heads}");
+    }
+}

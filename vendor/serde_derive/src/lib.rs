@@ -1,0 +1,503 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored value-tree `serde` crate, using only the compiler-provided
+//! `proc_macro` API (no `syn`/`quote` — the build environment has no
+//! crates.io access). Supports the shapes this workspace uses:
+//!
+//! * named-field structs (objects), tuple structs (newtype → inner value,
+//!   otherwise arrays), unit structs (`null`);
+//! * enums, externally tagged exactly like real serde: unit variants as
+//!   `"Name"`, newtype as `{"Name": value}`, tuple as `{"Name": [..]}`,
+//!   struct variants as `{"Name": {..}}`;
+//! * `#[serde(transparent)]` on single-field structs and
+//!   `#[serde(default)]` on named fields.
+//!
+//! Generic type parameters are not supported (nothing in the workspace
+//! derives serde on a generic type); the macro panics with a clear message
+//! if it meets one.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------
+// A tiny AST for derive input
+// ---------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    ty: String,
+    default: bool,
+}
+
+enum VariantData {
+    Unit,
+    Tuple(Vec<String>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    data: VariantData,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<String>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// Inspect one `#[...]` attribute body; returns serde flags found
+/// (`transparent`, `default`).
+fn serde_flags(group: &proc_macro::Group) -> Vec<String> {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Vec::new(),
+    }
+    let Some(TokenTree::Group(args)) = tokens.next() else {
+        return Vec::new();
+    };
+    args.stream()
+        .into_iter()
+        .filter_map(|tt| match tt {
+            TokenTree::Ident(id) => Some(id.to_string()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Consume leading attributes from a token iterator, returning serde flags.
+fn take_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> Vec<String> {
+    let mut flags = Vec::new();
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        flags.extend(serde_flags(&g));
+                    }
+                    other => panic!("serde_derive: expected attribute body, got {other:?}"),
+                }
+            }
+            _ => return flags,
+        }
+    }
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Ident(id)) = tokens.peek() {
+        if id.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Collect a type's tokens up to a top-level comma (tracking `<`/`>`
+/// nesting), returning its textual form.
+fn take_type(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> String {
+    let mut depth = 0i32;
+    let mut out = String::new();
+    loop {
+        match tokens.peek() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                tokens.next();
+                break;
+            }
+            Some(tt) => {
+                if let TokenTree::Punct(p) = tt {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(&tt.to_string());
+                tokens.next();
+            }
+        }
+    }
+    assert!(!out.is_empty(), "serde_derive: empty type");
+    out
+}
+
+fn parse_named_fields(group: proc_macro::Group) -> Vec<Field> {
+    let mut tokens = group.stream().into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let flags = take_attrs(&mut tokens);
+        skip_vis(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        let ty = take_type(&mut tokens);
+        fields.push(Field {
+            name,
+            ty,
+            default: flags.iter().any(|f| f == "default"),
+        });
+    }
+    fields
+}
+
+fn parse_tuple_fields(group: proc_macro::Group) -> Vec<String> {
+    let mut tokens = group.stream().into_iter().peekable();
+    let mut types = Vec::new();
+    loop {
+        let _ = take_attrs(&mut tokens);
+        skip_vis(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        types.push(take_type(&mut tokens));
+    }
+    types
+}
+
+fn parse_variants(group: proc_macro::Group) -> Vec<Variant> {
+    let mut tokens = group.stream().into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let _ = take_attrs(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let data = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.clone();
+                tokens.next();
+                VariantData::Tuple(parse_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.clone();
+                tokens.next();
+                VariantData::Named(parse_named_fields(g))
+            }
+            _ => VariantData::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        loop {
+            match tokens.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+            }
+        }
+        variants.push(Variant { name, data });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    let flags = take_attrs(&mut tokens);
+    let transparent = flags.iter().any(|f| f == "transparent");
+    skip_vis(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported ({name})");
+        }
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(parse_tuple_fields(g))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde_derive: unexpected struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g))
+            }
+            other => panic!("serde_derive: unexpected enum body for {name}: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Input {
+        name,
+        transparent,
+        kind,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) if input.transparent && fields.len() == 1 => {
+            format!("serde::Serialize::to_value(&self.{})", fields[0].name)
+        }
+        Kind::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(String::from(\"{n}\"), serde::Serialize::to_value(&self.{n})),",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("serde::Value::Object(vec![{pushes}])")
+        }
+        Kind::TupleStruct(types) if types.len() == 1 => {
+            "serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Kind::TupleStruct(types) => {
+            let items: String = (0..types.len())
+                .map(|i| format!("serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("serde::Value::Array(vec![{items}])")
+        }
+        Kind::UnitStruct => "serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.data {
+                        VariantData::Unit => format!(
+                            "{name}::{vn} => serde::Value::Str(String::from(\"{vn}\")),"
+                        ),
+                        VariantData::Tuple(types) if types.len() == 1 => format!(
+                            "{name}::{vn}(__f0) => serde::Value::Object(vec![(String::from(\"{vn}\"), \
+                             serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantData::Tuple(types) => {
+                            let binds: Vec<String> =
+                                (0..types.len()).map(|i| format!("__f{i}")).collect();
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::Value::Object(vec![(String::from(\"{vn}\"), \
+                                 serde::Value::Array(vec![{items}]))]),",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantData::Named(fields) => {
+                            let binds: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(String::from(\"{n}\"), serde::Serialize::to_value({n})),",
+                                        n = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => serde::Value::Object(vec![(String::from(\"{vn}\"), \
+                                 serde::Value::Object(vec![{pushes}]))]),",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Generate the expression rebuilding a named-field set from object value
+/// `{src}` into constructor `{ctor}`.
+fn named_fields_from(ctor: &str, src: &str, ty_name: &str, fields: &[Field]) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            let miss = if f.default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "return Err(serde::Error::custom(\"missing field `{}` in {}\"))",
+                    f.name, ty_name
+                )
+            };
+            format!(
+                "{n}: match {src}.get(\"{n}\") {{ \
+                     Some(__x) => <{t} as serde::Deserialize>::from_value(__x)?, \
+                     None => {miss}, \
+                 }},",
+                n = f.name,
+                t = f.ty
+            )
+        })
+        .collect();
+    format!(
+        "if {src}.as_object().is_none() {{ \
+             return Err(serde::Error::expected(\"object\", {src})); \
+         }} \
+         Ok({ctor} {{ {inits} }})"
+    )
+}
+
+fn tuple_fields_from(ctor: &str, src: &str, types: &[String]) -> String {
+    if types.len() == 1 {
+        return format!(
+            "Ok({ctor}(<{t} as serde::Deserialize>::from_value({src})?))",
+            t = types[0]
+        );
+    }
+    let n = types.len();
+    let items: String = types
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("<{t} as serde::Deserialize>::from_value(&__items[{i}])?,"))
+        .collect();
+    format!(
+        "{{ let __items = {src}.as_array() \
+             .ok_or_else(|| serde::Error::expected(\"array\", {src}))?; \
+           if __items.len() != {n} {{ \
+               return Err(serde::Error::custom(format!( \
+                   \"expected array of {n}, got {{}}\", __items.len()))); \
+           }} \
+           Ok({ctor}({items})) }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) if input.transparent && fields.len() == 1 => {
+            format!(
+                "Ok({name} {{ {f}: <{t} as serde::Deserialize>::from_value(v)? }})",
+                f = fields[0].name,
+                t = fields[0].ty
+            )
+        }
+        Kind::NamedStruct(fields) => named_fields_from(name, "v", name, fields),
+        Kind::TupleStruct(types) => tuple_fields_from(name, "v", types),
+        Kind::UnitStruct => format!(
+            "match v {{ serde::Value::Null => Ok({name}), \
+               other => Err(serde::Error::expected(\"null\", other)) }}"
+        ),
+        Kind::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.data, VariantData::Unit))
+                .map(|v| format!("\"{vn}\" => Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.data {
+                        VariantData::Unit => None,
+                        VariantData::Tuple(types) => Some(format!(
+                            "\"{vn}\" => {body},",
+                            body = tuple_fields_from(&format!("{name}::{vn}"), "__inner", types)
+                        )),
+                        VariantData::Named(fields) => Some(format!(
+                            "\"{vn}\" => {{ {body} }},",
+                            body = named_fields_from(
+                                &format!("{name}::{vn}"),
+                                "__inner",
+                                &format!("{name}::{vn}"),
+                                fields
+                            )
+                        )),
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{ \
+                   serde::Value::Str(__s) => match __s.as_str() {{ \
+                     {unit_arms} \
+                     __other => Err(serde::Error::custom(format!( \
+                         \"unknown unit variant `{{__other}}` for {name}\"))), \
+                   }}, \
+                   serde::Value::Object(__fields) if __fields.len() == 1 => {{ \
+                     let (__tag, __inner) = &__fields[0]; \
+                     let _ = __inner; \
+                     match __tag.as_str() {{ \
+                       {data_arms} \
+                       __other => Err(serde::Error::custom(format!( \
+                           \"unknown variant `{{__other}}` for {name}\"))), \
+                     }} \
+                   }}, \
+                   other => Err(serde::Error::expected(\"externally tagged enum {name}\", other)), \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------
+
+/// Derive `serde::Serialize` (vendored value-tree flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derive `serde::Deserialize` (vendored value-tree flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}

@@ -23,6 +23,7 @@
 //! the simulation results themselves are asserted equal where parallelism
 //! is involved.
 
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 use routesync_core::{experiment, FastModel, PeriodicModel, PeriodicParams, StartState};
@@ -39,15 +40,34 @@ struct Report {
     figure_wall_secs: f64,
     ensemble: Ensemble,
     parallel_speedup: f64,
+    obs: ObsSection,
 }
 
 #[derive(Serialize)]
 struct Ensemble {
     seeds: usize,
-    threads: usize,
+    serial_threads: usize,
+    parallel_threads: usize,
     serial_wall_secs: f64,
     parallel_wall_secs: f64,
     outputs_identical: bool,
+}
+
+/// Instrumentation-layer benchmark: the same fast-engine leg timed with
+/// the collector disabled and then enabled, plus a registry summary of
+/// everything the instrumented legs recorded.
+#[derive(Serialize)]
+struct ObsSection {
+    disabled_wall_secs: f64,
+    enabled_wall_secs: f64,
+    /// Relative cost of enabling instrumentation on the hottest leg, in
+    /// percent. Can go slightly negative from wall-clock noise.
+    overhead_pct: f64,
+    /// Counter events per second of instrumented wall time, grouped by
+    /// subsystem prefix (`desim`, `netsim`, `core`, `exec`).
+    events_per_sec: BTreeMap<String, f64>,
+    /// Accumulated wall time per `obs::span!` label.
+    span_breakdown: BTreeMap<String, routesync_obs::SpanSnapshot>,
 }
 
 /// Counts `on_send` callbacks (one per routing-timer firing).
@@ -80,6 +100,10 @@ fn main() {
         .find_map(|a| a.strip_prefix("--out="))
         .unwrap_or("BENCH_core.json")
         .to_string();
+    let obs_path = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--obs="))
+        .map(str::to_string);
 
     let horizon_secs: u64 = if fast { 50_000 } else { 500_000 };
     let n = 20;
@@ -170,6 +194,73 @@ fn main() {
     );
     let parallel_speedup = serial_wall / parallel_wall;
 
+    // --- instrumentation overhead ---------------------------------------
+    // Time the hottest leg (fast engine) with the collector disabled and
+    // with a live collector, asserting the simulation results are
+    // bit-identical either way. Reps interleave disabled/enabled (taking
+    // the best of each) so clock-frequency drift hits both sides equally
+    // instead of biasing whichever leg runs later.
+    let obs_horizon = SimTime::from_secs(horizon_secs * 20);
+    let reps = 7;
+    let live = routesync_obs::Collector::enabled();
+    let instrumented_start = Instant::now();
+    let run_leg = || {
+        let mut rec = CountSends::default();
+        let mut model = FastModel::new(paper_params(n), StartState::Unsynchronized, 1993);
+        let t0 = Instant::now();
+        let end = model.run(obs_horizon, &mut rec);
+        (rec.0, end.as_nanos(), t0.elapsed().as_secs_f64())
+    };
+    let mut disabled_wall = f64::INFINITY;
+    let mut enabled_wall = f64::INFINITY;
+    let mut off_result = (0u64, 0u64);
+    let mut on_result = (0u64, 0u64);
+    run_leg(); // warm-up: caches, frequency scaling
+    for _ in 0..reps {
+        routesync_obs::install(routesync_obs::Collector::disabled());
+        let (sends, end, wall) = run_leg();
+        off_result = (sends, end);
+        disabled_wall = disabled_wall.min(wall);
+        routesync_obs::install(live.clone());
+        let (sends, end, wall) = run_leg();
+        on_result = (sends, end);
+        enabled_wall = enabled_wall.min(wall);
+    }
+    assert_eq!(
+        off_result, on_result,
+        "enabling instrumentation changed simulation results"
+    );
+    let overhead_pct = (enabled_wall - disabled_wall) / disabled_wall * 100.0;
+
+    // Short instrumented passes through the remaining subsystems so the
+    // registry snapshot covers desim, netsim, and exec too.
+    let mut rec = CountSends::default();
+    let mut model = PeriodicModel::new(paper_params(n), StartState::Unsynchronized, 1993);
+    model.run(SimTime::from_secs(horizon_secs / 10), &mut rec);
+    let scen = routesync_netsim::scenario::lan(
+        8,
+        Duration::from_secs_f64(0.1),
+        routesync_netsim::TimerStart::Unsynchronized,
+        1993,
+    );
+    let mut sim = scen.sim;
+    sim.run_until(SimTime::from_secs(120));
+    experiment::run_many(
+        paper_params(n),
+        StartState::Unsynchronized,
+        &seeds,
+        threads,
+        run_one,
+    );
+    let instrumented_wall = instrumented_start.elapsed().as_secs_f64();
+
+    let snapshot = routesync_obs::global().snapshot();
+    let mut events_per_sec: BTreeMap<String, f64> = BTreeMap::new();
+    for (name, total) in &snapshot.counters {
+        let subsystem = name.split('.').next().unwrap_or(name).to_string();
+        *events_per_sec.entry(subsystem).or_insert(0.0) += *total as f64 / instrumented_wall;
+    }
+
     let report = Report {
         fast,
         core_events_per_sec,
@@ -178,15 +269,29 @@ fn main() {
         figure_wall_secs,
         ensemble: Ensemble {
             seeds: seeds.len(),
-            threads,
+            serial_threads: 1,
+            parallel_threads: threads,
             serial_wall_secs: serial_wall,
             parallel_wall_secs: parallel_wall,
             outputs_identical: true,
         },
         parallel_speedup,
+        obs: ObsSection {
+            disabled_wall_secs: disabled_wall,
+            enabled_wall_secs: enabled_wall,
+            overhead_pct,
+            events_per_sec,
+            span_breakdown: snapshot.spans.clone(),
+        },
     };
     let body = serde_json::to_string_pretty(&report).expect("serialize bench report");
     std::fs::write(&out, &body).expect("write bench json");
     println!("{body}");
     eprintln!("wrote {out}");
+    if let Some(path) = obs_path {
+        routesync_obs::global()
+            .write_json(std::path::Path::new(&path))
+            .expect("write --obs snapshot");
+        eprintln!("wrote {path}");
+    }
 }

@@ -14,9 +14,14 @@ use routesync_bench::{run, Config, ALL};
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = Config::default();
+    let mut obs_path: Option<String> = None;
     args.retain(|a| match a.as_str() {
         "--fast" => {
             cfg.fast = true;
+            false
+        }
+        _ if a.starts_with("--obs=") => {
+            obs_path = Some(a["--obs=".len()..].to_string());
             false
         }
         _ if a.starts_with("--seed=") => {
@@ -37,9 +42,15 @@ fn main() {
         _ => true,
     });
     if args.is_empty() {
-        eprintln!("usage: experiments [--fast] [--seed=N] [--out=DIR] [--threads=N] <id...|all>");
+        eprintln!(
+            "usage: experiments [--fast] [--seed=N] [--out=DIR] [--threads=N] \
+             [--obs=PATH.json] <id...|all>"
+        );
         eprintln!("ids: {}", ALL.join(" "));
         std::process::exit(2);
+    }
+    if obs_path.is_some() {
+        routesync_obs::install(routesync_obs::Collector::enabled());
     }
     let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
         ALL.to_vec()
@@ -54,6 +65,12 @@ fn main() {
         println!("({} took {:.1?})\n", id, started.elapsed());
         if !outcome.passed() {
             failures += 1;
+        }
+    }
+    if let Some(path) = obs_path {
+        if let Err(err) = routesync_obs::global().write_json(std::path::Path::new(&path)) {
+            eprintln!("experiments: failed to write --obs snapshot to {path}: {err}");
+            std::process::exit(1);
         }
     }
     if failures > 0 {

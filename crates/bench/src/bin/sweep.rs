@@ -27,6 +27,53 @@ use routesync_core::{PeriodicParams, StartState};
 use routesync_desim::{Duration, SimTime};
 use routesync_markov::{ChainParams, PeriodicChain};
 
+const USAGE: &str = "\
+usage: sweep [--param tr|tc|tp|n] [--from X] [--to X] [--steps K]
+             [--metric fraction|f|g|sync-time] [--seeds S] [--horizon SECS]
+             [--f2 SECS] [--n N] [--tp SECS] [--tc SECS] [--tr SECS]
+             [--threads T] [--obs PATH.json]
+
+  --param    parameter swept across the grid (default: tr)
+  --metric   fraction | f | g | sync-time (default: fraction)
+  --threads  worker threads for simulated metrics (default: all cores;
+             honours the ROUTESYNC_THREADS env var when unset)
+  --obs      enable instrumentation and write a metrics snapshot
+             (counters, gauges, histograms, spans, trace) to PATH.json
+";
+
+/// Every flag the sweep binary accepts; anything else is an error.
+const KNOWN_FLAGS: &[&str] = &[
+    "param", "from", "to", "steps", "metric", "f2", "horizon", "seeds", "threads", "obs", "n",
+    "tp", "tc", "tr",
+];
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("sweep: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// Reject unknown flags and flags with missing values up front, so typos
+/// fail loudly instead of silently falling back to defaults.
+fn validate_args(args: &[String]) {
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if arg == "--help" || arg == "-h" {
+            print!("{USAGE}");
+            std::process::exit(0);
+        }
+        match arg.strip_prefix("--") {
+            Some(key) if KNOWN_FLAGS.contains(&key) => {
+                if args.get(i + 1).is_none() {
+                    usage_error(&format!("missing value for --{key}"));
+                }
+                i += 2;
+            }
+            _ => usage_error(&format!("unknown argument `{arg}`")),
+        }
+    }
+}
+
 fn flag(args: &[String], key: &str) -> Option<String> {
     args.iter()
         .position(|a| a == &format!("--{key}"))
@@ -35,6 +82,11 @@ fn flag(args: &[String], key: &str) -> Option<String> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    validate_args(&args);
+    let obs_path = flag(&args, "obs");
+    if obs_path.is_some() {
+        routesync_obs::install(routesync_obs::Collector::enabled());
+    }
     let param = flag(&args, "param").unwrap_or_else(|| "tr".into());
     let from: f64 = flag(&args, "from")
         .and_then(|v| v.parse().ok())
@@ -82,10 +134,7 @@ fn main() {
                 "tc" => p.tc = x,
                 "tp" => p.tp = x,
                 "n" => p.n = x.round() as usize,
-                other => {
-                    eprintln!("unknown --param {other} (tr|tc|tp|n)");
-                    std::process::exit(2);
-                }
+                other => usage_error(&format!("unknown --param `{other}` (tr|tc|tp|n)")),
             }
             (x, p)
         })
@@ -140,14 +189,20 @@ fn main() {
                 })
                 .collect()
         }
-        other => {
-            eprintln!("unknown --metric {other} (fraction|f|g|sync-time)");
-            std::process::exit(2);
-        }
+        other => usage_error(&format!(
+            "unknown --metric `{other}` (fraction|f|g|sync-time)"
+        )),
     };
 
     println!("{param},{metric}");
     for (&(x, _), y) in grid.iter().zip(ys) {
         println!("{x},{y}");
+    }
+
+    if let Some(path) = obs_path {
+        if let Err(err) = routesync_obs::global().write_json(std::path::Path::new(&path)) {
+            eprintln!("sweep: failed to write --obs snapshot to {path}: {err}");
+            std::process::exit(1);
+        }
     }
 }

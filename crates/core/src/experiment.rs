@@ -33,6 +33,27 @@ pub struct DesyncReport {
     pub rounds: Option<f64>,
 }
 
+/// Record a completed time-to-synchronize measurement into the global
+/// `routesync-obs` registry (simulated milliseconds; no-op with no
+/// collector installed). Shared by the event-driven and fast engines so
+/// both feed the same `core.sync_time_ms` histogram.
+pub(crate) fn record_sync_sample(at_secs: Option<f64>) {
+    if !routesync_obs::enabled() {
+        return;
+    }
+    if let Some(secs) = at_secs {
+        routesync_obs::global()
+            .histogram(
+                "core.sync_time_ms",
+                // 1 s … 12 h of simulated time, roughly log-spaced.
+                &[
+                    1_000, 10_000, 60_000, 300_000, 1_800_000, 7_200_000, 43_200_000,
+                ],
+            )
+            .record((secs * 1_000.0) as u64);
+    }
+}
+
 impl PeriodicModel {
     /// Run until all `N` routers reset simultaneously (full
     /// synchronization) or `max_secs` of simulated time elapse.
@@ -42,6 +63,7 @@ impl PeriodicModel {
         let mut fp = FirstPassageUp::new(n);
         self.run(SimTime::from_secs_f64(max_secs), &mut fp);
         let at = fp.first(n).map(|(t, _)| t.as_secs_f64());
+        record_sync_sample(at);
         SyncReport {
             synchronized: fp.reached(),
             at_secs: at,
@@ -205,6 +227,10 @@ pub fn run_many<R: Send>(
     threads: usize,
     f: impl Fn(&mut crate::FastModel, u64) -> R + Sync,
 ) -> Vec<R> {
+    let _span = routesync_obs::span!("core.experiment.run_many");
+    routesync_obs::global()
+        .counter("core.experiment.runs")
+        .add(seeds.len() as u64);
     let start = &start;
     routesync_exec::par_map_indexed_with(
         seeds,

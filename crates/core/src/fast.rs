@@ -41,6 +41,41 @@ struct FastNode {
     rng: MinStd,
 }
 
+/// Instrumentation handles, resolved once at construction from the global
+/// `routesync-obs` collector; all no-ops (one branch per burst) when no
+/// collector is installed. Metric-only — nothing here feeds back into the
+/// simulation, so enabled and disabled runs are bit-identical.
+struct FastObs {
+    /// Bursts executed (`core.fast.bursts`).
+    bursts: routesync_obs::Counter,
+    /// Routing messages sent (`core.fast.sends`).
+    sends: routesync_obs::Counter,
+    /// Completed N-message rounds (`core.rounds`).
+    rounds: routesync_obs::Counter,
+    /// Burst-size changes between consecutive bursts
+    /// (`core.cluster.transitions` — the Markov chain's state changes).
+    transitions: routesync_obs::Counter,
+    /// Burst-size distribution (`core.cluster.size`).
+    cluster_size: routesync_obs::Histogram,
+    /// Largest cluster seen (`core.cluster.largest` — the paper's Section 5
+    /// Markov state high-water mark).
+    cluster_largest: routesync_obs::Gauge,
+}
+
+impl FastObs {
+    fn resolve() -> Self {
+        let obs = routesync_obs::global();
+        FastObs {
+            bursts: obs.counter("core.fast.bursts"),
+            sends: obs.counter("core.fast.sends"),
+            rounds: obs.counter("core.rounds"),
+            transitions: obs.counter("core.cluster.transitions"),
+            cluster_size: obs.histogram("core.cluster.size", &[1, 2, 4, 8, 16, 32, 64, 128, 256]),
+            cluster_largest: obs.gauge("core.cluster.largest"),
+        }
+    }
+}
+
 /// Burst-based simulator for the Periodic Messages model.
 pub struct FastModel {
     params: PeriodicParams,
@@ -54,6 +89,9 @@ pub struct FastModel {
     /// Scratch: the buffered reset group awaiting flush (see `run`).
     pending_ids: Vec<NodeId>,
     pending_at: Option<SimTime>,
+    obs: FastObs,
+    /// Previous burst's size, for the cluster-transition metric only.
+    last_burst_len: usize,
 }
 
 impl FastModel {
@@ -74,6 +112,8 @@ impl FastModel {
             members: Vec::with_capacity(params.n),
             pending_ids: Vec::with_capacity(params.n),
             pending_at: None,
+            obs: FastObs::resolve(),
+            last_burst_len: 0,
         };
         model.reset(&start, seed);
         model
@@ -91,6 +131,7 @@ impl FastModel {
         self.members.clear();
         self.pending_ids.clear();
         self.pending_at = None;
+        self.last_burst_len = 0;
         let tp = self.params.tp();
         for id in 0..self.params.n {
             let mut rng = routesync_rng::stream(seed, id as u64);
@@ -130,6 +171,16 @@ impl FastModel {
     /// recorder stops the run. Bursts are atomic: one that *starts* before
     /// the horizon is executed completely. Returns the time reached.
     pub fn run<R: Recorder>(&mut self, horizon: SimTime, recorder: &mut R) -> SimTime {
+        let _span = routesync_obs::span!("core.fast.run");
+        // Metrics accumulate in locals and flush once at exit, so the
+        // per-burst cost with a live collector is a few register
+        // increments and, when disabled, a single predictable branch.
+        let obs_live = self.obs.bursts.is_live();
+        let sends_at_entry = self.sends;
+        let mut local_bursts = 0u64;
+        let mut local_transitions = 0u64;
+        let mut local_largest = 0u64;
+        let mut local_sizes = self.obs.cluster_size.local();
         let tc = self.params.tc;
         // The burst-member and reset-group buffers live on the model so a
         // reused model (see `reset`) allocates nothing on the hot path.
@@ -166,6 +217,16 @@ impl FastModel {
                 self.sends += 1;
                 recorder.on_send(e, node);
             }
+            if obs_live {
+                let size = self.members.len() as u64;
+                local_bursts += 1;
+                local_sizes.record(size);
+                local_largest = local_largest.max(size);
+                if self.members.len() != self.last_burst_len {
+                    local_transitions += 1;
+                    self.last_burst_len = self.members.len();
+                }
+            }
             // Flush the previous burst's reset group (its round now counts
             // this burst's sends, exactly like the event engine).
             if let Some(t) = self.pending_at.take() {
@@ -191,6 +252,15 @@ impl FastModel {
             recorder.on_cluster(t, round, &self.pending_ids);
             self.pending_ids.clear();
         }
+        if obs_live {
+            let sends_delta = self.sends - sends_at_entry;
+            self.obs.bursts.add(local_bursts);
+            self.obs.sends.add(sends_delta);
+            self.obs.transitions.add(local_transitions);
+            self.obs.cluster_largest.record_max(local_largest);
+            self.obs.rounds.add(sends_delta / self.params.n as u64);
+            local_sizes.flush();
+        }
         self.now
     }
 
@@ -203,6 +273,7 @@ impl FastModel {
         let mut fp = crate::record::FirstPassageUp::new(n);
         self.run(SimTime::from_secs_f64(max_secs), &mut fp);
         let at = fp.first(n).map(|(t, _)| t.as_secs_f64());
+        crate::experiment::record_sync_sample(at);
         crate::SyncReport {
             synchronized: fp.reached(),
             at_secs: at,

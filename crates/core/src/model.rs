@@ -154,6 +154,7 @@ impl PeriodicModel {
     /// this model, but defensively) the event queue drains. Returns the
     /// simulated time reached.
     pub fn run<R: Recorder>(&mut self, horizon: SimTime, recorder: &mut R) -> SimTime {
+        let _span = routesync_obs::span!("core.model.run");
         loop {
             if recorder.should_stop() {
                 break;

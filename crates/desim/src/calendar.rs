@@ -48,6 +48,11 @@ pub struct CalendarQueue<E> {
     next_seq: u64,
     /// Lower bound on the next pop time (last popped time).
     last_time: u64,
+    /// Resize count, for the instrumentation registry (no-op unless a
+    /// collector was installed before construction).
+    obs_resizes: routesync_obs::Counter,
+    /// Per-bucket occupancy sampled at each resize.
+    obs_occupancy: routesync_obs::Histogram,
 }
 
 impl<E> CalendarQueue<E> {
@@ -64,6 +69,7 @@ impl<E> CalendarQueue<E> {
         assert!(width_nanos > 0, "bucket width must be positive");
         let mut buckets = Vec::with_capacity(nbuckets);
         buckets.resize_with(nbuckets, Vec::new);
+        let obs = routesync_obs::global();
         CalendarQueue {
             buckets,
             spare: Vec::new(),
@@ -73,6 +79,11 @@ impl<E> CalendarQueue<E> {
             len: 0,
             next_seq: 0,
             last_time: 0,
+            obs_resizes: obs.counter("desim.calendar.resizes"),
+            obs_occupancy: obs.histogram(
+                "desim.calendar.bucket_occupancy",
+                &[1, 2, 4, 8, 16, 32, 64, 128],
+            ),
         }
     }
 
@@ -92,6 +103,15 @@ impl<E> CalendarQueue<E> {
     /// Grow/shrink the bucket array and re-estimate the width.
     fn resize(&mut self, nbuckets: usize) {
         let nbuckets = nbuckets.max(1);
+        self.obs_resizes.inc();
+        if self.obs_resizes.is_live() {
+            // Sample the outgoing geometry's occupancy distribution — the
+            // signal for whether the width heuristic keeps days at a few
+            // events each.
+            for bucket in &self.buckets {
+                self.obs_occupancy.record(bucket.len() as u64);
+            }
+        }
         let width = self.estimate_width();
         // Swap in the pooled bucket array from the previous resize and
         // shape it to the new geometry; its inner Vecs keep their

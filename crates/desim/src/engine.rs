@@ -29,6 +29,11 @@ pub struct Engine<E, S = BinaryHeapScheduler<E>> {
     queue: S,
     now: SimTime,
     processed: u64,
+    /// Events dispatched, for the instrumentation registry (no-op unless a
+    /// collector was installed before construction; see `routesync-obs`).
+    obs_events: routesync_obs::Counter,
+    /// High-water mark of the pending-event set.
+    obs_pending_high: routesync_obs::Gauge,
     _marker: std::marker::PhantomData<E>,
 }
 
@@ -48,10 +53,13 @@ impl<E> Default for Engine<E, BinaryHeapScheduler<E>> {
 impl<E, S: Scheduler<E>> Engine<E, S> {
     /// An engine over a caller-supplied scheduler implementation.
     pub fn with_scheduler(queue: S) -> Self {
+        let obs = routesync_obs::global();
         Engine {
             queue,
             now: SimTime::ZERO,
             processed: 0,
+            obs_events: obs.counter("desim.engine.events"),
+            obs_pending_high: obs.gauge("desim.engine.pending.high_water"),
             _marker: std::marker::PhantomData,
         }
     }
@@ -84,12 +92,14 @@ impl<E, S: Scheduler<E>> Engine<E, S> {
             self.now
         );
         self.queue.push(at, event);
+        self.obs_pending_high.record_max(self.queue.len() as u64);
     }
 
     /// Schedule `event` a span `after` from now.
     pub fn schedule_in(&mut self, after: Duration, event: E) {
         let at = self.now + after;
         self.queue.push(at, event);
+        self.obs_pending_high.record_max(self.queue.len() as u64);
     }
 
     /// Pop the earliest pending event, advancing the clock to its timestamp.
@@ -98,6 +108,7 @@ impl<E, S: Scheduler<E>> Engine<E, S> {
         debug_assert!(t >= self.now, "scheduler yielded an event out of order");
         self.now = t;
         self.processed += 1;
+        self.obs_events.inc();
         Some((t, ev))
     }
 
@@ -123,6 +134,7 @@ impl<E, S: Scheduler<E>> Engine<E, S> {
         max_events: u64,
         mut handler: impl FnMut(&mut Self, SimTime, E) -> bool,
     ) -> RunOutcome {
+        let _span = routesync_obs::span!("desim.engine.run");
         let mut budget = max_events;
         loop {
             match self.queue.peek_time() {

@@ -28,6 +28,35 @@
 #![forbid(unsafe_code)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Observability handles for one `par_map_indexed_with` call, resolved
+/// once up front from the global `routesync-obs` registry. With no
+/// collector installed every handle is a no-op and `timed` is false, so
+/// workers never read the wall clock and the hot loop pays a single
+/// predictable branch per record site.
+struct ExecObs {
+    jobs: routesync_obs::Counter,
+    steals: routesync_obs::Counter,
+    busy_ns: routesync_obs::Counter,
+    idle_ns: routesync_obs::Counter,
+    workers: routesync_obs::Counter,
+    timed: bool,
+}
+
+impl ExecObs {
+    fn resolve() -> Self {
+        let collector = routesync_obs::global();
+        ExecObs {
+            jobs: collector.counter("exec.worker.jobs"),
+            steals: collector.counter("exec.worker.steals"),
+            busy_ns: collector.counter("exec.worker.busy_ns"),
+            idle_ns: collector.counter("exec.worker.idle_ns"),
+            workers: collector.counter("exec.workers"),
+            timed: routesync_obs::enabled(),
+        }
+    }
+}
 
 /// Number of chunks each thread should expect to claim on average.
 /// Larger values smooth out uneven item costs; smaller values reduce
@@ -90,8 +119,12 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize, &T) -> R + Sync,
 {
+    let _span = routesync_obs::span!("exec.par_map");
+    let obs = ExecObs::resolve();
     let threads = threads.max(1).min(items.len().max(1));
     if threads == 1 {
+        obs.workers.inc();
+        obs.jobs.add(items.len() as u64);
         let mut state = init();
         return items
             .iter()
@@ -102,12 +135,15 @@ where
 
     let chunk = items.len().div_ceil(threads * CHUNKS_PER_THREAD).max(1);
     let cursor = AtomicUsize::new(0);
+    obs.workers.add(threads as u64);
 
     let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             handles.push(scope.spawn(|| {
+                let worker_start = obs.timed.then(Instant::now);
+                let mut busy_ns = 0u64;
                 let mut state = init();
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
@@ -115,11 +151,23 @@ where
                     if start >= items.len() {
                         break;
                     }
+                    obs.steals.inc();
+                    obs.jobs
+                        .add((items.len().min(start + chunk) - start) as u64);
+                    let chunk_start = obs.timed.then(Instant::now);
                     let end = (start + chunk).min(items.len());
                     local.reserve(end - start);
                     for (i, item) in items[start..end].iter().enumerate() {
                         local.push((start + i, f(&mut state, start + i, item)));
                     }
+                    if let Some(t0) = chunk_start {
+                        busy_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                }
+                if let Some(t0) = worker_start {
+                    let lifetime_ns = t0.elapsed().as_nanos() as u64;
+                    obs.busy_ns.add(busy_ns);
+                    obs.idle_ns.add(lifetime_ns.saturating_sub(busy_ns));
                 }
                 local
             }));

@@ -124,6 +124,41 @@ pub struct Counters {
     pub hellos_sent: u64,
 }
 
+/// Instrumentation handles for the simulator's hot paths, resolved once at
+/// construction from the global `routesync-obs` collector. With no
+/// collector installed every handle is a no-op (a single branch per
+/// record), so instrumented-off runs are bit-identical to pre-obs builds.
+struct NetObs {
+    packets_sent: routesync_obs::Counter,
+    packets_moved: routesync_obs::Counter,
+    packets_dropped: routesync_obs::Counter,
+    updates_sent: routesync_obs::Counter,
+    updates_processed: routesync_obs::Counter,
+    /// In-flight slab high-water mark (allocation pressure).
+    slab_high_water: routesync_obs::Gauge,
+    /// Simulated nanoseconds of router control-plane CPU spent digesting
+    /// and preparing routing updates.
+    cpu_busy_ns: routesync_obs::Counter,
+    /// Per-router busy attribution: `(sim-time, node)` trace events.
+    trace: routesync_obs::Tracer,
+}
+
+impl NetObs {
+    fn resolve() -> Self {
+        let obs = routesync_obs::global();
+        NetObs {
+            packets_sent: obs.counter("netsim.packets.sent"),
+            packets_moved: obs.counter("netsim.packets.moved"),
+            packets_dropped: obs.counter("netsim.packets.dropped"),
+            updates_sent: obs.counter("netsim.updates.sent"),
+            updates_processed: obs.counter("netsim.updates.processed"),
+            slab_high_water: obs.gauge("netsim.slab.high_water"),
+            cpu_busy_ns: obs.counter("netsim.router.busy_ns"),
+            trace: obs.tracer(),
+        }
+    }
+}
+
 struct TxSlot {
     busy: bool,
     queue: VecDeque<(Packet, Option<NodeId>)>,
@@ -182,6 +217,7 @@ pub struct NetSim {
     scratch_peers: Vec<NodeId>,
     scratch_nodes: Vec<NodeId>,
     scratch_entries: Vec<RouteEntry>,
+    obs: NetObs,
 }
 
 impl NetSim {
@@ -277,6 +313,7 @@ impl NetSim {
             scratch_peers: Vec::new(),
             scratch_nodes: Vec::new(),
             scratch_entries: Vec::new(),
+            obs: NetObs::resolve(),
         };
         if cfg.prepopulate {
             match routes {
@@ -449,6 +486,7 @@ impl NetSim {
 
     /// Run the simulation until `horizon`.
     pub fn run_until(&mut self, horizon: SimTime) {
+        let _span = routesync_obs::span!("netsim.run_until");
         loop {
             match self.engine.peek_time() {
                 None => break,
@@ -504,6 +542,7 @@ impl NetSim {
     ) {
         if !self.links[link].up {
             self.counters.drop_link_down += 1;
+            self.obs.packets_dropped.inc();
             return;
         }
         let slot = self.slot_of(link, from);
@@ -514,6 +553,7 @@ impl NetSim {
                 q.push_back((pkt, dst_hint));
             } else {
                 self.counters.drop_queue += 1;
+                self.obs.packets_dropped.inc();
             }
         } else {
             self.start_tx(now, link, slot, pkt, dst_hint);
@@ -576,6 +616,7 @@ impl NetSim {
 
     /// Park `pkt` in the in-flight slab and schedule its arrival.
     fn schedule_arrival(&mut self, at: SimTime, to: NodeId, pkt: Packet) {
+        self.obs.packets_moved.inc();
         let id = match self.free_slots.pop() {
             Some(id) => {
                 self.in_flight[id as usize] = Some(pkt);
@@ -583,6 +624,9 @@ impl NetSim {
             }
             None => {
                 self.in_flight.push(Some(pkt));
+                self.obs
+                    .slab_high_water
+                    .record_max(self.in_flight.len() as u64);
                 (self.in_flight.len() - 1) as u64
             }
         };
@@ -596,6 +640,7 @@ impl NetSim {
                 self.start_tx(now, link, slot, pkt, hint);
             } else {
                 self.counters.drop_link_down += 1;
+                self.obs.packets_dropped.inc();
             }
         }
     }
@@ -626,6 +671,7 @@ impl NetSim {
             NodeKind::Host => {
                 // Hosts never relay.
                 self.counters.drop_no_route += 1;
+                self.obs.packets_dropped.inc();
             }
             NodeKind::Router => {
                 let blocked = self.cfg.forwarding == ForwardingMode::BlockedDuringUpdates
@@ -635,6 +681,7 @@ impl NetSim {
                         self.nodes[to].pending_data.push_back(pkt);
                     } else {
                         self.counters.drop_cpu += 1;
+                        self.obs.packets_dropped.inc();
                     }
                 } else {
                     self.forward(now, to, pkt);
@@ -650,6 +697,7 @@ impl NetSim {
     fn forward(&mut self, now: SimTime, router: NodeId, mut pkt: Packet) {
         if pkt.ttl == 0 {
             self.counters.drop_ttl += 1;
+            self.obs.packets_dropped.inc();
             return;
         }
         pkt.ttl -= 1;
@@ -658,9 +706,15 @@ impl NetSim {
         }
         let infinity = self.cfg.dv.infinity;
         match self.nodes[router].table.lookup(pkt.dst, infinity) {
-            None => self.counters.drop_no_route += 1,
+            None => {
+                self.counters.drop_no_route += 1;
+                self.obs.packets_dropped.inc();
+            }
             Some(next) => match self.adjacency[router].get(&next).copied() {
-                None => self.counters.drop_no_route += 1,
+                None => {
+                    self.counters.drop_no_route += 1;
+                    self.obs.packets_dropped.inc();
+                }
                 Some(link) => {
                     self.counters.forwarded += 1;
                     self.transmit(now, router, link, pkt, Some(next));
@@ -695,6 +749,7 @@ impl NetSim {
     /// Send a locally originated packet from `node` (host or router).
     fn send_from(&mut self, now: SimTime, node: NodeId, pkt: Packet) {
         self.counters.sent += 1;
+        self.obs.packets_sent.inc();
         if pkt.dst == node {
             self.deliver_local(now, node, pkt);
             return;
@@ -709,7 +764,10 @@ impl NetSim {
                     return;
                 }
                 match self.nodes[node].default_router {
-                    None => self.counters.drop_no_route += 1,
+                    None => {
+                        self.counters.drop_no_route += 1;
+                        self.obs.packets_dropped.inc();
+                    }
                     Some(r) => {
                         let link = self.adjacency[node][&r];
                         self.transmit(now, node, link, pkt, Some(r));
@@ -725,6 +783,7 @@ impl NetSim {
 
     fn process_routing(&mut self, now: SimTime, node: NodeId, update: &RoutingUpdate) {
         self.counters.updates_processed += 1;
+        self.obs.updates_processed.inc();
         // CPU cost of digesting the whole update, padding included.
         let cost = self.cfg.cost_per_route * update.entries.len() as u64;
         self.cpu_add(now, node, cost);
@@ -844,6 +903,7 @@ impl NetSim {
                 }),
             );
             self.counters.updates_sent += 1;
+            self.obs.updates_sent.inc();
             self.transmit(now, node, link, pkt, None);
         }
     }
@@ -955,6 +1015,7 @@ impl NetSim {
                 }),
             );
             self.counters.updates_sent += 1;
+            self.obs.updates_sent.inc();
             self.transmit(now, node, link, pkt, None);
         }
     }
@@ -963,6 +1024,10 @@ impl NetSim {
         if cost.is_zero() {
             return;
         }
+        self.obs.cpu_busy_ns.add(cost.as_nanos());
+        self.obs
+            .trace
+            .record(now.as_nanos(), "netsim.cpu.busy", node as f64);
         let nd = &mut self.nodes[node];
         if nd.cpu_busy && now < nd.cpu_until {
             nd.cpu_until += cost;
@@ -1099,6 +1164,7 @@ impl NetSim {
         self.links[link].up = false;
         for slot in &mut self.links[link].slots {
             self.counters.drop_link_down += slot.queue.len() as u64;
+            self.obs.packets_dropped.add(slot.queue.len() as u64);
             slot.queue.clear();
         }
         if self.cfg.dv.hello.is_some() {

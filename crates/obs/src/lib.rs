@@ -1,0 +1,384 @@
+//! # routesync-obs — zero-overhead-when-disabled instrumentation
+//!
+//! The paper's phenomena live in aggregate statistics — cluster-size
+//! trajectories, round durations, outage periodicity — so the simulators
+//! need first-class visibility into where events, packets, and wall-clock
+//! go. This crate provides that without perturbing the workspace's core
+//! guarantee: **with collection disabled, instrumented code is
+//! byte-identical in behaviour to uninstrumented code** (one predictable
+//! branch per record site; no atomics, no clock reads, no allocation).
+//!
+//! Three instruments, one registry:
+//!
+//! * **Metrics** — monotonic [`Counter`]s, [`Gauge`]s, and fixed-bucket
+//!   [`Histogram`]s. Storage is sharded across cache-line-padded atomics so
+//!   parallel ensemble workers (see `routesync-exec`) never contend.
+//! * **Spans** — nanosecond accumulation per label via the [`span!`]
+//!   macro or [`SpanTimer`] handles; used to attribute wall-clock to
+//!   subsystems (`BENCH_core.json`'s `obs` section).
+//! * **Trace** — a bounded ring buffer of `(sim-time, label, value)`
+//!   events ([`Tracer`]) with honest drop accounting.
+//!
+//! ## The collector handle
+//!
+//! A [`Collector`] is a clone-cheap handle to a registry, or to nothing:
+//!
+//! ```
+//! use routesync_obs::Collector;
+//!
+//! let c = Collector::enabled();
+//! let packets = c.counter("netsim.packets.sent");
+//! packets.add(3);
+//! assert_eq!(c.snapshot().counters["netsim.packets.sent"], 3);
+//!
+//! // A disabled collector hands out no-op handles: recording is a branch.
+//! let off = Collector::disabled();
+//! off.counter("netsim.packets.sent").add(3);
+//! assert!(off.snapshot().counters.is_empty());
+//! ```
+//!
+//! Simulator constructors resolve their handles from the **global**
+//! collector ([`global`]), which defaults to disabled; binaries opt in
+//! with [`install`]`(Collector::enabled())` (the `--obs` flag). Handles
+//! resolved before an install stay no-op — construct instruments after
+//! installing.
+//!
+//! ## Determinism
+//!
+//! Instrumentation must never change simulation output. Nothing in this
+//! crate feeds back into model state; the integration suite's
+//! `prop_obs.rs` property test runs ensembles with collection off and on
+//! and asserts byte-identical results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod snapshot;
+pub mod span;
+pub mod trace;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+pub use metrics::{Counter, Gauge, Histogram, LocalHistogram};
+pub use snapshot::{
+    HistogramSnapshot, Snapshot, SpanSnapshot, TraceEventSnapshot, TraceSnapshot, REQUIRED_KEYS,
+};
+pub use span::{SpanCache, SpanGuard, SpanTimer};
+pub use trace::{TraceEvent, Tracer};
+
+use metrics::{CounterCell, GaugeCell, HistogramCell};
+use span::SpanCell;
+use trace::TraceRing;
+
+/// Default trace-ring capacity for [`Collector::enabled`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// The metric store behind an enabled [`Collector`].
+///
+/// Registration (name → cell) takes a mutex; the hot paths never touch it
+/// because handles are resolved once at construction time and cached.
+struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<CounterCell>>>,
+    gauges: Mutex<BTreeMap<String, Arc<GaugeCell>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCell>>>,
+    spans: Mutex<BTreeMap<String, Arc<SpanCell>>>,
+    trace: Arc<Mutex<TraceRing>>,
+}
+
+impl Registry {
+    fn new(trace_capacity: usize) -> Self {
+        Registry {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(BTreeMap::new()),
+            trace: Arc::new(Mutex::new(TraceRing::new(trace_capacity))),
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Handle to an instrumentation registry — or to nothing.
+///
+/// Cloning shares the registry. The [`Collector::disabled`] handle hands
+/// out no-op instruments, making every record site a single branch.
+#[derive(Clone, Default)]
+pub struct Collector(Option<Arc<Registry>>);
+
+impl Collector {
+    /// The zero-cost handle: every instrument it resolves is a no-op.
+    pub const fn disabled() -> Self {
+        Collector(None)
+    }
+
+    /// A live collector with the default trace capacity.
+    pub fn enabled() -> Self {
+        Self::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// A live collector whose trace ring holds `trace_capacity` events.
+    pub fn with_trace_capacity(trace_capacity: usize) -> Self {
+        Collector(Some(Arc::new(Registry::new(trace_capacity))))
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Resolve (registering on first use) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.0.as_ref().map(|reg| {
+            Arc::clone(
+                lock(&reg.counters)
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(CounterCell::default())),
+            )
+        }))
+    }
+
+    /// Resolve (registering on first use) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(self.0.as_ref().map(|reg| {
+            Arc::clone(
+                lock(&reg.gauges)
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(GaugeCell::default())),
+            )
+        }))
+    }
+
+    /// Resolve (registering on first use) the histogram `name` with the
+    /// given inclusive upper bucket `bounds` (strictly increasing; an
+    /// overflow bucket is implicit). Bounds are fixed at registration —
+    /// later resolutions reuse the first geometry.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        Histogram(self.0.as_ref().map(|reg| {
+            Arc::clone(
+                lock(&reg.histograms)
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(HistogramCell::new(bounds))),
+            )
+        }))
+    }
+
+    /// Resolve (registering on first use) the span label `name`.
+    pub fn span(&self, name: &str) -> SpanTimer {
+        SpanTimer(self.0.as_ref().map(|reg| {
+            Arc::clone(
+                lock(&reg.spans)
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(SpanCell::default())),
+            )
+        }))
+    }
+
+    /// The shared event-trace handle.
+    pub fn tracer(&self) -> Tracer {
+        Tracer(self.0.as_ref().map(|reg| Arc::clone(&reg.trace)))
+    }
+
+    /// Export the whole registry. A disabled collector exports an empty
+    /// snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(reg) = &self.0 else {
+            return Snapshot::default();
+        };
+        let mut snap = Snapshot::default();
+        for (name, cell) in lock(&reg.counters).iter() {
+            snap.counters.insert(name.clone(), cell.total());
+        }
+        for (name, cell) in lock(&reg.gauges).iter() {
+            snap.gauges
+                .insert(name.clone(), Gauge(Some(Arc::clone(cell))).value());
+        }
+        for (name, cell) in lock(&reg.histograms).iter() {
+            let (counts, count, sum) = cell.merged();
+            snap.histograms.insert(
+                name.clone(),
+                HistogramSnapshot {
+                    bounds: cell.bounds().to_vec(),
+                    counts,
+                    count,
+                    sum,
+                },
+            );
+        }
+        for (name, cell) in lock(&reg.spans).iter() {
+            let count = cell.count.total();
+            let total_ns = cell.total_ns.total();
+            snap.spans.insert(
+                name.clone(),
+                SpanSnapshot {
+                    count,
+                    total_ns,
+                    mean_ns: if count == 0 {
+                        0.0
+                    } else {
+                        total_ns as f64 / count as f64
+                    },
+                },
+            );
+        }
+        {
+            let ring = lock(&reg.trace);
+            snap.trace.capacity = ring.capacity();
+            snap.trace.dropped = ring.dropped();
+            snap.trace.events = ring
+                .ordered()
+                .into_iter()
+                .map(|ev| TraceEventSnapshot {
+                    t_ns: ev.t_ns,
+                    label: ev.label.to_string(),
+                    value: ev.value,
+                })
+                .collect();
+        }
+        snap
+    }
+
+    /// Snapshot and write pretty JSON to `path`.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.snapshot().to_json())
+    }
+}
+
+// ---------------------------------------------------------------------
+// The global collector
+// ---------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EPOCH: AtomicU64 = AtomicU64::new(1);
+static GLOBAL: Mutex<Collector> = Mutex::new(Collector::disabled());
+
+/// Install `collector` as the process-wide collector that instrumented
+/// constructors (and [`span!`] call sites) resolve against.
+///
+/// Handles resolved from the previous collector keep recording into it;
+/// install **before** constructing the simulators you want observed.
+pub fn install(collector: Collector) {
+    ENABLED.store(collector.is_enabled(), Ordering::Release);
+    *lock(&GLOBAL) = collector;
+    EPOCH.fetch_add(1, Ordering::AcqRel);
+}
+
+/// Whether the global collector is live — the single static-bool branch
+/// gate for instrumentation that must cost nothing when off (e.g. clock
+/// reads in `routesync-exec` workers).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The current global collector (disabled by default).
+pub fn global() -> Collector {
+    lock(&GLOBAL).clone()
+}
+
+/// Monotone install counter; bumps on every [`install`]. Lets call-site
+/// caches ([`SpanCache`]) notice a new collector without locking.
+pub fn epoch() -> u64 {
+    EPOCH.load(Ordering::Acquire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Global-state tests share the process; serialize them.
+    fn global_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn registry_resolves_the_same_cell_by_name() {
+        let c = Collector::enabled();
+        let a = c.counter("x");
+        let b = c.counter("x");
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.value(), 5);
+        assert_eq!(c.snapshot().counters["x"], 5);
+    }
+
+    #[test]
+    fn snapshot_covers_every_instrument_kind() {
+        let c = Collector::with_trace_capacity(8);
+        c.counter("c").inc();
+        c.gauge("g").set(9);
+        c.histogram("h", &[10, 20]).record(15);
+        c.span("s").record_ns(500);
+        c.tracer().record(42, "ev", 1.0);
+        let snap = c.snapshot();
+        assert_eq!(snap.counters["c"], 1);
+        assert_eq!(snap.gauges["g"], 9);
+        assert_eq!(snap.histograms["h"].counts, vec![0, 1, 0]);
+        assert_eq!(snap.spans["s"].total_ns, 500);
+        assert_eq!(snap.spans["s"].count, 1);
+        assert_eq!(snap.trace.events.len(), 1);
+        assert_eq!(snap.trace.events[0].label, "ev");
+        // And it survives the JSON round trip.
+        let back = Snapshot::from_json(&snap.to_json()).expect("parses");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn install_bumps_epoch_and_flips_enabled() {
+        let _guard = global_lock();
+        let before = epoch();
+        install(Collector::enabled());
+        assert!(enabled());
+        assert!(epoch() > before);
+        install(Collector::disabled());
+        assert!(!enabled());
+        assert!(global().snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn span_macro_follows_collector_installs() {
+        let _guard = global_lock();
+        fn traced() {
+            let _s = crate::span!("test.span_macro");
+        }
+        // Off: nothing recorded.
+        install(Collector::disabled());
+        traced();
+        // On: entries land in the installed collector.
+        let live = Collector::enabled();
+        install(live.clone());
+        traced();
+        traced();
+        assert_eq!(live.span("test.span_macro").count(), 2);
+        // A fresh install re-resolves the call-site cache.
+        let second = Collector::enabled();
+        install(second.clone());
+        traced();
+        assert_eq!(second.span("test.span_macro").count(), 1);
+        assert_eq!(live.span("test.span_macro").count(), 2);
+        install(Collector::disabled());
+    }
+
+    #[test]
+    fn concurrent_counters_merge_through_the_collector() {
+        let c = Collector::enabled();
+        let counter = c.counter("merge");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let counter = counter.clone();
+                s.spawn(move || {
+                    for _ in 0..25_000 {
+                        counter.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.snapshot().counters["merge"], 200_000);
+    }
+}

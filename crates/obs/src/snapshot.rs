@@ -1,0 +1,129 @@
+//! Point-in-time registry export, JSON-serializable.
+//!
+//! A [`Snapshot`] is a plain data tree: metric names map to merged values,
+//! spans to `(count, total_ns, mean_ns)`, and the trace ring to its ordered
+//! events. `BTreeMap`s keep the JSON key order deterministic, so two
+//! snapshots of identical runs diff cleanly.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Exported state of one histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bucket edges (the overflow bucket is implicit).
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; one longer than `bounds` (trailing overflow).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+/// Exported state of one span label.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanSnapshot {
+    /// Completed span entries.
+    pub count: u64,
+    /// Accumulated nanoseconds across entries.
+    pub total_ns: u64,
+    /// `total_ns / count` (0 when never entered).
+    pub mean_ns: f64,
+}
+
+/// Exported state of the trace ring.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceSnapshot {
+    /// Ring capacity.
+    pub capacity: usize,
+    /// Events overwritten (or rejected) after the ring filled.
+    pub dropped: u64,
+    /// Retained events, oldest-first.
+    pub events: Vec<TraceEventSnapshot>,
+}
+
+/// One exported trace event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEventSnapshot {
+    /// Simulated instant, nanoseconds.
+    pub t_ns: u64,
+    /// Event label.
+    pub label: String,
+    /// Numeric payload.
+    pub value: f64,
+}
+
+/// A full registry export. Obtain via [`crate::Collector::snapshot`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Span timings by label.
+    pub spans: BTreeMap<String, SpanSnapshot>,
+    /// The event trace.
+    pub trace: TraceSnapshot,
+}
+
+/// The top-level keys every exported snapshot carries; CI's smoke step and
+/// the snapshot tests check against this list rather than hand-copied
+/// strings.
+pub const REQUIRED_KEYS: [&str; 5] = ["counters", "gauges", "histograms", "spans", "trace"];
+
+impl Snapshot {
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+
+    /// Parse a snapshot back from JSON (the CI smoke check and tests).
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_roundtrips_through_json_with_required_keys() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("a.b".into(), 3);
+        snap.gauges.insert("g".into(), 7);
+        snap.histograms.insert(
+            "h".into(),
+            HistogramSnapshot {
+                bounds: vec![1, 2],
+                counts: vec![1, 0, 2],
+                count: 3,
+                sum: 9,
+            },
+        );
+        snap.spans.insert(
+            "s".into(),
+            SpanSnapshot {
+                count: 2,
+                total_ns: 10,
+                mean_ns: 5.0,
+            },
+        );
+        snap.trace.events.push(TraceEventSnapshot {
+            t_ns: 4,
+            label: "x".into(),
+            value: 1.5,
+        });
+        let json = snap.to_json();
+        let value: serde::Value = serde_json::from_str(&json).expect("valid json");
+        for key in REQUIRED_KEYS {
+            assert!(value.get(key).is_some(), "snapshot JSON missing {key}");
+        }
+        let back = Snapshot::from_json(&json).expect("parses back");
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,144 @@
+//! A bounded structured event-trace ring buffer.
+//!
+//! Where counters answer "how many" and spans answer "how long", the trace
+//! answers "what happened around time t": a fixed-capacity ring of
+//! `(sim-time, label, value)` records. Memory is bounded by construction —
+//! once full, the oldest events are overwritten and counted in `dropped` so
+//! an exported trace is honest about truncation.
+//!
+//! Labels are `&'static str` on purpose: recording never allocates, and
+//! the label set doubles as the vocabulary documented in
+//! `docs/OBSERVABILITY.md`.
+
+use std::sync::{Arc, Mutex};
+
+/// One traced event. `t_ns` is **simulated** time in nanoseconds (the
+/// trace describes the simulation, not the host).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated instant, nanoseconds.
+    pub t_ns: u64,
+    /// Static label, dot-namespaced like metric names.
+    pub label: &'static str,
+    /// Free-form numeric payload (node id, cluster size, queue depth…).
+    pub value: f64,
+}
+
+/// Fixed-capacity ring of [`TraceEvent`]s.
+pub(crate) struct TraceRing {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl TraceRing {
+    pub(crate) fn new(capacity: usize) -> Self {
+        TraceRing {
+            buf: Vec::with_capacity(capacity.min(1024)),
+            capacity,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, ev: TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events oldest-first.
+    pub(crate) fn ordered(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// Handle for recording trace events; no-op when the collector is
+/// disabled.
+#[derive(Clone, Default)]
+pub struct Tracer(pub(crate) Option<Arc<Mutex<TraceRing>>>);
+
+impl Tracer {
+    /// A handle that drops every event.
+    pub fn noop() -> Self {
+        Tracer(None)
+    }
+
+    /// Record one event.
+    #[inline]
+    pub fn record(&self, t_ns: u64, label: &'static str, value: f64) {
+        if let Some(ring) = &self.0 {
+            ring.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(TraceEvent { t_ns, label, value });
+        }
+    }
+
+    /// Events recorded so far, oldest-first (empty for a no-op handle).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.0.as_ref().map_or_else(Vec::new, |ring| {
+            ring.lock().unwrap_or_else(|e| e.into_inner()).ordered()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_newest_events_and_counts_drops() {
+        let mut ring = TraceRing::new(3);
+        for i in 0..5u64 {
+            ring.push(TraceEvent {
+                t_ns: i,
+                label: "x",
+                value: i as f64,
+            });
+        }
+        let times: Vec<u64> = ring.ordered().iter().map(|e| e.t_ns).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.capacity(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_ring_drops_everything() {
+        let mut ring = TraceRing::new(0);
+        ring.push(TraceEvent {
+            t_ns: 1,
+            label: "x",
+            value: 0.0,
+        });
+        assert!(ring.ordered().is_empty());
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn noop_tracer_records_nothing() {
+        let t = Tracer::noop();
+        t.record(1, "x", 2.0);
+        assert!(t.events().is_empty());
+    }
+}

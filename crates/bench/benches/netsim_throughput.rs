@@ -3,17 +3,18 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use routesync_desim::{Duration, SimTime};
-use routesync_netsim::{scenario, DvConfig, NetSim, RouterConfig, Topology};
+use routesync_netsim::{DvConfig, NetSim, RouterConfig, ScenarioSpec, Topology};
 
 fn bench_netsim(c: &mut Criterion) {
     let mut group = c.benchmark_group("netsim");
     group.sample_size(20);
     group.bench_function("nearnet_200s_with_pings", |b| {
         b.iter(|| {
-            let mut n = scenario::nearnet(7);
+            let mut n = ScenarioSpec::nearnet().build(7);
+            let (berkeley, mit) = (n.hosts[0], n.hosts[1]);
             n.sim.add_ping(
-                n.berkeley,
-                n.mit,
+                berkeley,
+                mit,
                 Duration::from_secs_f64(1.01),
                 180,
                 SimTime::from_secs(5),

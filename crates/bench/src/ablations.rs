@@ -2,7 +2,7 @@
 
 use routesync_core::{ClusterLog, PeriodicModel, PeriodicParams, StartState};
 use routesync_desim::{BinaryHeapScheduler, CalendarQueue, Duration, Scheduler, SimTime};
-use routesync_netsim::{scenario, ForwardingMode, NetSim};
+use routesync_netsim::{ForwardingMode, ScenarioSpec};
 use routesync_rng::{JitterPolicy, TimerResetPolicy};
 use routesync_stats::ascii;
 
@@ -145,56 +145,21 @@ pub fn jitter_policy(cfg: &Config) -> Outcome {
 pub fn forwarding(cfg: &Config) -> Outcome {
     let probes = if cfg.fast { 300u64 } else { 1000 };
     let loss = |mode: ForwardingMode| {
-        // Rebuild the nearnet topology with the requested mode.
-        let mut n = scenario::nearnet(cfg.seed);
-        if mode == ForwardingMode::Concurrent {
-            // scenario::nearnet is blocked-by-design; build the concurrent
-            // variant from scratch with the same shape.
-            let mut t = routesync_netsim::Topology::new();
-            let a = t.add_host("berkeley");
-            let b = t.add_host("mit");
-            let west = t.add_router("west");
-            let c1 = t.add_router("c1");
-            let c2 = t.add_router("c2");
-            let east = t.add_router("east");
-            let t1 = 1_544_000;
-            t.add_link(a, west, Duration::from_millis(1), 10_000_000, 50);
-            t.add_link(west, c1, Duration::from_millis(20), t1, 50);
-            t.add_link(c1, c2, Duration::from_millis(5), t1, 50);
-            t.add_link(c2, east, Duration::from_millis(20), t1, 50);
-            t.add_link(east, b, Duration::from_millis(1), 10_000_000, 50);
-            for (i, &core) in [c1, c2].iter().enumerate() {
-                for j in 0..5 {
-                    let stub = t.add_router(format!("s{i}{j}"));
-                    t.add_link(core, stub, Duration::from_millis(3), t1, 50);
-                }
-            }
-            let mut rc = routesync_netsim::RouterConfig::new(
-                routesync_netsim::DvConfig::igrp().with_pad(280),
-            );
-            rc.forwarding = ForwardingMode::Concurrent;
-            rc.pending_cap = 0;
-            let mut sim = NetSim::new(t, rc, cfg.seed);
-            sim.add_ping(
-                a,
-                b,
-                Duration::from_secs_f64(1.01),
-                probes,
-                SimTime::from_secs(5),
-            );
-            sim.run_until(SimTime::from_secs(10 + (probes as f64 * 1.01) as u64 + 30));
-            return sim.ping_stats(a).loss_rate();
-        }
+        // Same scenario either way — the fix is one builder override.
+        let mut n = ScenarioSpec::nearnet()
+            .with_forwarding(mode)
+            .build(cfg.seed);
+        let (berkeley, mit) = (n.hosts[0], n.hosts[1]);
         n.sim.add_ping(
-            n.berkeley,
-            n.mit,
+            berkeley,
+            mit,
             Duration::from_secs_f64(1.01),
             probes,
             SimTime::from_secs(5),
         );
         n.sim
             .run_until(SimTime::from_secs(10 + (probes as f64 * 1.01) as u64 + 30));
-        n.sim.ping_stats(n.berkeley).loss_rate()
+        n.sim.ping_stats(berkeley).loss_rate()
     };
     // The two arms are independent simulations — run them through the
     // deterministic parallel runner.

@@ -125,12 +125,9 @@ fn main() {
     let desim_events_per_sec = rec.0 as f64 / desim_wall;
 
     // --- netsim --------------------------------------------------------
-    let scen = routesync_netsim::scenario::lan(
-        8,
-        Duration::from_secs_f64(0.1),
-        routesync_netsim::TimerStart::Unsynchronized,
-        1993,
-    );
+    let scen = routesync_netsim::ScenarioSpec::lan(8, Duration::from_secs_f64(0.1))
+        .with_start(routesync_netsim::TimerStart::Unsynchronized)
+        .build(1993);
     let mut sim = scen.sim;
     let first = scen.routers[0];
     let last = *scen.routers.last().expect("lan has routers");
@@ -237,12 +234,9 @@ fn main() {
     let mut rec = CountSends::default();
     let mut model = PeriodicModel::new(paper_params(n), StartState::Unsynchronized, 1993);
     model.run(SimTime::from_secs(horizon_secs / 10), &mut rec);
-    let scen = routesync_netsim::scenario::lan(
-        8,
-        Duration::from_secs_f64(0.1),
-        routesync_netsim::TimerStart::Unsynchronized,
-        1993,
-    );
+    let scen = routesync_netsim::ScenarioSpec::lan(8, Duration::from_secs_f64(0.1))
+        .with_start(routesync_netsim::TimerStart::Unsynchronized)
+        .build(1993);
     let mut sim = scen.sim;
     sim.run_until(SimTime::from_secs(120));
     experiment::run_many(

@@ -13,6 +13,10 @@
 //! * `g`         — Markov g(1) in seconds.
 //! * `sync-time` — simulated mean time to synchronize (fast engine,
 //!   horizon --horizon seconds, averaged over --seeds runs).
+//! * `resync-time` — packet-level mean time for a synchronized LAN
+//!   cluster to re-absorb n/3 crashed-then-rebooted routers (netsim +
+//!   fault plan, averaged over --seeds runs). Honours `n` and `tr`; the
+//!   scenario pins Tp to the DECnet 120 s and Tc to its table size.
 //!
 //! Sweepable parameters: `tr`, `n`, `tc`, `tp`. Fixed values come from
 //! the paper's reference configuration unless overridden by --n/--tp/
@@ -29,12 +33,12 @@ use routesync_markov::{ChainParams, PeriodicChain};
 
 const USAGE: &str = "\
 usage: sweep [--param tr|tc|tp|n] [--from X] [--to X] [--steps K]
-             [--metric fraction|f|g|sync-time] [--seeds S] [--horizon SECS]
-             [--f2 SECS] [--n N] [--tp SECS] [--tc SECS] [--tr SECS]
-             [--threads T] [--obs PATH.json]
+             [--metric fraction|f|g|sync-time|resync-time] [--seeds S]
+             [--horizon SECS] [--f2 SECS] [--n N] [--tp SECS] [--tc SECS]
+             [--tr SECS] [--threads T] [--obs PATH.json]
 
   --param    parameter swept across the grid (default: tr)
-  --metric   fraction | f | g | sync-time (default: fraction)
+  --metric   fraction | f | g | sync-time | resync-time (default: fraction)
   --threads  worker threads for simulated metrics (default: all cores;
              honours the ROUTESYNC_THREADS env var when unset)
   --obs      enable instrumentation and write a metrics snapshot
@@ -172,25 +176,21 @@ fn main() {
                 m.run(SimTime::from_secs_f64(horizon), &mut fp);
                 fp.first(p.n).map(|(t, _)| t.as_secs_f64())
             });
-            grid.iter()
+            mean_per_point(&grid, &jobs, &times)
+        }
+        "resync-time" => {
+            let jobs: Vec<(usize, ChainParams, u64)> = grid
+                .iter()
                 .enumerate()
-                .map(|(i, _)| {
-                    let point: Vec<f64> = jobs
-                        .iter()
-                        .zip(&times)
-                        .filter(|((j, _, _), _)| *j == i)
-                        .filter_map(|(_, t)| *t)
-                        .collect();
-                    if point.is_empty() {
-                        f64::NAN
-                    } else {
-                        point.iter().sum::<f64>() / point.len() as f64
-                    }
-                })
-                .collect()
+                .flat_map(|(i, &(_, p))| (0..n_seeds).map(move |seed| (i, p, seed)))
+                .collect();
+            let times = routesync_exec::par_map_indexed(&jobs, threads, |_, &(_, p, seed)| {
+                resync_time(p, seed, horizon)
+            });
+            mean_per_point(&grid, &jobs, &times)
         }
         other => usage_error(&format!(
-            "unknown --metric `{other}` (fraction|f|g|sync-time)"
+            "unknown --metric `{other}` (fraction|f|g|sync-time|resync-time)"
         )),
     };
 
@@ -205,4 +205,70 @@ fn main() {
             std::process::exit(1);
         }
     }
+}
+
+/// Average the per-(point, seed) results back onto the grid, skipping
+/// seeds that never reached the target within the horizon.
+fn mean_per_point(
+    grid: &[(f64, ChainParams)],
+    jobs: &[(usize, ChainParams, u64)],
+    times: &[Option<f64>],
+) -> Vec<f64> {
+    grid.iter()
+        .enumerate()
+        .map(|(i, _)| {
+            let point: Vec<f64> = jobs
+                .iter()
+                .zip(times)
+                .filter(|((j, _, _), _)| *j == i)
+                .filter_map(|(_, t)| *t)
+                .collect();
+            if point.is_empty() {
+                f64::NAN
+            } else {
+                point.iter().sum::<f64>() / point.len() as f64
+            }
+        })
+        .collect()
+}
+
+/// Crash a third of a synchronized `p.n`-router LAN, reboot the casualties
+/// a few minutes later, and return the time from the last reboot until a
+/// full-size cluster reappears (`None` if it never does within `horizon`
+/// simulated seconds). Runs in chunks so healed runs stop early.
+fn resync_time(p: ChainParams, seed: u64, horizon: f64) -> Option<f64> {
+    use routesync_netsim::scenario::largest_cluster_series;
+    use routesync_netsim::{FaultPlan, ScenarioSpec};
+    let n = p.n.max(3);
+    let k = (n / 3).max(1);
+    let mut plan = FaultPlan::new();
+    for i in 0..k {
+        plan = plan
+            .crash_at(i, SimTime::from_secs(600 + 30 * i as u64))
+            .reboot_at(i, SimTime::from_secs(900 + 60 * i as u64));
+    }
+    let last_reboot = 900 + 60 * (k as u64 - 1);
+    let mut scen = ScenarioSpec::lan(n, Duration::from_secs_f64(p.tr))
+        .with_faults(plan)
+        .build(seed);
+    // The scenario's DECnet period; cluster sizes are per 120 s round.
+    let period = 120u64;
+    let mut t = 0u64;
+    let horizon = horizon as u64;
+    while t < horizon {
+        t = (t + 50 * period).min(horizon);
+        scen.sim.run_until(SimTime::from_secs(t));
+        let series = largest_cluster_series(
+            scen.sim.reset_log(),
+            Duration::from_secs(3),
+            Duration::from_secs(period),
+        );
+        if let Some(&(b, _)) = series
+            .iter()
+            .find(|&&(b, s)| s == n && b * period > last_reboot)
+        {
+            return Some((b * period - last_reboot) as f64);
+        }
+    }
+    None
 }

@@ -324,17 +324,11 @@ pub fn fixed_periods(cfg: &Config) -> Outcome {
 /// the paper's DECnet Ethernet) is the worst case; strong jitter dissolves
 /// even the regional pairs.
 pub fn mesh(cfg: &Config) -> Outcome {
-    use routesync_netsim::scenario::{cluster_windows, random_mesh};
-    use routesync_netsim::TimerStart;
+    use routesync_netsim::scenario::cluster_windows;
+    use routesync_netsim::ScenarioSpec;
     let horizon = if cfg.fast { 150_000 } else { 300_000 };
     let run = |tr_ms: u64| {
-        let mut m = random_mesh(
-            12,
-            6,
-            Duration::from_millis(tr_ms),
-            TimerStart::Synchronized,
-            cfg.seed,
-        );
+        let mut m = ScenarioSpec::random_mesh(12, 6, Duration::from_millis(tr_ms)).build(cfg.seed);
         m.sim.run_until(SimTime::from_secs(horizon));
         let tail: Vec<_> = m
             .sim

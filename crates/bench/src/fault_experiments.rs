@@ -1,0 +1,253 @@
+//! Fault-injection experiments: synchronization meeting failures.
+//!
+//! The paper studies synchronization in a *healthy* network. These
+//! experiments ask what failures do to it, using the deterministic
+//! fault-injection subsystem (`routesync_netsim::FaultPlan`):
+//!
+//! * [`resync`] — crash part of a synchronized cluster and watch the
+//!   rebooted routers get re-absorbed by the survivors: the paper's
+//!   emergence mechanism, restated as a recovery property.
+//! * [`flap_sync`] — with zero timer jitter a quiet network can never
+//!   synchronize from an unsynchronized start (phases are frozen), but
+//!   link flaps inject triggered-update storms whose shared busy windows
+//!   seed the coupling: failures *cause* synchronization.
+
+use routesync_desim::{Duration, SimTime};
+use routesync_netsim::scenario::largest_cluster_series;
+use routesync_netsim::{Counters, FaultPlan, FaultRecord, ScenarioSpec, TimerStart};
+
+use crate::common::{write_csv, Check, Config, Outcome};
+
+/// One LAN run under a fault plan, reduced to the artifacts the checks
+/// need: per-period largest clusters, the fault log, and the counters.
+fn run_lan(
+    n: usize,
+    plan: &FaultPlan,
+    seed: u64,
+    horizon: u64,
+) -> (Vec<(u64, usize)>, Vec<FaultRecord>, Counters) {
+    let mut scen = ScenarioSpec::lan(n, Duration::from_millis(100))
+        .with_faults(plan.clone())
+        .build(seed);
+    scen.sim.run_until(SimTime::from_secs(horizon));
+    let series = largest_cluster_series(
+        scen.sim.reset_log(),
+        Duration::from_secs(3),
+        Duration::from_secs(120),
+    );
+    (
+        series,
+        scen.sim.fault_log().to_vec(),
+        scen.sim.counters().clone(),
+    )
+}
+
+/// Crash 3 of 10 synchronized LAN routers, reboot them a few minutes
+/// later, and verify the cluster dips while they are down and re-absorbs
+/// them afterwards — reproducibly, byte for byte.
+pub fn resync(cfg: &Config) -> Outcome {
+    let n = 10;
+    let k = 3; // routers crashed
+    let horizon: u64 = if cfg.fast { 80_000 } else { 200_000 };
+    let plan = FaultPlan::new()
+        .crash_at(0, SimTime::from_secs(600))
+        .crash_at(1, SimTime::from_secs(630))
+        .crash_at(2, SimTime::from_secs(660))
+        .reboot_at(0, SimTime::from_secs(900))
+        .reboot_at(1, SimTime::from_secs(960))
+        .reboot_at(2, SimTime::from_secs(1020));
+    let (series, fault_log, counters) = run_lan(n, &plan, cfg.seed, horizon);
+    let (series2, fault_log2, counters2) = run_lan(n, &plan, cfg.seed, horizon);
+
+    let file = write_csv(
+        cfg,
+        "ext_resync_cluster.csv",
+        "period,largest_cluster",
+        series.iter().map(|(b, s)| format!("{b},{s}")),
+    );
+
+    // Largest cluster during the outage (periods 6..8 cover 720-1080 s,
+    // when at least one router is down) and over the final tenth.
+    let during = series
+        .iter()
+        .filter(|(b, _)| (6..8).contains(b))
+        .map(|&(_, s)| s)
+        .max()
+        .unwrap_or(0);
+    let tail_from = (horizon / 120) * 9 / 10;
+    let tail = series
+        .iter()
+        .filter(|&&(b, _)| b >= tail_from)
+        .map(|&(_, s)| s)
+        .max()
+        .unwrap_or(0);
+    let reboots = counters.reboots;
+
+    Outcome {
+        id: "ext_resync".into(),
+        title: "rebooted routers are re-absorbed by the surviving cluster".into(),
+        files: vec![file],
+        rendering: String::new(),
+        checks: vec![
+            Check {
+                claim: format!("while {k} routers are down the cluster loses them"),
+                measured: format!("largest cluster during outage = {during}/{n}"),
+                pass: during > 0 && during <= n - k,
+            },
+            Check {
+                claim: "after reboot the cluster re-absorbs the returners".into(),
+                measured: format!("largest tail cluster = {tail}/{n}"),
+                pass: tail >= n - 1,
+            },
+            Check {
+                claim: "every scheduled crash and reboot fired".into(),
+                measured: format!("{} fault events, {reboots} reboots", fault_log.len()),
+                pass: fault_log.len() == 2 * k && reboots == k as u64,
+            },
+            Check {
+                claim: "(seed, plan) reproduces the run byte-for-byte".into(),
+                measured: format!(
+                    "rerun: series equal = {}, fault log equal = {}, counters equal = {}",
+                    series == series2,
+                    fault_log == fault_log2,
+                    counters == counters2
+                ),
+                pass: series == series2 && fault_log == fault_log2 && counters == counters2,
+            },
+        ],
+    }
+}
+
+/// One zero-jitter LAN run: quiet or under a flap storm.
+fn run_zero_jitter_lan(
+    plan: &FaultPlan,
+    seed: u64,
+    horizon: u64,
+) -> (usize, Counters, Vec<FaultRecord>) {
+    let mut scen = ScenarioSpec::lan(12, Duration::ZERO)
+        .with_start(TimerStart::Unsynchronized)
+        .with_faults(plan.clone())
+        .build(seed);
+    scen.sim.run_until(SimTime::from_secs(horizon));
+    let tail: Vec<_> = scen
+        .sim
+        .reset_log()
+        .iter()
+        .filter(|(t, _)| *t > SimTime::from_secs(horizon * 5 / 6))
+        .cloned()
+        .collect();
+    let max_tail = routesync_netsim::scenario::cluster_windows(&tail, Duration::from_secs(3))
+        .iter()
+        .map(|c| c.1)
+        .max()
+        .unwrap_or(0);
+    (
+        max_tail,
+        scen.sim.counters().clone(),
+        scen.sim.fault_log().to_vec(),
+    )
+}
+
+/// Link flaps seed synchronization that a quiet zero-jitter network can
+/// never reach: triggered-update storms create the shared busy windows
+/// that couple frozen timer phases.
+///
+/// With zero jitter every loner's period is exactly `Tp + Tc` (its own
+/// update processing), so relative phases are static and a quiet
+/// unsynchronized LAN stays unsynchronized forever. Each flap of the
+/// shared segment makes every router emit *and* process triggered
+/// updates at once — a network-wide busy window that re-phases any
+/// router whose timer fires inside it. Routers captured by the same
+/// wave form a cluster, and a cluster of `i` runs `(i-1)·Tc` slower per
+/// round than a loner, so it then sweeps phase space and absorbs the
+/// rest: failures cause synchronization.
+pub fn flap_sync(cfg: &Config) -> Outcome {
+    let horizon: u64 = if cfg.fast { 100_000 } else { 250_000 };
+    let quiet = FaultPlan::new();
+    // The shared segment flaps: up ~300 s on average, down ~30 s.
+    let storm = FaultPlan::new().flap_link(0, Duration::from_secs(300), Duration::from_secs(30));
+    let (quiet_max, quiet_counters, quiet_log) = run_zero_jitter_lan(&quiet, cfg.seed, horizon);
+    let (storm_max, storm_counters, storm_log) = run_zero_jitter_lan(&storm, cfg.seed, horizon);
+    let (storm_max2, storm_counters2, storm_log2) = run_zero_jitter_lan(&storm, cfg.seed, horizon);
+
+    let file = write_csv(
+        cfg,
+        "ext_flap_sync.csv",
+        "arm,max_tail_cluster,faults_injected,updates_triggered",
+        vec![
+            format!(
+                "quiet,{quiet_max},{},{}",
+                quiet_counters.faults_injected, quiet_counters.updates_triggered
+            ),
+            format!(
+                "storm,{storm_max},{},{}",
+                storm_counters.faults_injected, storm_counters.updates_triggered
+            ),
+        ],
+    );
+
+    Outcome {
+        id: "ext_flap_sync".into(),
+        title: "link flaps seed synchronization in a zero-jitter network".into(),
+        files: vec![file],
+        rendering: String::new(),
+        checks: vec![
+            Check {
+                claim: "the quiet arm injects no faults; the storm arm flaps continually".into(),
+                measured: format!(
+                    "quiet {} events, storm {} events",
+                    quiet_log.len(),
+                    storm_log.len()
+                ),
+                pass: quiet_log.is_empty() && storm_log.len() >= 50,
+            },
+            Check {
+                claim: "each flap sets off a triggered-update wave".into(),
+                measured: format!(
+                    "triggered updates: quiet {}, storm {}",
+                    quiet_counters.updates_triggered, storm_counters.updates_triggered
+                ),
+                pass: storm_counters.updates_triggered
+                    >= 100 + 10 * quiet_counters.updates_triggered,
+            },
+            Check {
+                claim: "the storm couples more routers than the quiet network".into(),
+                measured: format!("max tail cluster: quiet {quiet_max}, storm {storm_max}"),
+                pass: storm_max > quiet_max,
+            },
+            Check {
+                claim: "the stochastic flap sequence replays identically".into(),
+                measured: format!(
+                    "rerun: fault log equal = {}, counters equal = {}, tail cluster equal = {}",
+                    storm_log == storm_log2,
+                    storm_counters == storm_counters2,
+                    storm_max == storm_max2
+                ),
+                pass: storm_log == storm_log2
+                    && storm_counters == storm_counters2
+                    && storm_max == storm_max2,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resync_passes_shape_checks_in_fast_mode() {
+        let mut cfg = Config::fast();
+        cfg.out_dir = std::env::temp_dir().join("routesync-faulttest");
+        let o = resync(&cfg);
+        assert!(o.passed(), "{}", o.report());
+    }
+
+    #[test]
+    fn flap_sync_passes_shape_checks_in_fast_mode() {
+        let mut cfg = Config::fast();
+        cfg.out_dir = std::env::temp_dir().join("routesync-faulttest");
+        let o = flap_sync(&cfg);
+        assert!(o.passed(), "{}", o.report());
+    }
+}

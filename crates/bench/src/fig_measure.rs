@@ -2,7 +2,7 @@
 //! substrate.
 
 use routesync_desim::{Duration, SimTime};
-use routesync_netsim::scenario;
+use routesync_netsim::ScenarioSpec;
 use routesync_stats::{ascii, autocorrelation, dominant_lag, runs_of_loss};
 
 use crate::common::{write_csv, Check, Config, Outcome};
@@ -10,17 +10,18 @@ use crate::common::{write_csv, Check, Config, Outcome};
 /// Run the NEARnet ping train and return its stats plus probe count.
 fn run_nearnet(cfg: &Config) -> (routesync_netsim::PingStats, usize) {
     let probes: usize = if cfg.fast { 400 } else { 1000 };
-    let mut n = scenario::nearnet(cfg.seed);
+    let mut n = ScenarioSpec::nearnet().build(cfg.seed);
+    let (berkeley, mit) = (n.hosts[0], n.hosts[1]);
     n.sim.add_ping(
-        n.berkeley,
-        n.mit,
+        berkeley,
+        mit,
         Duration::from_secs_f64(1.01),
         probes as u64,
         SimTime::from_secs(5),
     );
     n.sim
         .run_until(SimTime::from_secs(10 + (probes as f64 * 1.01) as u64 + 30));
-    (n.sim.ping_stats(n.berkeley).clone(), probes)
+    (n.sim.ping_stats(berkeley).clone(), probes)
 }
 
 /// Figure 1: RTT per ping, drops shown as negative values, periodic drop
@@ -129,16 +130,17 @@ pub fn fig2(cfg: &Config) -> Outcome {
 pub fn fig3(cfg: &Config) -> Outcome {
     let seconds: u64 = if cfg.fast { 200 } else { 600 };
     let frames = seconds * 50;
-    let mut a = scenario::mbone_audiocast(cfg.seed);
+    let mut a = ScenarioSpec::mbone_audiocast().build(cfg.seed);
+    let (source, sink) = (a.hosts[0], a.hosts[1]);
     a.sim.add_cbr(
-        a.source,
-        a.sink,
+        source,
+        sink,
         Duration::from_millis(20),
         frames,
         SimTime::from_secs(2),
     );
     a.sim.run_until(SimTime::from_secs(seconds + 20));
-    let stats = a.sim.cbr_stats(a.sink).clone();
+    let stats = a.sim.cbr_stats(sink).clone();
     let outages = stats.outages(0.02, 2.0);
     let file = write_csv(
         cfg,

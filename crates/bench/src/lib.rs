@@ -13,6 +13,7 @@
 pub mod ablations;
 pub mod common;
 pub mod extensions;
+pub mod fault_experiments;
 pub mod fig_core;
 pub mod fig_markov;
 pub mod fig_measure;
@@ -48,6 +49,8 @@ pub const ALL: &[&str] = &[
     "ext_mesh",
     "ext_flap",
     "ext_incremental",
+    "ext_resync",
+    "ext_flap_sync",
 ];
 
 /// Run one experiment by id.
@@ -80,6 +83,8 @@ pub fn run(id: &str, cfg: &Config) -> Outcome {
         "ext_mesh" => extensions::mesh(cfg),
         "ext_flap" => extensions::flap_storm(cfg),
         "ext_incremental" => extensions::incremental(cfg),
+        "ext_resync" => fault_experiments::resync(cfg),
+        "ext_flap_sync" => fault_experiments::flap_sync(cfg),
         other => panic!("unknown experiment id {other:?} (see routesync_bench::ALL)"),
     }
 }

@@ -232,11 +232,11 @@ pub fn run_many<R: Send>(
         .counter("core.experiment.runs")
         .add(seeds.len() as u64);
     let start = &start;
-    routesync_exec::par_map_indexed_with(
+    routesync_exec::run_many(
         seeds,
-        threads,
+        Some(threads),
         || crate::FastModel::new(params, start.clone(), 0),
-        move |model, _idx, &seed| {
+        move |model, seed| {
             model.reset(start, seed);
             f(model, seed)
         },

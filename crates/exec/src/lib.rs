@@ -83,6 +83,32 @@ pub fn resolve_threads(requested: Option<usize>) -> usize {
         .unwrap_or(1)
 }
 
+/// The one seed-ensemble entry point: run `run` once per seed on worker
+/// threads, returning results in seed order, bit-identical at any thread
+/// count.
+///
+/// This unifies the `run_many` flavours that grew in `routesync-core`
+/// (per-worker reusable model) and `routesync-netsim` (fresh simulator
+/// per seed, shared precomputed routes): both delegate here. `init`
+/// builds per-worker scratch (a reusable model, or `|| ()` for none);
+/// `run` must derive everything from `(scratch, seed)` alone.
+///
+/// `threads` resolves through [`resolve_threads`]: `Some(n)` forces `n`
+/// workers, `None` honours `ROUTESYNC_THREADS` and then the machine's
+/// available parallelism — the same precedence every `--threads` flag in
+/// the workspace uses.
+pub fn run_many<C, R, I, F>(seeds: &[u64], threads: Option<usize>, init: I, run: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> C + Sync,
+    F: Fn(&mut C, u64) -> R + Sync,
+{
+    let threads = resolve_threads(threads);
+    par_map_indexed_with(seeds, threads, init, move |scratch, _i, &seed| {
+        run(scratch, seed)
+    })
+}
+
 /// Map `f` over `items` on up to `threads` worker threads, returning
 /// results in input order — bit-identical to the serial
 /// `items.iter().enumerate().map(..).collect()`.
@@ -263,6 +289,37 @@ mod tests {
             })
         });
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn run_many_is_thread_count_invariant() {
+        let seeds: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = seeds.iter().map(|&s| s.wrapping_mul(31) ^ 7).collect();
+        for threads in [Some(1), Some(2), Some(8), None] {
+            let got = run_many(&seeds, threads, || (), |(), s| s.wrapping_mul(31) ^ 7);
+            assert_eq!(got, expect, "threads={threads:?}");
+        }
+    }
+
+    #[test]
+    fn run_many_reuses_worker_scratch() {
+        let seeds: Vec<u64> = (0..64).collect();
+        let inits = AtomicUsize::new(0);
+        let got = run_many(
+            &seeds,
+            Some(4),
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                Vec::<u64>::with_capacity(8)
+            },
+            |scratch, seed| {
+                scratch.clear();
+                scratch.push(seed);
+                scratch[0] + 1
+            },
+        );
+        assert_eq!(got[5], 6);
+        assert!(inits.load(Ordering::SeqCst) <= 4);
     }
 
     #[test]

@@ -136,20 +136,21 @@ fn recommended_tr_separates_simulated_behaviour() {
 /// IGRP-style synchronized updates hurt and jitter fixes them.
 #[test]
 fn netsim_loss_disappears_with_recommended_jitter() {
-    use routesync_netsim::{scenario, TimerStart};
+    use routesync_netsim::{ScenarioSpec, TimerStart};
     use routesync_rng::JitterPolicy;
 
     // Baseline: the nearnet scenario drops pings.
-    let mut base = scenario::nearnet(17);
+    let mut base = ScenarioSpec::nearnet().build(17);
+    let (berkeley, mit) = (base.hosts[0], base.hosts[1]);
     base.sim.add_ping(
-        base.berkeley,
-        base.mit,
+        berkeley,
+        mit,
         Duration::from_secs_f64(1.01),
         400,
         SimTime::from_secs(5),
     );
     base.sim.run_until(SimTime::from_secs(450));
-    let baseline_loss = base.sim.ping_stats(base.berkeley).loss_rate();
+    let baseline_loss = base.sim.ping_stats(berkeley).loss_rate();
     assert!(baseline_loss > 0.0);
 
     // Fixed: same topology but timers drawn from [0.5 Tp, 1.5 Tp] and an
@@ -201,7 +202,7 @@ fn netsim_loss_disappears_with_recommended_jitter() {
     // *synchronization*: the long correlated bursts and the 90-second
     // periodicity.
     let baseline_bursts =
-        routesync_stats::runs_of_loss(&base.sim.ping_stats(base.berkeley).loss_flags());
+        routesync_stats::runs_of_loss(&base.sim.ping_stats(berkeley).loss_flags());
     let fixed_bursts = routesync_stats::runs_of_loss(&stats.loss_flags());
     let max_burst =
         |bs: &[routesync_stats::Outage]| bs.iter().map(|b| b.packets).max().unwrap_or(0);

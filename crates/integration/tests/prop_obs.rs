@@ -9,7 +9,7 @@ use std::sync::Mutex;
 use proptest::prelude::*;
 use routesync_core::{experiment, FastModel, FirstPassageUp, PeriodicParams, StartState};
 use routesync_desim::{Duration, SimTime};
-use routesync_netsim::{scenario, TimerStart};
+use routesync_netsim::{ScenarioSpec, TimerStart};
 use routesync_obs::Collector;
 
 /// Serializes tests that toggle the process-global collector so parallel
@@ -42,12 +42,9 @@ fn ensemble_csv(params: PeriodicParams, seeds: &[u64], threads: usize) -> String
 /// Run the packet-level simulator on a small LAN and render its counters
 /// as CSV.
 fn netsim_csv(n: usize, seed: u64) -> String {
-    let scen = scenario::lan(
-        n,
-        Duration::from_secs_f64(0.1),
-        TimerStart::Unsynchronized,
-        seed,
-    );
+    let scen = ScenarioSpec::lan(n, Duration::from_secs_f64(0.1))
+        .with_start(TimerStart::Unsynchronized)
+        .build(seed);
     let mut sim = scen.sim;
     let first = scen.routers[0];
     let last = *scen.routers.last().expect("lan has routers");

@@ -246,6 +246,26 @@ impl RoutingTable {
         RoutingTable { me, routes }
     }
 
+    /// Wipe the table back to the cold-start state: only the self-route
+    /// survives. This is a router crash — direct routes come back via
+    /// [`RoutingTable::install_direct`] on reboot, and everything else must
+    /// be re-learned from neighbours' advertisements. Keeps the map's
+    /// capacity, so crash/reboot cycles do not reallocate.
+    pub fn reset(&mut self) {
+        let me = self.me;
+        self.routes.clear();
+        self.routes.insert(
+            me,
+            Route {
+                metric: 0,
+                next_hop: me,
+                last_heard: SimTime::MAX, // never expires
+                holddown_until: None,
+                dead_since: None,
+            },
+        );
+    }
+
     /// Install a directly connected destination (metric 1, never expires —
     /// adjacency loss is signalled via [`RoutingTable::fail_via`]).
     pub fn install_direct(&mut self, neighbor: NodeId) {

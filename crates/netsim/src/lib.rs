@@ -26,10 +26,16 @@
 //! * [`app`] — measurement applications: a `ping` sender (1.01-second
 //!   intervals, like the paper's probes), a constant-bit-rate audio
 //!   source/sink pair, and a Poisson background-traffic generator.
-//! * [`scenario`] — canned topologies: [`scenario::nearnet`] for Figures
-//!   1-2, [`scenario::mbone_audiocast`] for Figure 3, and
-//!   [`scenario::lan`] (N routers on one segment) to validate the packet
-//!   simulator against the abstract Periodic Messages model.
+//! * [`faults`] — deterministic fault injection: a declarative
+//!   [`FaultPlan`] of scheduled link/router outages, stochastic flapping
+//!   (exponential MTBF/MTTR), per-link loss/reordering, and per-router
+//!   CPU slowdowns, all driven by dedicated seeded RNG streams so
+//!   `(seed, plan)` reproduces a run byte-for-byte.
+//! * [`scenario`] — canned topologies behind one typed builder:
+//!   [`ScenarioSpec::nearnet`] for Figures 1-2,
+//!   [`ScenarioSpec::mbone_audiocast`] for Figure 3, and
+//!   [`ScenarioSpec::lan`] (N routers on one segment) to validate the
+//!   packet simulator against the abstract Periodic Messages model.
 //!
 //! The protocol timers use the same [`routesync_rng::JitterPolicy`] /
 //! [`routesync_rng::TimerResetPolicy`] knobs as the abstract model, so
@@ -62,6 +68,7 @@
 
 pub mod app;
 pub mod dv;
+pub mod faults;
 pub mod packet;
 pub mod scenario;
 pub mod sim;
@@ -69,7 +76,12 @@ pub mod topology;
 
 pub use app::{CbrReceiverStats, PingStats};
 pub use dv::{DvConfig, HelloConfig, RouteEntry, RoutingTable};
+pub use faults::{
+    CpuSlowdown, FaultAction, FaultKind, FaultPlan, FaultRecord, LinkFlapProfile, LinkImpairment,
+    RouterFlapProfile, ScheduledFault,
+};
 pub use packet::{Packet, Payload};
+pub use scenario::{Scenario, ScenarioSpec};
 pub use sim::{
     run_many, Counters, ForwardingMode, NetSim, PrecomputedRoutes, RouterConfig, TimerStart,
 };

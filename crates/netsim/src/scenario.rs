@@ -1,5 +1,19 @@
-//! Canned topologies for the paper's measurement figures, plus analysis
-//! helpers for update-timeline clustering.
+//! Canned topologies for the paper's measurement figures — built through
+//! the [`ScenarioSpec`] builder — plus analysis helpers for
+//! update-timeline clustering.
+//!
+//! ```
+//! use routesync_desim::SimTime;
+//! use routesync_netsim::{FaultPlan, ScenarioSpec};
+//!
+//! // The NEARnet ping scenario, with router 3 crashing mid-run:
+//! let plan = FaultPlan::new()
+//!     .crash_at(3, SimTime::from_secs(200))
+//!     .reboot_at(3, SimTime::from_secs(300));
+//! let mut scen = ScenarioSpec::nearnet().with_faults(plan).build(1993);
+//! scen.sim.run_until(SimTime::from_secs(500));
+//! assert!(!scen.sim.fault_log().is_empty());
+//! ```
 //!
 //! Unlike the abstract Periodic Messages model — where coupled routers
 //! re-arm their timers at literally the same nanosecond — the packet-level
@@ -12,29 +26,201 @@
 use routesync_desim::{Duration, SimTime};
 
 use crate::dv::DvConfig;
+use crate::faults::FaultPlan;
 use crate::sim::{ForwardingMode, NetSim, RouterConfig, TimerStart};
 use crate::topology::{NodeId, Topology};
 
-/// Handles into the NEARnet-like scenario of Figures 1-2.
-pub struct Nearnet {
-    /// The simulator, ready to run (attach a ping train first).
-    pub sim: NetSim,
-    /// The probing host (Berkeley).
-    pub berkeley: NodeId,
-    /// The probed host (MIT).
-    pub mit: NodeId,
-    /// The core routers the path crosses.
-    pub cores: Vec<NodeId>,
+/// Which canned topology a [`ScenarioSpec`] builds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SpecKind {
+    Nearnet,
+    MboneAudiocast,
+    Lan {
+        n: usize,
+        jitter_tr: Duration,
+    },
+    RandomMesh {
+        n: usize,
+        chords: usize,
+        jitter_tr: Duration,
+    },
 }
 
-/// Build the NEARnet-like ping scenario: Berkeley and MIT hosts joined by
-/// a four-router backbone whose cores each serve several regional stub
-/// routers. All routers run IGRP-style 90-second updates from a
-/// synchronized start, carry ~300-route tables (`advertise_pad`), cost
-/// 1 ms/route to process, and **block forwarding during update
-/// processing** — the pre-fix behaviour that produced the paper's
-/// 90-second-periodic ping drops.
-pub fn nearnet(seed: u64) -> Nearnet {
+/// A typed, buildable description of a measurement scenario: pick a
+/// canned topology, optionally override the knobs experiments actually
+/// vary, attach a [`FaultPlan`], and [`ScenarioSpec::build`] with a seed.
+///
+/// This replaces the four free-function constructors (`nearnet`,
+/// `mbone_audiocast`, `lan`, `random_mesh`), which survive as deprecated
+/// shims. Every consumer — `bench`, `experiments`, `sweep`, the examples
+/// — goes through this one builder, so faults and config overrides
+/// compose uniformly across all of them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    kind: SpecKind,
+    faults: FaultPlan,
+    forwarding: Option<ForwardingMode>,
+    start: Option<TimerStart>,
+    record_timeline: Option<bool>,
+}
+
+/// A built scenario: the simulator plus handles to its interesting nodes.
+pub struct Scenario {
+    /// The simulator, ready to run (attach traffic first if the
+    /// experiment needs any).
+    pub sim: NetSim,
+    /// Host nodes, in scenario-defined order (see the constructor docs;
+    /// empty for the router-only LAN/mesh scenarios).
+    pub hosts: Vec<NodeId>,
+    /// The scenario's featured routers, in scenario-defined order (the
+    /// backbone for `nearnet`, the tunnel path for `mbone_audiocast`,
+    /// every router for `lan`/`random_mesh`).
+    pub routers: Vec<NodeId>,
+}
+
+impl ScenarioSpec {
+    /// The NEARnet-like ping scenario of Figures 1-2: Berkeley and MIT
+    /// hosts (`hosts[0]`, `hosts[1]`) joined by a four-router backbone
+    /// (`routers`, west to east) whose cores each serve five regional
+    /// stub routers. IGRP-style 90-second updates from a synchronized
+    /// start, ~300-route tables (`advertise_pad`), 1 ms/route processing,
+    /// and forwarding **blocked during updates** — the pre-fix behaviour
+    /// behind the paper's 90-second-periodic ping drops.
+    ///
+    /// Link ids, for fault plans: 0 = Berkeley access, 1..=3 = the
+    /// backbone T1s (west-gw↔core-1, core-1↔core-2, core-2↔east-gw),
+    /// 4 = MIT access, then the regional stub links in creation order.
+    pub fn nearnet() -> Self {
+        Self::of(SpecKind::Nearnet)
+    }
+
+    /// The MBone audiocast scenario of Figure 3: source and sink hosts
+    /// (`hosts[0]`, `hosts[1]`) across three tunnel routers (`routers`),
+    /// each serving four leaves. RIP-style 30-second synchronized updates
+    /// that block forwarding while processing — the conjectured cause of
+    /// the workshop's 30-second-periodic loss spikes.
+    ///
+    /// Link ids: 0 = source access, 1..=2 = the tunnel E1s, 3 = sink
+    /// access, then the leaf links in creation order.
+    pub fn mbone_audiocast() -> Self {
+        Self::of(SpecKind::MboneAudiocast)
+    }
+
+    /// `n` routers on one broadcast LAN (the paper's own DECnet
+    /// Ethernet), 120-second updates with jitter half-width `jitter_tr`,
+    /// synchronized start, timeline recording on — the packet-level
+    /// counterpart of the abstract Periodic Messages model.
+    ///
+    /// Link ids: the LAN is link 0. Router ids are `0..n`.
+    pub fn lan(n: usize, jitter_tr: Duration) -> Self {
+        Self::of(SpecKind::Lan { n, jitter_tr })
+    }
+
+    /// `n` routers in a ring plus `chords` random extra links — a
+    /// multi-hop topology where routing updates only reach *neighbours*,
+    /// so any synchronization must spread transitively. DECnet-style
+    /// 120-second updates with jitter half-width `jitter_tr`,
+    /// synchronized start, timeline recording on. The chord placement
+    /// draws from its own RNG stream of the build seed.
+    ///
+    /// Link ids: 0..n are the ring edges (`i` connects routers `i` and
+    /// `(i+1) % n`), then the chords in placement order.
+    pub fn random_mesh(n: usize, chords: usize, jitter_tr: Duration) -> Self {
+        Self::of(SpecKind::RandomMesh {
+            n,
+            chords,
+            jitter_tr,
+        })
+    }
+
+    fn of(kind: SpecKind) -> Self {
+        ScenarioSpec {
+            kind,
+            faults: FaultPlan::new(),
+            forwarding: None,
+            start: None,
+            record_timeline: None,
+        }
+    }
+
+    /// Attach a fault plan, installed into the simulator at build time.
+    /// An empty plan leaves the run bit-identical to one without it.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Override the scenario's forwarding mode (e.g.
+    /// [`ForwardingMode::Concurrent`] for the 1992-fix ablations).
+    pub fn with_forwarding(mut self, mode: ForwardingMode) -> Self {
+        self.forwarding = Some(mode);
+        self
+    }
+
+    /// Override the initial timer phases (e.g.
+    /// [`TimerStart::Unsynchronized`] for emergence experiments).
+    pub fn with_start(mut self, start: TimerStart) -> Self {
+        self.start = Some(start);
+        self
+    }
+
+    /// Override timeline recording (reset/update logs). On by default for
+    /// `lan`/`random_mesh`, off for the traffic scenarios.
+    pub fn with_timeline(mut self, record: bool) -> Self {
+        self.record_timeline = Some(record);
+        self
+    }
+
+    /// Build the scenario: construct the topology, apply the overrides,
+    /// seed the simulator, and install the fault plan. The same
+    /// `(spec, seed)` always builds a byte-identical simulator.
+    pub fn build(self, seed: u64) -> Scenario {
+        let (topo, mut cfg, hosts, routers) = match self.kind {
+            SpecKind::Nearnet => nearnet_parts(),
+            SpecKind::MboneAudiocast => audiocast_parts(),
+            SpecKind::Lan { n, jitter_tr } => lan_parts(n, jitter_tr),
+            SpecKind::RandomMesh {
+                n,
+                chords,
+                jitter_tr,
+            } => mesh_parts(n, chords, jitter_tr, seed),
+        };
+        if let Some(mode) = self.forwarding {
+            cfg.forwarding = mode;
+        }
+        if let Some(start) = self.start {
+            cfg.start = start;
+        }
+        if let Some(record) = self.record_timeline {
+            cfg.record_timeline = record;
+        }
+        let mut sim = NetSim::new(topo, cfg, seed);
+        sim.install_faults(&self.faults);
+        Scenario {
+            sim,
+            hosts,
+            routers,
+        }
+    }
+}
+
+/// The standard per-router config shared by all canned scenarios.
+fn scenario_cfg(dv: DvConfig, pending_cap: usize, record_timeline: bool) -> RouterConfig {
+    RouterConfig {
+        dv,
+        cost_per_route: Duration::from_millis(1),
+        forwarding: ForwardingMode::BlockedDuringUpdates,
+        pending_cap,
+        start: TimerStart::Synchronized,
+        prepopulate: true,
+        record_timeline,
+        record_paths: false,
+    }
+}
+
+type ScenarioParts = (Topology, RouterConfig, Vec<NodeId>, Vec<NodeId>);
+
+fn nearnet_parts() -> ScenarioParts {
     let mut t = Topology::new();
     let berkeley = t.add_host("berkeley");
     let mit = t.add_host("mit");
@@ -56,40 +242,11 @@ pub fn nearnet(seed: u64) -> Nearnet {
             t.add_link(core, stub, Duration::from_millis(3), t1, 50);
         }
     }
-    let cfg = RouterConfig {
-        dv: DvConfig::igrp().with_pad(280),
-        cost_per_route: Duration::from_millis(1),
-        forwarding: ForwardingMode::BlockedDuringUpdates,
-        pending_cap: 0,
-        start: TimerStart::Synchronized,
-        prepopulate: true,
-        record_timeline: false,
-        record_paths: false,
-    };
-    let sim = NetSim::new(t, cfg, seed);
-    Nearnet {
-        sim,
-        berkeley,
-        mit,
-        cores: vec![west, c1, c2, east],
-    }
+    let cfg = scenario_cfg(DvConfig::igrp().with_pad(280), 0, false);
+    (t, cfg, vec![berkeley, mit], vec![west, c1, c2, east])
 }
 
-/// Handles into the MBone audiocast scenario of Figure 3.
-pub struct Audiocast {
-    /// The simulator, ready to run (attach the CBR source first).
-    pub sim: NetSim,
-    /// The audio source host.
-    pub source: NodeId,
-    /// The audio sink host.
-    pub sink: NodeId,
-}
-
-/// Build the audiocast scenario: a CBR audio stream tunnelled across
-/// RIP-speaking routers (30-second synchronized updates) that block
-/// forwarding while processing — the conjectured cause of the workshop's
-/// 30-second-periodic loss spikes.
-pub fn mbone_audiocast(seed: u64) -> Audiocast {
+fn audiocast_parts() -> ScenarioParts {
     let mut t = Topology::new();
     let source = t.add_host("source");
     let sink = t.add_host("sink");
@@ -107,76 +264,29 @@ pub fn mbone_audiocast(seed: u64) -> Audiocast {
             t.add_link(router, stub, Duration::from_millis(2), e1, 50);
         }
     }
-    let cfg = RouterConfig {
-        dv: DvConfig::rip().with_pad(150),
-        cost_per_route: Duration::from_millis(1),
-        forwarding: ForwardingMode::BlockedDuringUpdates,
-        pending_cap: 0,
-        start: TimerStart::Synchronized,
-        prepopulate: true,
-        record_timeline: false,
-        record_paths: false,
-    };
-    let sim = NetSim::new(t, cfg, seed);
-    Audiocast { sim, source, sink }
+    let cfg = scenario_cfg(DvConfig::rip().with_pad(150), 0, false);
+    (t, cfg, vec![source, sink], r)
 }
 
-/// Handles into the shared-LAN scenario (the paper's own DECnet Ethernet).
-pub struct LanScenario {
-    /// The simulator (timeline recording on).
-    pub sim: NetSim,
-    /// The routers on the segment.
-    pub routers: Vec<NodeId>,
-}
-
-/// `n` routers on one broadcast LAN, DECnet-style 120-second updates with
-/// jitter half-width `jitter_tr`, timeline recording enabled — the
-/// packet-level counterpart of the abstract Periodic Messages model, used
-/// to validate the abstraction.
-pub fn lan(n: usize, jitter_tr: Duration, start: TimerStart, seed: u64) -> LanScenario {
-    let mut t = Topology::new();
-    let routers: Vec<NodeId> = (0..n).map(|i| t.add_router(format!("r{i}"))).collect();
-    t.add_lan(&routers, Duration::from_micros(50), 10_000_000, 100);
-    let dv = DvConfig::decnet()
+/// DECnet-style 120-second jittered updates shared by `lan`/`random_mesh`.
+fn decnet_dv(jitter_tr: Duration) -> DvConfig {
+    DvConfig::decnet()
         .with_jitter(routesync_rng::JitterPolicy::Uniform {
             tp: Duration::from_secs(120),
             tr: jitter_tr,
         })
-        .with_pad(100);
-    let cfg = RouterConfig {
-        dv,
-        cost_per_route: Duration::from_millis(1),
-        forwarding: ForwardingMode::BlockedDuringUpdates,
-        pending_cap: 2,
-        start,
-        prepopulate: true,
-        record_timeline: true,
-        record_paths: false,
-    };
-    let sim = NetSim::new(t, cfg, seed);
-    LanScenario { sim, routers }
+        .with_pad(100)
 }
 
-/// Handles into the random-mesh scenario.
-pub struct Mesh {
-    /// The simulator (timeline recording on).
-    pub sim: NetSim,
-    /// The routers.
-    pub routers: Vec<NodeId>,
+fn lan_parts(n: usize, jitter_tr: Duration) -> ScenarioParts {
+    let mut t = Topology::new();
+    let routers: Vec<NodeId> = (0..n).map(|i| t.add_router(format!("r{i}"))).collect();
+    t.add_lan(&routers, Duration::from_micros(50), 10_000_000, 100);
+    let cfg = scenario_cfg(decnet_dv(jitter_tr), 2, true);
+    (t, cfg, Vec::new(), routers)
 }
 
-/// `n` routers in a ring plus `chords` random extra links — a multi-hop
-/// topology where routing updates only reach *neighbours*, so any
-/// synchronization must spread transitively through the graph rather than
-/// over a shared medium. DECnet-style 120-second updates with jitter
-/// half-width `jitter_tr`.
-pub fn random_mesh(
-    n: usize,
-    chords: usize,
-    jitter_tr: Duration,
-    start: TimerStart,
-    seed: u64,
-) -> Mesh {
+fn mesh_parts(n: usize, chords: usize, jitter_tr: Duration, seed: u64) -> ScenarioParts {
     assert!(n >= 3, "a ring needs at least three routers");
     let mut t = Topology::new();
     let routers: Vec<NodeId> = (0..n).map(|i| t.add_router(format!("m{i}"))).collect();
@@ -207,24 +317,105 @@ pub fn random_mesh(
             placed += 1;
         }
     }
-    let dv = DvConfig::decnet()
-        .with_jitter(routesync_rng::JitterPolicy::Uniform {
-            tp: Duration::from_secs(120),
-            tr: jitter_tr,
-        })
-        .with_pad(100);
-    let cfg = RouterConfig {
-        dv,
-        cost_per_route: Duration::from_millis(1),
-        forwarding: ForwardingMode::BlockedDuringUpdates,
-        pending_cap: 2,
-        start,
-        prepopulate: true,
-        record_timeline: true,
-        record_paths: false,
-    };
-    let sim = NetSim::new(t, cfg, seed);
-    Mesh { sim, routers }
+    let cfg = scenario_cfg(decnet_dv(jitter_tr), 2, true);
+    (t, cfg, Vec::new(), routers)
+}
+
+// ----------------------------------------------------------------------
+// Deprecated pre-builder shims
+// ----------------------------------------------------------------------
+
+/// Handles into the NEARnet-like scenario of Figures 1-2.
+pub struct Nearnet {
+    /// The simulator, ready to run (attach a ping train first).
+    pub sim: NetSim,
+    /// The probing host (Berkeley).
+    pub berkeley: NodeId,
+    /// The probed host (MIT).
+    pub mit: NodeId,
+    /// The core routers the path crosses.
+    pub cores: Vec<NodeId>,
+}
+
+/// Pre-builder constructor for the NEARnet scenario.
+#[deprecated(note = "use `ScenarioSpec::nearnet().build(seed)`")]
+pub fn nearnet(seed: u64) -> Nearnet {
+    let s = ScenarioSpec::nearnet().build(seed);
+    Nearnet {
+        berkeley: s.hosts[0],
+        mit: s.hosts[1],
+        cores: s.routers,
+        sim: s.sim,
+    }
+}
+
+/// Handles into the MBone audiocast scenario of Figure 3.
+pub struct Audiocast {
+    /// The simulator, ready to run (attach the CBR source first).
+    pub sim: NetSim,
+    /// The audio source host.
+    pub source: NodeId,
+    /// The audio sink host.
+    pub sink: NodeId,
+}
+
+/// Pre-builder constructor for the audiocast scenario.
+#[deprecated(note = "use `ScenarioSpec::mbone_audiocast().build(seed)`")]
+pub fn mbone_audiocast(seed: u64) -> Audiocast {
+    let s = ScenarioSpec::mbone_audiocast().build(seed);
+    Audiocast {
+        source: s.hosts[0],
+        sink: s.hosts[1],
+        sim: s.sim,
+    }
+}
+
+/// Handles into the shared-LAN scenario (the paper's own DECnet Ethernet).
+pub struct LanScenario {
+    /// The simulator (timeline recording on).
+    pub sim: NetSim,
+    /// The routers on the segment.
+    pub routers: Vec<NodeId>,
+}
+
+/// Pre-builder constructor for the shared-LAN scenario.
+#[deprecated(note = "use `ScenarioSpec::lan(n, jitter_tr).with_start(start).build(seed)`")]
+pub fn lan(n: usize, jitter_tr: Duration, start: TimerStart, seed: u64) -> LanScenario {
+    let s = ScenarioSpec::lan(n, jitter_tr)
+        .with_start(start)
+        .build(seed);
+    LanScenario {
+        routers: s.routers,
+        sim: s.sim,
+    }
+}
+
+/// Handles into the random-mesh scenario.
+pub struct Mesh {
+    /// The simulator (timeline recording on).
+    pub sim: NetSim,
+    /// The routers.
+    pub routers: Vec<NodeId>,
+}
+
+/// Pre-builder constructor for the random-mesh scenario.
+#[deprecated(
+    note = "use `ScenarioSpec::random_mesh(n, chords, jitter_tr).with_start(start).build(seed)`"
+)]
+pub fn random_mesh(
+    n: usize,
+    chords: usize,
+    jitter_tr: Duration,
+    start: TimerStart,
+    seed: u64,
+) -> Mesh {
+    let s = ScenarioSpec::random_mesh(n, chords, jitter_tr)
+        .with_start(start)
+        .build(seed);
+    Mesh {
+        routers: s.routers,
+        sim: s.sim,
+    }
 }
 
 /// Group a reset/update timeline into clusters: consecutive events whose
@@ -305,6 +496,54 @@ mod tests {
             cluster_windows(&one, Duration::from_millis(1)),
             vec![(SimTime::from_secs(1), 1)]
         );
+    }
+
+    /// The deprecated free constructors must build byte-identical
+    /// simulators to their `ScenarioSpec` replacements.
+    #[test]
+    #[allow(deprecated)]
+    fn shims_match_builder() {
+        let horizon = SimTime::from_secs(2_000);
+
+        let mut old = lan(6, Duration::from_millis(50), TimerStart::Synchronized, 42);
+        let mut new = ScenarioSpec::lan(6, Duration::from_millis(50)).build(42);
+        assert_eq!(old.routers, new.routers);
+        old.sim.run_until(horizon);
+        new.sim.run_until(horizon);
+        assert_eq!(old.sim.counters(), new.sim.counters());
+        assert_eq!(old.sim.reset_log(), new.sim.reset_log());
+
+        let mut old = nearnet(17);
+        let mut new = ScenarioSpec::nearnet().build(17);
+        assert_eq!(old.berkeley, new.hosts[0]);
+        assert_eq!(old.mit, new.hosts[1]);
+        assert_eq!(old.cores, new.routers);
+        old.sim.run_until(horizon);
+        new.sim.run_until(horizon);
+        assert_eq!(old.sim.counters(), new.sim.counters());
+
+        let mut old = mbone_audiocast(9);
+        let mut new = ScenarioSpec::mbone_audiocast().build(9);
+        assert_eq!((old.source, old.sink), (new.hosts[0], new.hosts[1]));
+        old.sim.run_until(horizon);
+        new.sim.run_until(horizon);
+        assert_eq!(old.sim.counters(), new.sim.counters());
+
+        let mut old = random_mesh(
+            8,
+            4,
+            Duration::from_millis(20),
+            TimerStart::Unsynchronized,
+            3,
+        );
+        let mut new = ScenarioSpec::random_mesh(8, 4, Duration::from_millis(20))
+            .with_start(TimerStart::Unsynchronized)
+            .build(3);
+        assert_eq!(old.routers, new.routers);
+        old.sim.run_until(horizon);
+        new.sim.run_until(horizon);
+        assert_eq!(old.sim.counters(), new.sim.counters());
+        assert_eq!(old.sim.reset_log(), new.sim.reset_log());
     }
 
     #[test]

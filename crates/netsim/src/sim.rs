@@ -17,6 +17,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::app::{App, CbrReceiverStats, PingStats};
 use crate::dv::{DvConfig, RouteEntry, RoutingTable, UpdateMode};
+use crate::faults::{
+    FaultKind, FaultPlan, FaultRecord, LinkFlapProfile, RouterFlapProfile, IMPAIR_STREAM,
+    LINK_FLAP_STREAM, ROUTER_FLAP_STREAM,
+};
 use crate::packet::{Packet, Payload, RoutingUpdate};
 use crate::topology::{LinkId, Medium, NodeId, NodeKind, Topology};
 
@@ -87,14 +91,56 @@ impl RouterConfig {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
-    Arrive { to: NodeId, pkt_id: u64 },
-    HelloTimer { node: NodeId },
-    TxDone { link: LinkId, slot: usize },
-    CpuFree { node: NodeId, gen: u64 },
-    DvTimer { node: NodeId, gen: u64 },
-    AppTick { node: NodeId },
-    LinkDown { link: LinkId },
-    LinkUp { link: LinkId },
+    Arrive {
+        to: NodeId,
+        pkt_id: u64,
+    },
+    HelloTimer {
+        node: NodeId,
+    },
+    TxDone {
+        link: LinkId,
+        slot: usize,
+    },
+    CpuFree {
+        node: NodeId,
+        gen: u64,
+    },
+    DvTimer {
+        node: NodeId,
+        gen: u64,
+    },
+    AppTick {
+        node: NodeId,
+    },
+    LinkDown {
+        link: LinkId,
+    },
+    LinkUp {
+        link: LinkId,
+    },
+    /// A scheduled fault-plan link transition (logged, unlike the raw
+    /// `LinkDown`/`LinkUp` of `schedule_link_down/up`).
+    FaultLink {
+        link: LinkId,
+        up: bool,
+    },
+    /// A stochastic link-flap transition; reschedules itself.
+    LinkFlap {
+        flap: usize,
+        down: bool,
+    },
+    RouterCrash {
+        node: NodeId,
+    },
+    RouterReboot {
+        node: NodeId,
+    },
+    /// A stochastic router-flap transition; reschedules itself.
+    RouterFlap {
+        flap: usize,
+        down: bool,
+    },
 }
 
 /// Drop/delivery counters, readable after a run.
@@ -122,6 +168,18 @@ pub struct Counters {
     pub updates_processed: u64,
     /// Hello packets transmitted (per link).
     pub hellos_sent: u64,
+    /// Dropped: lost to a fault-plan link impairment.
+    pub drop_link_loss: u64,
+    /// Dropped: addressed to (or queued on) a crashed router.
+    pub drop_router_down: u64,
+    /// Topology-affecting faults applied (link down/up transitions,
+    /// crashes, reboots — the length of [`NetSim::fault_log`]).
+    pub faults_injected: u64,
+    /// Router reboots (cold starts) among the injected faults.
+    pub reboots: u64,
+    /// Triggered-update emissions (the storm metric: one per triggered
+    /// emission, however many links it fans out over).
+    pub updates_triggered: u64,
 }
 
 /// Instrumentation handles for the simulator's hot paths, resolved once at
@@ -139,6 +197,12 @@ struct NetObs {
     /// Simulated nanoseconds of router control-plane CPU spent digesting
     /// and preparing routing updates.
     cpu_busy_ns: routesync_obs::Counter,
+    /// Topology-affecting faults applied from a [`FaultPlan`].
+    faults_injected: routesync_obs::Counter,
+    /// Router reboots (cold starts) among the injected faults.
+    faults_reboots: routesync_obs::Counter,
+    /// Triggered-update emissions (update-storm intensity).
+    updates_triggered: routesync_obs::Counter,
     /// Per-router busy attribution: `(sim-time, node)` trace events.
     trace: routesync_obs::Tracer,
 }
@@ -154,9 +218,37 @@ impl NetObs {
             updates_processed: obs.counter("netsim.updates.processed"),
             slab_high_water: obs.gauge("netsim.slab.high_water"),
             cpu_busy_ns: obs.counter("netsim.router.busy_ns"),
+            faults_injected: obs.counter("netsim.faults.injected"),
+            faults_reboots: obs.counter("netsim.faults.reboots"),
+            updates_triggered: obs.counter("netsim.updates.triggered"),
             trace: obs.tracer(),
         }
     }
+}
+
+/// A per-link loss/reorder impairment with its dedicated RNG stream.
+struct Impair {
+    loss: f64,
+    reorder: f64,
+    reorder_delay: Duration,
+    rng: MinStd,
+}
+
+/// Runtime state of an installed [`FaultPlan`]. Boxed behind an `Option`
+/// on [`NetSim`]: with no plan installed (the overwhelmingly common case)
+/// every fault hook is a single `None` branch and the simulation is
+/// bit-identical to a pre-faults build.
+struct FaultState {
+    link_flaps: Vec<(LinkFlapProfile, MinStd)>,
+    router_flaps: Vec<(RouterFlapProfile, MinStd)>,
+    /// Per-link impairment (dense, indexed by link id).
+    impairments: Vec<Option<Impair>>,
+    /// Per-node CPU cost multiplier (1.0 = unaffected).
+    slowdown: Vec<f64>,
+    /// Per-node crashed flag.
+    crashed: Vec<bool>,
+    /// Every applied topology-affecting fault, in application order.
+    log: Vec<FaultRecord>,
 }
 
 struct TxSlot {
@@ -217,6 +309,10 @@ pub struct NetSim {
     scratch_peers: Vec<NodeId>,
     scratch_nodes: Vec<NodeId>,
     scratch_entries: Vec<RouteEntry>,
+    /// The master seed (fault-plan RNG streams derive from it).
+    seed: u64,
+    /// Installed fault plan, if any ([`NetSim::install_faults`]).
+    faults: Option<Box<FaultState>>,
     obs: NetObs,
 }
 
@@ -254,15 +350,14 @@ impl NetSim {
             let mut rng = routesync_rng::stream(seed, id as u64);
             let jitter = cfg.dv.jitter.materialize(&mut rng);
             let mut table = RoutingTable::new(id);
-            for (nb, _) in topo.neighbors(id) {
+            for (nb, _) in topo.neighbors_iter(id) {
                 table.install_direct(nb);
             }
             let default_router = topo
-                .neighbors(id)
-                .into_iter()
+                .neighbors_iter(id)
                 .find(|&(nb, _)| topo.kind(nb) == NodeKind::Router)
                 .map(|(nb, _)| nb);
-            adjacency.push(topo.neighbors(id).into_iter().collect());
+            adjacency.push(topo.neighbors_iter(id).collect());
             nodes.push(NodeState {
                 kind: topo.kind(id),
                 table,
@@ -313,6 +408,8 @@ impl NetSim {
             scratch_peers: Vec::new(),
             scratch_nodes: Vec::new(),
             scratch_entries: Vec::new(),
+            seed,
+            faults: None,
             obs: NetObs::resolve(),
         };
         if cfg.prepopulate {
@@ -342,7 +439,7 @@ impl NetSim {
             for id in sim.topo.routers() {
                 // Stagger the first hellos uniformly over one interval and
                 // presume neighbours alive from t = 0.
-                for (nb, _) in sim.topo.neighbors(id) {
+                for (nb, _) in sim.topo.neighbors_iter(id) {
                     if sim.topo.kind(nb) == NodeKind::Router {
                         sim.nodes[id]
                             .neighbor_liveness
@@ -484,6 +581,112 @@ impl NetSim {
         self.engine.schedule(at, Ev::LinkUp { link });
     }
 
+    /// Install a [`FaultPlan`]: schedule its timed events and seed its
+    /// stochastic processes. Installing an **empty** plan is a no-op —
+    /// the run stays bit-identical to one without the call. Stochastic
+    /// faults draw from dedicated RNG streams derived from the master
+    /// seed (never from the per-node RNGs), so the same `(seed, plan)`
+    /// reproduces the same fault sequence byte-for-byte.
+    ///
+    /// Call before [`NetSim::run_until`]; installing a second non-empty
+    /// plan replaces the first (its pending stochastic transitions keep
+    /// firing but find the old state gone and re-derive from the new).
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        if plan.is_empty() {
+            return;
+        }
+        let n = self.topo.node_count();
+        let mut st = Box::new(FaultState {
+            link_flaps: plan
+                .link_flaps
+                .iter()
+                .enumerate()
+                .map(|(i, f)| {
+                    (
+                        *f,
+                        routesync_rng::stream(self.seed, LINK_FLAP_STREAM + i as u64),
+                    )
+                })
+                .collect(),
+            router_flaps: plan
+                .router_flaps
+                .iter()
+                .enumerate()
+                .map(|(i, f)| {
+                    (
+                        *f,
+                        routesync_rng::stream(self.seed, ROUTER_FLAP_STREAM + i as u64),
+                    )
+                })
+                .collect(),
+            impairments: (0..self.topo.link_count()).map(|_| None).collect(),
+            slowdown: vec![1.0; n],
+            crashed: vec![false; n],
+            log: Vec::new(),
+        });
+        for imp in &plan.impairments {
+            assert!(
+                imp.link < self.topo.link_count(),
+                "unknown link {}",
+                imp.link
+            );
+            st.impairments[imp.link] = Some(Impair {
+                loss: imp.loss,
+                reorder: imp.reorder,
+                reorder_delay: imp.reorder_delay,
+                rng: routesync_rng::stream(self.seed, IMPAIR_STREAM + imp.link as u64),
+            });
+        }
+        for s in &plan.slowdowns {
+            assert!(
+                self.topo.kind(s.node) == NodeKind::Router,
+                "cpu slowdown target {} is not a router",
+                s.node
+            );
+            st.slowdown[s.node] = s.factor;
+        }
+        for ev in &plan.scheduled {
+            let e = match ev.action {
+                crate::faults::FaultAction::LinkDown(l) => Ev::FaultLink { link: l, up: false },
+                crate::faults::FaultAction::LinkUp(l) => Ev::FaultLink { link: l, up: true },
+                crate::faults::FaultAction::RouterCrash(r) => Ev::RouterCrash { node: r },
+                crate::faults::FaultAction::RouterReboot(r) => Ev::RouterReboot { node: r },
+            };
+            self.engine.schedule(ev.at, e);
+        }
+        // First stochastic transitions: every flapping entity starts up
+        // and fails after Exp(mtbf).
+        for flap in 0..st.link_flaps.len() {
+            let (prof, rng) = &mut st.link_flaps[flap];
+            let dt = exp_duration(prof.mtbf, rng);
+            self.engine
+                .schedule(SimTime::ZERO + dt, Ev::LinkFlap { flap, down: true });
+        }
+        for flap in 0..st.router_flaps.len() {
+            let (prof, rng) = &mut st.router_flaps[flap];
+            assert!(
+                self.topo.kind(prof.node) == NodeKind::Router,
+                "router flap target {} is not a router",
+                prof.node
+            );
+            let dt = exp_duration(prof.mtbf, rng);
+            self.engine
+                .schedule(SimTime::ZERO + dt, Ev::RouterFlap { flap, down: true });
+        }
+        self.faults = Some(st);
+    }
+
+    /// The topology-affecting faults applied so far, in application
+    /// order. Empty when no [`FaultPlan`] is installed.
+    pub fn fault_log(&self) -> &[FaultRecord] {
+        self.faults.as_ref().map_or(&[], |f| &f.log)
+    }
+
+    /// Whether `node` is currently crashed by the installed fault plan.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.crashed[node])
+    }
+
     /// Run the simulation until `horizon`.
     pub fn run_until(&mut self, horizon: SimTime) {
         let _span = routesync_obs::span!("netsim.run_until");
@@ -523,6 +726,11 @@ impl NetSim {
             Ev::AppTick { node } => self.on_app_tick(now, node),
             Ev::LinkDown { link } => self.on_link_down(now, link),
             Ev::LinkUp { link } => self.on_link_up(now, link),
+            Ev::FaultLink { link, up } => self.on_fault_link(now, link, up),
+            Ev::LinkFlap { flap, down } => self.on_link_flap(now, flap, down),
+            Ev::RouterCrash { node } => self.on_router_crash(now, node),
+            Ev::RouterReboot { node } => self.on_router_reboot(now, node),
+            Ev::RouterFlap { flap, down } => self.on_router_flap(now, flap, down),
         }
     }
 
@@ -585,9 +793,9 @@ impl NetSim {
         match (medium, dst_hint) {
             (Medium::PointToPoint, _) => {
                 let to = self.topo.link(link).other_end(sender);
-                self.schedule_arrival(arrive_at, to, pkt);
+                self.deliver_on(link, arrive_at, to, pkt);
             }
-            (Medium::Broadcast, Some(d)) => self.schedule_arrival(arrive_at, d, pkt),
+            (Medium::Broadcast, Some(d)) => self.deliver_on(link, arrive_at, d, pkt),
             (Medium::Broadcast, None) => {
                 // Every other attached node hears the frame; move the
                 // packet into the last copy instead of cloning it.
@@ -605,13 +813,34 @@ impl NetSim {
                     } else {
                         pkt.as_ref().expect("broadcast packet gone").clone()
                     };
-                    self.schedule_arrival(arrive_at, to, copy);
+                    self.deliver_on(link, arrive_at, to, copy);
                 }
             }
         }
         self.links[link].slots[slot].busy = true;
         self.engine
             .schedule(now + tx_time, Ev::TxDone { link, slot });
+    }
+
+    /// Deliver `pkt` over `link`, applying any fault-plan impairment:
+    /// an independent loss draw, then an independent reorder draw that
+    /// adds the impairment's extra delay. Without an installed plan this
+    /// is a single branch in front of [`NetSim::schedule_arrival`].
+    fn deliver_on(&mut self, link: LinkId, at: SimTime, to: NodeId, pkt: Packet) {
+        let mut at = at;
+        if let Some(f) = self.faults.as_deref_mut() {
+            if let Some(imp) = f.impairments[link].as_mut() {
+                if imp.loss > 0.0 && routesync_rng::dist::unit_f64(&mut imp.rng) < imp.loss {
+                    self.counters.drop_link_loss += 1;
+                    self.obs.packets_dropped.inc();
+                    return;
+                }
+                if imp.reorder > 0.0 && routesync_rng::dist::unit_f64(&mut imp.rng) < imp.reorder {
+                    at += imp.reorder_delay;
+                }
+            }
+        }
+        self.schedule_arrival(at, to, pkt);
     }
 
     /// Park `pkt` in the in-flight slab and schedule its arrival.
@@ -650,6 +879,13 @@ impl NetSim {
     // ------------------------------------------------------------------
 
     fn on_arrive(&mut self, now: SimTime, to: NodeId, pkt: Packet) {
+        if self.is_crashed(to) {
+            // A crashed router hears nothing: data, hellos and routing
+            // updates addressed to it all hit the floor.
+            self.counters.drop_router_down += 1;
+            self.obs.packets_dropped.inc();
+            return;
+        }
         if matches!(pkt.payload, Payload::Hello) {
             if self.nodes[to].kind == NodeKind::Router {
                 self.on_hello(now, to, pkt.src);
@@ -855,6 +1091,10 @@ impl NetSim {
         if self.cfg.record_timeline && !triggered {
             self.update_log.push((now, node));
         }
+        if triggered {
+            self.counters.updates_triggered += 1;
+            self.obs.updates_triggered.inc();
+        }
         let pad = self.cfg.dv.advertise_pad;
         // Preparation cost: the whole table once, plus padding.
         let prep = self.cfg.cost_per_route * (self.nodes[node].table.len() + pad) as u64;
@@ -914,47 +1154,52 @@ impl NetSim {
         let Some(hello) = self.cfg.dv.hello else {
             return;
         };
-        // Send hellos on every up link (to all router neighbours).
-        for li in 0..self.topo.links_of(node).len() {
-            let link = self.topo.links_of(node)[li];
-            if !self.links[link].up {
-                continue;
+        // A crashed router sends nothing and declares nobody dead, but
+        // its hello timer keeps ticking silently (below) so the RNG
+        // stream and schedule stay deterministic across the outage.
+        if !self.is_crashed(node) {
+            // Send hellos on every up link (to all router neighbours).
+            for li in 0..self.topo.links_of(node).len() {
+                let link = self.topo.links_of(node)[li];
+                if !self.links[link].up {
+                    continue;
+                }
+                let pkt = Packet::new(node, node, 44, Payload::Hello);
+                self.counters.hellos_sent += 1;
+                self.transmit(now, node, link, pkt, None);
             }
-            let pkt = Packet::new(node, node, 44, Payload::Hello);
-            self.counters.hellos_sent += 1;
-            self.transmit(now, node, link, pkt, None);
-        }
-        // Declare silent neighbours dead. The scratch buffer dodges a Vec
-        // per tick; sorting pins down the HashMap's iteration order so the
-        // failure sequence is reproducible.
-        let dead_after = hello.dead_after();
-        let mut silent = std::mem::take(&mut self.scratch_nodes);
-        silent.clear();
-        silent.extend(
-            self.nodes[node]
-                .neighbor_liveness
-                .iter()
-                .filter(|&(_, &(last, alive))| alive && last + dead_after <= now)
-                .map(|(&nb, _)| nb),
-        );
-        silent.sort_unstable();
-        let mut changed = false;
-        for &nb in &silent {
-            self.nodes[node]
-                .neighbor_liveness
-                .insert(nb, (SimTime::ZERO, false));
-            if self.nodes[node].table.fail_via_with(
-                nb,
-                self.cfg.dv.infinity,
-                now,
-                self.cfg.dv.holddown,
-            ) {
-                changed = true;
+            // Declare silent neighbours dead. The scratch buffer dodges a
+            // Vec per tick; sorting pins down the HashMap's iteration
+            // order so the failure sequence is reproducible.
+            let dead_after = hello.dead_after();
+            let mut silent = std::mem::take(&mut self.scratch_nodes);
+            silent.clear();
+            silent.extend(
+                self.nodes[node]
+                    .neighbor_liveness
+                    .iter()
+                    .filter(|&(_, &(last, alive))| alive && last + dead_after <= now)
+                    .map(|(&nb, _)| nb),
+            );
+            silent.sort_unstable();
+            let mut changed = false;
+            for &nb in &silent {
+                self.nodes[node]
+                    .neighbor_liveness
+                    .insert(nb, (SimTime::ZERO, false));
+                if self.nodes[node].table.fail_via_with(
+                    nb,
+                    self.cfg.dv.infinity,
+                    now,
+                    self.cfg.dv.holddown,
+                ) {
+                    changed = true;
+                }
             }
-        }
-        self.scratch_nodes = silent;
-        if changed && self.cfg.dv.triggered_updates {
-            self.note_change(now, node);
+            self.scratch_nodes = silent;
+            if changed && self.cfg.dv.triggered_updates {
+                self.note_change(now, node);
+            }
         }
         // Re-arm with the standard 0.75-1.25x jitter.
         let lo = hello.interval.as_nanos() * 3 / 4;
@@ -1021,6 +1266,13 @@ impl NetSim {
     }
 
     fn cpu_add(&mut self, now: SimTime, node: NodeId, cost: Duration) {
+        // Fault-plan CPU slowdown: scale the control-plane cost.
+        let cost = match self.faults.as_deref() {
+            Some(f) if f.slowdown[node] != 1.0 => {
+                Duration::from_nanos((cost.as_nanos() as f64 * f.slowdown[node]).round() as u64)
+            }
+            _ => cost,
+        };
         if cost.is_zero() {
             return;
         }
@@ -1077,6 +1329,11 @@ impl NetSim {
     // ------------------------------------------------------------------
 
     fn on_app_tick(&mut self, now: SimTime, node: NodeId) {
+        if self.is_crashed(node) {
+            // A crashed node's application dies with it (the remaining
+            // train is simply never sent).
+            return;
+        }
         let Some(app) = self.nodes[node].app.clone() else {
             return;
         };
@@ -1174,7 +1431,7 @@ impl NetSim {
         let attached = self.topo.link(link).nodes.len();
         for ri in 0..attached {
             let r = self.topo.link(link).nodes[ri];
-            if self.topo.kind(r) != NodeKind::Router {
+            if self.topo.kind(r) != NodeKind::Router || self.is_crashed(r) {
                 continue;
             }
             let mut changed = false;
@@ -1209,12 +1466,12 @@ impl NetSim {
         let attached = self.topo.link(link).nodes.len();
         for ri in 0..attached {
             let r = self.topo.link(link).nodes[ri];
-            if self.topo.kind(r) != NodeKind::Router {
+            if self.topo.kind(r) != NodeKind::Router || self.is_crashed(r) {
                 continue;
             }
             for mi in 0..attached {
                 let m = self.topo.link(link).nodes[mi];
-                if m != r {
+                if m != r && !self.is_crashed(m) {
                     self.nodes[r].table.install_direct(m);
                 }
             }
@@ -1223,6 +1480,214 @@ impl NetSim {
             }
         }
     }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Log a fault application and bump the injection counters.
+    fn record_fault(&mut self, at: SimTime, kind: FaultKind, subject: usize) {
+        self.counters.faults_injected += 1;
+        self.obs.faults_injected.inc();
+        if let Some(f) = self.faults.as_mut() {
+            f.log.push(FaultRecord { at, kind, subject });
+        }
+    }
+
+    /// A fault-plan link transition: like the raw `LinkDown`/`LinkUp`
+    /// events but logged and counted. No-op transitions (downing a link
+    /// that is already down) are not logged, which keeps the fault log a
+    /// faithful record of what actually changed.
+    fn on_fault_link(&mut self, now: SimTime, link: LinkId, up: bool) {
+        if self.links[link].up == up {
+            return;
+        }
+        self.record_fault(
+            now,
+            if up {
+                FaultKind::LinkUp
+            } else {
+                FaultKind::LinkDown
+            },
+            link,
+        );
+        if up {
+            self.on_link_up(now, link);
+        } else {
+            self.on_link_down(now, link);
+        }
+    }
+
+    /// One transition of a stochastic link flap: apply it, then draw the
+    /// dwell time until the opposite transition from the flap's own RNG
+    /// stream.
+    fn on_link_flap(&mut self, now: SimTime, flap: usize, down: bool) {
+        let Some(f) = self.faults.as_mut() else {
+            return;
+        };
+        let (prof, rng) = &mut f.link_flaps[flap];
+        let link = prof.link;
+        let dwell = exp_duration(if down { prof.mttr } else { prof.mtbf }, rng);
+        self.engine
+            .schedule(now + dwell, Ev::LinkFlap { flap, down: !down });
+        self.on_fault_link(now, link, !down);
+    }
+
+    /// One transition of a stochastic router flap (crash or reboot).
+    fn on_router_flap(&mut self, now: SimTime, flap: usize, down: bool) {
+        let Some(f) = self.faults.as_mut() else {
+            return;
+        };
+        let (prof, rng) = &mut f.router_flaps[flap];
+        let node = prof.node;
+        let dwell = exp_duration(if down { prof.mttr } else { prof.mtbf }, rng);
+        self.engine
+            .schedule(now + dwell, Ev::RouterFlap { flap, down: !down });
+        if down {
+            self.on_router_crash(now, node);
+        } else {
+            self.on_router_reboot(now, node);
+        }
+    }
+
+    /// Crash a router: wipe its routing table, cancel its timers and CPU,
+    /// and drop everything it was holding. While crashed, every packet
+    /// addressed to it drops and its hello/app ticks are suppressed (the
+    /// hello *timer* keeps ticking silently so the reboot resumes the
+    /// same deterministic schedule).
+    fn on_router_crash(&mut self, now: SimTime, node: NodeId) {
+        if self.topo.kind(node) != NodeKind::Router {
+            return;
+        }
+        {
+            let Some(f) = self.faults.as_mut() else {
+                return;
+            };
+            if f.crashed[node] {
+                return;
+            }
+            f.crashed[node] = true;
+        }
+        self.record_fault(now, FaultKind::RouterCrash, node);
+        let nd = &mut self.nodes[node];
+        // Invalidate every in-flight DvTimer and CpuFree for this node —
+        // the same generation-token pattern that cancels stale timers.
+        nd.timer_gen.bump();
+        nd.cpu_gen.bump();
+        nd.cpu_busy = false;
+        nd.arm_when_free = false;
+        nd.pending_triggered = false;
+        let dropped = nd.pending_data.len() as u64;
+        nd.pending_data.clear();
+        nd.table.reset();
+        nd.sent_initial_full = false;
+        self.counters.drop_router_down += dropped;
+        self.obs.packets_dropped.add(dropped);
+        if self.cfg.dv.hello.is_none() {
+            // Oracle failure detection (mirrors `on_link_down`): router
+            // neighbours poison routes through the dead router at once.
+            // With hellos, neighbours time the adjacency out instead.
+            let mut nbrs = std::mem::take(&mut self.scratch_nodes);
+            nbrs.clear();
+            nbrs.extend(
+                self.topo
+                    .neighbors_iter(node)
+                    .filter(|&(m, _)| self.topo.kind(m) == NodeKind::Router)
+                    .map(|(m, _)| m),
+            );
+            for &m in &nbrs {
+                if self.is_crashed(m) {
+                    continue;
+                }
+                let changed = self.nodes[m].table.fail_via_with(
+                    node,
+                    self.cfg.dv.infinity,
+                    now,
+                    self.cfg.dv.holddown,
+                );
+                if changed && self.cfg.dv.triggered_updates {
+                    self.note_change(now, m);
+                }
+            }
+            self.scratch_nodes = nbrs;
+        }
+    }
+
+    /// Reboot a crashed router: cold-start its table with only the
+    /// self-route plus live direct links, announce itself with a
+    /// triggered update (the Section 3.1 storm-injection path), and
+    /// restart its periodic timer at a fresh phase.
+    fn on_router_reboot(&mut self, now: SimTime, node: NodeId) {
+        if self.topo.kind(node) != NodeKind::Router {
+            return;
+        }
+        {
+            let Some(f) = self.faults.as_mut() else {
+                return;
+            };
+            if !f.crashed[node] {
+                return;
+            }
+            f.crashed[node] = false;
+        }
+        self.record_fault(now, FaultKind::RouterReboot, node);
+        self.counters.reboots += 1;
+        self.obs.faults_reboots.inc();
+        let mut nbrs = std::mem::take(&mut self.scratch_nodes);
+        nbrs.clear();
+        nbrs.extend(
+            self.topo
+                .neighbors_iter(node)
+                .filter(|&(_, l)| self.links[l].up)
+                .map(|(m, _)| m),
+        );
+        self.nodes[node].table.reset();
+        for &m in &nbrs {
+            self.nodes[node].table.install_direct(m);
+        }
+        if self.cfg.dv.hello.is_some() {
+            // Presume neighbours alive from the reboot instant, exactly
+            // like the initial build.
+            self.nodes[node].neighbor_liveness.clear();
+            for &m in &nbrs {
+                if self.topo.kind(m) == NodeKind::Router {
+                    self.nodes[node].neighbor_liveness.insert(m, (now, true));
+                }
+            }
+        }
+        self.nodes[node].sent_initial_full = false;
+        // Cold-start announcement: the reborn table storms out through
+        // the existing triggered-update machinery.
+        if self.cfg.dv.triggered_updates {
+            self.note_change(now, node);
+        }
+        // Restart the periodic timer at a phase set by the reboot time —
+        // the perturbation whose re-absorption the resync experiments
+        // measure.
+        self.arm_timer(now, node);
+        if self.cfg.dv.hello.is_none() {
+            // Oracle mode: neighbours resurrect their direct route and
+            // propagate the good news.
+            for &m in &nbrs {
+                if self.topo.kind(m) != NodeKind::Router || self.is_crashed(m) {
+                    continue;
+                }
+                self.nodes[m].table.install_direct(node);
+                if self.cfg.dv.triggered_updates {
+                    self.note_change(now, m);
+                }
+            }
+        }
+        self.scratch_nodes = nbrs;
+    }
+}
+
+/// Exponentially distributed duration with the given mean, floored at
+/// 1 ms so back-to-back flap transitions can never collapse onto one
+/// instant.
+fn exp_duration(mean: Duration, rng: &mut MinStd) -> Duration {
+    let secs = routesync_rng::dist::Exp::new(mean.as_secs_f64()).sample(rng);
+    Duration::from_secs_f64(secs.max(1e-3))
 }
 
 /// Shortest-path (hop count) routes for a topology, computed once and
@@ -1256,7 +1721,7 @@ impl PrecomputedRoutes {
                 if u != dst && topo.kind(u) != NodeKind::Router {
                     continue; // hosts don't relay
                 }
-                for (v, _) in topo.neighbors(u) {
+                for (v, _) in topo.neighbors_iter(u) {
                     if dist[v] == u32::MAX {
                         dist[v] = dist[u] + 1;
                         next_hop[v] = u;
@@ -1295,13 +1760,18 @@ pub fn run_many<R: Send>(
         None
     };
     let routes = &routes;
-    routesync_exec::par_map_indexed(seeds, threads, move |_, &seed| {
-        let sim = match routes {
-            Some(r) => NetSim::with_routes(topo.clone(), cfg, seed, r),
-            None => NetSim::new(topo.clone(), cfg, seed),
-        };
-        build_and_run(sim, seed)
-    })
+    routesync_exec::run_many(
+        seeds,
+        Some(threads),
+        || (),
+        move |(), seed| {
+            let sim = match routes {
+                Some(r) => NetSim::with_routes(topo.clone(), cfg, seed, r),
+                None => NetSim::new(topo.clone(), cfg, seed),
+            };
+            build_and_run(sim, seed)
+        },
+    )
 }
 
 #[cfg(test)]

@@ -183,16 +183,24 @@ impl Topology {
 
     /// The neighbours of a node: `(neighbour, via link)` pairs, one per
     /// other node on each attached link.
+    ///
+    /// Allocates a fresh `Vec` per call; hot paths should prefer
+    /// [`Topology::neighbors_iter`], which visits the same pairs in the
+    /// same order without allocating.
     pub fn neighbors(&self, n: NodeId) -> Vec<(NodeId, LinkId)> {
-        let mut out = Vec::new();
-        for &l in &self.attachments[n] {
-            for &m in &self.links[l].nodes {
-                if m != n {
-                    out.push((m, l));
-                }
-            }
-        }
-        out
+        self.neighbors_iter(n).collect()
+    }
+
+    /// Non-allocating variant of [`Topology::neighbors`]: iterates the
+    /// `(neighbour, via link)` pairs in attachment order.
+    pub fn neighbors_iter(&self, n: NodeId) -> impl Iterator<Item = (NodeId, LinkId)> + '_ {
+        self.attachments[n].iter().flat_map(move |&l| {
+            self.links[l]
+                .nodes
+                .iter()
+                .filter(move |&&m| m != n)
+                .map(move |&m| (m, l))
+        })
     }
 
     /// All router node ids.
@@ -236,6 +244,19 @@ mod tests {
         for &r in &rs {
             assert_eq!(t.links_of(r), &[lan]);
             assert_eq!(t.neighbors(r).len(), 3);
+        }
+    }
+
+    #[test]
+    fn neighbors_iter_matches_neighbors_order() {
+        let mut t = Topology::new();
+        let rs: Vec<NodeId> = (0..5).map(|i| t.add_router(format!("r{i}"))).collect();
+        t.add_lan(&rs[..3], Duration::from_micros(10), 10_000_000, 50);
+        t.add_link(rs[0], rs[3], Duration::from_millis(1), 1_000_000, 10);
+        t.add_link(rs[3], rs[4], Duration::from_millis(1), 1_000_000, 10);
+        for &r in &rs {
+            let collected: Vec<_> = t.neighbors_iter(r).collect();
+            assert_eq!(collected, t.neighbors(r), "node {r}");
         }
     }
 

@@ -3,7 +3,7 @@
 use routesync_desim::{Duration, SimTime};
 use routesync_netsim::scenario;
 use routesync_netsim::{
-    DvConfig, ForwardingMode, NetSim, NodeId, RouterConfig, TimerStart, Topology,
+    DvConfig, ForwardingMode, NetSim, NodeId, RouterConfig, ScenarioSpec, TimerStart, Topology,
 };
 
 /// host — r0 — r1 — host chain with known delays.
@@ -83,16 +83,17 @@ fn routing_protocol_converges_without_prepopulation() {
 
 #[test]
 fn blocked_forwarding_drops_pings_during_synchronized_updates() {
-    let mut blocked = scenario::nearnet(42);
+    let mut blocked = ScenarioSpec::nearnet().build(42);
+    let (berkeley, mit) = (blocked.hosts[0], blocked.hosts[1]);
     blocked.sim.add_ping(
-        blocked.berkeley,
-        blocked.mit,
+        berkeley,
+        mit,
         Duration::from_secs_f64(1.01),
         1000,
         SimTime::from_secs(5),
     );
     blocked.sim.run_until(SimTime::from_secs(1100));
-    let loss_blocked = blocked.sim.ping_stats(blocked.berkeley).loss_rate();
+    let loss_blocked = blocked.sim.ping_stats(berkeley).loss_rate();
     assert!(
         loss_blocked >= 0.01,
         "synchronized updates must cost ≥1% loss, got {loss_blocked}"
@@ -158,16 +159,17 @@ fn concurrent_forwarding_eliminates_update_loss() {
 
 #[test]
 fn ping_losses_are_periodic_at_the_update_period() {
-    let mut n = scenario::nearnet(1993);
+    let mut n = ScenarioSpec::nearnet().build(1993);
+    let (berkeley, mit) = (n.hosts[0], n.hosts[1]);
     n.sim.add_ping(
-        n.berkeley,
-        n.mit,
+        berkeley,
+        mit,
         Duration::from_secs_f64(1.01),
         1000,
         SimTime::from_secs(5),
     );
     n.sim.run_until(SimTime::from_secs(1100));
-    let stats = n.sim.ping_stats(n.berkeley);
+    let stats = n.sim.ping_stats(berkeley);
     assert!(stats.loss_rate() > 0.0);
     // The paper's Figure 2: autocorrelation of the RTT series (drops = 2 s)
     // peaks at ~90 s / 1.01 s ≈ 89 pings.
@@ -182,17 +184,18 @@ fn ping_losses_are_periodic_at_the_update_period() {
 
 #[test]
 fn audio_outages_recur_every_rip_period() {
-    let mut a = scenario::mbone_audiocast(8);
+    let mut a = ScenarioSpec::mbone_audiocast().build(8);
+    let (source, sink) = (a.hosts[0], a.hosts[1]);
     // 50 packets/s for 200 s.
     a.sim.add_cbr(
-        a.source,
-        a.sink,
+        source,
+        sink,
         Duration::from_millis(20),
         10_000,
         SimTime::from_secs(2),
     );
     a.sim.run_until(SimTime::from_secs(220));
-    let stats = a.sim.cbr_stats(a.sink);
+    let stats = a.sim.cbr_stats(sink);
     assert!(stats.received() > 5_000, "most audio arrives");
     let outages = stats.outages(0.02, 2.0);
     assert!(
@@ -305,7 +308,7 @@ fn lan_routers_with_small_jitter_stay_synchronized() {
     // component far below the break-up threshold: the packet-level system
     // stays locked, exactly like the abstract model and the paper's
     // DECnet/IGRP observations.
-    let mut l = scenario::lan(8, Duration::from_millis(50), TimerStart::Synchronized, 21);
+    let mut l = ScenarioSpec::lan(8, Duration::from_millis(50)).build(21);
     l.sim.run_until(SimTime::from_secs(150_000));
     let tail: Vec<_> = l
         .sim
@@ -326,7 +329,9 @@ fn lan_routers_with_small_jitter_stay_synchronized() {
 #[test]
 fn lan_routers_with_half_period_jitter_stay_unsynchronized() {
     // The paper's recommended fix: Tr = Tp/2.
-    let mut l = scenario::lan(8, Duration::from_secs(60), TimerStart::Unsynchronized, 22);
+    let mut l = ScenarioSpec::lan(8, Duration::from_secs(60))
+        .with_start(TimerStart::Unsynchronized)
+        .build(22);
     l.sim.run_until(SimTime::from_secs(150_000));
     let tail: Vec<_> = l
         .sim
@@ -491,16 +496,17 @@ fn ping_loss_periodicity_confirmed_in_frequency_domain() {
     // The frequency-domain twin of the Figure 2 check: the RTT series of
     // the NEARnet scenario has a spectral line at the 90 s IGRP period
     // (≈ 89 samples at 1.01 s per ping).
-    let mut n = scenario::nearnet(1993);
+    let mut n = ScenarioSpec::nearnet().build(1993);
+    let (berkeley, mit) = (n.hosts[0], n.hosts[1]);
     n.sim.add_ping(
-        n.berkeley,
-        n.mit,
+        berkeley,
+        mit,
         Duration::from_secs_f64(1.01),
         1000,
         SimTime::from_secs(5),
     );
     n.sim.run_until(SimTime::from_secs(1100));
-    let series = n.sim.ping_stats(n.berkeley).rtt_series(2.0);
+    let series = n.sim.ping_stats(berkeley).rtt_series(2.0);
     let period = routesync_stats::dominant_period(&series, 30.0, 130.0).expect("spectrum defined");
     assert!(
         (80.0..100.0).contains(&period),
@@ -516,14 +522,9 @@ fn ping_loss_periodicity_confirmed_in_frequency_domain() {
 
 #[test]
 fn mesh_scenario_wires_a_connected_graph() {
-    use routesync_netsim::scenario::random_mesh;
-    let m = random_mesh(
-        10,
-        4,
-        Duration::from_millis(100),
-        TimerStart::Unsynchronized,
-        5,
-    );
+    let m = ScenarioSpec::random_mesh(10, 4, Duration::from_millis(100))
+        .with_start(TimerStart::Unsynchronized)
+        .build(5);
     assert_eq!(m.routers.len(), 10);
     // Prepopulated shortest paths exist between every pair (the ring
     // guarantees connectivity).

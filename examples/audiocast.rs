@@ -7,21 +7,22 @@
 //! ```
 
 use routesync::desim::{Duration, SimTime};
-use routesync::netsim::scenario;
+use routesync::netsim::ScenarioSpec;
 use routesync::stats::ascii;
 
 fn main() {
     let seconds = 600u64;
-    let mut a = scenario::mbone_audiocast(0xA0D10);
+    let mut a = ScenarioSpec::mbone_audiocast().build(0xA0D10);
+    let (source, sink) = (a.hosts[0], a.hosts[1]);
     a.sim.add_cbr(
-        a.source,
-        a.sink,
+        source,
+        sink,
         Duration::from_millis(20),
         seconds * 50,
         SimTime::from_secs(2),
     );
     a.sim.run_until(SimTime::from_secs(seconds + 20));
-    let stats = a.sim.cbr_stats(a.sink);
+    let stats = a.sim.cbr_stats(sink);
     let sent = seconds * 50;
     println!(
         "audio: {} frames sent, {} received ({:.1}% delivered)",

@@ -16,7 +16,7 @@
 use routesync::core::{ClusterLog, PeriodicModel, PeriodicParams, StartState};
 use routesync::desim::{Duration, SimTime};
 use routesync::netsim::scenario;
-use routesync::netsim::TimerStart;
+use routesync::netsim::ScenarioSpec;
 
 fn abstract_model(tr: Duration) -> u32 {
     let params = PeriodicParams::new(8, Duration::from_secs(120), Duration::from_millis(110), tr);
@@ -34,7 +34,7 @@ fn abstract_model(tr: Duration) -> u32 {
 }
 
 fn packet_model(tr: Duration) -> usize {
-    let mut l = scenario::lan(8, tr, TimerStart::Synchronized, 42);
+    let mut l = ScenarioSpec::lan(8, tr).build(42);
     l.sim.run_until(SimTime::from_secs(150_000));
     let tail: Vec<_> = l
         .sim

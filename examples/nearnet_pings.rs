@@ -7,20 +7,21 @@
 //! ```
 
 use routesync::desim::{Duration, SimTime};
-use routesync::netsim::scenario;
+use routesync::netsim::ScenarioSpec;
 use routesync::stats::{ascii, autocorrelation, dominant_lag, runs_of_loss};
 
 fn main() {
-    let mut n = scenario::nearnet(0x5EED);
+    let mut n = ScenarioSpec::nearnet().build(0x5EED);
+    let (berkeley, mit) = (n.hosts[0], n.hosts[1]);
     n.sim.add_ping(
-        n.berkeley,
-        n.mit,
+        berkeley,
+        mit,
         Duration::from_secs_f64(1.01),
         1000,
         SimTime::from_secs(5),
     );
     n.sim.run_until(SimTime::from_secs(1100));
-    let stats = n.sim.ping_stats(n.berkeley);
+    let stats = n.sim.ping_stats(berkeley);
 
     println!(
         "ping berkeley -> mit: {} probes, {} lost ({:.1}% loss)",

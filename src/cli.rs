@@ -303,40 +303,37 @@ fn protocols(flags: &HashMap<String, String>) -> Result<String, String> {
 }
 
 fn nearnet(flags: &HashMap<String, String>) -> Result<String, String> {
-    use routesync_netsim::scenario;
+    use routesync_netsim::{ForwardingMode, ScenarioSpec};
     let probes = get_u64(flags, "probes", 1000)?;
     if probes == 0 {
         return Err("--probes must be positive".into());
     }
     let seed = get_u64(flags, "seed", 1993)?;
     let mode = flags.get("mode").map(|s| s.as_str()).unwrap_or("blocked");
+    let forwarding = match mode {
+        "blocked" => ForwardingMode::BlockedDuringUpdates,
+        "concurrent" => ForwardingMode::Concurrent,
+        other => {
+            return Err(format!(
+                "--mode must be blocked or concurrent, got {other:?}"
+            ))
+        }
+    };
     let mut out = String::new();
-    let mut n = scenario::nearnet(seed);
-    if mode == "concurrent" {
-        // The post-fix software: rebuild is not exposed, so explain and run
-        // the ablation through the bench harness instead.
-        let _ = writeln!(
-            out,
-            "(concurrent mode is the ablation_forwarding experiment: \
-             cargo run -p routesync-bench --bin experiments -- ablation_forwarding)"
-        );
-        return Ok(out);
-    }
-    if mode != "blocked" {
-        return Err(format!(
-            "--mode must be blocked or concurrent, got {mode:?}"
-        ));
-    }
+    let mut n = ScenarioSpec::nearnet()
+        .with_forwarding(forwarding)
+        .build(seed);
+    let (berkeley, mit) = (n.hosts[0], n.hosts[1]);
     n.sim.add_ping(
-        n.berkeley,
-        n.mit,
+        berkeley,
+        mit,
         Duration::from_secs_f64(1.01),
         probes,
         SimTime::from_secs(5),
     );
     n.sim
         .run_until(SimTime::from_secs(10 + (probes as f64 * 1.01) as u64 + 30));
-    let stats = n.sim.ping_stats(n.berkeley);
+    let stats = n.sim.ping_stats(berkeley);
     let _ = writeln!(
         out,
         "{} probes berkeley -> mit: {} lost ({:.1}% loss)",

@@ -83,10 +83,14 @@ pub fn fig10(cfg: &Config) -> Outcome {
     let f_printed = f_recursion(&chain, F2_PAPER, TDef::Printed);
     let f_sd = chain.f_variance(F2_PAPER).sqrt();
     let n = chain.params().n;
-    // Simulations: the paper averages 20 runs.
-    let runs = if cfg.fast { 4 } else { 20 };
+    // Simulations: the paper averages 20 runs. Fast mode halves the run
+    // count but keeps the full horizon: at 3e5 s most runs censor before
+    // reaching N, and the conditional mean over the few finishers biases
+    // the analysis/simulation ratio far outside its band. The full
+    // horizon costs only tens of milliseconds on the fast engine.
+    let runs = if cfg.fast { 8 } else { 20 };
     let seeds: Vec<u64> = (0..runs).map(|k| cfg.seed + k).collect();
-    let horizon = if cfg.fast { 3.0e5 } else { 2.0e6 };
+    let horizon = 2.0e6;
     let profiles = experiment::parallel_passage_up(core_params(20, 0.1), &seeds, horizon);
     let avg = experiment::average_profiles(profiles);
     let file = write_csv(
@@ -543,6 +547,17 @@ mod tests {
     #[test]
     fn analysis_figures_pass_shape_checks() {
         for f in [fig9, fig12, fig13, fig14, fig15] {
+            let o = f(&cfg());
+            assert!(o.passed(), "{}", o.report());
+        }
+    }
+
+    #[test]
+    fn simulation_cross_check_figures_pass_shape_checks() {
+        // fig10/fig11 run ensembles against full horizons even in fast
+        // mode (censored short-horizon runs bias their ratio checks); they
+        // get their own test so the suite parallelizes across cores.
+        for f in [fig10, fig11] {
             let o = f(&cfg());
             assert!(o.passed(), "{}", o.report());
         }

@@ -1,0 +1,474 @@
+//! The coverage-guided conformance fuzzer.
+//!
+//! A deterministic loop: draw a case seed, pick a corpus spec (the canned
+//! seed corpus first, then mutations of interesting entries), sanitize it
+//! into its oracle's domain, run the oracle under a fresh obs collector,
+//! and fold the snapshot's deterministic metrics into the coverage map. A
+//! case that lights up new coverage joins the corpus; a case that fails
+//! is shrunk to a one-line [`Reproducer`].
+//!
+//! Everything downstream of `(config.seed, budget_cases)` is
+//! bit-reproducible: the spec/seed sequence, the corpus evolution, the
+//! coverage counts and the report text. The optional wall-clock budget
+//! can only truncate the case sequence early (recorded in the report as
+//! `truncated`), never reorder it.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+
+use routesync_rng::SplitMix64;
+
+use crate::coverage::{self, CoverageMap};
+use crate::oracles;
+use crate::shrink;
+use crate::spec::{CaseSpec, FaultOp, Oracle, Reproducer};
+
+/// Corpus growth cap; beyond this, new-coverage specs still count as
+/// coverage but are not kept.
+const CORPUS_CAP: usize = 512;
+
+/// Fuzz-run configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Master seed; the whole run is a pure function of it (and the
+    /// budgets).
+    pub seed: u64,
+    /// Maximum number of cases to run.
+    pub budget_cases: usize,
+    /// Optional wall-clock budget; checked between cases.
+    pub budget: Option<std::time::Duration>,
+    /// Where to write `reproducers.jsonl` and `summary.txt`; `None`
+    /// writes nothing.
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 1,
+            budget_cases: 200,
+            budget: None,
+            out_dir: None,
+        }
+    }
+}
+
+/// Per-family tallies for the report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FamilyStats {
+    /// Cases judged by this family.
+    pub cases: usize,
+    /// Failures among them (after shrinking, still failing).
+    pub failures: usize,
+}
+
+/// The outcome of a fuzz run.
+#[derive(Debug)]
+pub struct FuzzReport {
+    /// Cases actually run.
+    pub cases: usize,
+    /// Cases whose oracle accepted.
+    pub passes: usize,
+    /// Minimized failures, in discovery order.
+    pub failures: Vec<Reproducer>,
+    /// Distinct coverage features over the whole run.
+    pub coverage_features: usize,
+    /// Final corpus size.
+    pub corpus_size: usize,
+    /// Tallies per oracle family name.
+    pub per_family: BTreeMap<&'static str, FamilyStats>,
+    /// Whether the wall-clock budget cut the case sequence short.
+    pub truncated: bool,
+}
+
+impl FuzzReport {
+    /// Render the deterministic report text (no wall-clock content). Two
+    /// runs with the same `(seed, budget_cases)` and no time budget
+    /// produce byte-identical output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "conformance: {} cases, {} passed, {} failed\n",
+            self.cases,
+            self.passes,
+            self.failures.len()
+        ));
+        for (family, stats) in &self.per_family {
+            out.push_str(&format!(
+                "  {family}: {} cases, {} failures\n",
+                stats.cases, stats.failures
+            ));
+        }
+        out.push_str(&format!(
+            "coverage: {} features, corpus {}\n",
+            self.coverage_features, self.corpus_size
+        ));
+        if self.truncated {
+            out.push_str("truncated: wall-clock budget reached\n");
+        }
+        for repro in &self.failures {
+            out.push_str(&format!("FAIL {}\n", repro.to_line()));
+        }
+        out
+    }
+
+    /// Write `reproducers.jsonl` (one line per failure) and `summary.txt`
+    /// under `dir`.
+    pub fn write_to(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut lines = String::new();
+        for repro in &self.failures {
+            lines.push_str(&repro.to_line());
+            lines.push('\n');
+        }
+        std::fs::write(dir.join("reproducers.jsonl"), lines)?;
+        std::fs::write(dir.join("summary.txt"), self.render())
+    }
+}
+
+/// The canned seed corpus: at least one known-good, cheap spec per
+/// oracle, in [`Oracle::ALL`] order (plus a few variants that light up
+/// different paths — zero jitter, faults).
+pub fn seed_corpus() -> Vec<CaseSpec> {
+    let abstract_case = |oracle, n, tr_ms, horizon_s| CaseSpec {
+        oracle,
+        n,
+        tp_ms: 10_000,
+        tc_ms: 110,
+        tr_ms,
+        sync_start: false,
+        horizon_s,
+        faults: Vec::new(),
+    };
+    let lan_case = |oracle, n, tr_ms, sync_start, horizon_s, faults| CaseSpec {
+        oracle,
+        n,
+        tp_ms: 120_000,
+        tc_ms: 110,
+        tr_ms,
+        sync_start,
+        horizon_s,
+        faults,
+    };
+    vec![
+        abstract_case(Oracle::EngineEquivalence, 6, 200, 3_000),
+        lan_case(Oracle::NetsimTiming, 5, 2_000, false, 1_800, Vec::new()),
+        abstract_case(Oracle::MarkovSync, 5, 100, 20_000),
+        abstract_case(Oracle::MarkovDesync, 4, 1_000, 30_000),
+        abstract_case(Oracle::ThreadInvariance, 5, 150, 2_000),
+        abstract_case(Oracle::Translation, 4, 300, 1_500),
+        abstract_case(Oracle::TrMonotonicity, 5, 60, 8_000),
+        lan_case(Oracle::EmptyFaultPlan, 4, 1_000, false, 1_200, Vec::new()),
+        // Variants that reach paths the base cases do not.
+        lan_case(Oracle::NetsimTiming, 4, 0, true, 1_300, Vec::new()),
+        lan_case(
+            Oracle::NetsimTiming,
+            5,
+            1_000,
+            false,
+            1_800,
+            vec![FaultOp::Router {
+                node: 1,
+                down_s: 300,
+                up_s: 450,
+            }],
+        ),
+        abstract_case(Oracle::EngineEquivalence, 3, 0, 2_000),
+    ]
+}
+
+fn is_lan_oracle(oracle: Oracle) -> bool {
+    matches!(oracle, Oracle::NetsimTiming | Oracle::EmptyFaultPlan)
+}
+
+fn clamp(v: u64, lo: u64, hi: u64) -> u64 {
+    v.max(lo).min(hi)
+}
+
+/// Force a (possibly mutated) spec into its oracle's valid, affordable
+/// domain. Idempotent; every spec the fuzzer runs has passed through
+/// here, so the oracles may assume these bounds.
+pub fn sanitize(spec: &mut CaseSpec) {
+    if is_lan_oracle(spec.oracle) {
+        // The LAN scenario's period is fixed (DECnet-style 120 s
+        // updates); keep the spec honest about it.
+        spec.tp_ms = 120_000;
+        spec.n = spec.n.clamp(3, 8);
+        spec.tc_ms = clamp(spec.tc_ms, 10, 500);
+        spec.tr_ms = clamp(spec.tr_ms, 0, 5_000);
+        spec.horizon_s = clamp(spec.horizon_s, 900, 3_600);
+        if spec.oracle == Oracle::EmptyFaultPlan {
+            // The oracle compares fault-free builds; faults are noise.
+            spec.faults.clear();
+        } else {
+            sanitize_faults(spec);
+        }
+        return;
+    }
+    // Abstract-model oracles: no packet level, no faults.
+    spec.faults.clear();
+    spec.tp_ms = clamp(spec.tp_ms, 2_000, 30_000);
+    spec.tc_ms = clamp(spec.tc_ms, 10, 500);
+    let tp_s = spec.tp_ms / 1_000;
+    match spec.oracle {
+        Oracle::MarkovSync => {
+            spec.n = spec.n.clamp(3, 8);
+            // Synchronization regime: jitter no larger than twice the
+            // coupling, horizon long enough that censoring is rare.
+            spec.tr_ms = clamp(spec.tr_ms, 0, 2 * spec.tc_ms);
+            spec.horizon_s = clamp(spec.horizon_s, 500 * tp_s, 3_000 * tp_s);
+        }
+        Oracle::MarkovDesync => {
+            spec.n = spec.n.clamp(3, 8);
+            // Desynchronization regime: jitter at least the coupling.
+            spec.tr_ms = clamp(spec.tr_ms, spec.tc_ms.max(500), 3_000.min(spec.tp_ms / 2));
+            spec.horizon_s = clamp(spec.horizon_s, 500 * tp_s, 3_000 * tp_s);
+        }
+        Oracle::TrMonotonicity => {
+            spec.n = spec.n.clamp(3, 8);
+            // Keep 3·Tr within the timer's valid range with room to move.
+            spec.tr_ms = clamp(spec.tr_ms, 10, spec.tp_ms / 6);
+            spec.horizon_s = clamp(spec.horizon_s, 300 * tp_s, 1_000 * tp_s);
+        }
+        _ => {
+            spec.n = spec.n.clamp(2, 10);
+            spec.tr_ms = clamp(spec.tr_ms, 0, spec.tp_ms / 2);
+            spec.horizon_s = clamp(spec.horizon_s, 20 * tp_s, 400 * tp_s);
+        }
+    }
+}
+
+/// Keep at most two fault ops, with distinct targets, each fully inside
+/// the horizon (down strictly before up, up strictly before the end).
+fn sanitize_faults(spec: &mut CaseSpec) {
+    let horizon = spec.horizon_s;
+    let n = spec.n;
+    let mut seen: BTreeSet<(bool, usize)> = BTreeSet::new();
+    let mut kept = Vec::new();
+    for op in spec.faults.iter().copied() {
+        if kept.len() == 2 {
+            break;
+        }
+        let fixed = match op {
+            FaultOp::Link { down_s, up_s, .. } => {
+                // The LAN has exactly one link (id 0).
+                let down = clamp(down_s, 1, horizon.saturating_sub(3));
+                FaultOp::Link {
+                    link: 0,
+                    down_s: down,
+                    up_s: clamp(up_s, down + 1, horizon - 1),
+                }
+            }
+            FaultOp::Router { node, down_s, up_s } => {
+                let down = clamp(down_s, 1, horizon.saturating_sub(3));
+                FaultOp::Router {
+                    node: node % n,
+                    down_s: down,
+                    up_s: clamp(up_s, down + 1, horizon - 1),
+                }
+            }
+        };
+        let target = match fixed {
+            FaultOp::Link { link, .. } => (true, link),
+            FaultOp::Router { node, .. } => (false, node),
+        };
+        if seen.insert(target) {
+            kept.push(fixed);
+        }
+    }
+    spec.faults = kept;
+}
+
+/// Derive one mutated child from a corpus entry. The child still needs
+/// [`sanitize`].
+pub fn mutate(parent: &CaseSpec, rng: &mut SplitMix64) -> CaseSpec {
+    let mut spec = parent.clone();
+    // One to three independent tweaks per child.
+    let tweaks = 1 + (rng.next_u64_raw() % 3) as usize;
+    for _ in 0..tweaks {
+        match rng.next_u64_raw() % 10 {
+            0 => spec.n = spec.n.saturating_add(1),
+            1 => spec.n = spec.n.saturating_sub(1).max(1),
+            2 => spec.tp_ms = spec.tp_ms.saturating_mul(2),
+            3 => spec.tp_ms = (spec.tp_ms / 2).max(1),
+            4 => spec.tc_ms = spec.tc_ms.saturating_add(37),
+            5 => spec.tr_ms = spec.tr_ms.saturating_mul(2).max(1),
+            6 => spec.tr_ms /= 2,
+            7 => spec.sync_start = !spec.sync_start,
+            8 => spec.horizon_s = (spec.horizon_s / 2).max(1),
+            _ => {
+                if is_lan_oracle(spec.oracle) {
+                    mutate_faults(&mut spec, rng);
+                } else {
+                    spec.horizon_s = spec.horizon_s.saturating_mul(2);
+                }
+            }
+        }
+    }
+    // Occasionally re-aim the spec at a different oracle entirely; the
+    // sanitize pass pulls the parameters into the new domain.
+    if rng.next_u64_raw().is_multiple_of(8) {
+        let i = (rng.next_u64_raw() % Oracle::ALL.len() as u64) as usize;
+        spec.oracle = Oracle::ALL[i];
+    }
+    spec
+}
+
+fn mutate_faults(spec: &mut CaseSpec, rng: &mut SplitMix64) {
+    let roll = rng.next_u64_raw() % 3;
+    if roll == 0 && !spec.faults.is_empty() {
+        let i = (rng.next_u64_raw() as usize) % spec.faults.len();
+        spec.faults.remove(i);
+        return;
+    }
+    let down_s = 1 + rng.next_u64_raw() % spec.horizon_s.max(2);
+    let up_s = down_s + 1 + rng.next_u64_raw() % 300;
+    let op = if rng.next_u64_raw().is_multiple_of(2) {
+        FaultOp::Router {
+            node: (rng.next_u64_raw() as usize) % spec.n.max(1),
+            down_s,
+            up_s,
+        }
+    } else {
+        FaultOp::Link {
+            link: 0,
+            down_s,
+            up_s,
+        }
+    };
+    spec.faults.push(op);
+}
+
+/// Run one case under a fresh obs collector; returns the oracle verdict
+/// and the case's deterministic coverage features.
+pub fn run_case(spec: &CaseSpec, seed: u64) -> (Result<(), String>, BTreeSet<String>) {
+    let prev = routesync_obs::global();
+    routesync_obs::install(routesync_obs::Collector::enabled());
+    let result = oracles::check(spec, seed);
+    let snap = routesync_obs::global().snapshot();
+    routesync_obs::install(prev);
+    (result, coverage::features_of(&snap))
+}
+
+/// Run the fuzzer to its budget. See the module docs for the determinism
+/// contract.
+pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    let started = std::time::Instant::now();
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut corpus = seed_corpus();
+    for spec in &mut corpus {
+        sanitize(spec);
+    }
+    let canned = corpus.len();
+    let mut coverage = CoverageMap::new();
+    let mut report = FuzzReport {
+        cases: 0,
+        passes: 0,
+        failures: Vec::new(),
+        coverage_features: 0,
+        corpus_size: 0,
+        per_family: BTreeMap::new(),
+        truncated: false,
+    };
+    for case_idx in 0..cfg.budget_cases {
+        if let Some(budget) = cfg.budget {
+            if started.elapsed() >= budget {
+                report.truncated = true;
+                break;
+            }
+        }
+        let case_seed = rng.next_u64_raw();
+        let spec = if case_idx < canned {
+            corpus[case_idx].clone()
+        } else {
+            let i = (rng.next_u64_raw() as usize) % corpus.len();
+            let mut child = mutate(&corpus[i], &mut rng);
+            sanitize(&mut child);
+            child
+        };
+        let (result, feats) = run_case(&spec, case_seed);
+        if coverage.merge(&feats) > 0 && corpus.len() < CORPUS_CAP {
+            corpus.push(spec.clone());
+        }
+        report.cases += 1;
+        let stats = report.per_family.entry(spec.oracle.family()).or_default();
+        stats.cases += 1;
+        match result {
+            Ok(()) => report.passes += 1,
+            Err(message) => {
+                stats.failures += 1;
+                let (min_spec, min_msg) = shrink::shrink(&spec, case_seed, message, oracles::check);
+                report.failures.push(Reproducer {
+                    seed: case_seed,
+                    spec: min_spec,
+                    message: min_msg,
+                });
+            }
+        }
+    }
+    report.coverage_features = coverage.len();
+    report.corpus_size = corpus.len();
+    if let Some(dir) = &cfg.out_dir {
+        if let Err(e) = report.write_to(dir) {
+            eprintln!("conformance: could not write {}: {e}", dir.display());
+        }
+    }
+    report
+}
+
+/// Replay a reproducer line: run its oracle once, verbatim.
+pub fn replay(repro: &Reproducer) -> Result<(), String> {
+    oracles::check(&repro.spec, repro.seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_corpus_is_sanitize_stable_and_covers_every_oracle() {
+        let corpus = seed_corpus();
+        let oracles_hit: BTreeSet<_> = corpus.iter().map(|s| s.oracle).collect();
+        assert_eq!(oracles_hit.len(), Oracle::ALL.len());
+        for spec in corpus {
+            let mut fixed = spec.clone();
+            sanitize(&mut fixed);
+            assert_eq!(fixed, spec, "canned spec must already be in-domain");
+        }
+    }
+
+    #[test]
+    fn sanitize_is_idempotent_under_mutation() {
+        let mut rng = SplitMix64::new(99);
+        let corpus = seed_corpus();
+        for i in 0..200 {
+            let mut spec = mutate(&corpus[i % corpus.len()], &mut rng);
+            sanitize(&mut spec);
+            let once = spec.clone();
+            sanitize(&mut spec);
+            assert_eq!(spec, once);
+            if is_lan_oracle(spec.oracle) {
+                assert!(spec.faults.len() <= 2);
+            } else {
+                assert!(spec.faults.is_empty());
+            }
+            assert!(spec.tr_ms <= spec.tp_ms);
+        }
+    }
+
+    #[test]
+    fn mutation_stream_is_deterministic() {
+        let corpus = seed_corpus();
+        let run = || {
+            let mut rng = SplitMix64::new(7);
+            (0..50)
+                .map(|i| {
+                    let mut s = mutate(&corpus[i % corpus.len()], &mut rng);
+                    sanitize(&mut s);
+                    s
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,530 @@
+//! The oracle library: every check the fuzzer can run against a
+//! [`CaseSpec`].
+//!
+//! Each oracle is a pure function of `(spec, seed)` returning `Ok(())` or
+//! a failure message; nothing here panics on a model discrepancy, so the
+//! shrinker can re-run checks freely. Three families (the paper's
+//! cross-model claim):
+//!
+//! * **differential** — the two abstract engines against each other
+//!   ([`engine_equivalence`]), and the packet simulator against the
+//!   abstract timer rules with forwarding effects disabled
+//!   ([`netsim_timing`]);
+//! * **analytical** — simulated passage times against the Markov chain's
+//!   `f`/`g` closed forms ([`markov_sync`], [`markov_desync`]), with the
+//!   generous multiplicative tolerances the paper itself needs (it quotes
+//!   a 2-3× systematic gap; see `EXPERIMENTS.md`);
+//! * **metamorphic** — invariances that need no reference value at all:
+//!   thread-count invariance ([`thread_invariance`]), start-time
+//!   translation ([`translation`]), monotonicity in `Tr`
+//!   ([`tr_monotonicity`]), and empty-fault-plan equivalence
+//!   ([`empty_fault_plan`]).
+
+use routesync_core::{
+    experiment, ClusterLog, FastModel, FirstPassageDown, FirstPassageUp, NodeId, PeriodicModel,
+    SendTrace, StartState,
+};
+use routesync_desim::{Duration, SimTime};
+use routesync_markov::PeriodicChain;
+use routesync_netsim::scenario::largest_cluster_series;
+use routesync_netsim::FaultPlan;
+use routesync_rng::SplitMix64;
+
+use crate::spec::{CaseSpec, Oracle};
+
+/// The update period (seconds) of the packet-level LAN scenario — fixed
+/// by `ScenarioSpec::lan` (DECnet-style 120 s updates).
+pub const LAN_TP_S: f64 = 120.0;
+
+/// Ensemble worker threads for the analytical/metamorphic oracles.
+/// Results are bit-identical at any thread count (that *is* one of the
+/// oracles), so this only affects wall time.
+const ENSEMBLE_THREADS: usize = 4;
+
+/// Analysis/simulation multiplicative tolerance band for the Markov
+/// oracles. The paper reports a 2-3× systematic over-prediction; our
+/// faithful evaluation of its recursion lands higher still (8-20× at the
+/// reference point, see `fig10`), and censoring at the fuzzer's bounded
+/// horizons biases the simulated mean low, so the band is wide. The band
+/// is a conformance *envelope*: a real model defect (wrong drift sign,
+/// broken coupling) lands orders of magnitude outside it.
+const MARKOV_RATIO_BAND: (f64, f64) = (0.02, 60.0);
+
+/// Dispatch a spec to its oracle.
+pub fn check(spec: &CaseSpec, seed: u64) -> Result<(), String> {
+    match spec.oracle {
+        Oracle::EngineEquivalence => engine_equivalence(spec, seed),
+        Oracle::NetsimTiming => netsim_timing(spec, seed),
+        Oracle::MarkovSync => markov_sync(spec, seed),
+        Oracle::MarkovDesync => markov_desync(spec, seed),
+        Oracle::ThreadInvariance => thread_invariance(spec, seed),
+        Oracle::Translation => translation(spec, seed),
+        Oracle::TrMonotonicity => tr_monotonicity(spec, seed),
+        Oracle::EmptyFaultPlan => empty_fault_plan(spec, seed),
+    }
+}
+
+/// Domain separator so ensemble seeds never collide with the raw case
+/// seed stream the fuzzer draws specs from.
+const SEED_DOMAIN: u64 = 0x5EED_0FC0_DE00;
+
+/// Derive `k` independent ensemble seeds from a case seed.
+pub fn derive_seeds(seed: u64, k: usize) -> Vec<u64> {
+    let mut mix = SplitMix64::new(seed ^ SEED_DOMAIN);
+    (0..k).map(|_| mix.next_u64_raw()).collect()
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+// ---------------------------------------------------------------------
+// Differential
+// ---------------------------------------------------------------------
+
+/// FastModel and PeriodicModel must produce identical send logs and
+/// cluster trajectories, up to same-instant tie order (canonicalized by
+/// sorting within equal timestamps) and a horizon-boundary tail of `2N`
+/// entries (the fast engine completes a burst the event engine may leave
+/// half-finished at the horizon).
+pub fn engine_equivalence(spec: &CaseSpec, seed: u64) -> Result<(), String> {
+    let p = spec.params();
+    let horizon = spec.horizon();
+    let mut slow = PeriodicModel::new(p, spec.start(), seed);
+    let mut slow_rec = (SendTrace::new(), ClusterLog::new());
+    slow.run(horizon, &mut slow_rec);
+    let mut fast = FastModel::new(p, spec.start(), seed);
+    let mut fast_rec = (SendTrace::new(), ClusterLog::new());
+    fast.run(horizon, &mut fast_rec);
+
+    let canonical = |sends: &[(SimTime, NodeId)]| {
+        let mut v = sends.to_vec();
+        v.sort_by_key(|&(t, id)| (t, id));
+        v
+    };
+    let tail = 2 * p.n;
+    let sends_slow = canonical(slow_rec.0.sends());
+    let sends_fast = canonical(fast_rec.0.sends());
+    let keep = sends_slow.len().min(sends_fast.len()).saturating_sub(tail);
+    if sends_slow[..keep] != sends_fast[..keep] {
+        let at = sends_slow[..keep]
+            .iter()
+            .zip(&sends_fast[..keep])
+            .position(|(a, b)| a != b)
+            .unwrap_or(0);
+        return Err(format!(
+            "send logs diverge at entry {at}: event={:?} fast={:?}",
+            sends_slow.get(at),
+            sends_fast.get(at)
+        ));
+    }
+    let cl_slow: Vec<(SimTime, u32)> = slow_rec.1.groups().iter().map(|g| (g.0, g.2)).collect();
+    let cl_fast: Vec<(SimTime, u32)> = fast_rec.1.groups().iter().map(|g| (g.0, g.2)).collect();
+    let keep = cl_slow.len().min(cl_fast.len()).saturating_sub(tail);
+    if cl_slow[..keep] != cl_fast[..keep] {
+        let at = cl_slow[..keep]
+            .iter()
+            .zip(&cl_fast[..keep])
+            .position(|(a, b)| a != b)
+            .unwrap_or(0);
+        return Err(format!(
+            "cluster logs diverge at entry {at}: event={:?} fast={:?}",
+            cl_slow.get(at),
+            cl_fast.get(at)
+        ));
+    }
+    if keep <= 10 {
+        return Err(format!(
+            "equivalence window too small to be meaningful ({keep} entries)"
+        ));
+    }
+    Ok(())
+}
+
+/// With forwarding effects disabled, the packet simulator's update timing
+/// must obey the abstract model's timer rules: per-router update
+/// intervals inside the jitter envelope (plus bounded processing skew),
+/// full-cluster persistence at zero jitter from a synchronized start,
+/// no full-sync lock-in at large jitter from a random start, byte-identical
+/// rebuilds, and one fault record per scheduled fault action.
+pub fn netsim_timing(spec: &CaseSpec, seed: u64) -> Result<(), String> {
+    let horizon = spec.horizon();
+    let mut scen = spec.build_lan(seed);
+    scen.sim.run_until(horizon);
+
+    // Determinism: the same (spec, seed) must rebuild bit-identically.
+    let mut again = spec.build_lan(seed);
+    again.sim.run_until(horizon);
+    if scen.sim.update_log() != again.sim.update_log()
+        || scen.sim.reset_log() != again.sim.reset_log()
+        || scen.sim.counters() != again.sim.counters()
+    {
+        return Err("rebuilding the same (spec, seed) diverged".into());
+    }
+
+    let tr = spec.tr_ms as f64 / 1e3;
+    let n = spec.n;
+
+    if spec.faults.is_empty() {
+        // Timer-rule envelope: between consecutive updates of one router
+        // lies one jittered interval plus processing skew. Each update
+        // costs ~(pad + n) routes × 1 ms to process and a burst makes a
+        // router chew through up to n of them, so allow n × 0.3 s skew.
+        let skew = 0.3 * n as f64 + 1.0;
+        let (lo, hi) = (LAN_TP_S - tr - skew, LAN_TP_S + tr + skew);
+        let mut last: Vec<Option<SimTime>> = vec![None; n];
+        for &(t, node) in scen.sim.update_log() {
+            if let Some(prev) = last[node] {
+                let gap = t.since(prev).as_secs_f64();
+                if gap < lo || gap > hi {
+                    return Err(format!(
+                        "router {node} update interval {gap:.2} s outside [{lo:.2}, {hi:.2}] \
+                         (Tp=120, Tr={tr}, N={n})"
+                    ));
+                }
+            }
+            last[node] = Some(t);
+        }
+    }
+
+    let series = largest_cluster_series(
+        scen.sim.reset_log(),
+        Duration::from_secs(10),
+        Duration::from_secs_f64(LAN_TP_S),
+    );
+    if spec.faults.is_empty() && spec.tr_ms == 0 && spec.sync_start {
+        // Zero jitter, synchronized start: the full cluster can never shed
+        // a member — every period's largest reset cluster is all N.
+        if series.len() < 3 {
+            return Err(format!("too few periods observed ({})", series.len()));
+        }
+        if let Some(&(bucket, size)) = series.iter().find(|&&(_, s)| s != n) {
+            return Err(format!(
+                "zero-jitter synchronized LAN shed members: largest cluster {size} != {n} \
+                 in period bucket {bucket}"
+            ));
+        }
+    }
+    if spec.faults.is_empty() && spec.tr_ms >= 3_000 && !spec.sync_start && n >= 4 {
+        // Large jitter, random start, short horizon: the network must not
+        // spend essentially the whole run fully synchronized.
+        let full = series.iter().filter(|&&(_, s)| s == n).count();
+        if series.len() >= 5 && full * 10 > series.len() * 9 {
+            return Err(format!(
+                "large-jitter LAN locked into full synchronization \
+                 ({full}/{} periods at cluster size {n})",
+                series.len()
+            ));
+        }
+    }
+
+    // Every scheduled fault action (down + up per op) must leave a record.
+    let expected = 2 * spec.faults.len();
+    if scen.sim.fault_log().len() != expected {
+        return Err(format!(
+            "fault plan scheduled {expected} actions but {} were recorded",
+            scen.sim.fault_log().len()
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Analytical
+// ---------------------------------------------------------------------
+
+/// Simulated mean time to full synchronization vs the chain's `f(N)`,
+/// with `f(2)` calibrated from the same runs (the paper leaves it free).
+pub fn markov_sync(spec: &CaseSpec, seed: u64) -> Result<(), String> {
+    let p = spec.params();
+    let n = p.n;
+    let chain = PeriodicChain::new(spec.chain_params());
+    let secs_per_round = spec.chain_params().seconds_per_round();
+    let horizon = spec.horizon_s as f64;
+    let seeds = derive_seeds(seed, 12);
+    let results = experiment::run_many(
+        p,
+        StartState::Unsynchronized,
+        &seeds,
+        ENSEMBLE_THREADS,
+        |m, _| {
+            let mut fp = FirstPassageUp::new(n);
+            m.run(SimTime::from_secs_f64(horizon), &mut fp);
+            (
+                fp.first(2).map(|(t, _)| t.as_secs_f64()),
+                fp.first(n).map(|(t, _)| t.as_secs_f64()),
+            )
+        },
+    );
+    let pair_times: Vec<f64> = results.iter().filter_map(|r| r.0).collect();
+    if pair_times.is_empty() {
+        return Err("no run ever formed a pair (f(2) unobservable)".into());
+    }
+    let f2_sim = mean(&pair_times) / secs_per_round;
+    let sync_times: Vec<f64> = results.iter().filter_map(|r| r.1).collect();
+    let ana = chain.f_n(f2_sim) * secs_per_round;
+    if sync_times.len() * 2 < seeds.len() {
+        // Mostly censored runs are consistent with the analysis iff the
+        // analysis itself puts f(N) at or beyond the horizon's scale —
+        // the far side of the phase transition, where neither model
+        // expects synchronization in bounded time.
+        if ana > horizon / 2.0 {
+            return Ok(());
+        }
+        return Err(format!(
+            "chain predicts f(N) = {ana:.3e} s but only {}/{} runs synchronized \
+             within {horizon} s",
+            sync_times.len(),
+            seeds.len()
+        ));
+    }
+    let sim = mean(&sync_times);
+    let ratio = ana / sim;
+    if !ratio.is_finite() || ratio < MARKOV_RATIO_BAND.0 || ratio > MARKOV_RATIO_BAND.1 {
+        return Err(format!(
+            "f(N) analysis/simulation ratio {ratio:.3} outside \
+             [{}, {}] (analysis {ana:.3e} s, simulated {sim:.3e} s, f2={f2_sim:.1})",
+            MARKOV_RATIO_BAND.0, MARKOV_RATIO_BAND.1
+        ));
+    }
+    Ok(())
+}
+
+/// Simulated mean time to full break-up (from a synchronized start) vs
+/// the chain's `g(1)`.
+pub fn markov_desync(spec: &CaseSpec, seed: u64) -> Result<(), String> {
+    let p = spec.params();
+    let n = p.n;
+    let chain = PeriodicChain::new(spec.chain_params());
+    let secs_per_round = spec.chain_params().seconds_per_round();
+    let horizon = spec.horizon_s as f64;
+    let seeds = derive_seeds(seed, 12);
+    let results = experiment::run_many(
+        p,
+        StartState::Synchronized,
+        &seeds,
+        ENSEMBLE_THREADS,
+        |m, _| {
+            let mut fp = FirstPassageDown::new(n, 1);
+            m.run(SimTime::from_secs_f64(horizon), &mut fp);
+            fp.first(1).map(|(t, _)| t.as_secs_f64())
+        },
+    );
+    let times: Vec<f64> = results.iter().copied().flatten().collect();
+    let ana = chain.g_1() * secs_per_round;
+    if times.len() * 2 < seeds.len() {
+        // Same censoring rule as `markov_sync`: staying synchronized past
+        // the horizon is consistent iff the analysis puts g(1) there too
+        // (the synchronization side of the transition).
+        if ana > horizon / 2.0 {
+            return Ok(());
+        }
+        return Err(format!(
+            "chain predicts g(1) = {ana:.3e} s but only {}/{} runs desynchronized \
+             within {horizon} s",
+            times.len(),
+            seeds.len()
+        ));
+    }
+    let sim = mean(&times);
+    let ratio = ana / sim;
+    if !ratio.is_finite() || ratio < MARKOV_RATIO_BAND.0 || ratio > MARKOV_RATIO_BAND.1 {
+        return Err(format!(
+            "g(1) analysis/simulation ratio {ratio:.3} outside \
+             [{}, {}] (analysis {ana:.3e} s, simulated {sim:.3e} s)",
+            MARKOV_RATIO_BAND.0, MARKOV_RATIO_BAND.1
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Metamorphic
+// ---------------------------------------------------------------------
+
+/// One run's fingerprint: total sends plus a fold over the cluster log.
+fn fingerprint(m: &mut FastModel, horizon: SimTime) -> (u64, u64) {
+    let mut log = ClusterLog::new();
+    m.run(horizon, &mut log);
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for g in log.groups() {
+        h = h
+            .wrapping_mul(0x0000_0100_0000_01b3)
+            .wrapping_add(g.0.as_nanos())
+            .rotate_left(7)
+            ^ u64::from(g.2);
+    }
+    (m.sends(), h)
+}
+
+/// Ensemble results must be bit-identical at 1, 2 and 4 worker threads
+/// (and therefore under per-worker model reuse), and distinct seeds must
+/// produce distinct trajectories.
+pub fn thread_invariance(spec: &CaseSpec, seed: u64) -> Result<(), String> {
+    let p = spec.params();
+    let start = spec.start();
+    let horizon = spec.horizon();
+    let seeds = derive_seeds(seed, 8);
+    let run = |threads: usize| {
+        experiment::run_many(p, start.clone(), &seeds, threads, |m, _| {
+            fingerprint(m, horizon)
+        })
+    };
+    let at1 = run(1);
+    for threads in [2usize, 4] {
+        let at_t = run(threads);
+        if at_t != at1 {
+            let i = at1.iter().zip(&at_t).position(|(a, b)| a != b).unwrap_or(0);
+            return Err(format!(
+                "ensemble diverges between 1 and {threads} threads at seed index {i}: \
+                 {:?} vs {:?}",
+                at1.get(i),
+                at_t.get(i)
+            ));
+        }
+    }
+    // Per-worker model reuse must equal fresh construction.
+    let fresh: Vec<(u64, u64)> = seeds
+        .iter()
+        .map(|&s| fingerprint(&mut FastModel::new(p, start.clone(), s), horizon))
+        .collect();
+    if fresh != at1 {
+        return Err("reused (reset) models diverge from fresh construction".into());
+    }
+    // Seed-stream independence: distinct master seeds give distinct runs.
+    let distinct: std::collections::BTreeSet<_> = at1.iter().collect();
+    if distinct.len() < 2 {
+        return Err(format!(
+            "8 distinct seeds produced only {} distinct trajectories",
+            distinct.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Translating every start offset by a constant must shift the whole
+/// trajectory by exactly that constant.
+pub fn translation(spec: &CaseSpec, seed: u64) -> Result<(), String> {
+    let p = spec.params();
+    let tp = p.tp();
+    let mut offsets = Vec::with_capacity(p.n);
+    for i in 0..p.n {
+        let mut rng = routesync_rng::stream(seed, 0x0FF5_E750 ^ i as u64);
+        offsets
+            .push(routesync_rng::dist::UniformDuration::new(Duration::ZERO, tp).sample(&mut rng));
+    }
+    let delta = Duration::from_millis(spec.tp_ms / 3 + 7);
+    let shifted: Vec<Duration> = offsets.iter().map(|&o| o + delta).collect();
+
+    let horizon = spec.horizon();
+    let mut a = FastModel::new(p, StartState::Offsets(offsets), seed);
+    let mut a_rec = (SendTrace::new(), ClusterLog::new());
+    a.run(horizon, &mut a_rec);
+    let mut b = FastModel::new(p, StartState::Offsets(shifted), seed);
+    let mut b_rec = (SendTrace::new(), ClusterLog::new());
+    b.run(horizon + delta, &mut b_rec);
+
+    let tail = 2 * p.n;
+    let sa = a_rec.0.sends();
+    let sb = b_rec.0.sends();
+    let keep = sa.len().min(sb.len()).saturating_sub(tail);
+    for i in 0..keep {
+        let (ta, na) = sa[i];
+        let (tb, nb) = sb[i];
+        if na != nb || ta + delta != tb {
+            return Err(format!(
+                "send {i} not translation-invariant: ({ta:?}, {na}) + {delta:?} != ({tb:?}, {nb})"
+            ));
+        }
+    }
+    let ca = a_rec.1.groups();
+    let cb = b_rec.1.groups();
+    let keep = ca.len().min(cb.len()).saturating_sub(tail);
+    for i in 0..keep {
+        if ca[i].0 + delta != cb[i].0 || ca[i].2 != cb[i].2 {
+            return Err(format!(
+                "cluster {i} not translation-invariant: {:?} + {delta:?} != {:?}",
+                ca[i], cb[i]
+            ));
+        }
+    }
+    if keep <= 5 {
+        return Err(format!("translation window too small ({keep} clusters)"));
+    }
+    Ok(())
+}
+
+/// Growing `Tr` must not make the ensemble synchronize more often (the
+/// random component is the only force *against* synchronization). Checked
+/// with a small slack because the comparison is across finite ensembles.
+pub fn tr_monotonicity(spec: &CaseSpec, seed: u64) -> Result<(), String> {
+    let seeds = derive_seeds(seed, 16);
+    let horizon = spec.horizon_s as f64;
+    let count_synced = |tr_ms: u64| -> usize {
+        let p = CaseSpec {
+            tr_ms,
+            ..spec.clone()
+        }
+        .params();
+        experiment::run_many(
+            p,
+            StartState::Unsynchronized,
+            &seeds,
+            ENSEMBLE_THREADS,
+            |m, _| {
+                let mut fp = FirstPassageUp::new(p.n);
+                m.run(SimTime::from_secs_f64(horizon), &mut fp);
+                fp.reached()
+            },
+        )
+        .into_iter()
+        .filter(|&r| r)
+        .count()
+    };
+    let lo = count_synced(spec.tr_ms);
+    // Clamp to Tp: PeriodicParams rejects Tr > Tp (the timer could go
+    // negative), and the monotone claim holds on the clamped pair too.
+    let hi = count_synced((spec.tr_ms * 3).min(spec.tp_ms));
+    if hi > lo + 2 {
+        return Err(format!(
+            "tripling Tr increased synchronized runs from {lo}/16 to {hi}/16"
+        ));
+    }
+    Ok(())
+}
+
+/// Attaching an empty fault plan must leave the packet-level run
+/// bit-identical to one with no plan at all.
+pub fn empty_fault_plan(spec: &CaseSpec, seed: u64) -> Result<(), String> {
+    let horizon = spec.horizon();
+    let start = if spec.sync_start {
+        routesync_netsim::TimerStart::Synchronized
+    } else {
+        routesync_netsim::TimerStart::Unsynchronized
+    };
+    let base = || {
+        routesync_netsim::ScenarioSpec::lan(spec.n, Duration::from_millis(spec.tr_ms))
+            .with_forwarding(routesync_netsim::ForwardingMode::Concurrent)
+            .with_start(start)
+    };
+    let mut plain = base().build(seed);
+    plain.sim.run_until(horizon);
+    let mut with_empty = base().with_faults(FaultPlan::new()).build(seed);
+    with_empty.sim.run_until(horizon);
+    if plain.sim.counters() != with_empty.sim.counters() {
+        return Err(format!(
+            "empty fault plan changed counters: {:?} vs {:?}",
+            plain.sim.counters(),
+            with_empty.sim.counters()
+        ));
+    }
+    if plain.sim.reset_log() != with_empty.sim.reset_log()
+        || plain.sim.update_log() != with_empty.sim.update_log()
+    {
+        return Err("empty fault plan changed the update/reset timeline".into());
+    }
+    if !with_empty.sim.fault_log().is_empty() {
+        return Err("empty fault plan left fault records".into());
+    }
+    Ok(())
+}

@@ -1,0 +1,307 @@
+//! Conformance test cases: a serializable description of one scenario
+//! plus the oracle that judges it.
+//!
+//! A [`CaseSpec`] is deliberately *plain data* — integer milliseconds and
+//! seconds, no `Duration`s, no trait objects — so that `(seed, spec)`
+//! round-trips through one line of JSON. That line **is** the reproducer
+//! format: the fuzzer shrinks every failure down to a minimal spec and
+//! writes `{"seed":…,"spec":{…}}` to `results/conformance/`, and
+//! `conformance --replay <file>` re-runs it verbatim.
+
+use routesync_core::{PeriodicParams, StartState};
+use routesync_desim::{Duration, SimTime};
+use routesync_markov::ChainParams;
+use routesync_netsim::{FaultPlan, ForwardingMode, Scenario, ScenarioSpec, TimerStart};
+use serde::{Deserialize, Serialize};
+
+/// Which conformance oracle judges a case. The three families of the
+/// paper's cross-model claim:
+///
+/// * **differential** — [`Oracle::EngineEquivalence`] (FastModel vs
+///   PeriodicModel), [`Oracle::NetsimTiming`] (packet-level update timing
+///   vs the abstract timer rules, forwarding effects disabled);
+/// * **analytical** — [`Oracle::MarkovSync`] / [`Oracle::MarkovDesync`]
+///   (simulated passage times vs the chain's `f`/`g` closed forms);
+/// * **metamorphic** — [`Oracle::ThreadInvariance`],
+///   [`Oracle::Translation`], [`Oracle::TrMonotonicity`],
+///   [`Oracle::EmptyFaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Oracle {
+    /// FastModel and PeriodicModel produce identical send and cluster
+    /// trajectories (differential, exact).
+    EngineEquivalence,
+    /// Packet-level LAN update timing obeys the abstract model's timer
+    /// rules with forwarding effects disabled (differential, envelope).
+    NetsimTiming,
+    /// Simulated time-to-synchronize within statistical tolerance of the
+    /// Markov chain's `f(N)` (analytical).
+    MarkovSync,
+    /// Simulated time-to-desynchronize within statistical tolerance of the
+    /// chain's `g(1)` (analytical).
+    MarkovDesync,
+    /// Ensemble results are bit-identical at 1/2/4 worker threads and
+    /// under model reuse, and distinct seeds give distinct trajectories
+    /// (metamorphic, exact).
+    ThreadInvariance,
+    /// Translating every start offset by a constant shifts the whole
+    /// trajectory by exactly that constant (metamorphic, exact).
+    Translation,
+    /// Growing Tr never makes an ensemble synchronize more often
+    /// (metamorphic, statistical with slack).
+    TrMonotonicity,
+    /// Building a scenario with an empty fault plan is bit-identical to
+    /// building it with none (metamorphic, exact).
+    EmptyFaultPlan,
+}
+
+impl Oracle {
+    /// All oracles, in a fixed order (the fuzzer's seed corpus order).
+    pub const ALL: [Oracle; 8] = [
+        Oracle::EngineEquivalence,
+        Oracle::NetsimTiming,
+        Oracle::MarkovSync,
+        Oracle::MarkovDesync,
+        Oracle::ThreadInvariance,
+        Oracle::Translation,
+        Oracle::TrMonotonicity,
+        Oracle::EmptyFaultPlan,
+    ];
+
+    /// The oracle family, for reporting: `differential`, `analytical` or
+    /// `metamorphic`.
+    pub fn family(self) -> &'static str {
+        match self {
+            Oracle::EngineEquivalence | Oracle::NetsimTiming => "differential",
+            Oracle::MarkovSync | Oracle::MarkovDesync => "analytical",
+            Oracle::ThreadInvariance
+            | Oracle::Translation
+            | Oracle::TrMonotonicity
+            | Oracle::EmptyFaultPlan => "metamorphic",
+        }
+    }
+
+    /// Short stable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Oracle::EngineEquivalence => "engine-equivalence",
+            Oracle::NetsimTiming => "netsim-timing",
+            Oracle::MarkovSync => "markov-sync",
+            Oracle::MarkovDesync => "markov-desync",
+            Oracle::ThreadInvariance => "thread-invariance",
+            Oracle::Translation => "translation",
+            Oracle::TrMonotonicity => "tr-monotonicity",
+            Oracle::EmptyFaultPlan => "empty-fault-plan",
+        }
+    }
+}
+
+/// One deterministic fault operation for the packet-level oracles. Plain
+/// data (ids and seconds) so cases serialize to one line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultOp {
+    /// Take a link down at `down_s`, back up at `up_s`.
+    Link {
+        /// Link id within the scenario's numbering.
+        link: usize,
+        /// Seconds at which the link goes down.
+        down_s: u64,
+        /// Seconds at which it comes back (must exceed `down_s`).
+        up_s: u64,
+    },
+    /// Crash a router at `down_s`, reboot it at `up_s`.
+    Router {
+        /// Router id within the scenario.
+        node: usize,
+        /// Seconds at which the router crashes.
+        down_s: u64,
+        /// Seconds at which it reboots.
+        up_s: u64,
+    },
+}
+
+/// A complete, self-contained conformance case. `(seed, spec)` determines
+/// the whole run bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaseSpec {
+    /// Which oracle judges this case.
+    pub oracle: Oracle,
+    /// Number of routers `N`.
+    pub n: usize,
+    /// Mean period `Tp`, milliseconds.
+    pub tp_ms: u64,
+    /// Processing cost `Tc`, milliseconds.
+    pub tc_ms: u64,
+    /// Jitter half-width `Tr`, milliseconds.
+    pub tr_ms: u64,
+    /// Synchronized (`true`) or unsynchronized start.
+    pub sync_start: bool,
+    /// Simulated horizon, seconds.
+    pub horizon_s: u64,
+    /// Scheduled faults (packet-level oracles only; empty elsewhere).
+    pub faults: Vec<FaultOp>,
+}
+
+impl CaseSpec {
+    /// The abstract-model parameters of this case.
+    pub fn params(&self) -> PeriodicParams {
+        PeriodicParams::new(
+            self.n,
+            Duration::from_millis(self.tp_ms),
+            Duration::from_millis(self.tc_ms),
+            Duration::from_millis(self.tr_ms),
+        )
+    }
+
+    /// The Markov-chain parameters of this case.
+    pub fn chain_params(&self) -> ChainParams {
+        ChainParams {
+            n: self.n,
+            tp: self.tp_ms as f64 / 1e3,
+            tc: self.tc_ms as f64 / 1e3,
+            tr: self.tr_ms as f64 / 1e3,
+        }
+    }
+
+    /// The start state of this case.
+    pub fn start(&self) -> StartState {
+        if self.sync_start {
+            StartState::Synchronized
+        } else {
+            StartState::Unsynchronized
+        }
+    }
+
+    /// The horizon of this case.
+    pub fn horizon(&self) -> SimTime {
+        SimTime::from_secs(self.horizon_s)
+    }
+
+    /// Build this case's fault plan (packet-level oracles).
+    pub fn fault_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        for op in &self.faults {
+            plan = match *op {
+                FaultOp::Link { link, down_s, up_s } => plan
+                    .link_down_at(link, SimTime::from_secs(down_s))
+                    .link_up_at(link, SimTime::from_secs(up_s)),
+                FaultOp::Router { node, down_s, up_s } => plan
+                    .crash_at(node, SimTime::from_secs(down_s))
+                    .reboot_at(node, SimTime::from_secs(up_s)),
+            };
+        }
+        plan
+    }
+
+    /// Build the packet-level LAN counterpart of this case: DECnet-style
+    /// 120 s updates with this case's jitter, forwarding effects disabled
+    /// (`Concurrent`), faults installed. The LAN's update period is fixed
+    /// by the scenario (120 s), so the packet-level oracles read `tp_ms`
+    /// as 120 000 regardless of the field.
+    pub fn build_lan(&self, seed: u64) -> Scenario {
+        ScenarioSpec::lan(self.n, Duration::from_millis(self.tr_ms))
+            .with_forwarding(ForwardingMode::Concurrent)
+            .with_start(if self.sync_start {
+                TimerStart::Synchronized
+            } else {
+                TimerStart::Unsynchronized
+            })
+            .with_faults(self.fault_plan())
+            .build(seed)
+    }
+}
+
+/// A minimized failing case: everything needed to replay it, one JSON
+/// line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reproducer {
+    /// The case seed.
+    pub seed: u64,
+    /// The minimized spec.
+    pub spec: CaseSpec,
+    /// The oracle's failure message (diagnostic only; not needed to
+    /// replay).
+    pub message: String,
+}
+
+impl Reproducer {
+    /// Serialize to the one-line replay format.
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("reproducer serializes")
+    }
+
+    /// Parse a line produced by [`Reproducer::to_line`].
+    pub fn from_line(line: &str) -> Result<Reproducer, String> {
+        serde_json::from_str(line.trim()).map_err(|e| format!("bad reproducer line: {e:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_one_line() {
+        let spec = CaseSpec {
+            oracle: Oracle::NetsimTiming,
+            n: 6,
+            tp_ms: 120_000,
+            tc_ms: 110,
+            tr_ms: 500,
+            sync_start: true,
+            horizon_s: 2_000,
+            faults: vec![
+                FaultOp::Link {
+                    link: 0,
+                    down_s: 300,
+                    up_s: 500,
+                },
+                FaultOp::Router {
+                    node: 2,
+                    down_s: 700,
+                    up_s: 900,
+                },
+            ],
+        };
+        let repro = Reproducer {
+            seed: 42,
+            spec: spec.clone(),
+            message: "example".into(),
+        };
+        let line = repro.to_line();
+        assert!(!line.contains('\n'), "reproducers must be one line");
+        let back = Reproducer::from_line(&line).expect("parses");
+        assert_eq!(back.spec, spec);
+        assert_eq!(back.seed, 42);
+    }
+
+    #[test]
+    fn fault_plan_schedules_every_op() {
+        let spec = CaseSpec {
+            oracle: Oracle::EmptyFaultPlan,
+            n: 4,
+            tp_ms: 120_000,
+            tc_ms: 110,
+            tr_ms: 100,
+            sync_start: true,
+            horizon_s: 1_000,
+            faults: vec![FaultOp::Link {
+                link: 0,
+                down_s: 10,
+                up_s: 20,
+            }],
+        };
+        assert!(!spec.fault_plan().is_empty());
+        assert!(CaseSpec {
+            faults: vec![],
+            ..spec
+        }
+        .fault_plan()
+        .is_empty());
+    }
+
+    #[test]
+    fn oracle_families_cover_all_three() {
+        let fams: std::collections::BTreeSet<_> = Oracle::ALL.iter().map(|o| o.family()).collect();
+        assert_eq!(fams.len(), 3);
+    }
+}

@@ -1,0 +1,96 @@
+//! Harness self-test: flip the deliberate off-by-one in the fast
+//! engine's cluster-merge rule and check the conformance fuzzer (a)
+//! catches it, (b) shrinks it to a one-line reproducer, and (c) that the
+//! reproducer replays to the same failure.
+//!
+//! This lives in its own test binary on purpose: the defect toggle is
+//! process-global, and `cargo test` runs test *binaries* sequentially, so
+//! the flipped rule can never leak into the other suites. The `inject`
+//! cargo feature only compiles the hook in; the default-off runtime
+//! toggle keeps every other test (which builds `routesync-core` with the
+//! feature unified in) bit-identical to a featureless build.
+
+use routesync_conformance::fuzz::{self, FuzzConfig};
+use routesync_conformance::spec::{Oracle, Reproducer};
+use routesync_core::fast::inject;
+
+/// RAII guard so the toggle is reset even if an assertion panics midway.
+struct DefectOn;
+
+impl DefectOn {
+    fn new() -> Self {
+        inject::set_merge_off_by_one(true);
+        DefectOn
+    }
+}
+
+impl Drop for DefectOn {
+    fn drop(&mut self) {
+        inject::set_merge_off_by_one(false);
+    }
+}
+
+#[test]
+fn fuzzer_catches_and_shrinks_the_injected_merge_bug() {
+    let out_dir = std::env::temp_dir().join("routesync-conformance-injected-bug");
+    let _ = std::fs::remove_dir_all(&out_dir);
+
+    let report = {
+        let _defect = DefectOn::new();
+        fuzz::fuzz(&FuzzConfig {
+            seed: 1,
+            budget_cases: 40,
+            budget: None,
+            out_dir: Some(out_dir.clone()),
+        })
+    };
+
+    // (a) caught: the differential engine oracle must flag the defect.
+    let engine_failures: Vec<&Reproducer> = report
+        .failures
+        .iter()
+        .filter(|r| r.spec.oracle == Oracle::EngineEquivalence)
+        .collect();
+    assert!(
+        !engine_failures.is_empty(),
+        "the injected cluster-merge off-by-one went undetected:\n{}",
+        report.render()
+    );
+
+    // (b) shrunk: the reproducer is one line, parses back, and its spec
+    // sits at the shrinker's floors (small N, no faults).
+    let repro = engine_failures[0];
+    let line = repro.to_line();
+    assert!(!line.contains('\n'), "reproducer must be a single line");
+    let parsed = Reproducer::from_line(&line).expect("reproducer line parses");
+    assert_eq!(&parsed, repro);
+    assert!(
+        repro.spec.n <= 4,
+        "shrinker left n = {} (spec: {line})",
+        repro.spec.n
+    );
+    assert!(repro.spec.faults.is_empty());
+
+    // The on-disk artifacts match what the run reported.
+    let jsonl = std::fs::read_to_string(out_dir.join("reproducers.jsonl"))
+        .expect("reproducers.jsonl written");
+    assert!(jsonl.lines().any(|l| l == line));
+    let summary =
+        std::fs::read_to_string(out_dir.join("summary.txt")).expect("summary.txt written");
+    assert_eq!(summary, report.render());
+
+    // (c) replays: with the defect on the reproducer still fails with the
+    // same message; with it off, the exact same line passes.
+    {
+        let _defect = DefectOn::new();
+        let err = fuzz::replay(&parsed).expect_err("reproducer must fail while defect is on");
+        assert_eq!(err, parsed.message);
+    }
+    assert_eq!(
+        fuzz::replay(&parsed),
+        Ok(()),
+        "reproducer must pass once the defect is off"
+    );
+
+    let _ = std::fs::remove_dir_all(&out_dir);
+}

@@ -29,12 +29,51 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use routesync_desim::SimTime;
+use routesync_desim::{Duration, SimTime};
 use routesync_rng::{JitterPolicy, MinStd, TimerResetPolicy};
 
 use crate::model::NodeId;
 use crate::params::{PeriodicParams, StartState};
 use crate::record::Recorder;
+
+/// Deliberate, runtime-switchable model defects for validating the
+/// conformance harness (`routesync-conformance`). Compiled only with the
+/// `inject` cargo feature; the default build carries no trace of this
+/// module, and even with the feature on every defect defaults to *off*,
+/// leaving the model bit-identical to the plain build.
+#[cfg(feature = "inject")]
+pub mod inject {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static MERGE_OFF_BY_ONE: AtomicBool = AtomicBool::new(false);
+
+    /// Toggle the cluster-merge off-by-one: with the defect on, the burst
+    /// counts one message too many when computing its busy boundary
+    /// (`e₁ + (j+1)·Tc` instead of `e₁ + j·Tc`), so expiries up to one
+    /// whole `Tc` past the true busy period wrongly join — silently
+    /// merging clusters the event-driven engine keeps apart. The
+    /// differential oracle must catch this.
+    pub fn set_merge_off_by_one(on: bool) {
+        MERGE_OFF_BY_ONE.store(on, Ordering::Release);
+    }
+
+    pub(super) fn merge_off_by_one() -> bool {
+        MERGE_OFF_BY_ONE.load(Ordering::Acquire)
+    }
+}
+
+/// The burst-join rule: an expiry joins the running burst iff it lands
+/// strictly inside the busy period; one exactly at the boundary starts its
+/// own burst (matching the event-driven engine's strict `<`).
+#[inline]
+fn joins_burst(e: SimTime, boundary: SimTime, tc: Duration) -> bool {
+    let _ = &tc;
+    #[cfg(feature = "inject")]
+    if inject::merge_off_by_one() {
+        return e < boundary + tc;
+    }
+    e < boundary
+}
 
 struct FastNode {
     jitter: JitterPolicy,
@@ -205,7 +244,7 @@ impl FastModel {
             loop {
                 let boundary = e1 + tc.saturating_mul(self.members.len() as u64);
                 match self.heap.peek() {
-                    Some(&Reverse((e, _))) if e < boundary => {
+                    Some(&Reverse((e, _))) if joins_burst(e, boundary, tc) => {
                         let Reverse(next) = self.heap.pop().expect("peeked");
                         self.members.push(next);
                     }

@@ -100,6 +100,61 @@ proptest! {
         }
     }
 
+    /// Eq. 1: the break-up probability decays with cluster size for any
+    /// parameters (bigger clusters are harder to escape from).
+    #[test]
+    fn break_probability_decays_with_cluster_size(p in chain_params()) {
+        for i in 2..p.n {
+            prop_assert!(
+                PeriodicChain::p_break(&p, i + 1) <= PeriodicChain::p_break(&p, i) + 1e-15,
+                "p_break grew from size {i} to {}", i + 1
+            );
+        }
+    }
+
+    /// `g(1)` of the periodic chain equals direct Monte-Carlo simulation
+    /// of its own birth-death chain on a small, well-conditioned N.
+    #[test]
+    fn g1_matches_direct_chain_simulation(seed in 1u32..10_000) {
+        let chain = PeriodicChain::new(small_fast_params());
+        let bd = chain.birth_death();
+        let n = bd.n();
+        let exact = chain.g_1();
+        prop_assert!(exact.is_finite());
+        let mut rng = routesync_rng::MinStd::new(seed);
+        let runs = 2_000;
+        let mut total = 0u64;
+        for _ in 0..runs {
+            total += bd.simulate_hitting(n, 1, &mut rng, 10_000_000).expect("breaks up");
+        }
+        let mc = total as f64 / runs as f64;
+        prop_assert!((mc - exact).abs() / exact < 0.12, "exact g(1) {exact} vs MC {mc}");
+    }
+
+    /// The closed-form unsynchronized fraction `f/(f+g)` matches the same
+    /// ratio estimated by simulating the chain directly (with `f(2) = 0`,
+    /// the same convention the closed form is given).
+    #[test]
+    fn fraction_matches_direct_chain_simulation(seed in 1u32..10_000) {
+        let chain = PeriodicChain::new(small_fast_params());
+        let bd = chain.birth_death();
+        let n = bd.n();
+        let exact = chain.fraction_unsynchronized(0.0);
+        let mut rng = routesync_rng::MinStd::new(seed);
+        let runs = 2_000;
+        let (mut f_total, mut g_total) = (0u64, 0u64);
+        for _ in 0..runs {
+            f_total += simulate_f_rounds(&chain, &mut rng, 10_000_000).expect("synchronizes");
+            g_total += bd.simulate_hitting(n, 1, &mut rng, 10_000_000).expect("breaks up");
+        }
+        let (f_mc, g_mc) = (f_total as f64 / runs as f64, g_total as f64 / runs as f64);
+        let frac_mc = f_mc / (f_mc + g_mc);
+        prop_assert!(
+            (frac_mc - exact).abs() < 0.05,
+            "closed form {exact} vs simulated {frac_mc} (f {f_mc}, g {g_mc})"
+        );
+    }
+
     /// Exact hitting times agree with Monte-Carlo simulation of the chain
     /// itself for small, well-conditioned chains.
     #[test]
@@ -118,4 +173,42 @@ proptest! {
         let mc = total as f64 / runs as f64;
         prop_assert!((mc - exact).abs() / exact < 0.15, "exact {exact} vs MC {mc}");
     }
+}
+
+/// A small chain whose p_up and p_down are both bounded away from zero,
+/// so both passage directions complete in tens of rounds and direct
+/// Monte-Carlo simulation is cheap.
+fn small_fast_params() -> ChainParams {
+    ChainParams {
+        n: 4,
+        tp: 10.0,
+        tc: 0.5,
+        tr: 0.6,
+    }
+}
+
+/// Monte-Carlo rounds-to-synchronize under the `f(2) = 0` convention: a
+/// drop from size 2 bounces straight back to size 2 at no extra cost, so
+/// the walk lives on states `2..=n`. This matches the exact recursion,
+/// whose first step `f(2)` is a free parameter set to zero here.
+fn simulate_f_rounds(
+    chain: &PeriodicChain,
+    rng: &mut routesync_rng::MinStd,
+    max_steps: u64,
+) -> Option<u64> {
+    let bd = chain.birth_death();
+    let n = bd.n();
+    let mut state = 2usize;
+    for step in 0..max_steps {
+        if state == n {
+            return Some(step);
+        }
+        let u = routesync_rng::dist::unit_f64(rng);
+        if u < bd.p_up(state) {
+            state += 1;
+        } else if u < bd.p_up(state) + bd.p_down(state) && state > 2 {
+            state -= 1;
+        }
+    }
+    None
 }

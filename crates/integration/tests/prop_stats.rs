@@ -1,0 +1,140 @@
+//! Property tests for the stats crate against closed-form signals.
+//!
+//! The unit tests inside `routesync-stats` pin individual fixtures; these
+//! tests generate whole signal families — square-wave outage trains like
+//! Figure 1/3, pure sinusoids, and white noise — and check that every
+//! extraction path (gap-based, run-based, spectral, autocorrelation)
+//! recovers the parameters the signal was built from.
+
+use proptest::prelude::*;
+use routesync_rng::SplitMix64;
+use routesync_stats::outage::{inter_outage_gaps, loss_rate};
+use routesync_stats::periodogram::peak_to_median_power;
+use routesync_stats::{
+    autocorrelation, dominant_lag, dominant_period, outages_from_gaps, runs_of_loss,
+};
+
+/// A synthetic CBR stream losing `k` consecutive packets once per
+/// `period_slots` packet slots, starting at slot 1 of each period.
+/// Returns (lost flags, arrival times) over `bursts` full periods.
+fn outage_train(period_slots: usize, k: usize, bursts: usize, dt: f64) -> (Vec<bool>, Vec<f64>) {
+    assert!(k + 2 <= period_slots, "burst must not swallow the period");
+    let n = period_slots * bursts;
+    let lost: Vec<bool> = (0..n)
+        .map(|i| (1..=k).contains(&(i % period_slots)))
+        .collect();
+    let arrivals: Vec<f64> = (0..n)
+        .filter(|&i| !lost[i])
+        .map(|i| i as f64 * dt)
+        .collect();
+    (lost, arrivals)
+}
+
+proptest! {
+    /// Both extraction paths (per-packet loss flags and CBR arrival gaps)
+    /// recover the exact burst count, burst size, burst spacing, and loss
+    /// rate of a square-wave outage train.
+    #[test]
+    fn outage_train_parameters_are_recovered(
+        period_slots in 10usize..40,
+        k in 1usize..6,
+        bursts in 3usize..8,
+        dt in 0.01f64..0.1,
+    ) {
+        prop_assume!(k + 2 <= period_slots);
+        let (lost, arrivals) = outage_train(period_slots, k, bursts, dt);
+
+        let runs = runs_of_loss(&lost);
+        prop_assert_eq!(runs.len(), bursts);
+        for r in &runs {
+            prop_assert_eq!(r.packets, k as u64);
+        }
+        let rate = loss_rate(&lost);
+        let expect_rate = k as f64 / period_slots as f64;
+        prop_assert!((rate - expect_rate).abs() < 1e-12);
+
+        let outs = outages_from_gaps(&arrivals, dt, 1.5);
+        prop_assert_eq!(outs.len(), bursts);
+        for o in &outs {
+            prop_assert_eq!(o.packets, k as u64);
+            prop_assert!((o.duration - k as f64 * dt).abs() < 1e-9);
+        }
+
+        let gaps = inter_outage_gaps(&outs);
+        prop_assert_eq!(gaps.len(), bursts - 1);
+        let period = period_slots as f64 * dt;
+        for g in gaps {
+            prop_assert!((g - period).abs() < 1e-9, "gap {g} vs period {period}");
+        }
+    }
+
+    /// The frequency- and lag-domain detectors both find the burst period
+    /// of a square-wave RTT series (drops plotted as 2-second RTTs, the
+    /// Figure 2 convention).
+    #[test]
+    fn outage_train_period_found_by_spectrum_and_acf(
+        period_slots in 20usize..60,
+        k in 1usize..4,
+    ) {
+        let bursts = 12;
+        let (lost, _) = outage_train(period_slots, k, bursts, 0.02);
+        let rtt: Vec<f64> = lost.iter().map(|&l| if l { 2.0 } else { 0.1 }).collect();
+
+        let p = period_slots as f64;
+        let found = dominant_period(&rtt, 0.6 * p, 1.8 * p).expect("spectrum nonempty");
+        prop_assert!((found - p).abs() / p < 0.15, "spectral period {found} vs {p}");
+
+        let acf = autocorrelation(&rtt, 2 * period_slots);
+        let lag = dominant_lag(&acf, k + 2).expect("lags in range");
+        prop_assert!(
+            lag.abs_diff(period_slots) <= 1,
+            "acf lag {lag} vs period {period_slots}"
+        );
+    }
+
+    /// A pure sinusoid's period is recovered to within the spectral
+    /// resolution, with a dominant peak, at any phase.
+    #[test]
+    fn sinusoid_period_is_recovered(
+        period in 8.0f64..60.0,
+        phase in 0.0f64..std::f64::consts::TAU,
+    ) {
+        let xs: Vec<f64> = (0..600)
+            .map(|t| (std::f64::consts::TAU * t as f64 / period + phase).sin())
+            .collect();
+        let found = dominant_period(&xs, 4.0, 120.0).expect("spectrum nonempty");
+        prop_assert!((found - period).abs() / period < 0.06, "found {found} vs {period}");
+        let snr = peak_to_median_power(&xs, 4.0, 120.0).expect("defined");
+        prop_assert!(snr > 50.0, "pure tone must dominate the spectrum: snr {snr}");
+
+        // The ACF of a sinusoid peaks at every multiple of the period, and
+        // for non-integer periods a higher multiple can align better with
+        // the integer lag grid — so accept any lag within one sample of a
+        // multiple of the true period.
+        let acf = autocorrelation(&xs, 140);
+        let lag = dominant_lag(&acf, (period / 2.0).ceil() as usize + 1).expect("lags");
+        let cycles = lag as f64 / period;
+        let off_grid = (cycles - cycles.round()).abs() * period;
+        prop_assert!(
+            cycles.round() >= 1.0 && off_grid <= 1.0,
+            "acf lag {lag} is not near a multiple of period {period}"
+        );
+    }
+
+    /// White noise shows neither a spectral line nor autocorrelation
+    /// structure, for any seed.
+    #[test]
+    fn white_noise_has_no_structure(seed in 1u64..10_000) {
+        let mut rng = SplitMix64::new(seed);
+        let xs: Vec<f64> = (0..1024)
+            .map(|_| routesync_rng::dist::unit_f64(&mut rng))
+            .collect();
+        let snr = peak_to_median_power(&xs, 10.0, 200.0).expect("defined");
+        prop_assert!(snr < 40.0, "noise must not show a strong line: snr {snr}");
+
+        let acf = autocorrelation(&xs, 50);
+        for (lag, r) in acf.iter().enumerate().skip(1) {
+            prop_assert!(r.abs() < 0.2, "white noise acf at lag {lag} was {r}");
+        }
+    }
+}

@@ -512,6 +512,7 @@ mod tests {
         new.sim.run_until(horizon);
         assert_eq!(old.sim.counters(), new.sim.counters());
         assert_eq!(old.sim.reset_log(), new.sim.reset_log());
+        assert_eq!(old.sim.update_log(), new.sim.update_log());
 
         let mut old = nearnet(17);
         let mut new = ScenarioSpec::nearnet().build(17);
@@ -521,6 +522,7 @@ mod tests {
         old.sim.run_until(horizon);
         new.sim.run_until(horizon);
         assert_eq!(old.sim.counters(), new.sim.counters());
+        assert_eq!(old.sim.update_log(), new.sim.update_log());
 
         let mut old = mbone_audiocast(9);
         let mut new = ScenarioSpec::mbone_audiocast().build(9);
@@ -528,6 +530,7 @@ mod tests {
         old.sim.run_until(horizon);
         new.sim.run_until(horizon);
         assert_eq!(old.sim.counters(), new.sim.counters());
+        assert_eq!(old.sim.update_log(), new.sim.update_log());
 
         let mut old = random_mesh(
             8,
@@ -544,6 +547,27 @@ mod tests {
         new.sim.run_until(horizon);
         assert_eq!(old.sim.counters(), new.sim.counters());
         assert_eq!(old.sim.reset_log(), new.sim.reset_log());
+        assert_eq!(old.sim.update_log(), new.sim.update_log());
+    }
+
+    /// Attaching an empty [`FaultPlan`] must be a no-op: the built
+    /// simulator runs bit-identically to one built without any plan, and
+    /// its fault log stays empty.
+    #[test]
+    fn empty_fault_plan_builds_identical_sim() {
+        let horizon = SimTime::from_secs(2_000);
+        let spec = || {
+            ScenarioSpec::lan(5, Duration::from_millis(200)).with_start(TimerStart::Unsynchronized)
+        };
+        let mut plain = spec().build(7);
+        let mut with_empty = spec().with_faults(FaultPlan::new()).build(7);
+        plain.sim.run_until(horizon);
+        with_empty.sim.run_until(horizon);
+        assert_eq!(plain.sim.counters(), with_empty.sim.counters());
+        assert_eq!(plain.sim.reset_log(), with_empty.sim.reset_log());
+        assert_eq!(plain.sim.update_log(), with_empty.sim.update_log());
+        assert!(plain.sim.fault_log().is_empty());
+        assert!(with_empty.sim.fault_log().is_empty());
     }
 
     #[test]

@@ -27,6 +27,9 @@ commands:
               flags: --n 20 --target 0.95
   nearnet     replay the paper's ping measurement on the packet simulator
               flags: --probes 1000 --mode blocked|concurrent --seed 1993
+  conformance coverage-guided cross-model conformance fuzzing
+              flags: --budget-cases 200 --seed 1 [--budget-secs 60]
+                     [--out results/conformance] [--replay repro.jsonl]
   help        print this text
 ";
 
@@ -89,6 +92,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "recommend" => recommend(&flags),
         "protocols" => protocols(&flags),
         "nearnet" => nearnet(&flags),
+        "conformance" => conformance(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -355,6 +359,74 @@ fn nearnet(flags: &HashMap<String, String>) -> Result<String, String> {
     Ok(out)
 }
 
+/// `conformance`: run the cross-model conformance fuzzer to a case/time
+/// budget, or replay previously minimized reproducer lines.
+///
+/// The run is a pure function of `(--seed, --budget-cases)`: with no
+/// `--budget-secs` the printed report and every file under `--out` are
+/// byte-identical across invocations and machines (the output carries no
+/// wall-clock content). A run with failures returns them as an error so
+/// the process exits nonzero; the report text is the same either way.
+fn conformance(flags: &HashMap<String, String>) -> Result<String, String> {
+    use routesync_conformance::fuzz::{self, FuzzConfig};
+    use routesync_conformance::Reproducer;
+
+    if let Some(path) = flags.get("replay") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+        let mut out = String::new();
+        let mut failures = 0usize;
+        let mut total = 0usize;
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let repro = Reproducer::from_line(line)?;
+            total += 1;
+            match fuzz::replay(&repro) {
+                Ok(()) => {
+                    let _ = writeln!(out, "PASS {} seed={}", repro.spec.oracle.name(), repro.seed);
+                }
+                Err(msg) => {
+                    failures += 1;
+                    let _ = writeln!(
+                        out,
+                        "FAIL {} seed={}: {msg}",
+                        repro.spec.oracle.name(),
+                        repro.seed
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "replayed {total} cases, {failures} failing");
+        if failures > 0 {
+            return Err(out);
+        }
+        return Ok(out);
+    }
+
+    let budget_cases = get_usize(flags, "budget-cases", 200)?;
+    if budget_cases == 0 {
+        return Err("--budget-cases must be positive".into());
+    }
+    let seed = get_u64(flags, "seed", 1)?;
+    let budget_secs = get_f64(flags, "budget-secs", 0.0)?;
+    let budget = (budget_secs > 0.0).then(|| std::time::Duration::from_secs_f64(budget_secs));
+    let out_dir = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "results/conformance".to_string());
+    let report = fuzz::fuzz(&FuzzConfig {
+        seed,
+        budget_cases,
+        budget,
+        out_dir: Some(out_dir.into()),
+    });
+    let text = report.render();
+    if report.failures.is_empty() {
+        Ok(text)
+    } else {
+        Err(text)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -438,6 +510,54 @@ mod tests {
         assert!(out.contains("autocorrelation lag"), "{out}");
         assert!(run(&args("nearnet --mode sideways")).is_err());
         assert!(run(&args("nearnet --probes 0")).is_err());
+    }
+
+    #[test]
+    fn conformance_small_budget_is_green_and_deterministic() {
+        let dir = std::env::temp_dir().join("routesync-cli-conformance-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cmd = format!(
+            "conformance --budget-cases 8 --seed 1 --out {}",
+            dir.display()
+        );
+        let first = run(&args(&cmd)).expect("fuzz run passes");
+        assert!(first.contains("8 cases, 8 passed, 0 failed"), "{first}");
+        let summary_a = std::fs::read_to_string(dir.join("summary.txt")).expect("summary");
+        let second = run(&args(&cmd)).expect("fuzz run passes again");
+        let summary_b = std::fs::read_to_string(dir.join("summary.txt")).expect("summary");
+        assert_eq!(first, second, "conformance output must be byte-identical");
+        assert_eq!(summary_a, summary_b);
+        assert_eq!(first, summary_a);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn conformance_replays_a_reproducer_file() {
+        use routesync_conformance::{CaseSpec, Oracle, Reproducer};
+        let dir = std::env::temp_dir().join("routesync-cli-replay-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("repro.jsonl");
+        let repro = Reproducer {
+            seed: 3,
+            spec: CaseSpec {
+                oracle: Oracle::EngineEquivalence,
+                n: 3,
+                tp_ms: 10_000,
+                tc_ms: 110,
+                tr_ms: 100,
+                sync_start: false,
+                horizon_s: 1_000,
+                faults: vec![],
+            },
+            message: String::new(),
+        };
+        std::fs::write(&path, format!("{}\n", repro.to_line())).expect("write");
+        let out = run(&args(&format!("conformance --replay {}", path.display()))).expect("ok");
+        assert!(out.contains("replayed 1 cases, 0 failing"), "{out}");
+        assert!(run(&args("conformance --replay /nonexistent.jsonl")).is_err());
+        assert!(run(&args("conformance --budget-cases 0")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //! * `parallel_speedup` — serial vs all-cores wall-time ratio for a seed
 //!   ensemble through `routesync_exec`, after asserting the outputs are
 //!   bit-identical.
+//! * `supervision.overhead_pct` — relative cost of routing the same
+//!   ensemble through the supervised executor
+//!   (`routesync_exec::run_many_supervised`), after asserting the outputs
+//!   are identical. Target: under 2%.
 //!
 //! All numbers are throughputs of this machine, not simulation results;
 //! the simulation results themselves are asserted equal where parallelism
@@ -41,6 +45,22 @@ struct Report {
     ensemble: Ensemble,
     parallel_speedup: f64,
     obs: ObsSection,
+    supervision: SupervisionSection,
+}
+
+/// Supervised-executor benchmark: the parallel ensemble leg run through
+/// the plain runner and through `run_many_supervised` (panic boundary +
+/// quarantine bookkeeping, no guards), interleaved best-of reps, with
+/// the simulation outputs asserted identical. The supervision layer's
+/// target is <2% overhead on this hot path.
+#[derive(Serialize)]
+struct SupervisionSection {
+    unsupervised_wall_secs: f64,
+    supervised_wall_secs: f64,
+    /// Relative cost of the supervision boundary, in percent. Can go
+    /// slightly negative from wall-clock noise.
+    overhead_pct: f64,
+    outputs_identical: bool,
 }
 
 #[derive(Serialize)]
@@ -229,6 +249,81 @@ fn main() {
     );
     let overhead_pct = (enabled_wall - disabled_wall) / disabled_wall * 100.0;
 
+    // --- supervision overhead --------------------------------------------
+    // The same ensemble leg through the plain runner and through the
+    // supervised executor (panic boundary + quarantine bookkeeping, no
+    // guards configured). Reps interleave plain/supervised best-of for
+    // the same drift-cancellation reason as the obs legs, and the
+    // simulation outputs are asserted identical. Target: <2% overhead.
+    let sup_cfg = routesync_exec::SuperviseConfig {
+        heed_interrupt: false,
+        ..routesync_exec::SuperviseConfig::new()
+    };
+    // Long enough that per-cell supervision bookkeeping (a catch_unwind
+    // frame and a few branches) is measured against real work, not
+    // against scheduler noise — a too-short leg turns the percentage
+    // into a coin flip.
+    let sup_horizon = SimTime::from_secs(if fast { 400_000 } else { 1_000_000 });
+    let run_plain = || {
+        let t0 = Instant::now();
+        let out = routesync_exec::run_many(
+            &seeds,
+            Some(threads),
+            || FastModel::new(paper_params(n), StartState::Unsynchronized, 0),
+            |m, seed| {
+                m.reset(&StartState::Unsynchronized, seed);
+                let mut rec = CountSends::default();
+                let end = m.run(sup_horizon, &mut rec);
+                (rec.0, end.as_nanos())
+            },
+        );
+        (out, t0.elapsed().as_secs_f64())
+    };
+    let run_supervised = || {
+        let t0 = Instant::now();
+        let out = routesync_exec::run_many_supervised(
+            &seeds,
+            Some(threads),
+            &sup_cfg,
+            || FastModel::new(paper_params(n), StartState::Unsynchronized, 0),
+            |m, _ctx, seed| {
+                m.reset(&StartState::Unsynchronized, seed);
+                let mut rec = CountSends::default();
+                let end = m.run(sup_horizon, &mut rec);
+                (rec.0, end.as_nanos())
+            },
+        );
+        let results: Vec<(u64, u64)> = out
+            .results
+            .iter()
+            .map(|r| *r.done().expect("bench ensemble never quarantines"))
+            .collect();
+        (results, t0.elapsed().as_secs_f64())
+    };
+    let mut plain_wall = f64::INFINITY;
+    let mut supervised_wall = f64::INFINITY;
+    let mut plain_out = Vec::new();
+    let mut supervised_out = Vec::new();
+    run_plain(); // warm-up
+    for _ in 0..7 {
+        let (out, wall) = run_plain();
+        plain_out = out;
+        plain_wall = plain_wall.min(wall);
+        let (out, wall) = run_supervised();
+        supervised_out = out;
+        supervised_wall = supervised_wall.min(wall);
+    }
+    assert_eq!(
+        plain_out, supervised_out,
+        "supervised ensemble diverged from the plain runner"
+    );
+    let supervision = SupervisionSection {
+        unsupervised_wall_secs: plain_wall,
+        supervised_wall_secs: supervised_wall,
+        overhead_pct: (supervised_wall - plain_wall) / plain_wall * 100.0,
+        outputs_identical: true,
+    };
+
     // Short instrumented passes through the remaining subsystems so the
     // registry snapshot covers desim, netsim, and exec too.
     let mut rec = CountSends::default();
@@ -277,9 +372,11 @@ fn main() {
             events_per_sec,
             span_breakdown: snapshot.spans.clone(),
         },
+        supervision,
     };
     let body = serde_json::to_string_pretty(&report).expect("serialize bench report");
-    std::fs::write(&out, &body).expect("write bench json");
+    routesync_exec::atomic_write(std::path::Path::new(&out), body.as_bytes())
+        .expect("write bench json");
     println!("{body}");
     eprintln!("wrote {out}");
     if let Some(path) = obs_path {

@@ -8,17 +8,46 @@
 //!
 //! CSVs land in `results/`; each experiment prints an ASCII rendering and
 //! a PASS/FAIL shape check against the paper's qualitative claims.
+//!
+//! Each experiment runs under the supervised boundary
+//! (`routesync_exec::supervise`): a panicking figure is quarantined with
+//! a reproducer while the remaining figures still run, `--deadline-secs`
+//! bounds the whole batch (figures not started before the deadline are
+//! quarantined, not silently skipped), and `--resume=CKPT` streams each
+//! finished figure's report to a crash-safe checkpoint so an interrupted
+//! `all` run picks up where it left off. See `docs/RESILIENCE.md`.
 
 use routesync_bench::{run, Config, ALL};
+use routesync_exec::supervise::{RunFailure, SuperviseConfig};
+use routesync_exec::{checkpoint, interrupt};
+
+const USAGE: &str = "\
+usage: experiments [--fast] [--seed=N] [--out=DIR] [--threads=N]
+                   [--obs=PATH.json] [--resume=CKPT] [--deadline-secs=S]
+                   [--watchdog-steps=K] [--quarantine-out=PATH.jsonl]
+                   <id...|all>
+
+exit codes: 0 ok, 1 shape-check failures or quarantined experiments,
+            2 usage, 130 interrupted (checkpoint durable)
+";
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = Config::default();
     let mut obs_path: Option<String> = None;
+    let mut resume_path: Option<String> = None;
+    let mut quarantine_out: Option<String> = None;
+    let mut sup = SuperviseConfig::new();
+    let mut batch_deadline: Option<f64> = None;
+    let mut usage_error = false;
     args.retain(|a| match a.as_str() {
         "--fast" => {
             cfg.fast = true;
             false
+        }
+        "--help" | "-h" => {
+            print!("{USAGE}");
+            std::process::exit(0);
         }
         _ if a.starts_with("--obs=") => {
             obs_path = Some(a["--obs=".len()..].to_string());
@@ -39,13 +68,37 @@ fn main() {
             std::env::set_var("ROUTESYNC_THREADS", &a["--threads=".len()..]);
             false
         }
+        _ if a.starts_with("--resume=") => {
+            resume_path = Some(a["--resume=".len()..].to_string());
+            false
+        }
+        _ if a.starts_with("--deadline-secs=") => {
+            match a["--deadline-secs=".len()..].parse::<f64>() {
+                Ok(secs) => batch_deadline = Some(secs),
+                Err(_) => usage_error = true,
+            }
+            false
+        }
+        _ if a.starts_with("--watchdog-steps=") => {
+            match a["--watchdog-steps=".len()..].parse::<u64>() {
+                Ok(steps) => sup.watchdog_steps = Some(steps),
+                Err(_) => usage_error = true,
+            }
+            false
+        }
+        _ if a.starts_with("--quarantine-out=") => {
+            quarantine_out = Some(a["--quarantine-out=".len()..].to_string());
+            false
+        }
+        _ if a.starts_with("--") => {
+            eprintln!("experiments: unknown flag `{a}`");
+            usage_error = true;
+            false
+        }
         _ => true,
     });
-    if args.is_empty() {
-        eprintln!(
-            "usage: experiments [--fast] [--seed=N] [--out=DIR] [--threads=N] \
-             [--obs=PATH.json] <id...|all>"
-        );
+    if usage_error || args.is_empty() {
+        eprint!("{USAGE}");
         eprintln!("ids: {}", ALL.join(" "));
         std::process::exit(2);
     }
@@ -57,15 +110,134 @@ fn main() {
     } else {
         args.iter().map(|s| s.as_str()).collect()
     };
-    let mut failures = 0;
-    for id in ids {
-        let started = std::time::Instant::now();
-        let outcome = run(id, &cfg);
-        println!("{}", outcome.report());
-        println!("({} took {:.1?})\n", id, started.elapsed());
-        if !outcome.passed() {
-            failures += 1;
+    for id in &ids {
+        if !ALL.contains(id) {
+            eprintln!("experiments: unknown experiment id `{id}`");
+            eprintln!("ids: {}", ALL.join(" "));
+            std::process::exit(2);
         }
+    }
+
+    // Optional checkpoint: one record per finished experiment, keyed by
+    // id, value `<passed 0|1>\n<rendered report>`.
+    let meta = format!("experiments-v1 seed={} fast={}", cfg.seed, cfg.fast);
+    let mut completed: std::collections::BTreeMap<String, String> = Default::default();
+    let mut writer = match &resume_path {
+        Some(path) => {
+            interrupt::install();
+            match checkpoint::resume(std::path::Path::new(path), &meta) {
+                Ok((w, records)) => {
+                    completed = records;
+                    Some(w)
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::InvalidInput => {
+                    eprintln!("experiments: {e}");
+                    std::process::exit(2);
+                }
+                Err(e) => {
+                    eprintln!("experiments: cannot resume checkpoint: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => None,
+    };
+    if !completed.is_empty() {
+        routesync_obs::global()
+            .counter("exec.supervisor.resumed_cells")
+            .add(completed.len() as u64);
+    }
+
+    let batch_start = std::time::Instant::now();
+    let mut failures = 0;
+    let mut quarantines: Vec<String> = Vec::new();
+    let mut interrupted = false;
+    for id in ids {
+        let reproducer = format!(
+            "{{\"cmd\":\"experiments\",\"id\":\"{id}\",\"seed\":{},\"fast\":{}}}",
+            cfg.seed, cfg.fast
+        );
+        if let Some(record) = completed.get(id) {
+            let (passed, report) = record.split_once('\n').unwrap_or(("0", record));
+            println!("{report}");
+            println!("({id} resumed from checkpoint)\n");
+            if passed != "1" {
+                failures += 1;
+            }
+            continue;
+        }
+        if interrupt::interrupted() {
+            interrupted = true;
+            break;
+        }
+        // The batch deadline quarantines experiments it cannot start —
+        // explicit censoring instead of an open-ended run.
+        let deadline_blown = batch_deadline
+            .map(|limit| batch_start.elapsed().as_secs_f64() > limit)
+            .unwrap_or(false);
+        let outcome = if deadline_blown {
+            Err(routesync_exec::supervise::Quarantine {
+                index: 0,
+                failure: RunFailure::Deadline {
+                    limit_secs: batch_deadline.unwrap_or(0.0),
+                },
+                reproducer: reproducer.clone(),
+            })
+        } else {
+            let started = std::time::Instant::now();
+            routesync_exec::supervise_unit(&sup, &reproducer, |_ctx| {
+                let outcome = run(id, &cfg);
+                (outcome.report(), outcome.passed(), started.elapsed())
+            })
+        };
+        match outcome {
+            Ok((report, passed, took)) => {
+                println!("{report}");
+                println!("({id} took {took:.1?})\n");
+                if !passed {
+                    failures += 1;
+                }
+                if let Some(w) = &mut writer {
+                    let value = format!("{}\n{report}", if passed { "1" } else { "0" });
+                    if let Err(e) = w.append(id, &value) {
+                        eprintln!("experiments: checkpoint append failed: {e}");
+                    }
+                }
+            }
+            Err(q) => {
+                eprintln!(
+                    "experiments: {id} quarantined ({}): {}",
+                    q.failure.kind(),
+                    q.failure.detail()
+                );
+                quarantines.push(q.to_line());
+                failures += 1;
+                // Quarantines are deliberately NOT checkpointed: a crash
+                // or deadline may be environmental, so a resumed run
+                // retries the experiment instead of replaying the upset.
+            }
+        }
+    }
+
+    if let Some(w) = &mut writer {
+        if let Err(e) = w.sync() {
+            eprintln!("experiments: checkpoint sync failed: {e}");
+        }
+    }
+    if !quarantines.is_empty() {
+        if let Some(path) = &quarantine_out {
+            let body = quarantines.join("\n") + "\n";
+            if let Err(e) = checkpoint::atomic_write(std::path::Path::new(path), body.as_bytes()) {
+                eprintln!("experiments: failed to write --quarantine-out {path}: {e}");
+            }
+        }
+    }
+    if interrupted {
+        eprintln!(
+            "experiments: interrupted — finished experiments are checkpointed; \
+             rerun with the same --resume flag to continue"
+        );
+        std::process::exit(130);
     }
     if let Some(path) = obs_path {
         if let Err(err) = routesync_obs::global().write_json(std::path::Path::new(&path)) {
@@ -74,7 +246,7 @@ fn main() {
         }
     }
     if failures > 0 {
-        eprintln!("{failures} experiment(s) failed their shape checks");
+        eprintln!("{failures} experiment(s) failed their shape checks or were quarantined");
         std::process::exit(1);
     }
 }

@@ -22,13 +22,24 @@
 //! the paper's reference configuration unless overridden by --n/--tp/
 //! --tc/--tr. Output is CSV on stdout.
 //!
-//! All simulated work — every `(grid point, seed)` pair — fans out over
-//! the deterministic parallel runner, so `--threads N` (default: all
-//! cores; also honours `ROUTESYNC_THREADS`) changes wall time but never a
-//! single CSV byte.
+//! Every `(grid point, seed)` cell runs under the **supervised**
+//! executor (`routesync_exec::supervise`): a panicking, watchdog-tripped
+//! or deadline-blown cell is quarantined with its reproducer while the
+//! rest of the sweep completes, and its seeds are *explicitly censored*
+//! from the per-point means (censoring is reported on stderr and, with
+//! `--quarantine-out`, as a JSONL file). With `--resume PATH` completed
+//! cells stream to a crash-safe CRC-framed checkpoint: Ctrl-C drains
+//! gracefully (exit 130), SIGKILL at worst loses the in-flight cells,
+//! and re-running with the same `--resume` flag skips finished work and
+//! produces **byte-identical CSV** to an uninterrupted run at any
+//! `--threads` count. See `docs/RESILIENCE.md`.
 
-use routesync_core::{PeriodicParams, StartState};
+use std::sync::Mutex;
+
+use routesync_core::{PeriodicParams, Recorder, StartState};
 use routesync_desim::{Duration, SimTime};
+use routesync_exec::supervise::{CellResult, Quarantine, RunCtx, SuperviseConfig};
+use routesync_exec::{checkpoint, interrupt};
 use routesync_markov::{ChainParams, PeriodicChain};
 
 const USAGE: &str = "\
@@ -36,6 +47,8 @@ usage: sweep [--param tr|tc|tp|n] [--from X] [--to X] [--steps K]
              [--metric fraction|f|g|sync-time|resync-time] [--seeds S]
              [--horizon SECS] [--f2 SECS] [--n N] [--tp SECS] [--tc SECS]
              [--tr SECS] [--threads T] [--obs PATH.json]
+             [--resume CKPT] [--deadline-secs S] [--watchdog-steps K]
+             [--quarantine-out PATH.jsonl]
 
   --param    parameter swept across the grid (default: tr)
   --metric   fraction | f | g | sync-time | resync-time (default: fraction)
@@ -43,12 +56,37 @@ usage: sweep [--param tr|tc|tp|n] [--from X] [--to X] [--steps K]
              honours the ROUTESYNC_THREADS env var when unset)
   --obs      enable instrumentation and write a metrics snapshot
              (counters, gauges, histograms, spans, trace) to PATH.json
+  --resume   stream completed (point, seed) cells to a crash-safe
+             checkpoint; if CKPT already exists, skip its completed cells
+             (byte-identical output to an uninterrupted run). Ctrl-C
+             drains in-flight cells to CKPT and exits 130.
+  --deadline-secs   wall-clock limit per cell (quarantined on excess)
+  --watchdog-steps  deterministic simulated-step budget per cell
+  --quarantine-out  write quarantined cells as one-line JSON reproducers
+
+exit codes: 0 ok, 1 quarantined cells present, 2 usage, 130 interrupted
 ";
 
 /// Every flag the sweep binary accepts; anything else is an error.
 const KNOWN_FLAGS: &[&str] = &[
-    "param", "from", "to", "steps", "metric", "f2", "horizon", "seeds", "threads", "obs", "n",
-    "tp", "tc", "tr",
+    "param",
+    "from",
+    "to",
+    "steps",
+    "metric",
+    "f2",
+    "horizon",
+    "seeds",
+    "threads",
+    "obs",
+    "n",
+    "tp",
+    "tc",
+    "tr",
+    "resume",
+    "deadline-secs",
+    "watchdog-steps",
+    "quarantine-out",
 ];
 
 fn usage_error(msg: &str) -> ! {
@@ -82,6 +120,54 @@ fn flag(args: &[String], key: &str) -> Option<String> {
     args.iter()
         .position(|a| a == &format!("--{key}"))
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// One unit of supervised sweep work: a `(grid point, seed)` cell.
+struct Cell {
+    /// Checkpoint key, stable across runs and thread counts.
+    key: String,
+    /// Grid-point index.
+    point: usize,
+    /// Swept x value at this point.
+    x: f64,
+    /// Full parameter set at this point.
+    params: ChainParams,
+    /// Ensemble seed (0 for the closed-form metrics).
+    seed: u64,
+}
+
+/// A completed cell's value, as stored in the checkpoint.
+#[derive(Clone, PartialEq)]
+enum CellValue {
+    /// The metric value (bit-exact f64).
+    Value(f64),
+    /// The run completed but never reached the target (horizon censoring).
+    Censored,
+    /// The cell was quarantined; the stored line is the quarantine JSON.
+    Quarantined(String),
+}
+
+impl CellValue {
+    fn encode(&self) -> String {
+        match self {
+            CellValue::Value(v) => format!("v:{:016x}", v.to_bits()),
+            CellValue::Censored => "n".to_string(),
+            CellValue::Quarantined(line) => format!("q:{line}"),
+        }
+    }
+
+    fn decode(s: &str) -> Option<CellValue> {
+        if s == "n" {
+            return Some(CellValue::Censored);
+        }
+        if let Some(hex) = s.strip_prefix("v:") {
+            return u64::from_str_radix(hex, 16)
+                .ok()
+                .map(|bits| CellValue::Value(f64::from_bits(bits)));
+        }
+        s.strip_prefix("q:")
+            .map(|line| CellValue::Quarantined(line.to_string()))
+    }
 }
 
 fn main() {
@@ -126,9 +212,37 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .unwrap_or(0.1),
     };
+    if !matches!(
+        metric.as_str(),
+        "fraction" | "f" | "g" | "sync-time" | "resync-time"
+    ) {
+        usage_error(&format!(
+            "unknown --metric `{metric}` (fraction|f|g|sync-time|resync-time)"
+        ));
+    }
+    let mut cfg = SuperviseConfig::new();
+    if let Some(v) = flag(&args, "deadline-secs") {
+        let secs: f64 = v
+            .parse()
+            .unwrap_or_else(|_| usage_error("--deadline-secs must be a number"));
+        cfg.deadline = Some(std::time::Duration::from_secs_f64(secs));
+    }
+    if let Some(v) = flag(&args, "watchdog-steps") {
+        cfg.watchdog_steps = Some(
+            v.parse()
+                .unwrap_or_else(|_| usage_error("--watchdog-steps must be an integer")),
+        );
+    }
+    let quarantine_out = flag(&args, "quarantine-out");
+    let resume_path = flag(&args, "resume");
 
-    // Materialize the grid first so every simulated (point, seed) pair can
-    // fan out over one parallel runner call.
+    // Materialize grid × seeds into supervised cells. The closed-form
+    // metrics need one evaluation per point; the simulated metrics one
+    // per (point, seed).
+    let seeds_per_point: u64 = match metric.as_str() {
+        "sync-time" | "resync-time" => n_seeds.max(1),
+        _ => 1,
+    };
     let grid: Vec<(f64, ChainParams)> = (0..steps)
         .map(|k| {
             let x = from + (to - from) * k as f64 / (steps - 1) as f64;
@@ -143,90 +257,273 @@ fn main() {
             (x, p)
         })
         .collect();
+    let cells: Vec<Cell> = grid
+        .iter()
+        .enumerate()
+        .flat_map(|(point, &(x, params))| {
+            (0..seeds_per_point).map(move |seed| Cell {
+                key: format!("p{point}:s{seed}"),
+                point,
+                x,
+                params,
+                seed,
+            })
+        })
+        .collect();
 
-    let ys: Vec<f64> = match metric.as_str() {
-        "fraction" => routesync_exec::par_map_indexed(&grid, threads, |_, &(_, p)| {
-            PeriodicChain::new(p).fraction_unsynchronized(f2)
-        }),
-        "f" => routesync_exec::par_map_indexed(&grid, threads, |_, &(_, p)| {
-            PeriodicChain::new(p).f_n(f2) * p.seconds_per_round()
-        }),
-        "g" => routesync_exec::par_map_indexed(&grid, threads, |_, &(_, p)| {
-            PeriodicChain::new(p).g_1() * p.seconds_per_round()
-        }),
-        "sync-time" => {
-            // Flatten grid × seeds into one job list: with a handful of
-            // seeds per point, parallelizing only within a point would
-            // leave most cores idle.
-            let jobs: Vec<(usize, ChainParams, u64)> = grid
-                .iter()
-                .enumerate()
-                .flat_map(|(i, &(_, p))| (0..n_seeds).map(move |seed| (i, p, seed)))
-                .collect();
-            let times = routesync_exec::par_map_indexed(&jobs, threads, |_, &(_, p, seed)| {
-                let params = PeriodicParams::new(
-                    p.n,
-                    Duration::from_secs_f64(p.tp),
-                    Duration::from_secs_f64(p.tc),
-                    Duration::from_secs_f64(p.tr),
-                );
-                let mut m =
-                    routesync_core::FastModel::new(params, StartState::Unsynchronized, seed);
-                let mut fp = routesync_core::FirstPassageUp::new(p.n);
-                m.run(SimTime::from_secs_f64(horizon), &mut fp);
-                fp.first(p.n).map(|(t, _)| t.as_secs_f64())
-            });
-            mean_per_point(&grid, &jobs, &times)
+    // The checkpoint meta fingerprints everything that determines cell
+    // values; resuming under a different configuration is refused.
+    let meta = format!(
+        "sweep-v1 param={param} from={from} to={to} steps={steps} metric={metric} \
+         f2={f2} horizon={horizon} seeds={seeds_per_point} \
+         n={} tp={} tc={} tr={}",
+        base.n, base.tp, base.tc, base.tr
+    );
+    let mut completed: std::collections::BTreeMap<String, String> = Default::default();
+    let writer = match &resume_path {
+        Some(path) => {
+            interrupt::install();
+            let path = std::path::Path::new(path);
+            match checkpoint::resume(path, &meta) {
+                Ok((writer, records)) => {
+                    completed = records;
+                    Some(Mutex::new(writer))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::InvalidInput => {
+                    usage_error(&format!("{e}"))
+                }
+                Err(e) => {
+                    eprintln!("sweep: cannot resume checkpoint: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
-        "resync-time" => {
-            let jobs: Vec<(usize, ChainParams, u64)> = grid
-                .iter()
-                .enumerate()
-                .flat_map(|(i, &(_, p))| (0..n_seeds).map(move |seed| (i, p, seed)))
-                .collect();
-            let times = routesync_exec::par_map_indexed(&jobs, threads, |_, &(_, p, seed)| {
-                resync_time(p, seed, horizon)
-            });
-            mean_per_point(&grid, &jobs, &times)
-        }
-        other => usage_error(&format!(
-            "unknown --metric `{other}` (fraction|f|g|sync-time|resync-time)"
-        )),
+        None => None,
     };
+    if !completed.is_empty() {
+        routesync_obs::global()
+            .counter("exec.supervisor.resumed_cells")
+            .add(completed.len() as u64);
+        eprintln!(
+            "sweep: resumed {} completed cell(s) from checkpoint",
+            completed.len()
+        );
+    }
 
+    // Run only the cells the checkpoint does not already cover.
+    let pending: Vec<&Cell> = cells
+        .iter()
+        .filter(|c| !completed.contains_key(&c.key))
+        .collect();
+    let metric_ref = metric.as_str();
+    let describe = |_i: usize, cell: &&Cell| reproducer_line(metric_ref, &param, cell, horizon);
+    let outcome = routesync_exec::supervise_map_with_sink(
+        &pending,
+        threads,
+        &cfg,
+        || (),
+        |(), ctx, _i, cell: &&Cell| run_cell(metric_ref, cell, f2, horizon, ctx),
+        describe,
+        |i, finished: Result<&CellValue, &Quarantine>| {
+            if let Some(writer) = &writer {
+                let value = match finished {
+                    Ok(v) => v.encode(),
+                    Err(q) => CellValue::Quarantined(q.to_line()).encode(),
+                };
+                let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+                if let Err(e) = w.append(&pending[i].key, &value) {
+                    eprintln!("sweep: checkpoint append failed: {e}");
+                }
+            }
+        },
+    );
+
+    if outcome.interrupted {
+        if let Some(writer) = &writer {
+            let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+            if let Err(e) = w.sync() {
+                eprintln!("sweep: checkpoint sync failed: {e}");
+            }
+        }
+        let done = completed.len() + outcome.completed() + outcome.quarantined.len();
+        eprintln!(
+            "sweep: interrupted — {done}/{} cells checkpointed; \
+             rerun with the same --resume flag to continue",
+            cells.len()
+        );
+        std::process::exit(130);
+    }
+
+    // Merge checkpointed and freshly computed cells into one value per
+    // cell, then reduce deterministically (input order, bit-exact f64s):
+    // the CSV is a pure function of the full cell map, so resumed and
+    // uninterrupted runs print identical bytes.
+    let mut quarantines: Vec<String> = Vec::new();
+    let mut values: Vec<CellValue> = Vec::with_capacity(cells.len());
+    let mut fresh = std::collections::BTreeMap::new();
+    for (slot, cell) in outcome.results.iter().zip(pending.iter()) {
+        match slot {
+            CellResult::Done(v) => {
+                fresh.insert(cell.key.clone(), (*v).clone());
+            }
+            CellResult::Quarantined => {}
+            CellResult::NotRun => unreachable!("not interrupted"),
+        }
+    }
+    for q in &outcome.quarantined {
+        fresh.insert(
+            pending[q.index].key.clone(),
+            CellValue::Quarantined(q.to_line()),
+        );
+    }
+    for cell in &cells {
+        let value = if let Some(stored) = completed.get(&cell.key) {
+            CellValue::decode(stored).unwrap_or_else(|| {
+                eprintln!("sweep: malformed checkpoint value for {}", cell.key);
+                std::process::exit(1);
+            })
+        } else {
+            fresh.get(&cell.key).cloned().expect("cell ran")
+        };
+        if let CellValue::Quarantined(line) = &value {
+            quarantines.push(line.clone());
+        }
+        values.push(value);
+    }
+
+    let ys = reduce_points(&grid, &cells, &values);
     println!("{param},{metric}");
     for (&(x, _), y) in grid.iter().zip(ys) {
         println!("{x},{y}");
     }
 
+    if !quarantines.is_empty() {
+        eprintln!(
+            "sweep: {} cell(s) quarantined and censored from the means:",
+            quarantines.len()
+        );
+        for line in &quarantines {
+            eprintln!("  {line}");
+        }
+    }
+    if let Some(path) = &quarantine_out {
+        let mut body = String::new();
+        for line in &quarantines {
+            body.push_str(line);
+            body.push('\n');
+        }
+        if let Err(e) = checkpoint::atomic_write(std::path::Path::new(path), body.as_bytes()) {
+            eprintln!("sweep: failed to write --quarantine-out {path}: {e}");
+            std::process::exit(1);
+        }
+    }
     if let Some(path) = obs_path {
         if let Err(err) = routesync_obs::global().write_json(std::path::Path::new(&path)) {
             eprintln!("sweep: failed to write --obs snapshot to {path}: {err}");
             std::process::exit(1);
         }
     }
+    if !quarantines.is_empty() {
+        std::process::exit(1);
+    }
 }
 
-/// Average the per-(point, seed) results back onto the grid, skipping
-/// seeds that never reached the target within the horizon.
-fn mean_per_point(
-    grid: &[(f64, ChainParams)],
-    jobs: &[(usize, ChainParams, u64)],
-    times: &[Option<f64>],
-) -> Vec<f64> {
+/// The reproducer line for one quarantined cell: enough to re-run it in
+/// isolation (`sweep --param … --steps 2` with pinned values, or via the
+/// matching unit test).
+fn reproducer_line(metric: &str, param: &str, cell: &Cell, horizon: f64) -> String {
+    format!(
+        "{{\"cmd\":\"sweep\",\"metric\":\"{metric}\",\"param\":\"{param}\",\"x\":{},\
+         \"n\":{},\"tp\":{},\"tc\":{},\"tr\":{},\"seed\":{},\"horizon\":{horizon}}}",
+        cell.x, cell.params.n, cell.params.tp, cell.params.tc, cell.params.tr, cell.seed
+    )
+}
+
+/// Forward `on_send` progress to the supervisor's deterministic step
+/// watchdog while delegating everything to the wrapped recorder.
+struct Ticked<'a, R: Recorder> {
+    inner: R,
+    ctx: &'a mut RunCtx,
+}
+
+impl<R: Recorder> Recorder for Ticked<'_, R> {
+    fn on_send(&mut self, t: SimTime, node: routesync_core::NodeId) {
+        self.ctx.tick();
+        self.inner.on_send(t, node);
+    }
+    fn on_cluster(&mut self, t: SimTime, round: u64, nodes: &[routesync_core::NodeId]) {
+        self.inner.on_cluster(t, round, nodes);
+    }
+    fn should_stop(&self) -> bool {
+        self.inner.should_stop()
+    }
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+/// Evaluate one supervised cell.
+fn run_cell(metric: &str, cell: &Cell, f2: f64, horizon: f64, ctx: &mut RunCtx) -> CellValue {
+    let p = cell.params;
+    match metric {
+        "fraction" => {
+            ctx.tick();
+            CellValue::Value(PeriodicChain::new(p).fraction_unsynchronized(f2))
+        }
+        "f" => {
+            ctx.tick();
+            CellValue::Value(PeriodicChain::new(p).f_n(f2) * p.seconds_per_round())
+        }
+        "g" => {
+            ctx.tick();
+            CellValue::Value(PeriodicChain::new(p).g_1() * p.seconds_per_round())
+        }
+        "sync-time" => {
+            let params = PeriodicParams::new(
+                p.n,
+                Duration::from_secs_f64(p.tp),
+                Duration::from_secs_f64(p.tc),
+                Duration::from_secs_f64(p.tr),
+            );
+            let mut m =
+                routesync_core::FastModel::new(params, StartState::Unsynchronized, cell.seed);
+            let mut rec = Ticked {
+                inner: routesync_core::FirstPassageUp::new(p.n),
+                ctx,
+            };
+            m.run(SimTime::from_secs_f64(horizon), &mut rec);
+            match rec.inner.first(p.n) {
+                Some((t, _)) => CellValue::Value(t.as_secs_f64()),
+                None => CellValue::Censored,
+            }
+        }
+        "resync-time" => match resync_time(p, cell.seed, horizon, ctx) {
+            Some(t) => CellValue::Value(t),
+            None => CellValue::Censored,
+        },
+        other => unreachable!("metric validated in main: {other}"),
+    }
+}
+
+/// Reduce per-cell values to one y per grid point: the mean over that
+/// point's non-censored, non-quarantined seeds (`NaN` when none remain).
+fn reduce_points(grid: &[(f64, ChainParams)], cells: &[Cell], values: &[CellValue]) -> Vec<f64> {
     grid.iter()
         .enumerate()
-        .map(|(i, _)| {
-            let point: Vec<f64> = jobs
+        .map(|(point, _)| {
+            let vals: Vec<f64> = cells
                 .iter()
-                .zip(times)
-                .filter(|((j, _, _), _)| *j == i)
-                .filter_map(|(_, t)| *t)
+                .zip(values)
+                .filter(|(c, _)| c.point == point)
+                .filter_map(|(_, v)| match v {
+                    CellValue::Value(y) => Some(*y),
+                    _ => None,
+                })
                 .collect();
-            if point.is_empty() {
+            if vals.is_empty() {
                 f64::NAN
             } else {
-                point.iter().sum::<f64>() / point.len() as f64
+                vals.iter().sum::<f64>() / vals.len() as f64
             }
         })
         .collect()
@@ -235,8 +532,9 @@ fn mean_per_point(
 /// Crash a third of a synchronized `p.n`-router LAN, reboot the casualties
 /// a few minutes later, and return the time from the last reboot until a
 /// full-size cluster reappears (`None` if it never does within `horizon`
-/// simulated seconds). Runs in chunks so healed runs stop early.
-fn resync_time(p: ChainParams, seed: u64, horizon: f64) -> Option<f64> {
+/// simulated seconds). Runs in chunks so healed runs stop early; each
+/// chunk ticks the supervisor watchdog.
+fn resync_time(p: ChainParams, seed: u64, horizon: f64, ctx: &mut RunCtx) -> Option<f64> {
     use routesync_netsim::scenario::largest_cluster_series;
     use routesync_netsim::{FaultPlan, ScenarioSpec};
     let n = p.n.max(3);
@@ -256,6 +554,7 @@ fn resync_time(p: ChainParams, seed: u64, horizon: f64) -> Option<f64> {
     let mut t = 0u64;
     let horizon = horizon as u64;
     while t < horizon {
+        ctx.tick();
         t = (t + 50 * period).min(horizon);
         scen.sim.run_until(SimTime::from_secs(t));
         let series = largest_cluster_series(

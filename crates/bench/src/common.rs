@@ -92,6 +92,10 @@ impl Outcome {
 }
 
 /// Write a CSV file with a header row and formatted rows.
+///
+/// The write is atomic (tmp sibling + rename): a crash or kill mid-run
+/// never leaves a truncated CSV in `results/`, only the previous file or
+/// the complete new one.
 pub fn write_csv(
     cfg: &Config,
     name: &str,
@@ -108,7 +112,7 @@ pub fn write_csv(
         body.push_str(&row);
         body.push('\n');
     }
-    std::fs::write(&path, body).expect("write csv");
+    routesync_exec::atomic_write(&path, body.as_bytes()).expect("write csv");
     path
 }
 

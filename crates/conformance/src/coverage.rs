@@ -55,6 +55,18 @@ pub fn features_of(snap: &Snapshot) -> BTreeSet<String> {
     feats
 }
 
+/// A case's deterministic step count: the sum of its simulation-domain
+/// counters. A pure function of `(spec, seed)` — the fuzzer's watchdog
+/// budget compares against this, so a watchdog quarantine reproduces on
+/// every machine, thread count, and resume.
+pub fn deterministic_steps(snap: &Snapshot) -> u64 {
+    snap.counters
+        .iter()
+        .filter(|(name, _)| deterministic(name))
+        .map(|(_, &v)| v)
+        .sum()
+}
+
 /// The accumulated coverage of a fuzz run.
 #[derive(Debug, Default)]
 pub struct CoverageMap {

@@ -40,6 +40,18 @@ pub struct FuzzConfig {
     /// Where to write `reproducers.jsonl` and `summary.txt`; `None`
     /// writes nothing.
     pub out_dir: Option<PathBuf>,
+    /// Deterministic per-case step budget, counted over the case's
+    /// simulation-domain obs counters (the same namespaces the coverage
+    /// signal uses). A case exceeding it is quarantined as a watchdog
+    /// trip — a pure function of `(spec, seed)`, so the censoring is
+    /// identical on every machine and on resume.
+    pub watchdog_steps: Option<u64>,
+    /// Crash-safe checkpoint path enabling `--resume`: each finished
+    /// case's verdict streams to a CRC-framed append-only file, and a
+    /// rerun pointing at the same file replays finished cases instead of
+    /// re-running their oracles — with byte-identical report output. Use
+    /// [`fuzz_checkpointed`] when set.
+    pub checkpoint: Option<PathBuf>,
 }
 
 impl Default for FuzzConfig {
@@ -49,6 +61,8 @@ impl Default for FuzzConfig {
             budget_cases: 200,
             budget: None,
             out_dir: None,
+            watchdog_steps: None,
+            checkpoint: None,
         }
     }
 }
@@ -79,6 +93,17 @@ pub struct FuzzReport {
     pub per_family: BTreeMap<&'static str, FamilyStats>,
     /// Whether the wall-clock budget cut the case sequence short.
     pub truncated: bool,
+    /// Quarantined cases (panicked oracle or watchdog trip) as rendered
+    /// one-line JSON records, in discovery order. Quarantined cases are
+    /// censored: they feed neither coverage nor the corpus, so the rest
+    /// of the run evolves exactly as if they had been skipped.
+    pub quarantined: Vec<String>,
+    /// Cases replayed from the checkpoint instead of run. Not part of
+    /// [`render`](FuzzReport::render): a resumed run's report must be
+    /// byte-identical to an uninterrupted one.
+    pub resumed: usize,
+    /// Whether a SIGINT drain stopped the run before the case budget.
+    pub interrupted: bool,
 }
 
 impl FuzzReport {
@@ -106,14 +131,21 @@ impl FuzzReport {
         if self.truncated {
             out.push_str("truncated: wall-clock budget reached\n");
         }
+        if !self.quarantined.is_empty() {
+            out.push_str(&format!("quarantined: {} cases\n", self.quarantined.len()));
+        }
         for repro in &self.failures {
             out.push_str(&format!("FAIL {}\n", repro.to_line()));
+        }
+        for line in &self.quarantined {
+            out.push_str(&format!("QUARANTINE {line}\n"));
         }
         out
     }
 
     /// Write `reproducers.jsonl` (one line per failure) and `summary.txt`
-    /// under `dir`.
+    /// under `dir`. Both writes are atomic (tmp sibling + rename): an
+    /// interrupted process never leaves a torn reproducer file behind.
     pub fn write_to(&self, dir: &std::path::Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         let mut lines = String::new();
@@ -121,8 +153,8 @@ impl FuzzReport {
             lines.push_str(&repro.to_line());
             lines.push('\n');
         }
-        std::fs::write(dir.join("reproducers.jsonl"), lines)?;
-        std::fs::write(dir.join("summary.txt"), self.render())
+        routesync_exec::atomic_write(&dir.join("reproducers.jsonl"), lines.as_bytes())?;
+        routesync_exec::atomic_write(&dir.join("summary.txt"), self.render().as_bytes())
     }
 }
 
@@ -339,20 +371,164 @@ fn mutate_faults(spec: &mut CaseSpec, rng: &mut SplitMix64) {
     spec.faults.push(op);
 }
 
-/// Run one case under a fresh obs collector; returns the oracle verdict
-/// and the case's deterministic coverage features.
-pub fn run_case(spec: &CaseSpec, seed: u64) -> (Result<(), String>, BTreeSet<String>) {
-    let prev = routesync_obs::global();
+/// Restores the previously installed obs collector on drop, so a
+/// panicking oracle (caught by the supervision boundary) cannot leave the
+/// case-local collector installed process-wide.
+struct RestoreCollector(Option<routesync_obs::Collector>);
+
+impl Drop for RestoreCollector {
+    fn drop(&mut self) {
+        if let Some(prev) = self.0.take() {
+            routesync_obs::install(prev);
+        }
+    }
+}
+
+/// Run one case under a fresh obs collector; returns the oracle verdict,
+/// the case's deterministic coverage features, and its deterministic
+/// step count ([`coverage::deterministic_steps`]).
+pub fn run_case(spec: &CaseSpec, seed: u64) -> (Result<(), String>, BTreeSet<String>, u64) {
+    let _restore = RestoreCollector(Some(routesync_obs::global()));
     routesync_obs::install(routesync_obs::Collector::enabled());
     let result = oracles::check(spec, seed);
     let snap = routesync_obs::global().snapshot();
-    routesync_obs::install(prev);
-    (result, coverage::features_of(&snap))
+    (
+        result,
+        coverage::features_of(&snap),
+        coverage::deterministic_steps(&snap),
+    )
+}
+
+/// What one case produced, as cached in the checkpoint: enough to replay
+/// the run's corpus evolution and report without re-running the oracle.
+enum CaseVerdict {
+    Pass(BTreeSet<String>),
+    Fail(BTreeSet<String>, Reproducer),
+    /// Rendered one-line JSON quarantine record.
+    Quarantined(String),
+}
+
+/// Field separator inside a checkpoint record value (the checkpoint
+/// framing is length-prefixed, so any byte is safe; `\x1e` cannot appear
+/// in feature names or JSON lines).
+const SEP: char = '\x1e';
+
+fn encode_verdict(v: &CaseVerdict) -> String {
+    let join = |feats: &BTreeSet<String>| feats.iter().cloned().collect::<Vec<_>>().join(",");
+    match v {
+        CaseVerdict::Pass(feats) => format!("p{SEP}{}", join(feats)),
+        CaseVerdict::Fail(feats, repro) => format!("f{SEP}{}{SEP}{}", join(feats), repro.to_line()),
+        CaseVerdict::Quarantined(line) => format!("q{SEP}{line}"),
+    }
+}
+
+fn decode_verdict(s: &str) -> std::io::Result<CaseVerdict> {
+    let bad = |why: &str| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("corrupt conformance checkpoint record: {why}"),
+        )
+    };
+    let feats_of = |s: &str| {
+        s.split(',')
+            .filter(|f| !f.is_empty())
+            .map(str::to_string)
+            .collect::<BTreeSet<String>>()
+    };
+    let mut parts = s.split(SEP);
+    let tag = parts.next().ok_or_else(|| bad("empty"))?;
+    match tag {
+        "p" => Ok(CaseVerdict::Pass(feats_of(
+            parts.next().ok_or_else(|| bad("pass without features"))?,
+        ))),
+        "f" => {
+            let feats = feats_of(parts.next().ok_or_else(|| bad("fail without features"))?);
+            let line = parts.next().ok_or_else(|| bad("fail without reproducer"))?;
+            let repro = Reproducer::from_line(line).map_err(|e| bad(&e))?;
+            Ok(CaseVerdict::Fail(feats, repro))
+        }
+        "q" => Ok(CaseVerdict::Quarantined(
+            parts
+                .next()
+                .ok_or_else(|| bad("quarantine without record"))?
+                .to_string(),
+        )),
+        other => Err(bad(&format!("unknown tag {other:?}"))),
+    }
+}
+
+/// Run one case under the supervision boundary. A panicking oracle is
+/// quarantined with a replayable reproducer; a case whose deterministic
+/// step count exceeds `watchdog_steps` is quarantined as a watchdog trip.
+fn run_supervised_case(spec: &CaseSpec, seed: u64, watchdog_steps: Option<u64>) -> CaseVerdict {
+    let repro_line = Reproducer {
+        seed,
+        spec: spec.clone(),
+        message: String::new(),
+    }
+    .to_line();
+    let sup = routesync_exec::SuperviseConfig::new();
+    match routesync_exec::supervise_unit(&sup, &repro_line, |_ctx| run_case(spec, seed)) {
+        Err(q) => CaseVerdict::Quarantined(q.to_line()),
+        Ok((result, feats, steps)) => {
+            if let Some(budget) = watchdog_steps {
+                if steps > budget {
+                    let q = routesync_exec::Quarantine {
+                        index: 0,
+                        failure: routesync_exec::RunFailure::Watchdog { steps },
+                        reproducer: repro_line,
+                    };
+                    routesync_obs::global()
+                        .counter("exec.supervisor.quarantined")
+                        .inc();
+                    routesync_obs::global()
+                        .counter("exec.supervisor.watchdog_trips")
+                        .inc();
+                    return CaseVerdict::Quarantined(q.to_line());
+                }
+            }
+            match result {
+                Ok(()) => CaseVerdict::Pass(feats),
+                Err(message) => {
+                    // Shrink under the same boundary: a shrink candidate
+                    // that panics does not count as "still failing".
+                    let safe_check = |s: &CaseSpec, sd: u64| {
+                        routesync_exec::supervise_unit(&sup, "", |_ctx| oracles::check(s, sd))
+                            .unwrap_or(Ok(()))
+                    };
+                    let (min_spec, min_msg) = shrink::shrink(spec, seed, message, safe_check);
+                    CaseVerdict::Fail(
+                        feats,
+                        Reproducer {
+                            seed,
+                            spec: min_spec,
+                            message: min_msg,
+                        },
+                    )
+                }
+            }
+        }
+    }
 }
 
 /// Run the fuzzer to its budget. See the module docs for the determinism
-/// contract.
+/// contract. For checkpointed runs use [`fuzz_checkpointed`]; this
+/// wrapper panics on checkpoint I/O errors.
 pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    fuzz_checkpointed(cfg).expect("fuzz checkpoint I/O failed")
+}
+
+/// Run the fuzzer to its budget, optionally streaming per-case verdicts
+/// to `cfg.checkpoint` and replaying any verdicts already recorded there.
+///
+/// The replay is exact: spec generation consumes the RNG identically
+/// whether a case is run or replayed, cached features drive the same
+/// corpus evolution, and quarantined cases stay censored — so the final
+/// report (and `summary.txt`) is byte-identical to an uninterrupted run.
+/// Errors are checkpoint I/O only: `InvalidInput` means the checkpoint
+/// belongs to a different run configuration (a usage error),
+/// `InvalidData` means CRC-detected corruption.
+pub fn fuzz_checkpointed(cfg: &FuzzConfig) -> std::io::Result<FuzzReport> {
     let started = std::time::Instant::now();
     let mut rng = SplitMix64::new(cfg.seed);
     let mut corpus = seed_corpus();
@@ -369,6 +545,21 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
         corpus_size: 0,
         per_family: BTreeMap::new(),
         truncated: false,
+        quarantined: Vec::new(),
+        resumed: 0,
+        interrupted: false,
+    };
+    let meta = format!(
+        "conformance-v1 seed={} cases={} watchdog={:?}",
+        cfg.seed, cfg.budget_cases, cfg.watchdog_steps
+    );
+    let mut ckpt = match &cfg.checkpoint {
+        Some(path) => {
+            routesync_exec::interrupt::install();
+            let (writer, records) = routesync_exec::checkpoint::resume(path, &meta)?;
+            Some((writer, records))
+        }
+        None => None,
     };
     for case_idx in 0..cfg.budget_cases {
         if let Some(budget) = cfg.budget {
@@ -386,25 +577,61 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
             sanitize(&mut child);
             child
         };
-        let (result, feats) = run_case(&spec, case_seed);
-        if coverage.merge(&feats) > 0 && corpus.len() < CORPUS_CAP {
-            corpus.push(spec.clone());
-        }
+        let key = case_idx.to_string();
+        let cached = ckpt
+            .as_ref()
+            .and_then(|(_, records)| records.get(&key))
+            .map(|value| decode_verdict(value))
+            .transpose()?;
+        let verdict = match cached {
+            Some(v) => {
+                report.resumed += 1;
+                v
+            }
+            None => {
+                if ckpt.is_some() && routesync_exec::interrupt::interrupted() {
+                    report.interrupted = true;
+                    break;
+                }
+                let v = run_supervised_case(&spec, case_seed, cfg.watchdog_steps);
+                if let Some((writer, _)) = &mut ckpt {
+                    writer.append(&key, &encode_verdict(&v))?;
+                }
+                v
+            }
+        };
         report.cases += 1;
         let stats = report.per_family.entry(spec.oracle.family()).or_default();
         stats.cases += 1;
-        match result {
-            Ok(()) => report.passes += 1,
-            Err(message) => {
+        match verdict {
+            CaseVerdict::Pass(feats) => {
+                if coverage.merge(&feats) > 0 && corpus.len() < CORPUS_CAP {
+                    corpus.push(spec.clone());
+                }
+                report.passes += 1;
+            }
+            CaseVerdict::Fail(feats, repro) => {
+                if coverage.merge(&feats) > 0 && corpus.len() < CORPUS_CAP {
+                    corpus.push(spec.clone());
+                }
                 stats.failures += 1;
-                let (min_spec, min_msg) = shrink::shrink(&spec, case_seed, message, oracles::check);
-                report.failures.push(Reproducer {
-                    seed: case_seed,
-                    spec: min_spec,
-                    message: min_msg,
-                });
+                report.failures.push(repro);
+            }
+            CaseVerdict::Quarantined(line) => {
+                // Censored: no coverage, no corpus membership. The trip
+                // is a pure function of (spec, seed), so the censoring —
+                // and everything downstream of it — replays identically.
+                report.quarantined.push(line);
             }
         }
+    }
+    if let Some((writer, _)) = &mut ckpt {
+        writer.sync()?;
+    }
+    if report.resumed > 0 {
+        routesync_obs::global()
+            .counter("exec.supervisor.resumed_cells")
+            .add(report.resumed as u64);
     }
     report.coverage_features = coverage.len();
     report.corpus_size = corpus.len();
@@ -413,7 +640,7 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
             eprintln!("conformance: could not write {}: {e}", dir.display());
         }
     }
-    report
+    Ok(report)
 }
 
 /// Replay a reproducer line: run its oracle once, verbatim.

@@ -40,8 +40,8 @@ fn fuzzer_catches_and_shrinks_the_injected_merge_bug() {
         fuzz::fuzz(&FuzzConfig {
             seed: 1,
             budget_cases: 40,
-            budget: None,
             out_dir: Some(out_dir.clone()),
+            ..FuzzConfig::default()
         })
     };
 

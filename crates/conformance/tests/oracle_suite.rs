@@ -101,8 +101,7 @@ fn bounded_fuzz_run_is_deterministic_and_green() {
         fuzz::fuzz(&FuzzConfig {
             seed: 1,
             budget_cases: 25,
-            budget: None,
-            out_dir: None,
+            ..FuzzConfig::default()
         })
     };
     let a = run();

@@ -1,0 +1,374 @@
+//! Crash-safe, append-only checkpoint files for long-running ensembles.
+//!
+//! A checkpoint records completed `(cell key → encoded result)` pairs so
+//! an interrupted sweep or fuzz run can resume without redoing finished
+//! work. The format is built for processes that die *at any instruction*:
+//!
+//! * **Framing** — the file is a sequence of length-prefixed frames,
+//!   `len: u32 LE | crc32: u32 LE | payload`, where the CRC covers the
+//!   payload. A frame is either fully present and checksummed or it is
+//!   the torn tail of a crashed write.
+//! * **Creation is atomic** — the header frame is written to a `.tmp`
+//!   sibling, synced, and renamed into place, so a half-created
+//!   checkpoint never exists under the real name.
+//! * **Appends are flushed per record** — a record is durable (modulo OS
+//!   buffering; [`Writer::sync`] forces it) as soon as [`Writer::append`]
+//!   returns. A SIGKILL mid-append leaves a torn tail which
+//!   [`load`] detects by framing and truncates; resuming rewinds the
+//!   file to the last valid frame before appending.
+//! * **Corruption is loud** — a *complete* frame whose CRC does not match
+//!   is an error ([`std::io::ErrorKind::InvalidData`]), never a silent
+//!   skip: bit-rot in the middle of a checkpoint must not masquerade as
+//!   "those cells were never run".
+//!
+//! The first frame is a caller-supplied `meta` string fingerprinting the
+//! run configuration (parameters, seed, metric…). [`resume`] refuses a
+//! checkpoint whose meta does not match, so results from a differently
+//! configured run can never be spliced into this one.
+//!
+//! Record payloads are `key \x1f value` with an opaque UTF-8 value; the
+//! driver that owns the checkpoint defines both. Keys must not contain
+//! the `\x1f` unit separator. Later records win when a key repeats
+//! (appends after a drain may legitimately repeat an in-flight cell).
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Separator between the key and value inside a record payload.
+const SEP: char = '\u{1f}';
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes` — the same polynomial as
+/// zip/gzip, implemented here so the vendored-only workspace needs no
+/// checksum dependency.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // Nibble-wise table: 16 entries is enough to stay fast without a
+    // 1 KiB static table.
+    const TABLE: [u32; 16] = [
+        0x0000_0000,
+        0x1db7_1064,
+        0x3b6e_20c8,
+        0x26d9_30ac,
+        0x76dc_4190,
+        0x6b6b_51f4,
+        0x4db2_6158,
+        0x5005_713c,
+        0xedb8_8320,
+        0xf00f_9344,
+        0xd6d6_a3e8,
+        0xcb61_b38c,
+        0x9b64_c2b0,
+        0x86d3_d2d4,
+        0xa00a_e278,
+        0xbdbd_f21c,
+    ];
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 4) ^ TABLE[((crc ^ b as u32) & 0xf) as usize];
+        crc = (crc >> 4) ^ TABLE[((crc ^ (b as u32 >> 4)) & 0xf) as usize];
+    }
+    !crc
+}
+
+/// Write `bytes` to `path` atomically: write a `.tmp` sibling, sync it,
+/// rename over the destination. A crash at any point leaves either the
+/// old file or the new one, never a torn mix.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let tmp = tmp_sibling(path);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// A checkpoint loaded from disk.
+#[derive(Debug)]
+pub struct Loaded {
+    /// The run-configuration fingerprint from the header frame.
+    pub meta: String,
+    /// Completed cells, later records winning on key repeats.
+    pub records: BTreeMap<String, String>,
+    /// Byte length of the valid frame prefix (excludes any torn tail).
+    pub valid_len: u64,
+    /// Whether a torn (incomplete) trailing frame was discarded.
+    pub torn_tail: bool,
+}
+
+/// Read and validate a checkpoint file.
+///
+/// An incomplete trailing frame — the signature of a crash mid-append —
+/// is tolerated and reported via [`Loaded::torn_tail`]. A *complete*
+/// frame with a CRC mismatch is data corruption and returns
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn load(path: &Path) -> io::Result<Loaded> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let mut meta: Option<String> = None;
+    let mut records = BTreeMap::new();
+    let mut pos = 0usize;
+    let mut torn_tail = false;
+    while pos < bytes.len() {
+        if bytes.len() - pos < 8 {
+            torn_tail = true;
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let want_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if bytes.len() - pos - 8 < len {
+            torn_tail = true;
+            break;
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        if crc32(payload) != want_crc {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "checkpoint {}: CRC mismatch in frame at byte {pos} \
+                     (stored {want_crc:#010x}, computed {:#010x}) — \
+                     the file is corrupt, not merely truncated",
+                    path.display(),
+                    crc32(payload)
+                ),
+            ));
+        }
+        let text = std::str::from_utf8(payload).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "checkpoint {}: frame at byte {pos} is not UTF-8",
+                    path.display()
+                ),
+            )
+        })?;
+        if meta.is_none() {
+            meta = Some(text.to_string());
+        } else {
+            match text.split_once(SEP) {
+                Some((k, v)) => {
+                    records.insert(k.to_string(), v.to_string());
+                }
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "checkpoint {}: record frame at byte {pos} has no key separator",
+                            path.display()
+                        ),
+                    ));
+                }
+            }
+        }
+        pos += 8 + len;
+    }
+    let Some(meta) = meta else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checkpoint {}: missing header frame", path.display()),
+        ));
+    };
+    Ok(Loaded {
+        meta,
+        records,
+        valid_len: pos as u64,
+        torn_tail,
+    })
+}
+
+/// Streaming appender for one checkpoint file.
+#[derive(Debug)]
+pub struct Writer {
+    out: BufWriter<File>,
+}
+
+impl Writer {
+    /// Create a fresh checkpoint at `path` (atomically: tmp + rename)
+    /// containing only the `meta` header frame, opened for appending.
+    pub fn create(path: &Path, meta: &str) -> io::Result<Writer> {
+        atomic_write(path, &frame(meta.as_bytes()))?;
+        let mut file = OpenOptions::new().write(true).open(path)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(Writer {
+            out: BufWriter::new(file),
+        })
+    }
+
+    /// Reopen an existing checkpoint for appending, rewound past any torn
+    /// tail to `valid_len` (as reported by [`load`]).
+    fn reopen(path: &Path, valid_len: u64) -> io::Result<Writer> {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(valid_len)?;
+        let mut file = file;
+        file.seek(SeekFrom::Start(valid_len))?;
+        Ok(Writer {
+            out: BufWriter::new(file),
+        })
+    }
+
+    /// Append one completed-cell record and flush it to the OS. The
+    /// record is framed and checksummed; a crash mid-call leaves a torn
+    /// tail that the next [`load`] discards.
+    pub fn append(&mut self, key: &str, value: &str) -> io::Result<()> {
+        debug_assert!(!key.contains(SEP), "checkpoint keys must not contain \\x1f");
+        let mut payload = String::with_capacity(key.len() + 1 + value.len());
+        payload.push_str(key);
+        payload.push(SEP);
+        payload.push_str(value);
+        self.out.write_all(&frame(payload.as_bytes()))?;
+        self.out.flush()
+    }
+
+    /// Force everything appended so far to durable storage (fsync).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.out.flush()?;
+        self.out.get_ref().sync_all()
+    }
+}
+
+/// Open `path` for a run fingerprinted by `meta`: load completed records
+/// if the file exists (torn tail truncated, CRC errors propagated,
+/// mismatched meta rejected), or create it fresh. Returns the appender
+/// plus the already-completed cells.
+pub fn resume(path: &Path, meta: &str) -> io::Result<(Writer, BTreeMap<String, String>)> {
+    if !path.exists() {
+        return Ok((Writer::create(path, meta)?, BTreeMap::new()));
+    }
+    let loaded = load(path)?;
+    if loaded.meta != meta {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "checkpoint {} was written by a different run configuration\n  \
+                 checkpoint: {}\n  this run:   {meta}",
+                path.display(),
+                loaded.meta
+            ),
+        ));
+    }
+    let writer = Writer::reopen(path, loaded.valid_len)?;
+    Ok((writer, loaded.records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("routesync-exec-ckpt-tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_create_append_load() {
+        let path = tmp("roundtrip.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let mut w = Writer::create(&path, "meta-v1").expect("create");
+        w.append("a", "1").expect("append");
+        w.append("b", "value with\nnewlines").expect("append");
+        w.append("a", "2").expect("append repeat");
+        w.sync().expect("sync");
+        let loaded = load(&path).expect("load");
+        assert_eq!(loaded.meta, "meta-v1");
+        assert!(!loaded.torn_tail);
+        assert_eq!(loaded.records.len(), 2);
+        assert_eq!(loaded.records["a"], "2", "later record wins");
+        assert_eq!(loaded.records["b"], "value with\nnewlines");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_resumable() {
+        let path = tmp("torn.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let mut w = Writer::create(&path, "m").expect("create");
+        w.append("done", "ok").expect("append");
+        w.sync().expect("sync");
+        // Simulate a crash mid-append: raw garbage prefix of a frame.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).expect("open");
+            f.write_all(&[9, 0, 0, 0, 1, 2]).expect("torn bytes");
+        }
+        let loaded = load(&path).expect("load tolerates torn tail");
+        assert!(loaded.torn_tail);
+        assert_eq!(loaded.records.len(), 1);
+        // Resume truncates the tail and appends cleanly after it.
+        let (mut w, records) = resume(&path, "m").expect("resume");
+        assert_eq!(records.len(), 1);
+        w.append("later", "fine").expect("append");
+        w.sync().expect("sync");
+        let reloaded = load(&path).expect("reload");
+        assert!(!reloaded.torn_tail);
+        assert_eq!(reloaded.records.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn crc_corruption_is_an_error_not_a_skip() {
+        let path = tmp("corrupt.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let mut w = Writer::create(&path, "m").expect("create");
+        w.append("x", "yyyy").expect("append");
+        w.sync().expect("sync");
+        let mut bytes = std::fs::read(&path).expect("read");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40; // flip a payload bit in a *complete* frame
+        std::fs::write(&path, &bytes).expect("rewrite");
+        let err = load(&path).expect_err("corruption must be detected");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("CRC"), "{err}");
+        assert!(resume(&path, "m").is_err(), "resume must refuse corruption");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_meta() {
+        let path = tmp("meta.ckpt");
+        let _ = std::fs::remove_file(&path);
+        drop(Writer::create(&path, "config A").expect("create"));
+        let err = resume(&path, "config B").expect_err("meta mismatch");
+        assert!(err.to_string().contains("different run configuration"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn atomic_write_replaces_without_tmp_residue() {
+        let path = tmp("atomic.json");
+        atomic_write(&path, b"first").expect("write");
+        atomic_write(&path, b"second").expect("overwrite");
+        assert_eq!(std::fs::read(&path).expect("read"), b"second");
+        assert!(
+            !tmp_sibling(&path).exists(),
+            "tmp file must be renamed away"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

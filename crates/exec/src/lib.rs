@@ -24,8 +24,26 @@
 //! Worker panics propagate to the caller: `std::thread::scope` re-raises
 //! the first panic after all threads have stopped, and the shared counter
 //! is left past the end so the remaining workers drain quickly.
+//!
+//! For long-running ensembles that must *survive* failing cells instead
+//! of propagating them, the [`supervise`] module wraps the same work
+//! model in a panic boundary with a failure taxonomy, deterministic
+//! watchdogs, graceful SIGINT drains ([`interrupt`]) and crash-safe
+//! CRC-framed checkpoints ([`checkpoint`]) — see `docs/RESILIENCE.md`.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `interrupt` module registers one
+// SIGINT handler through libc and carries the only `allow(unsafe_code)`.
+#![deny(unsafe_code)]
+
+pub mod checkpoint;
+pub mod interrupt;
+pub mod supervise;
+
+pub use checkpoint::atomic_write;
+pub use supervise::{
+    run_many_supervised, supervise_map, supervise_map_with_sink, supervise_unit, CellResult,
+    Outcome, Quarantine, RunCtx, RunFailure, SuperviseConfig,
+};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;

@@ -244,8 +244,26 @@ impl Collector {
     }
 
     /// Snapshot and write pretty JSON to `path`.
+    ///
+    /// The write is atomic (tmp sibling + fsync + rename, duplicated here
+    /// because `routesync-obs` sits below `routesync-exec` in the crate
+    /// graph): a crash mid-write never leaves a truncated snapshot.
     pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.snapshot().to_json())
+        use std::io::Write as _;
+        let body = self.snapshot().to_json();
+        let mut tmp = path.to_path_buf();
+        let mut name = path
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_else(|| ".obs".into());
+        name.push(".tmp");
+        tmp.set_file_name(name);
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(body.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
     }
 }
 

@@ -29,19 +29,96 @@ commands:
               flags: --probes 1000 --mode blocked|concurrent --seed 1993
   conformance coverage-guided cross-model conformance fuzzing
               flags: --budget-cases 200 --seed 1 [--budget-secs 60]
+                     [--deadline-secs 60] [--watchdog-steps K]
+                     [--resume ckpt] [--quarantine-out path.jsonl]
                      [--out results/conformance] [--replay repro.jsonl]
   help        print this text
+
+Every command accepts --help. Unknown commands and flags are rejected.
+exit codes: 0 ok, 1 failures found, 2 usage error, 130 interrupted
 ";
 
-/// Parse flags of the form `--key value` into a map.
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+/// How a command invocation failed — the process exit code contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Bad invocation (unknown command/flag, malformed value): exit 2.
+    Usage(String),
+    /// The command ran and found failures, or hit a runtime error
+    /// (unreadable file, broken checkpoint): exit 1.
+    Failure(String),
+    /// A SIGINT drain stopped the run; state is checkpointed: exit 130.
+    Interrupted(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Failure(m) | CliError::Interrupted(m) => {
+                write!(f, "{m}")
+            }
+        }
+    }
+}
+
+impl From<String> for CliError {
+    /// Bare-string errors from flag/domain validation are usage errors.
+    fn from(message: String) -> Self {
+        CliError::Usage(message)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError::Usage(message.to_string())
+    }
+}
+
+/// The flags each command accepts; anything else is rejected (exit 2).
+fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
+    Some(match command {
+        "simulate" => &["n", "tp", "tc", "tr", "horizon", "seed", "start", "plot"],
+        "analyze" => &["n", "tp", "tc", "tr", "f2"],
+        "recommend" => &["n", "tp", "tc", "tr", "target"],
+        "protocols" => &["n", "target"],
+        "nearnet" => &["probes", "mode", "seed"],
+        "conformance" => &[
+            "budget-cases",
+            "seed",
+            "budget-secs",
+            "deadline-secs",
+            "watchdog-steps",
+            "resume",
+            "quarantine-out",
+            "out",
+            "replay",
+        ],
+        _ => return None,
+    })
+}
+
+/// Flags that take no value.
+const BOOLEAN_FLAGS: [&str; 1] = ["plot"];
+
+/// Parse flags of the form `--key value` into a map, rejecting any flag
+/// the command does not declare.
+fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let Some(key) = a.strip_prefix("--") else {
             return Err(format!("expected a --flag, got {a:?}"));
         };
-        if key == "plot" {
+        if !allowed.contains(&key) {
+            return Err(format!(
+                "unknown flag --{key} (accepted: {})",
+                allowed
+                    .iter()
+                    .map(|f| format!("--{f}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ));
+        }
+        if BOOLEAN_FLAGS.contains(&key) {
             map.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -81,11 +158,21 @@ fn get_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> Result<u
 }
 
 /// Entry point: dispatch on the first argument, return printable output.
-pub fn run(args: &[String]) -> Result<String, String> {
+pub fn run(args: &[String]) -> Result<String, CliError> {
     let Some(command) = args.first() else {
         return Ok(USAGE.to_string());
     };
-    let flags = parse_flags(&args[1..])?;
+    if matches!(command.as_str(), "help" | "--help" | "-h") {
+        return Ok(USAGE.to_string());
+    }
+    let Some(allowed) = allowed_flags(command) else {
+        return Err(CliError::Usage(format!("unknown command {command:?}")));
+    };
+    // `<command> --help` prints usage and exits 0, before strict parsing.
+    if args[1..].iter().any(|a| a == "--help" || a == "-h") {
+        return Ok(USAGE.to_string());
+    }
+    let flags = parse_flags(&args[1..], allowed)?;
     match command.as_str() {
         "simulate" => simulate(&flags),
         "analyze" => analyze(&flags),
@@ -93,8 +180,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "protocols" => protocols(&flags),
         "nearnet" => nearnet(&flags),
         "conformance" => conformance(&flags),
-        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }
 
@@ -114,14 +200,14 @@ fn core_params(flags: &HashMap<String, String>) -> Result<PeriodicParams, String
     ))
 }
 
-fn simulate(flags: &HashMap<String, String>) -> Result<String, String> {
+fn simulate(flags: &HashMap<String, String>) -> Result<String, CliError> {
     let params = core_params(flags)?;
     let horizon = get_f64(flags, "horizon", 1e6)?;
     let seed = get_u64(flags, "seed", 1993)?;
     let start = match flags.get("start").map(|s| s.as_str()).unwrap_or("unsync") {
         "unsync" | "unsynchronized" => StartState::Unsynchronized,
         "sync" | "synchronized" => StartState::Synchronized,
-        other => return Err(format!("--start must be sync or unsync, got {other:?}")),
+        other => return Err(format!("--start must be sync or unsync, got {other:?}").into()),
     };
     let from_sync = matches!(start, StartState::Synchronized);
     let mut model = PeriodicModel::new(params, start, seed);
@@ -206,7 +292,7 @@ fn chain_params(flags: &HashMap<String, String>) -> Result<ChainParams, String> 
     Ok(ChainParams { n, tp, tc, tr })
 }
 
-fn analyze(flags: &HashMap<String, String>) -> Result<String, String> {
+fn analyze(flags: &HashMap<String, String>) -> Result<String, CliError> {
     let params = chain_params(flags)?;
     let f2 = get_f64(flags, "f2", 19.0)?;
     let chain = PeriodicChain::new(params);
@@ -254,7 +340,7 @@ fn analyze(flags: &HashMap<String, String>) -> Result<String, String> {
     Ok(out)
 }
 
-fn recommend(flags: &HashMap<String, String>) -> Result<String, String> {
+fn recommend(flags: &HashMap<String, String>) -> Result<String, CliError> {
     let params = chain_params(flags)?;
     let target = get_f64(flags, "target", 0.95)?;
     if !(0.0..1.0).contains(&target) {
@@ -280,7 +366,7 @@ fn recommend(flags: &HashMap<String, String>) -> Result<String, String> {
     Ok(out)
 }
 
-fn protocols(flags: &HashMap<String, String>) -> Result<String, String> {
+fn protocols(flags: &HashMap<String, String>) -> Result<String, CliError> {
     let n = get_usize(flags, "n", 20)?;
     let target = get_f64(flags, "target", 0.95)?;
     let mut out = String::new();
@@ -306,7 +392,7 @@ fn protocols(flags: &HashMap<String, String>) -> Result<String, String> {
     Ok(out)
 }
 
-fn nearnet(flags: &HashMap<String, String>) -> Result<String, String> {
+fn nearnet(flags: &HashMap<String, String>) -> Result<String, CliError> {
     use routesync_netsim::{ForwardingMode, ScenarioSpec};
     let probes = get_u64(flags, "probes", 1000)?;
     if probes == 0 {
@@ -317,11 +403,7 @@ fn nearnet(flags: &HashMap<String, String>) -> Result<String, String> {
     let forwarding = match mode {
         "blocked" => ForwardingMode::BlockedDuringUpdates,
         "concurrent" => ForwardingMode::Concurrent,
-        other => {
-            return Err(format!(
-                "--mode must be blocked or concurrent, got {other:?}"
-            ))
-        }
+        other => return Err(format!("--mode must be blocked or concurrent, got {other:?}").into()),
     };
     let mut out = String::new();
     let mut n = ScenarioSpec::nearnet()
@@ -362,23 +444,30 @@ fn nearnet(flags: &HashMap<String, String>) -> Result<String, String> {
 /// `conformance`: run the cross-model conformance fuzzer to a case/time
 /// budget, or replay previously minimized reproducer lines.
 ///
-/// The run is a pure function of `(--seed, --budget-cases)`: with no
-/// `--budget-secs` the printed report and every file under `--out` are
-/// byte-identical across invocations and machines (the output carries no
-/// wall-clock content). A run with failures returns them as an error so
-/// the process exits nonzero; the report text is the same either way.
-fn conformance(flags: &HashMap<String, String>) -> Result<String, String> {
+/// The run is a pure function of `(--seed, --budget-cases,
+/// --watchdog-steps)`: with no wall-clock budget the printed report and
+/// every file under `--out` are byte-identical across invocations,
+/// machines, and `--resume` boundaries (the output carries no wall-clock
+/// content). Supervision: a panicking oracle is quarantined with a
+/// replayable reproducer while the rest of the run completes;
+/// `--watchdog-steps` censors cases that exceed a deterministic
+/// simulation-step budget; `--deadline-secs` bounds the whole run's wall
+/// clock (reported as `truncated`); `--resume ckpt` streams finished
+/// verdicts to a crash-safe checkpoint and replays them on rerun. A run
+/// with failures or quarantines exits 1; the report text is the same
+/// either way.
+fn conformance(flags: &HashMap<String, String>) -> Result<String, CliError> {
     use routesync_conformance::fuzz::{self, FuzzConfig};
     use routesync_conformance::Reproducer;
 
     if let Some(path) = flags.get("replay") {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Failure(format!("cannot read {path:?}: {e}\n")))?;
         let mut out = String::new();
         let mut failures = 0usize;
         let mut total = 0usize;
         for line in text.lines().filter(|l| !l.trim().is_empty()) {
-            let repro = Reproducer::from_line(line)?;
+            let repro = Reproducer::from_line(line).map_err(CliError::Failure)?;
             total += 1;
             match fuzz::replay(&repro) {
                 Ok(()) => {
@@ -397,7 +486,7 @@ fn conformance(flags: &HashMap<String, String>) -> Result<String, String> {
         }
         let _ = writeln!(out, "replayed {total} cases, {failures} failing");
         if failures > 0 {
-            return Err(out);
+            return Err(CliError::Failure(out));
         }
         return Ok(out);
     }
@@ -407,23 +496,59 @@ fn conformance(flags: &HashMap<String, String>) -> Result<String, String> {
         return Err("--budget-cases must be positive".into());
     }
     let seed = get_u64(flags, "seed", 1)?;
+    // --deadline-secs is the supervised spelling of the wall budget; when
+    // both are given the tighter one wins.
     let budget_secs = get_f64(flags, "budget-secs", 0.0)?;
-    let budget = (budget_secs > 0.0).then(|| std::time::Duration::from_secs_f64(budget_secs));
+    let deadline_secs = get_f64(flags, "deadline-secs", 0.0)?;
+    let wall = match (budget_secs > 0.0, deadline_secs > 0.0) {
+        (true, true) => budget_secs.min(deadline_secs),
+        (true, false) => budget_secs,
+        (false, true) => deadline_secs,
+        (false, false) => 0.0,
+    };
+    let budget = (wall > 0.0).then(|| std::time::Duration::from_secs_f64(wall));
+    let watchdog_steps = match flags.get("watchdog-steps") {
+        None => None,
+        Some(_) => Some(get_u64(flags, "watchdog-steps", 0)?),
+    };
     let out_dir = flags
         .get("out")
         .cloned()
         .unwrap_or_else(|| "results/conformance".to_string());
-    let report = fuzz::fuzz(&FuzzConfig {
+    let cfg = FuzzConfig {
         seed,
         budget_cases,
         budget,
         out_dir: Some(out_dir.into()),
-    });
+        watchdog_steps,
+        checkpoint: flags.get("resume").map(std::path::PathBuf::from),
+    };
+    let report = fuzz::fuzz_checkpointed(&cfg).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::InvalidInput {
+            CliError::Usage(format!("--resume: {e}"))
+        } else {
+            CliError::Failure(format!("conformance checkpoint error: {e}\n"))
+        }
+    })?;
+    if let Some(path) = flags.get("quarantine-out") {
+        if !report.quarantined.is_empty() {
+            let body = report.quarantined.join("\n") + "\n";
+            routesync_exec::atomic_write(std::path::Path::new(path), body.as_bytes())
+                .map_err(|e| CliError::Failure(format!("cannot write {path:?}: {e}\n")))?;
+        }
+    }
     let text = report.render();
-    if report.failures.is_empty() {
+    if report.interrupted {
+        let done = report.cases;
+        return Err(CliError::Interrupted(format!(
+            "{text}interrupted — {done}/{budget_cases} cases checkpointed; \
+             rerun with the same --resume flag to continue\n"
+        )));
+    }
+    if report.failures.is_empty() && report.quarantined.is_empty() {
         Ok(text)
     } else {
-        Err(text)
+        Err(CliError::Failure(text))
     }
 }
 

@@ -11,16 +11,24 @@
 //! are `--key value`, every command has defaults matching the paper's
 //! reference parameters, and `--help` prints usage.
 
-use routesync::cli;
+use routesync::cli::{self, CliError};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match cli::run(&args) {
         Ok(output) => print!("{output}"),
-        Err(e) => {
-            eprintln!("error: {e}");
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}");
             eprintln!("{}", cli::USAGE);
             std::process::exit(2);
+        }
+        Err(CliError::Failure(msg)) => {
+            eprint!("{msg}");
+            std::process::exit(1);
+        }
+        Err(CliError::Interrupted(msg)) => {
+            eprint!("{msg}");
+            std::process::exit(130);
         }
     }
 }

@@ -18,6 +18,13 @@
 //! * `parallel_speedup` — serial vs all-cores wall-time ratio for a seed
 //!   ensemble through `routesync_exec`, after asserting the outputs are
 //!   bit-identical.
+//! * `batched` — the SoA block kernel (`routesync_core::BatchedEnsemble`)
+//!   against the scalar fast engine on the same single-thread ensemble,
+//!   outputs asserted identical, `speedup_vs_scalar` reported honestly
+//!   (see `docs/PERFORMANCE.md` for what this number can and cannot be).
+//! * `thread_sweep` — both engines at 1/2/4/8 workers with per-thread
+//!   speedups; `effective_cores` says how many of those workers can
+//!   actually run at once on this host.
 //! * `supervision.overhead_pct` — relative cost of routing the same
 //!   ensemble through the supervised executor
 //!   (`routesync_exec::run_many_supervised`), after asserting the outputs
@@ -30,7 +37,10 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use routesync_core::{experiment, FastModel, PeriodicModel, PeriodicParams, StartState};
+use routesync_core::{
+    experiment, BatchedEngine, EnsembleEngine, FastModel, NullRecorder, PeriodicModel,
+    PeriodicParams, ScalarEngine, StartState,
+};
 use routesync_desim::{Duration, SimTime};
 use serde::Serialize;
 
@@ -44,8 +54,40 @@ struct Report {
     figure_wall_secs: f64,
     ensemble: Ensemble,
     parallel_speedup: f64,
+    host_cpus: usize,
+    effective_cores: usize,
+    batched: BatchedSection,
+    thread_sweep: Vec<ThreadSweepEntry>,
     obs: ObsSection,
     supervision: SupervisionSection,
+}
+
+/// Batched SoA kernel vs the scalar fast engine on the same single-thread
+/// ensemble workload, interleaved best-of reps, outputs asserted
+/// identical before any throughput is reported.
+#[derive(Serialize)]
+struct BatchedSection {
+    width: usize,
+    seeds: usize,
+    scalar_wall_secs: f64,
+    batched_wall_secs: f64,
+    scalar_events_per_sec: f64,
+    batched_events_per_sec: f64,
+    speedup_vs_scalar: f64,
+    outputs_identical: bool,
+}
+
+/// One thread count of the ensemble thread sweep: both engines through
+/// `routesync_exec`'s chunked work-stealing map, speedups relative to the
+/// engine's own single-thread wall.
+#[derive(Serialize)]
+struct ThreadSweepEntry {
+    threads: usize,
+    scalar_wall_secs: f64,
+    batched_wall_secs: f64,
+    scalar_speedup: f64,
+    batched_speedup: f64,
+    outputs_identical: bool,
 }
 
 /// Supervised-executor benchmark: the parallel ensemble leg run through
@@ -211,6 +253,109 @@ fn main() {
     );
     let parallel_speedup = serial_wall / parallel_wall;
 
+    // --- batched SoA kernel vs scalar ------------------------------------
+    // The same ensemble workload through both `EnsembleEngine`
+    // implementations at one thread, so the ratio isolates the kernel
+    // (SoA layout, two-smallest pass, branch-light burst phases) from
+    // parallelism. Interleaved best-of reps cancel frequency drift;
+    // outputs are compared before any throughput is believed.
+    let batch_seeds: Vec<u64> = (0..if fast { 64 } else { 256 }).collect();
+    let batch_width = routesync_core::batch::DEFAULT_WIDTH;
+    let run_engine = |engine: &dyn Fn(usize) -> Vec<(u64, u64, u64)>, threads: usize| {
+        let t0 = Instant::now();
+        let out = engine(threads);
+        (out, t0.elapsed().as_secs_f64())
+    };
+    let scalar_engine = |threads: usize| {
+        ScalarEngine.run_cells(
+            paper_params(n),
+            &StartState::Unsynchronized,
+            &batch_seeds,
+            ens_horizon,
+            threads,
+            |_| NullRecorder,
+            |out, _| (out.seed, out.sends, out.now.as_nanos()),
+        )
+    };
+    let batched_engine = |threads: usize| {
+        BatchedEngine::with_width(batch_width).run_cells(
+            paper_params(n),
+            &StartState::Unsynchronized,
+            &batch_seeds,
+            ens_horizon,
+            threads,
+            |_| NullRecorder,
+            |out, _| (out.seed, out.sends, out.now.as_nanos()),
+        )
+    };
+    let reps = if fast { 3 } else { 5 };
+    scalar_engine(1); // warm-up
+    let mut scalar_wall = f64::INFINITY;
+    let mut batched_wall = f64::INFINITY;
+    let mut scalar_out = Vec::new();
+    let mut batched_out = Vec::new();
+    for _ in 0..reps {
+        let (out, wall) = run_engine(&scalar_engine, 1);
+        scalar_out = out;
+        scalar_wall = scalar_wall.min(wall);
+        let (out, wall) = run_engine(&batched_engine, 1);
+        batched_out = out;
+        batched_wall = batched_wall.min(wall);
+    }
+    assert_eq!(
+        scalar_out, batched_out,
+        "batched engine diverged from scalar on the bench ensemble"
+    );
+    let total_events: u64 = scalar_out.iter().map(|(_, sends, _)| sends).sum();
+    let batched = BatchedSection {
+        width: batch_width,
+        seeds: batch_seeds.len(),
+        scalar_wall_secs: scalar_wall,
+        batched_wall_secs: batched_wall,
+        scalar_events_per_sec: total_events as f64 / scalar_wall,
+        batched_events_per_sec: total_events as f64 / batched_wall,
+        speedup_vs_scalar: scalar_wall / batched_wall,
+        outputs_identical: true,
+    };
+
+    // --- ensemble thread sweep -------------------------------------------
+    // Both engines at 1/2/4/8 workers through `par_map_indexed`'s chunked
+    // work stealing. Speedups are relative to the engine's own
+    // single-thread wall (measured above), outputs asserted identical to
+    // the serial reference at every thread count. On boxes with fewer
+    // cores than workers the extra threads just time-slice; the CI gate
+    // reads `effective_cores` before judging the 4-thread speedup.
+    let host_cpus = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let mut thread_sweep = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let sweep_reps = if fast { 2 } else { 3 };
+        let mut s_wall = f64::INFINITY;
+        let mut b_wall = f64::INFINITY;
+        let mut identical = true;
+        for _ in 0..sweep_reps {
+            let (out, wall) = run_engine(&scalar_engine, threads);
+            identical &= out == scalar_out;
+            s_wall = s_wall.min(wall);
+            let (out, wall) = run_engine(&batched_engine, threads);
+            identical &= out == scalar_out;
+            b_wall = b_wall.min(wall);
+        }
+        assert!(
+            identical,
+            "engine output changed with thread count ({threads} threads)"
+        );
+        thread_sweep.push(ThreadSweepEntry {
+            threads,
+            scalar_wall_secs: s_wall,
+            batched_wall_secs: b_wall,
+            scalar_speedup: scalar_wall / s_wall,
+            batched_speedup: batched_wall / b_wall,
+            outputs_identical: identical,
+        });
+    }
+
     // --- instrumentation overhead ---------------------------------------
     // Time the hottest leg (fast engine) with the collector disabled and
     // with a live collector, asserting the simulation results are
@@ -365,6 +510,10 @@ fn main() {
             outputs_identical: true,
         },
         parallel_speedup,
+        host_cpus,
+        effective_cores: host_cpus,
+        batched,
+        thread_sweep,
         obs: ObsSection {
             disabled_wall_secs: disabled_wall,
             enabled_wall_secs: enabled_wall,

@@ -48,10 +48,12 @@ usage: sweep [--param tr|tc|tp|n] [--from X] [--to X] [--steps K]
              [--horizon SECS] [--f2 SECS] [--n N] [--tp SECS] [--tc SECS]
              [--tr SECS] [--threads T] [--obs PATH.json]
              [--resume CKPT] [--deadline-secs S] [--watchdog-steps K]
-             [--quarantine-out PATH.jsonl]
+             [--quarantine-out PATH.jsonl] [--engine scalar|batched]
 
   --param    parameter swept across the grid (default: tr)
   --metric   fraction | f | g | sync-time | resync-time (default: fraction)
+  --engine   simulation engine for the sync-time metric (default: scalar;
+             batched uses the SoA block kernel — trace-identical output)
   --threads  worker threads for simulated metrics (default: all cores;
              honours the ROUTESYNC_THREADS env var when unset)
   --obs      enable instrumentation and write a metrics snapshot
@@ -74,6 +76,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "to",
     "steps",
     "metric",
+    "engine",
     "f2",
     "horizon",
     "seeds",
@@ -220,6 +223,11 @@ fn main() {
             "unknown --metric `{metric}` (fraction|f|g|sync-time|resync-time)"
         ));
     }
+    let engine = match flag(&args, "engine") {
+        None => routesync_core::Engine::Scalar,
+        Some(v) => routesync_core::Engine::from_name(&v)
+            .unwrap_or_else(|e| usage_error(&format!("--engine: {e}"))),
+    };
     let mut cfg = SuperviseConfig::new();
     if let Some(v) = flag(&args, "deadline-secs") {
         let secs: f64 = v
@@ -275,7 +283,7 @@ fn main() {
     // values; resuming under a different configuration is refused.
     let meta = format!(
         "sweep-v1 param={param} from={from} to={to} steps={steps} metric={metric} \
-         f2={f2} horizon={horizon} seeds={seeds_per_point} \
+         engine={engine} f2={f2} horizon={horizon} seeds={seeds_per_point} \
          n={} tp={} tc={} tr={}",
         base.n, base.tp, base.tc, base.tr
     );
@@ -322,7 +330,7 @@ fn main() {
         threads,
         &cfg,
         || (),
-        |(), ctx, _i, cell: &&Cell| run_cell(metric_ref, cell, f2, horizon, ctx),
+        |(), ctx, _i, cell: &&Cell| run_cell(metric_ref, engine, cell, f2, horizon, ctx),
         describe,
         |i, finished: Result<&CellValue, &Quarantine>| {
             if let Some(writer) = &writer {
@@ -463,7 +471,14 @@ impl<R: Recorder> Recorder for Ticked<'_, R> {
 }
 
 /// Evaluate one supervised cell.
-fn run_cell(metric: &str, cell: &Cell, f2: f64, horizon: f64, ctx: &mut RunCtx) -> CellValue {
+fn run_cell(
+    metric: &str,
+    engine: routesync_core::Engine,
+    cell: &Cell,
+    f2: f64,
+    horizon: f64,
+    ctx: &mut RunCtx,
+) -> CellValue {
     let p = cell.params;
     match metric {
         "fraction" => {
@@ -485,13 +500,26 @@ fn run_cell(metric: &str, cell: &Cell, f2: f64, horizon: f64, ctx: &mut RunCtx) 
                 Duration::from_secs_f64(p.tc),
                 Duration::from_secs_f64(p.tr),
             );
-            let mut m =
-                routesync_core::FastModel::new(params, StartState::Unsynchronized, cell.seed);
             let mut rec = Ticked {
                 inner: routesync_core::FirstPassageUp::new(p.n),
                 ctx,
             };
-            m.run(SimTime::from_secs_f64(horizon), &mut rec);
+            let horizon = SimTime::from_secs_f64(horizon);
+            match engine {
+                routesync_core::Engine::Scalar => {
+                    let mut m = routesync_core::FastModel::new(
+                        params,
+                        StartState::Unsynchronized,
+                        cell.seed,
+                    );
+                    m.run(horizon, &mut rec);
+                }
+                routesync_core::Engine::Batched => {
+                    let mut block = routesync_core::BatchedEnsemble::new(params, 1);
+                    block.reset(&StartState::Unsynchronized, &[cell.seed]);
+                    block.run(horizon, std::slice::from_mut(&mut rec));
+                }
+            }
             match rec.inner.first(p.n) {
                 Some((t, _)) => CellValue::Value(t.as_secs_f64()),
                 None => CellValue::Censored,

@@ -171,6 +171,7 @@ pub fn seed_corpus() -> Vec<CaseSpec> {
         sync_start: false,
         horizon_s,
         faults: Vec::new(),
+        batch_width: 1,
     };
     let lan_case = |oracle, n, tr_ms, sync_start, horizon_s, faults| CaseSpec {
         oracle,
@@ -181,6 +182,7 @@ pub fn seed_corpus() -> Vec<CaseSpec> {
         sync_start,
         horizon_s,
         faults,
+        batch_width: 1,
     };
     vec![
         abstract_case(Oracle::EngineEquivalence, 6, 200, 3_000),
@@ -206,6 +208,10 @@ pub fn seed_corpus() -> Vec<CaseSpec> {
             }],
         ),
         abstract_case(Oracle::EngineEquivalence, 3, 0, 2_000),
+        CaseSpec {
+            batch_width: 8,
+            ..abstract_case(Oracle::EngineEquivalence, 5, 150, 2_500)
+        },
     ]
 }
 
@@ -221,6 +227,7 @@ fn clamp(v: u64, lo: u64, hi: u64) -> u64 {
 /// domain. Idempotent; every spec the fuzzer runs has passed through
 /// here, so the oracles may assume these bounds.
 pub fn sanitize(spec: &mut CaseSpec) {
+    spec.batch_width = spec.batch_width.clamp(1, 64);
     if is_lan_oracle(spec.oracle) {
         // The LAN scenario's period is fixed (DECnet-style 120 s
         // updates); keep the spec honest about it.
@@ -318,7 +325,7 @@ pub fn mutate(parent: &CaseSpec, rng: &mut SplitMix64) -> CaseSpec {
     // One to three independent tweaks per child.
     let tweaks = 1 + (rng.next_u64_raw() % 3) as usize;
     for _ in 0..tweaks {
-        match rng.next_u64_raw() % 10 {
+        match rng.next_u64_raw() % 12 {
             0 => spec.n = spec.n.saturating_add(1),
             1 => spec.n = spec.n.saturating_sub(1).max(1),
             2 => spec.tp_ms = spec.tp_ms.saturating_mul(2),
@@ -328,6 +335,8 @@ pub fn mutate(parent: &CaseSpec, rng: &mut SplitMix64) -> CaseSpec {
             6 => spec.tr_ms /= 2,
             7 => spec.sync_start = !spec.sync_start,
             8 => spec.horizon_s = (spec.horizon_s / 2).max(1),
+            9 => spec.batch_width = spec.batch_width.saturating_mul(2),
+            10 => spec.batch_width = (spec.batch_width / 2).max(1),
             _ => {
                 if is_lan_oracle(spec.oracle) {
                     mutate_faults(&mut spec, rng);

@@ -138,6 +138,59 @@ pub fn engine_equivalence(spec: &CaseSpec, seed: u64) -> Result<(), String> {
             "equivalence window too small to be meaningful ({keep} entries)"
         ));
     }
+
+    // Batched leg: the SoA block kernel claims *exact* trace identity
+    // with FastModel (same burst order, same tie order, no tail slack),
+    // so cell 0 of a width-`batch_width` block must reproduce `fast_rec`
+    // byte for byte — with the other cells churning through unrelated
+    // seeds in the same columns to stress cross-cell isolation.
+    let width = spec.batch_width.max(1);
+    let mut seeds = vec![seed];
+    seeds.extend(derive_seeds(seed, width - 1));
+    let mut block = routesync_core::BatchedEnsemble::new(p, width);
+    block.reset(&spec.start(), &seeds);
+    let mut recs: Vec<(SendTrace, ClusterLog)> = seeds
+        .iter()
+        .map(|_| (SendTrace::new(), ClusterLog::new()))
+        .collect();
+    block.run(horizon, &mut recs);
+    if recs[0].0.sends() != fast_rec.0.sends() {
+        let at = recs[0]
+            .0
+            .sends()
+            .iter()
+            .zip(fast_rec.0.sends())
+            .position(|(a, b)| a != b)
+            .unwrap_or(recs[0].0.sends().len().min(fast_rec.0.sends().len()));
+        return Err(format!(
+            "batched send log diverges from fast at entry {at} (width {width}): \
+             batched={:?} fast={:?}",
+            recs[0].0.sends().get(at),
+            fast_rec.0.sends().get(at)
+        ));
+    }
+    if recs[0].1.groups() != fast_rec.1.groups() {
+        return Err(format!(
+            "batched cluster log diverges from fast (width {width})"
+        ));
+    }
+    if width > 1 {
+        // The last cell must match a fresh scalar run of its own seed:
+        // lanes must not leak between cells sharing a block.
+        let last_seed = seeds[width - 1];
+        let mut lone = FastModel::new(p, spec.start(), last_seed);
+        let mut lone_rec = (SendTrace::new(), ClusterLog::new());
+        lone.run(horizon, &mut lone_rec);
+        if recs[width - 1].0.sends() != lone_rec.0.sends()
+            || recs[width - 1].1.groups() != lone_rec.1.groups()
+        {
+            return Err(format!(
+                "batched cell {} (seed {last_seed}) diverges from a fresh \
+                 scalar run: cross-cell contamination",
+                width - 1
+            ));
+        }
+    }
     Ok(())
 }
 

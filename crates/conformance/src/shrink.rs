@@ -68,6 +68,12 @@ fn candidates(spec: &CaseSpec) -> Vec<CaseSpec> {
         c.tc_ms = 110.min(spec.tc_ms);
         out.push(c);
     }
+    // Narrower batched blocks replay faster; width 1 is the floor.
+    if spec.batch_width > 1 {
+        let mut c = spec.clone();
+        c.batch_width = (spec.batch_width / 2).max(1);
+        out.push(c);
+    }
     out
 }
 
@@ -120,6 +126,7 @@ mod tests {
                 down_s: 100,
                 up_s: 200,
             }],
+            batch_width: 16,
         }
     }
 
@@ -130,6 +137,7 @@ mod tests {
         assert!(min.faults.is_empty());
         assert!(min.horizon_s >= min_horizon_s(&min));
         assert_eq!(min.tr_ms, 0);
+        assert_eq!(min.batch_width, 1);
         assert_eq!(msg, "boom");
     }
 

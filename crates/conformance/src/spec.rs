@@ -139,6 +139,13 @@ pub struct CaseSpec {
     pub horizon_s: u64,
     /// Scheduled faults (packet-level oracles only; empty elsewhere).
     pub faults: Vec<FaultOp>,
+    /// Block width for the batched SoA engine leg of
+    /// [`Oracle::EngineEquivalence`] (1 = a single-cell block).
+    /// Reproducer lines written before the batched engine existed lack
+    /// the field and deserialize to 0, which every consumer treats as 1
+    /// (sanitize clamps into `[1, 64]`; the oracle takes `max(1)`).
+    #[serde(default)]
+    pub batch_width: usize,
 }
 
 impl CaseSpec {
@@ -261,6 +268,7 @@ mod tests {
                     up_s: 900,
                 },
             ],
+            batch_width: 4,
         };
         let repro = Reproducer {
             seed: 42,
@@ -289,6 +297,7 @@ mod tests {
                 down_s: 10,
                 up_s: 20,
             }],
+            batch_width: 1,
         };
         assert!(!spec.fault_plan().is_empty());
         assert!(CaseSpec {
@@ -297,6 +306,19 @@ mod tests {
         }
         .fault_plan()
         .is_empty());
+    }
+
+    #[test]
+    fn batch_width_defaults_for_old_reproducers() {
+        // Reproducer lines written before the batched engine lack the
+        // field; they must still parse, with the 0 sentinel that every
+        // consumer reads as a width-1 (scalar-equivalent) block.
+        let line = r#"{"seed":7,"spec":{"oracle":"EngineEquivalence","n":4,"tp_ms":10000,"tc_ms":110,"tr_ms":100,"sync_start":false,"horizon_s":1000,"faults":[]},"message":"m"}"#;
+        let back = Reproducer::from_line(line).expect("parses");
+        assert_eq!(back.spec.batch_width, 0);
+        let mut fixed = back.spec.clone();
+        crate::fuzz::sanitize(&mut fixed);
+        assert_eq!(fixed.batch_width, 1);
     }
 
     #[test]

@@ -11,8 +11,9 @@
 //! feature unified in) bit-identical to a featureless build.
 
 use routesync_conformance::fuzz::{self, FuzzConfig};
-use routesync_conformance::spec::{Oracle, Reproducer};
+use routesync_conformance::spec::{CaseSpec, Oracle, Reproducer};
 use routesync_core::fast::inject;
+use routesync_core::{BatchedEnsemble, ClusterLog, FastModel, PeriodicModel, SendTrace};
 
 /// RAII guard so the toggle is reset even if an assertion panics midway.
 struct DefectOn;
@@ -93,4 +94,68 @@ fn fuzzer_catches_and_shrinks_the_injected_merge_bug() {
     );
 
     let _ = std::fs::remove_dir_all(&out_dir);
+}
+
+/// The batched SoA kernel calls the same `joins_burst` merge rule as
+/// `FastModel`, so the injected off-by-one must perturb both engines in
+/// exactly the same way: with the defect on, the batched trace stays
+/// byte-identical to the fast trace while both drift off the event
+/// engine. A batched kernel with its own (correct) copy of the rule
+/// would dodge the defect and break trace identity — this is the guard
+/// the issue asks for.
+#[test]
+fn batched_kernel_shares_the_injected_merge_rule() {
+    let spec = CaseSpec {
+        oracle: Oracle::EngineEquivalence,
+        n: 6,
+        tp_ms: 10_000,
+        tc_ms: 110,
+        tr_ms: 200,
+        sync_start: false,
+        horizon_s: 3_000,
+        faults: Vec::new(),
+        batch_width: 4,
+    };
+    let p = spec.params();
+    let horizon = spec.horizon();
+    let _defect = DefectOn::new();
+
+    let mut defect_changed_something = false;
+    for seed in 1u64..=10 {
+        let mut fast = FastModel::new(p, spec.start(), seed);
+        let mut fast_rec = (SendTrace::new(), ClusterLog::new());
+        fast.run(horizon, &mut fast_rec);
+
+        let mut block = BatchedEnsemble::new(p, spec.batch_width);
+        // Cell 2 carries the seed under test; the rest are decoys.
+        let seeds = [seed ^ 0xA5A5, seed ^ 0x5A5A, seed, seed ^ 0xFFFF];
+        block.reset(&spec.start(), &seeds);
+        let mut recs: Vec<(SendTrace, ClusterLog)> = seeds
+            .iter()
+            .map(|_| (SendTrace::new(), ClusterLog::new()))
+            .collect();
+        block.run(horizon, &mut recs);
+
+        assert_eq!(
+            recs[2].0.sends(),
+            fast_rec.0.sends(),
+            "seed {seed}: batched and fast send logs must agree under the defect"
+        );
+        assert_eq!(
+            recs[2].1.groups(),
+            fast_rec.1.groups(),
+            "seed {seed}: batched and fast cluster logs must agree under the defect"
+        );
+
+        let mut event = PeriodicModel::new(p, spec.start(), seed);
+        let mut event_rec = (SendTrace::new(), ClusterLog::new());
+        event.run(horizon, &mut event_rec);
+        if event_rec.1.groups() != fast_rec.1.groups() {
+            defect_changed_something = true;
+        }
+    }
+    assert!(
+        defect_changed_something,
+        "the injected defect never perturbed a trace — the guard is vacuous"
+    );
 }

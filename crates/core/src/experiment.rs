@@ -243,6 +243,42 @@ pub fn run_many<R: Send>(
     )
 }
 
+/// Run one simulation cell per seed through the selected
+/// [`crate::Engine`], in parallel.
+///
+/// This is the engine-polymorphic sibling of [`run_many`]: the scalar
+/// engine reproduces [`run_many`]'s per-worker [`crate::FastModel`]
+/// reuse, while the batched engine advances blocks of cells through the
+/// SoA kernel ([`crate::BatchedEnsemble`]). Both produce bit-identical
+/// recorder traces for any `(params, start, seed)`, so the choice only
+/// affects throughput.
+///
+/// `make` builds the recorder for a seed; `finish` folds the finished
+/// recorder plus the cell summary ([`crate::CellOut`]) into the result.
+#[allow(clippy::too_many_arguments)]
+pub fn run_ensemble<R, T, M, F>(
+    engine: crate::Engine,
+    params: PeriodicParams,
+    start: &StartState,
+    seeds: &[u64],
+    horizon: SimTime,
+    threads: usize,
+    make: M,
+    finish: F,
+) -> Vec<T>
+where
+    R: crate::Recorder + Send,
+    T: Send,
+    M: Fn(u64) -> R + Sync,
+    F: Fn(crate::CellOut, R) -> T + Sync,
+{
+    let _span = routesync_obs::span!("core.experiment.run_ensemble");
+    routesync_obs::global()
+        .counter("core.experiment.runs")
+        .add(seeds.len() as u64);
+    engine.run_cells(params, start, seeds, horizon, threads, make, finish)
+}
+
 /// Estimate the paper's `f(2)` — the expected number of rounds for the
 /// first cluster of size 2 to form from an unsynchronized start — by Monte
 /// Carlo. Used as the default free parameter of the Markov-chain model.

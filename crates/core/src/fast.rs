@@ -65,9 +65,13 @@ pub mod inject {
 /// The burst-join rule: an expiry joins the running burst iff it lands
 /// strictly inside the busy period; one exactly at the boundary starts its
 /// own burst (matching the event-driven engine's strict `<`).
+///
+/// Shared with the batched SoA engine (`crate::batch`), so an injected
+/// merge defect perturbs both engines identically — the differential
+/// oracle must catch it through either.
 #[inline]
-fn joins_burst(e: SimTime, boundary: SimTime, tc: Duration) -> bool {
-    let _ = &tc;
+#[cfg_attr(not(feature = "inject"), allow(unused_variables))]
+pub(crate) fn joins_burst(e: SimTime, boundary: SimTime, tc: Duration) -> bool {
     #[cfg(feature = "inject")]
     if inject::merge_off_by_one() {
         return e < boundary + tc;

@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod batch;
 pub mod experiment;
 pub mod fast;
 pub mod model;
@@ -70,6 +71,7 @@ pub mod params;
 pub mod record;
 
 pub use analysis::{order_parameter, order_parameter_series, phase_entropy};
+pub use batch::{BatchedEngine, BatchedEnsemble, CellOut, Engine, EnsembleEngine, ScalarEngine};
 pub use experiment::{DesyncReport, SyncReport};
 pub use fast::FastModel;
 pub use model::{NodeId, PeriodicModel};

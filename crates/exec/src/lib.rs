@@ -41,8 +41,8 @@ pub mod supervise;
 
 pub use checkpoint::atomic_write;
 pub use supervise::{
-    run_many_supervised, supervise_map, supervise_map_with_sink, supervise_unit, CellResult,
-    Outcome, Quarantine, RunCtx, RunFailure, SuperviseConfig,
+    run_blocks_supervised, run_many_supervised, supervise_map, supervise_map_with_sink,
+    supervise_unit, CellResult, Outcome, Quarantine, RunCtx, RunFailure, SuperviseConfig,
 };
 
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -639,6 +639,99 @@ where
     )
 }
 
+/// Supervised dispatch over fixed-width blocks of seeds, for batched
+/// engines that advance many cells per pass (`routesync-core`'s SoA
+/// kernel). The supervision unit is the *block*: one panic, watchdog
+/// trip or deadline quarantines the whole block, and every member seed
+/// is reported quarantined with the block-shaped reproducer
+/// (`{"seeds":[...]}`) so the block can be replayed as a unit.
+///
+/// The returned [`Outcome`] is expanded back to **per-seed** resolution
+/// (`results.len() == seeds.len()`, seed order), so callers see the same
+/// shape as [`run_many_supervised`] regardless of `block` width.
+///
+/// `run` receives the per-worker scratch, the block's [`RunCtx`], and
+/// the block's seed slice; it must return exactly one result per seed,
+/// in order.
+pub fn run_blocks_supervised<C, R, I, F>(
+    seeds: &[u64],
+    block: usize,
+    threads: Option<usize>,
+    cfg: &SuperviseConfig,
+    init: I,
+    run: F,
+) -> Outcome<R>
+where
+    R: Send,
+    I: Fn() -> C + Sync,
+    F: Fn(&mut C, &mut RunCtx, &[u64]) -> Vec<R> + Sync,
+{
+    let block = block.max(1);
+    let blocks: Vec<&[u64]> = seeds.chunks(block).collect();
+    let threads = crate::resolve_threads(threads);
+    let block_outcome = supervise_map(
+        &blocks,
+        threads,
+        cfg,
+        init,
+        move |scratch, ctx, _i, chunk: &&[u64]| {
+            let out = run(scratch, ctx, chunk);
+            assert_eq!(
+                out.len(),
+                chunk.len(),
+                "block runner must return one result per seed"
+            );
+            out
+        },
+        |_i, chunk: &&[u64]| {
+            let list = chunk
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            format!("{{\"seeds\":[{list}]}}")
+        },
+    );
+
+    // Expand block-level cells back to per-seed resolution.
+    let mut results: Vec<CellResult<R>> = Vec::with_capacity(seeds.len());
+    let mut quarantined = Vec::new();
+    let mut base = 0usize;
+    for (bi, cell) in block_outcome.results.into_iter().enumerate() {
+        let members = blocks[bi].len();
+        match cell {
+            CellResult::Done(vals) => {
+                debug_assert_eq!(vals.len(), members);
+                results.extend(vals.into_iter().map(CellResult::Done));
+            }
+            CellResult::Quarantined => {
+                let q = block_outcome
+                    .quarantined
+                    .iter()
+                    .find(|q| q.index == bi)
+                    .expect("quarantined block has a report");
+                for off in 0..members {
+                    results.push(CellResult::Quarantined);
+                    quarantined.push(Quarantine {
+                        index: base + off,
+                        failure: q.failure.clone(),
+                        reproducer: q.reproducer.clone(),
+                    });
+                }
+            }
+            CellResult::NotRun => {
+                results.extend((0..members).map(|_| CellResult::NotRun));
+            }
+        }
+        base += members;
+    }
+    Outcome {
+        results,
+        quarantined,
+        interrupted: block_outcome.interrupted,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -829,5 +922,89 @@ mod tests {
             let got: Vec<u64> = out.results.iter().map(|r| *r.done().unwrap()).collect();
             assert_eq!(got, expect, "threads={threads:?}");
         }
+    }
+
+    #[test]
+    fn run_blocks_supervised_matches_run_many_when_clean() {
+        let seeds: Vec<u64> = (0..97).collect();
+        let expect = crate::run_many(&seeds, Some(2), || (), |(), s| s.wrapping_mul(31) ^ 7);
+        for block in [1usize, 8, 64, 200] {
+            for threads in [Some(1), Some(2), Some(4)] {
+                let out = run_blocks_supervised(
+                    &seeds,
+                    block,
+                    threads,
+                    &quiet(),
+                    || (),
+                    |(), _ctx, chunk: &[u64]| {
+                        chunk.iter().map(|s| s.wrapping_mul(31) ^ 7).collect()
+                    },
+                );
+                assert_eq!(out.results.len(), seeds.len());
+                let got: Vec<u64> = out.results.iter().map(|r| *r.done().unwrap()).collect();
+                assert_eq!(got, expect, "block={block} threads={threads:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_blocks_supervised_quarantines_only_the_failing_block() {
+        let seeds: Vec<u64> = (0..24).collect();
+        // Block width 8: seeds 8..16 form the poisoned middle block.
+        let out = run_blocks_supervised(
+            &seeds,
+            8,
+            Some(2),
+            &quiet(),
+            || (),
+            |(), _ctx, chunk: &[u64]| {
+                if chunk.contains(&11) {
+                    panic!("block with seed 11 blows up");
+                }
+                chunk.iter().map(|s| s + 100).collect()
+            },
+        );
+        assert_eq!(out.results.len(), 24);
+        assert_eq!(out.completed(), 16);
+        assert_eq!(out.quarantined.len(), 8);
+        for (i, r) in out.results.iter().enumerate() {
+            if (8..16).contains(&i) {
+                assert!(matches!(r, CellResult::Quarantined), "seed {i}");
+            } else {
+                assert_eq!(*r.done().unwrap(), i as u64 + 100, "seed {i}");
+            }
+        }
+        // Every member of the failed block carries the block reproducer
+        // and its own per-seed index.
+        let idx: Vec<usize> = out.quarantined.iter().map(|q| q.index).collect();
+        assert_eq!(idx, (8..16).collect::<Vec<_>>());
+        for q in &out.quarantined {
+            assert_eq!(q.failure.kind(), "panic");
+            assert_eq!(q.reproducer, "{\"seeds\":[8,9,10,11,12,13,14,15]}");
+        }
+    }
+
+    #[test]
+    fn run_blocks_supervised_drain_marks_whole_blocks_not_run() {
+        let seeds: Vec<u64> = (0..32).collect();
+        let mut cfg = quiet();
+        cfg.drain_after = Some(1);
+        let out = run_blocks_supervised(
+            &seeds,
+            8,
+            Some(1),
+            &cfg,
+            || (),
+            |(), _ctx, chunk: &[u64]| chunk.to_vec(),
+        );
+        assert!(out.interrupted);
+        assert_eq!(out.results.len(), 32);
+        // drain_after=1 lets exactly one block through on one thread.
+        assert_eq!(out.completed(), 8);
+        assert!(out
+            .results
+            .iter()
+            .skip(8)
+            .all(|r| matches!(r, CellResult::NotRun)));
     }
 }

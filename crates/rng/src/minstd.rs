@@ -149,7 +149,7 @@ fn step_reference(x: u32) -> u32 {
 /// `p = hi·2³¹ + lo`; since `2³¹ ≡ 1 (mod m)`, `p mod m = (hi + lo) mod m`,
 /// and `hi + lo < 2m` so one conditional subtraction completes the step.
 #[inline]
-fn step_carta_fold(x: u32) -> u32 {
+pub(crate) fn step_carta_fold(x: u32) -> u32 {
     let p = x as u64 * MULTIPLIER as u64;
     let lo = (p & MODULUS as u64) as u32;
     let hi = (p >> 31) as u32;

@@ -19,6 +19,7 @@ commands:
   simulate    run the Periodic Messages model and report synchronization
               flags: --n 20 --tp 121 --tc 0.11 --tr 0.1 --horizon 1e6
                      --seed 1993 --start unsync|sync [--plot]
+                     [--engine event|fast|batched] (trace-identical)
   analyze     evaluate the Markov-chain model
               flags: --n 20 --tp 121 --tc 0.11 --tr 0.1 --f2 19
   recommend   solve for the minimum jitter Tr
@@ -76,7 +77,9 @@ impl From<&str> for CliError {
 /// The flags each command accepts; anything else is rejected (exit 2).
 fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
     Some(match command {
-        "simulate" => &["n", "tp", "tc", "tr", "horizon", "seed", "start", "plot"],
+        "simulate" => &[
+            "n", "tp", "tc", "tr", "horizon", "seed", "start", "engine", "plot",
+        ],
         "analyze" => &["n", "tp", "tc", "tr", "f2"],
         "recommend" => &["n", "tp", "tc", "tr", "target"],
         "protocols" => &["n", "target"],
@@ -200,6 +203,35 @@ fn core_params(flags: &HashMap<String, String>) -> Result<PeriodicParams, String
     ))
 }
 
+/// Run one `(params, start, seed)` cell on the named engine, feeding the
+/// same recorder. All three engines are trace-identical (enforced by the
+/// conformance suite), so simulate output does not depend on the choice.
+fn run_simulate_engine<R: routesync_core::Recorder>(
+    engine: &str,
+    params: PeriodicParams,
+    start: &StartState,
+    seed: u64,
+    horizon: SimTime,
+    rec: &mut R,
+) {
+    match engine {
+        "event" => {
+            let mut model = PeriodicModel::new(params, start.clone(), seed);
+            model.run(horizon, rec);
+        }
+        "fast" => {
+            let mut model = routesync_core::FastModel::new(params, start.clone(), seed);
+            model.run(horizon, rec);
+        }
+        "batched" => {
+            let mut block = routesync_core::BatchedEnsemble::new(params, 1);
+            block.reset(start, &[seed]);
+            block.run(horizon, std::slice::from_mut(rec));
+        }
+        other => unreachable!("engine {other:?} validated by caller"),
+    }
+}
+
 fn simulate(flags: &HashMap<String, String>) -> Result<String, CliError> {
     let params = core_params(flags)?;
     let horizon = get_f64(flags, "horizon", 1e6)?;
@@ -209,8 +241,11 @@ fn simulate(flags: &HashMap<String, String>) -> Result<String, CliError> {
         "sync" | "synchronized" => StartState::Synchronized,
         other => return Err(format!("--start must be sync or unsync, got {other:?}").into()),
     };
+    let engine = flags.get("engine").map(|s| s.as_str()).unwrap_or("event");
+    if !["event", "fast", "batched"].contains(&engine) {
+        return Err(format!("--engine must be event, fast or batched, got {engine:?}").into());
+    }
     let from_sync = matches!(start, StartState::Synchronized);
-    let mut model = PeriodicModel::new(params, start, seed);
     let mut out = String::new();
     let rounds;
     let _ = writeln!(
@@ -226,7 +261,14 @@ fn simulate(flags: &HashMap<String, String>) -> Result<String, CliError> {
             routesync_core::FirstPassageDown::new(params.n, 1),
             RoundMax::new(),
         );
-        model.run(SimTime::from_secs_f64(horizon), &mut rec);
+        run_simulate_engine(
+            engine,
+            params,
+            &start,
+            seed,
+            SimTime::from_secs_f64(horizon),
+            &mut rec,
+        );
         rounds = rec.1;
         match rec.0.first(1) {
             Some((t, r)) => {
@@ -249,7 +291,14 @@ fn simulate(flags: &HashMap<String, String>) -> Result<String, CliError> {
             routesync_core::FirstPassageUp::new(params.n),
             RoundMax::new(),
         );
-        model.run(SimTime::from_secs_f64(horizon), &mut rec);
+        run_simulate_engine(
+            engine,
+            params,
+            &start,
+            seed,
+            SimTime::from_secs_f64(horizon),
+            &mut rec,
+        );
         rounds = rec.1;
         match rec.0.first(params.n) {
             Some((t, r)) => {
@@ -588,6 +637,17 @@ mod tests {
     }
 
     #[test]
+    fn simulate_engines_agree_on_output() {
+        let base = "simulate --n 8 --horizon 80000 --seed 42 --plot --engine";
+        let event = run(&args(&format!("{base} event"))).expect("ok");
+        let fast = run(&args(&format!("{base} fast"))).expect("ok");
+        let batched = run(&args(&format!("{base} batched"))).expect("ok");
+        assert_eq!(event, fast);
+        assert_eq!(fast, batched);
+        assert!(run(&args("simulate --engine warp")).is_err());
+    }
+
+    #[test]
     fn simulate_sync_start_with_big_jitter_desynchronizes() {
         let out = run(&args(
             "simulate --start sync --tr 5 --horizon 200000 --seed 7",
@@ -674,6 +734,7 @@ mod tests {
                 sync_start: false,
                 horizon_s: 1_000,
                 faults: vec![],
+                batch_width: 2,
             },
             message: String::new(),
         };

@@ -33,6 +33,13 @@
 //! All numbers are throughputs of this machine, not simulation results;
 //! the simulation results themselves are asserted equal where parallelism
 //! is involved.
+//!
+//! `--compare=OLD.json` skips the benchmarks and instead diffs OLD
+//! against the report named by `--out=` (default `BENCH_core.json`),
+//! printing per-metric deltas. A >10% regression of
+//! `core_events_per_sec` is reported as a warning on stderr but never
+//! changes the exit code — benchmark noise across machines must not
+//! fail a build.
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -145,6 +152,114 @@ impl routesync_core::Recorder for CountSends {
     }
 }
 
+/// Flatten every numeric leaf of a JSON tree into `(dotted.path, value)`
+/// pairs, arrays indexed as `path[i]`.
+fn numeric_leaves(prefix: &str, v: &serde_json::Value, out: &mut Vec<(String, f64)>) {
+    use serde_json::Value;
+    match v {
+        Value::U64(x) => out.push((prefix.to_string(), *x as f64)),
+        Value::I64(x) => out.push((prefix.to_string(), *x as f64)),
+        Value::F64(x) => out.push((prefix.to_string(), *x)),
+        Value::Object(fields) => {
+            for (k, vv) in fields {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                numeric_leaves(&path, vv, out);
+            }
+        }
+        Value::Array(items) => {
+            for (i, vv) in items.iter().enumerate() {
+                numeric_leaves(&format!("{prefix}[{i}]"), vv, out);
+            }
+        }
+        Value::Null | Value::Bool(_) | Value::Str(_) => {}
+    }
+}
+
+/// Metrics where a *decrease* is a regression (throughputs, speedups);
+/// everything else (walls, overheads) regresses when it increases.
+fn higher_is_better(path: &str) -> bool {
+    path.ends_with("per_sec") || path.contains("speedup")
+}
+
+/// `--compare` mode: diff two bench reports, warn (never fail) on a >10%
+/// regression of the headline `core_events_per_sec`.
+fn compare(old_path: &str, new_path: &str) {
+    let load = |path: &str| -> serde_json::Value {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench: cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("bench: {path} is not valid JSON: {e}");
+            std::process::exit(1);
+        })
+    };
+    let old = load(old_path);
+    let new = load(new_path);
+    let mut old_leaves = Vec::new();
+    let mut new_leaves = Vec::new();
+    numeric_leaves("", &old, &mut old_leaves);
+    numeric_leaves("", &new, &mut new_leaves);
+    let old_map: BTreeMap<&str, f64> = old_leaves.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let new_map: BTreeMap<&str, f64> = new_leaves.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+
+    println!("bench compare: {old_path} (old) vs {new_path} (new)");
+    println!(
+        "{:<48} {:>14} {:>14} {:>9}",
+        "metric", "old", "new", "delta"
+    );
+    for (path, old_v) in &old_map {
+        let Some(new_v) = new_map.get(path) else {
+            continue;
+        };
+        let delta = if *old_v == 0.0 {
+            if *new_v == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (new_v - old_v) / old_v * 100.0
+        };
+        println!("{path:<48} {old_v:>14.4} {new_v:>14.4} {delta:>+8.1}%");
+    }
+    for path in old_map.keys() {
+        if !new_map.contains_key(path) {
+            println!("{path:<48} (removed in new report)");
+        }
+    }
+    for path in new_map.keys() {
+        if !old_map.contains_key(path) {
+            println!("{path:<48} (new metric)");
+        }
+    }
+
+    let headline = "core_events_per_sec";
+    match (old_map.get(headline), new_map.get(headline)) {
+        (Some(&old_v), Some(&new_v)) if old_v > 0.0 => {
+            let change = (new_v - old_v) / old_v * 100.0;
+            let regressed = if higher_is_better(headline) {
+                change < -10.0
+            } else {
+                change > 10.0
+            };
+            if regressed {
+                eprintln!(
+                    "bench: WARNING: {headline} regressed {change:+.1}% \
+                     ({old_v:.0} -> {new_v:.0}, threshold 10%)"
+                );
+            } else {
+                eprintln!("bench: {headline} within threshold ({change:+.1}%)");
+            }
+        }
+        _ => eprintln!("bench: WARNING: {headline} missing from one of the reports"),
+    }
+}
+
 fn paper_params(n: usize) -> PeriodicParams {
     PeriodicParams::new(
         n,
@@ -166,6 +281,10 @@ fn main() {
         .iter()
         .find_map(|a| a.strip_prefix("--obs="))
         .map(str::to_string);
+    if let Some(old_path) = args.iter().find_map(|a| a.strip_prefix("--compare=")) {
+        compare(old_path, &out);
+        return;
+    }
 
     let horizon_secs: u64 = if fast { 50_000 } else { 500_000 };
     let n = 20;

@@ -23,7 +23,9 @@ use routesync_exec::{checkpoint, interrupt};
 
 const USAGE: &str = "\
 usage: experiments [--fast] [--seed=N] [--out=DIR] [--threads=N]
-                   [--obs=PATH.json] [--resume=CKPT] [--deadline-secs=S]
+                   [--obs=PATH.json] [--serve-obs=ADDR]
+                   [--obs-series=PATH] [--obs-folded=PATH]
+                   [--resume=CKPT] [--deadline-secs=S]
                    [--watchdog-steps=K] [--quarantine-out=PATH.jsonl]
                    <id...|all>
 
@@ -35,6 +37,9 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = Config::default();
     let mut obs_path: Option<String> = None;
+    let mut serve_obs: Option<String> = None;
+    let mut obs_series: Option<String> = None;
+    let mut obs_folded: Option<String> = None;
     let mut resume_path: Option<String> = None;
     let mut quarantine_out: Option<String> = None;
     let mut sup = SuperviseConfig::new();
@@ -51,6 +56,18 @@ fn main() {
         }
         _ if a.starts_with("--obs=") => {
             obs_path = Some(a["--obs=".len()..].to_string());
+            false
+        }
+        _ if a.starts_with("--serve-obs=") => {
+            serve_obs = Some(a["--serve-obs=".len()..].to_string());
+            false
+        }
+        _ if a.starts_with("--obs-series=") => {
+            obs_series = Some(a["--obs-series=".len()..].to_string());
+            false
+        }
+        _ if a.starts_with("--obs-folded=") => {
+            obs_folded = Some(a["--obs-folded=".len()..].to_string());
             false
         }
         _ if a.starts_with("--seed=") => {
@@ -102,9 +119,28 @@ fn main() {
         eprintln!("ids: {}", ALL.join(" "));
         std::process::exit(2);
     }
-    if obs_path.is_some() {
+    if obs_path.is_some() || serve_obs.is_some() || obs_series.is_some() || obs_folded.is_some() {
         routesync_obs::install(routesync_obs::Collector::enabled());
     }
+    if obs_series.is_some() || serve_obs.is_some() {
+        routesync_obs::global().configure_series(routesync_obs::SeriesConfig::default());
+    }
+    let server = serve_obs.as_deref().map(|addr| {
+        interrupt::install();
+        match routesync_obs::ObsServer::serve(addr, routesync_obs::global()) {
+            Ok(server) => {
+                eprintln!(
+                    "experiments: obs exporter listening on {}",
+                    server.local_addr()
+                );
+                server
+            }
+            Err(err) => {
+                eprintln!("experiments: --serve-obs={addr}: {err}");
+                std::process::exit(1);
+            }
+        }
+    });
     let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
         ALL.to_vec()
     } else {
@@ -245,8 +281,31 @@ fn main() {
             std::process::exit(1);
         }
     }
+    if let Some(path) = &obs_series {
+        if let Err(err) =
+            routesync_obs::write_series(&routesync_obs::global(), std::path::Path::new(path))
+        {
+            eprintln!("experiments: failed to write --obs-series to {path}: {err}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = &obs_folded {
+        if let Err(err) =
+            routesync_obs::write_folded(&routesync_obs::global(), std::path::Path::new(path))
+        {
+            eprintln!("experiments: failed to write --obs-folded to {path}: {err}");
+            std::process::exit(1);
+        }
+    }
     if failures > 0 {
         eprintln!("{failures} experiment(s) failed their shape checks or were quarantined");
         std::process::exit(1);
+    }
+    if let Some(server) = server {
+        eprintln!("experiments: done; serving obs until interrupted (Ctrl-C to exit)");
+        while !interrupt::interrupted() {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        server.shutdown();
     }
 }

@@ -47,6 +47,7 @@ usage: sweep [--param tr|tc|tp|n] [--from X] [--to X] [--steps K]
              [--metric fraction|f|g|sync-time|resync-time] [--seeds S]
              [--horizon SECS] [--f2 SECS] [--n N] [--tp SECS] [--tc SECS]
              [--tr SECS] [--threads T] [--obs PATH.json]
+             [--serve-obs ADDR] [--obs-series PATH] [--obs-folded PATH]
              [--resume CKPT] [--deadline-secs S] [--watchdog-steps K]
              [--quarantine-out PATH.jsonl] [--engine scalar|batched]
 
@@ -58,6 +59,16 @@ usage: sweep [--param tr|tc|tp|n] [--from X] [--to X] [--steps K]
              honours the ROUTESYNC_THREADS env var when unset)
   --obs      enable instrumentation and write a metrics snapshot
              (counters, gauges, histograms, spans, trace) to PATH.json
+  --serve-obs   enable instrumentation and serve it over HTTP on ADDR
+             (e.g. 127.0.0.1:0): /metrics Prometheus text, /snapshot
+             JSON, /stream NDJSON. The bound address is printed to
+             stderr; after the sweep finishes the exporter keeps
+             serving until Ctrl-C, then exits 0.
+  --obs-series  enable instrumentation with simulated-time series
+             sampling and dump the series (JSON, or CSV if PATH ends
+             in .csv) to PATH after the run
+  --obs-folded  write the span profile as folded stacks (one
+             `a;b;c ns` line per span, flamegraph-ready) to PATH
   --resume   stream completed (point, seed) cells to a crash-safe
              checkpoint; if CKPT already exists, skip its completed cells
              (byte-identical output to an uninterrupted run). Ctrl-C
@@ -82,6 +93,9 @@ const KNOWN_FLAGS: &[&str] = &[
     "seeds",
     "threads",
     "obs",
+    "serve-obs",
+    "obs-series",
+    "obs-folded",
     "n",
     "tp",
     "tc",
@@ -177,9 +191,29 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     validate_args(&args);
     let obs_path = flag(&args, "obs");
-    if obs_path.is_some() {
+    let serve_obs = flag(&args, "serve-obs");
+    let obs_series = flag(&args, "obs-series");
+    let obs_folded = flag(&args, "obs-folded");
+    if obs_path.is_some() || serve_obs.is_some() || obs_series.is_some() || obs_folded.is_some() {
         routesync_obs::install(routesync_obs::Collector::enabled());
     }
+    if obs_series.is_some() || serve_obs.is_some() {
+        routesync_obs::global().configure_series(routesync_obs::SeriesConfig::default());
+    }
+    // Start the exporter before the work so /stream shows the sweep live.
+    let server = serve_obs.as_deref().map(|addr| {
+        interrupt::install();
+        match routesync_obs::ObsServer::serve(addr, routesync_obs::global()) {
+            Ok(server) => {
+                eprintln!("sweep: obs exporter listening on {}", server.local_addr());
+                server
+            }
+            Err(err) => {
+                eprintln!("sweep: --serve-obs {addr}: {err}");
+                std::process::exit(1);
+            }
+        }
+    });
     let param = flag(&args, "param").unwrap_or_else(|| "tr".into());
     let from: f64 = flag(&args, "from")
         .and_then(|v| v.parse().ok())
@@ -431,8 +465,33 @@ fn main() {
             std::process::exit(1);
         }
     }
+    if let Some(path) = &obs_series {
+        if let Err(err) =
+            routesync_obs::write_series(&routesync_obs::global(), std::path::Path::new(path))
+        {
+            eprintln!("sweep: failed to write --obs-series to {path}: {err}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = &obs_folded {
+        if let Err(err) =
+            routesync_obs::write_folded(&routesync_obs::global(), std::path::Path::new(path))
+        {
+            eprintln!("sweep: failed to write --obs-folded to {path}: {err}");
+            std::process::exit(1);
+        }
+    }
     if !quarantines.is_empty() {
         std::process::exit(1);
+    }
+    // With a live exporter, keep serving the finished run's metrics until
+    // the user interrupts us (the PR 5 SIGINT path) — then a clean exit 0.
+    if let Some(server) = server {
+        eprintln!("sweep: done; serving obs until interrupted (Ctrl-C to exit)");
+        while !interrupt::interrupted() {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        server.shutdown();
     }
 }
 
@@ -500,8 +559,13 @@ fn run_cell(
                 Duration::from_secs_f64(p.tc),
                 Duration::from_secs_f64(p.tr),
             );
+            // Telemetry first in the pair: it only writes to obs, so the
+            // swept value below stays byte-identical with it attached.
             let mut rec = Ticked {
-                inner: routesync_core::FirstPassageUp::new(p.n),
+                inner: (
+                    routesync_core::Telemetry::from_global(&params),
+                    routesync_core::FirstPassageUp::new(p.n),
+                ),
                 ctx,
             };
             let horizon = SimTime::from_secs_f64(horizon);
@@ -520,7 +584,7 @@ fn run_cell(
                     block.run(horizon, std::slice::from_mut(&mut rec));
                 }
             }
-            match rec.inner.first(p.n) {
+            match rec.inner.1.first(p.n) {
                 Some((t, _)) => CellValue::Value(t.as_secs_f64()),
                 None => CellValue::Censored,
             }

@@ -90,6 +90,34 @@ pub fn order_parameter_series(trace: &SendTrace, n: usize, round_len: Duration) 
         .collect()
 }
 
+/// Offline synchronization-onset estimate over an R(t) series: the time
+/// of the **first** window of the first run of `sustain` consecutive
+/// windows with `r >= threshold`, or `None` if no such run exists.
+///
+/// This is the post-hoc mirror of the online estimator in
+/// `routesync_obs::online` — feed it the output of
+/// [`order_parameter_series`] and the two must agree exactly, which is
+/// how the integration tests validate the streaming detector.
+pub fn sync_onset(series: &[(f64, f64)], threshold: f64, sustain: usize) -> Option<f64> {
+    assert!(sustain > 0, "sustain must be at least one window");
+    let mut above = 0usize;
+    let mut run_start = 0.0f64;
+    for &(t, r) in series {
+        if r >= threshold {
+            if above == 0 {
+                run_start = t;
+            }
+            above += 1;
+            if above >= sustain {
+                return Some(run_start);
+            }
+        } else {
+            above = 0;
+        }
+    }
+    None
+}
+
 /// The final phases (time-offsets, seconds) of each router's *last* send
 /// in a trace — a snapshot of where everyone sits in the cycle.
 pub fn final_phases(trace: &SendTrace, n: usize, round_len: Duration) -> Vec<Option<f64>> {

@@ -37,7 +37,7 @@
 //! no injected triggered updates); anything else needs the event-driven
 //! [`crate::PeriodicModel`].
 
-use routesync_desim::SimTime;
+use routesync_desim::{Duration, SimTime};
 use routesync_rng::{JitterPolicy, TimerResetPolicy, UniformDuration};
 
 use crate::fast::joins_burst;
@@ -218,6 +218,23 @@ impl BatchedEnsemble {
     /// Largest simultaneous-reset group cell `c` has produced.
     pub fn high_water(&self, c: usize) -> u32 {
         self.high_water[c]
+    }
+
+    /// The current phase vector of cell `c`: each router's pending timer
+    /// expiry modulo `period`, in nanoseconds, indexed by node id — the
+    /// SoA counterpart of [`crate::FastModel::phase_offsets_into`],
+    /// byte-identical to it after identical runs (lane `j` is node `j`;
+    /// `BUSY` markers never survive a pass). Behind the Kuramoto order
+    /// parameter R(t).
+    pub fn phase_offsets_into(&self, c: usize, period: Duration, out: &mut Vec<u64>) {
+        assert!(c < self.cells, "cell {c} out of range ({})", self.cells);
+        assert!(period.as_nanos() > 0, "period must be positive");
+        out.clear();
+        let w = self.width;
+        let p = period.as_nanos();
+        for j in 0..self.n {
+            out.push((self.expiry[j * w + c] >> ID_BITS) % p);
+        }
     }
 
     /// Load one cell per seed (at most `width`), each initialised exactly
@@ -1001,6 +1018,26 @@ mod tests {
         let mut recs = vec![NullRecorder];
         batch.run(SimTime::from_secs(1_000), &mut recs);
         assert_eq!(batch.high_water(0), 6, "synchronized start bursts all 6");
+    }
+
+    #[test]
+    fn phase_offsets_match_scalar_engine() {
+        let p = params(12, 100);
+        let period = p.round_len();
+        let seeds = [41, 42, 43];
+        let horizon = SimTime::from_secs(50_000);
+        let mut batch = BatchedEnsemble::new(p, seeds.len());
+        batch.reset(&StartState::Unsynchronized, &seeds);
+        let mut recs: Vec<NullRecorder> = seeds.iter().map(|_| NullRecorder).collect();
+        batch.run(horizon, &mut recs);
+        let (mut got, mut want) = (Vec::new(), Vec::new());
+        for (c, &seed) in seeds.iter().enumerate() {
+            let mut fast = FastModel::new(p, StartState::Unsynchronized, seed);
+            fast.run(horizon, &mut NullRecorder);
+            batch.phase_offsets_into(c, period, &mut got);
+            fast.phase_offsets_into(period, &mut want);
+            assert_eq!(got, want, "phase vector diverges: seed {seed}");
+        }
     }
 
     #[test]

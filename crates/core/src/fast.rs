@@ -210,6 +210,21 @@ impl FastModel {
         self.sends
     }
 
+    /// The current phase vector: each router's pending timer expiry
+    /// modulo `period`, in nanoseconds, indexed by node id. Between
+    /// bursts every router has exactly one pending expiry, so this is
+    /// the instantaneous "where is everyone in the cycle" vector behind
+    /// the Kuramoto order parameter R(t); feed it (scaled to seconds)
+    /// to [`crate::analysis::order_parameter`].
+    pub fn phase_offsets_into(&self, period: Duration, out: &mut Vec<u64>) {
+        assert!(period.as_nanos() > 0, "period must be positive");
+        out.clear();
+        out.resize(self.params.n, 0);
+        for &Reverse((t, id)) in self.heap.iter() {
+            out[id] = t.as_nanos() % period.as_nanos();
+        }
+    }
+
     /// Run until the next burst would start at/after `horizon` or the
     /// recorder stops the run. Bursts are atomic: one that *starts* before
     /// the horizon is executed completely. Returns the time reached.

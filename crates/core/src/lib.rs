@@ -69,13 +69,16 @@ pub mod fast;
 pub mod model;
 pub mod params;
 pub mod record;
+pub mod telemetry;
 
-pub use analysis::{order_parameter, order_parameter_series, phase_entropy};
+pub use analysis::{order_parameter, order_parameter_series, phase_entropy, sync_onset};
 pub use batch::{BatchedEngine, BatchedEnsemble, CellOut, Engine, EnsembleEngine, ScalarEngine};
 pub use experiment::{DesyncReport, SyncReport};
 pub use fast::FastModel;
 pub use model::{NodeId, PeriodicModel};
 pub use params::{PeriodicParams, StartState, TriggerResponse};
+pub use telemetry::Telemetry;
+
 pub use record::{
     ClusterLog, EventKind, EventLog, FirstPassageDown, FirstPassageUp, NullRecorder, Recorder,
     RoundMax, SendTrace,

@@ -34,6 +34,10 @@ pub struct Engine<E, S = BinaryHeapScheduler<E>> {
     obs_events: routesync_obs::Counter,
     /// High-water mark of the pending-event set.
     obs_pending_high: routesync_obs::Gauge,
+    /// Simulated-time series sampler, ticked as the clock advances so
+    /// samples are stamped at deterministic simulated instants (never
+    /// wall time). One branch per pop when disabled or unconfigured.
+    obs_series: routesync_obs::SeriesTicker,
     _marker: std::marker::PhantomData<E>,
 }
 
@@ -60,6 +64,7 @@ impl<E, S: Scheduler<E>> Engine<E, S> {
             processed: 0,
             obs_events: obs.counter("desim.engine.events"),
             obs_pending_high: obs.gauge("desim.engine.pending.high_water"),
+            obs_series: obs.series_ticker(),
             _marker: std::marker::PhantomData,
         }
     }
@@ -109,6 +114,7 @@ impl<E, S: Scheduler<E>> Engine<E, S> {
         self.now = t;
         self.processed += 1;
         self.obs_events.inc();
+        self.obs_series.tick(t.as_nanos());
         Some((t, ev))
     }
 

@@ -205,11 +205,27 @@ struct NetObs {
     updates_triggered: routesync_obs::Counter,
     /// Per-router busy attribution: `(sim-time, node)` trace events.
     trace: routesync_obs::Tracer,
+    /// Online synchronization detector over periodic (non-triggered)
+    /// update emissions: one window = one round of sends across all
+    /// routers on the cycle `Tp`, publishing the Kuramoto order
+    /// parameter R(t), cluster stats, and the sync-onset estimate as
+    /// gauges (`netsim.sync.*`). Fed regardless of
+    /// [`RouterConfig::record_timeline`] so live telemetry never
+    /// changes simulation output.
+    sync: routesync_obs::SyncDetector,
 }
 
 impl NetObs {
-    fn resolve() -> Self {
+    fn resolve(routers: usize, period: Duration) -> Self {
         let obs = routesync_obs::global();
+        let sync = if routers > 0 {
+            obs.sync_detector(
+                "netsim.sync",
+                routesync_obs::DetectorConfig::new(routers, period.as_nanos()),
+            )
+        } else {
+            routesync_obs::SyncDetector::noop()
+        };
         NetObs {
             packets_sent: obs.counter("netsim.packets.sent"),
             packets_moved: obs.counter("netsim.packets.moved"),
@@ -222,6 +238,7 @@ impl NetObs {
             faults_reboots: obs.counter("netsim.faults.reboots"),
             updates_triggered: obs.counter("netsim.updates.triggered"),
             trace: obs.tracer(),
+            sync,
         }
     }
 }
@@ -392,6 +409,10 @@ impl NetSim {
                     .collect(),
             })
             .collect();
+        let routers = (0..n)
+            .filter(|&id| topo.kind(id) == NodeKind::Router)
+            .count();
+        let obs = NetObs::resolve(routers, cfg.dv.jitter.tp());
         let mut sim = NetSim {
             topo,
             cfg,
@@ -410,7 +431,7 @@ impl NetSim {
             scratch_entries: Vec::new(),
             seed,
             faults: None,
-            obs: NetObs::resolve(),
+            obs,
         };
         if cfg.prepopulate {
             match routes {
@@ -1088,8 +1109,13 @@ impl NetSim {
 
     /// Build and transmit a full-table update on every interface.
     fn emit_update(&mut self, now: SimTime, node: NodeId, triggered: bool) {
-        if self.cfg.record_timeline && !triggered {
-            self.update_log.push((now, node));
+        if !triggered {
+            if self.cfg.record_timeline {
+                self.update_log.push((now, node));
+            }
+            // Streamed regardless of the timeline flag: the detector only
+            // writes metrics, so it cannot change simulation output.
+            self.obs.sync.on_send(now.as_nanos());
         }
         if triggered {
             self.counters.updates_triggered += 1;

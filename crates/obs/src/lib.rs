@@ -53,24 +53,38 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod export;
 pub mod metrics;
+pub mod online;
 pub mod snapshot;
 pub mod span;
+pub mod timeseries;
 pub mod trace;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+pub use export::{
+    folded_stacks, ndjson_line, prometheus_text, write_folded, write_series, ObsServer,
+};
 pub use metrics::{Counter, Gauge, Histogram, LocalHistogram};
+pub use online::{
+    onset_from_series, DetectorConfig, DetectorPoint, DetectorSnapshot, SyncDetector,
+    GAUGE_FIXED_POINT,
+};
 pub use snapshot::{
     HistogramSnapshot, Snapshot, SpanSnapshot, TraceEventSnapshot, TraceSnapshot, REQUIRED_KEYS,
+    SCHEMA_VERSION,
 };
 pub use span::{SpanCache, SpanGuard, SpanTimer};
+pub use timeseries::{SeriesConfig, SeriesSample, SeriesSnapshot, SeriesTicker};
 pub use trace::{TraceEvent, Tracer};
 
 use metrics::{CounterCell, GaugeCell, HistogramCell};
+use online::DetectorCell;
 use span::SpanCell;
+use timeseries::SeriesCell;
 use trace::TraceRing;
 
 /// Default trace-ring capacity for [`Collector::enabled`].
@@ -86,6 +100,8 @@ struct Registry {
     histograms: Mutex<BTreeMap<String, Arc<HistogramCell>>>,
     spans: Mutex<BTreeMap<String, Arc<SpanCell>>>,
     trace: Arc<Mutex<TraceRing>>,
+    series: SeriesCell,
+    detectors: Mutex<BTreeMap<String, Arc<DetectorCell>>>,
 }
 
 impl Registry {
@@ -96,11 +112,13 @@ impl Registry {
             histograms: Mutex::new(BTreeMap::new()),
             spans: Mutex::new(BTreeMap::new()),
             trace: Arc::new(Mutex::new(TraceRing::new(trace_capacity))),
+            series: SeriesCell::default(),
+            detectors: Mutex::new(BTreeMap::new()),
         }
     }
 }
 
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
@@ -184,6 +202,43 @@ impl Collector {
         Tracer(self.0.as_ref().map(|reg| Arc::clone(&reg.trace)))
     }
 
+    /// Arm the simulated-time series sampler: from now on,
+    /// [`SeriesTicker::tick`] calls take a delta-encoded registry sample
+    /// at each `cfg.interval_ns` boundary. No-op on a disabled collector;
+    /// reconfiguring restarts the series.
+    pub fn configure_series(&self, cfg: SeriesConfig) {
+        if let Some(reg) = &self.0 {
+            reg.series.configure(cfg);
+        }
+    }
+
+    /// The clock-hook handle simulation drivers tick as simulated time
+    /// advances (one branch when disabled; one relaxed load when enabled
+    /// but unconfigured).
+    pub fn series_ticker(&self) -> SeriesTicker {
+        SeriesTicker(self.0.clone())
+    }
+
+    /// Resolve (registering on first use) the streaming sync detector
+    /// `name`. Like histograms, the first registration fixes the
+    /// geometry; later resolutions share the same cell. The detector
+    /// publishes `{name}.r`, `{name}.clusters`, `{name}.entropy` and
+    /// `{name}.onset_ns` as first-class gauges.
+    pub fn sync_detector(&self, name: &str, cfg: DetectorConfig) -> SyncDetector {
+        SyncDetector(self.0.as_ref().map(|reg| {
+            let existing = lock(&reg.detectors).get(name).cloned();
+            match existing {
+                Some(cell) => cell,
+                None => {
+                    // Build outside the map lock: gauge registration
+                    // takes the gauges lock of the same registry.
+                    let cell = Arc::new(DetectorCell::new(name, cfg, self));
+                    Arc::clone(lock(&reg.detectors).entry(name.to_string()).or_insert(cell))
+                }
+            }
+        }))
+    }
+
     /// Export the whole registry. A disabled collector exports an empty
     /// snapshot.
     pub fn snapshot(&self) -> Snapshot {
@@ -197,6 +252,12 @@ impl Collector {
         for (name, cell) in lock(&reg.gauges).iter() {
             snap.gauges
                 .insert(name.clone(), Gauge(Some(Arc::clone(cell))).value());
+        }
+        // The series tail is computed against the *same* totals exported
+        // above, so `base + samples + tail` telescopes to them exactly.
+        snap.series = reg.series.snapshot(&snap.counters, &snap.gauges);
+        for (name, cell) in lock(&reg.detectors).iter() {
+            snap.detectors.insert(name.clone(), cell.snapshot());
         }
         for (name, cell) in lock(&reg.histograms).iter() {
             let (counts, count, sum) = cell.merged();
@@ -230,6 +291,7 @@ impl Collector {
             let ring = lock(&reg.trace);
             snap.trace.capacity = ring.capacity();
             snap.trace.dropped = ring.dropped();
+            snap.trace.first_dropped_t_ns = ring.first_dropped_t_ns();
             snap.trace.events = ring
                 .ordered()
                 .into_iter()

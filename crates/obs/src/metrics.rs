@@ -104,6 +104,12 @@ pub(crate) struct GaugeCell {
     value: AtomicU64,
 }
 
+impl GaugeCell {
+    pub(crate) fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
 /// Handle to a gauge: a "latest value" cell with a high-water helper.
 #[derive(Clone, Default)]
 pub struct Gauge(pub(crate) Option<Arc<GaugeCell>>);

@@ -1,13 +1,22 @@
 //! Point-in-time registry export, JSON-serializable.
 //!
 //! A [`Snapshot`] is a plain data tree: metric names map to merged values,
-//! spans to `(count, total_ns, mean_ns)`, and the trace ring to its ordered
-//! events. `BTreeMap`s keep the JSON key order deterministic, so two
-//! snapshots of identical runs diff cleanly.
+//! spans to `(count, total_ns, mean_ns)`, the trace ring to its ordered
+//! events, and (since schema 2) the sampled time-series and streaming
+//! detectors ride along. `BTreeMap`s keep the JSON key order
+//! deterministic, so two snapshots of identical runs diff cleanly.
 
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
+
+use crate::online::DetectorSnapshot;
+use crate::timeseries::SeriesSnapshot;
+
+/// Snapshot JSON layout version. Bumped to 2 when `schema_version`,
+/// `series`, and `detectors` were added; consumers (the CI obs check,
+/// dashboards) validate against this before trusting key layout.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Exported state of one histogram.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -40,6 +49,12 @@ pub struct TraceSnapshot {
     pub capacity: usize,
     /// Events overwritten (or rejected) after the ring filled.
     pub dropped: u64,
+    /// Simulated timestamp of the first event that was dropped, if any —
+    /// a streamed, truncated trace is interpretable: everything before
+    /// this instant is incomplete, everything at/after `events[0]` is
+    /// exact.
+    #[serde(default)]
+    pub first_dropped_t_ns: Option<u64>,
     /// Retained events, oldest-first.
     pub events: Vec<TraceEventSnapshot>,
 }
@@ -56,8 +71,11 @@ pub struct TraceEventSnapshot {
 }
 
 /// A full registry export. Obtain via [`crate::Collector::snapshot`].
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Snapshot {
+    /// Layout version ([`SCHEMA_VERSION`]); validate before consuming.
+    #[serde(default)]
+    pub schema_version: u32,
     /// Counter totals by name.
     pub counters: BTreeMap<String, u64>,
     /// Gauge values by name.
@@ -68,12 +86,42 @@ pub struct Snapshot {
     pub spans: BTreeMap<String, SpanSnapshot>,
     /// The event trace.
     pub trace: TraceSnapshot,
+    /// The simulated-time metric series (empty when unconfigured).
+    #[serde(default)]
+    pub series: SeriesSnapshot,
+    /// Streaming sync detectors by name.
+    #[serde(default)]
+    pub detectors: BTreeMap<String, DetectorSnapshot>,
+}
+
+impl Default for Snapshot {
+    fn default() -> Self {
+        Snapshot {
+            schema_version: SCHEMA_VERSION,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            spans: BTreeMap::new(),
+            trace: TraceSnapshot::default(),
+            series: SeriesSnapshot::default(),
+            detectors: BTreeMap::new(),
+        }
+    }
 }
 
 /// The top-level keys every exported snapshot carries; CI's smoke step and
 /// the snapshot tests check against this list rather than hand-copied
 /// strings.
-pub const REQUIRED_KEYS: [&str; 5] = ["counters", "gauges", "histograms", "spans", "trace"];
+pub const REQUIRED_KEYS: [&str; 8] = [
+    "schema_version",
+    "counters",
+    "gauges",
+    "histograms",
+    "spans",
+    "trace",
+    "series",
+    "detectors",
+];
 
 impl Snapshot {
     /// Serialize to pretty JSON.
@@ -118,6 +166,7 @@ mod tests {
             label: "x".into(),
             value: 1.5,
         });
+        snap.trace.first_dropped_t_ns = Some(2);
         let json = snap.to_json();
         let value: serde::Value = serde_json::from_str(&json).expect("valid json");
         for key in REQUIRED_KEYS {
@@ -125,5 +174,31 @@ mod tests {
         }
         let back = Snapshot::from_json(&json).expect("parses back");
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn default_snapshot_carries_the_current_schema_version() {
+        assert_eq!(Snapshot::default().schema_version, SCHEMA_VERSION);
+        let json = Snapshot::default().to_json();
+        let back = Snapshot::from_json(&json).expect("parses");
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn schema_one_json_still_parses_with_defaults() {
+        // A PR 2-era snapshot: no schema_version/series/detectors keys.
+        let legacy = r#"{
+            "counters": {"a": 1},
+            "gauges": {},
+            "histograms": {},
+            "spans": {},
+            "trace": {"capacity": 0, "dropped": 0, "events": []}
+        }"#;
+        let snap = Snapshot::from_json(legacy).expect("legacy parses");
+        assert_eq!(snap.schema_version, 0, "absent version reads as 0");
+        assert_eq!(snap.counters["a"], 1);
+        assert_eq!(snap.trace.first_dropped_t_ns, None);
+        assert!(snap.series.samples.is_empty());
+        assert!(snap.detectors.is_empty());
     }
 }

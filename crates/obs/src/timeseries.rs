@@ -1,0 +1,400 @@
+//! Simulated-time trajectory sampling of the metrics registry.
+//!
+//! Snapshots (PR 2) are end-of-run points; the paper's phenomena are
+//! *trajectories* — round-length distributions drifting from uniform to a
+//! synchronized spike (Figs 4–5). This module samples the registry at a
+//! fixed **simulated-time** cadence into a bounded, delta-encoded ring:
+//!
+//! * Sampling is driven by the simulation clock ([`SeriesTicker::tick`]
+//!   from the desim event loop and the fast-engine telemetry recorder),
+//!   never by wall time, so a given single-driver run produces the same
+//!   series every time.
+//! * Samples are stamped at the cadence **boundary** they crossed, not at
+//!   the (workload-dependent) event time that happened to cross it, so
+//!   timestamps are a deterministic function of simulated time alone.
+//! * Counter samples are **delta-encoded** (change since the previous
+//!   sample) and the ring is bounded: evicted samples fold their deltas
+//!   into a `base` accumulator, so the exported series always satisfies
+//!   `base + Σ sample deltas + tail = final counter totals` **exactly**,
+//!   at any thread count — the invariant `prop_series.rs` asserts.
+//! * The `tail` sample is computed at snapshot time without mutating the
+//!   ring, so repeated snapshots (the streaming exporter) are idempotent.
+//!
+//! When the collector is disabled the ticker handle is `None` and a tick
+//! is one branch; when enabled but unconfigured it is one relaxed atomic
+//! load against `u64::MAX`. Nothing here feeds back into simulation
+//! state, preserving the PR 2 byte-identity contract.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{lock, Registry};
+
+/// Sampling cadence and ring geometry for [`crate::Collector::configure_series`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesConfig {
+    /// Simulated nanoseconds between samples.
+    pub interval_ns: u64,
+    /// Maximum retained samples; older samples fold into `base`.
+    pub capacity: usize,
+}
+
+impl SeriesConfig {
+    /// A cadence of `interval_ns` with the default ring bound.
+    pub fn every(interval_ns: u64) -> Self {
+        SeriesConfig {
+            interval_ns,
+            capacity: 4096,
+        }
+    }
+}
+
+impl Default for SeriesConfig {
+    fn default() -> Self {
+        // One simulated second; the paper's periods are 30–120 s.
+        SeriesConfig::every(1_000_000_000)
+    }
+}
+
+/// One exported sample: what changed since the previous sample.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SeriesSample {
+    /// The cadence boundary this sample is stamped at (simulated ns). For
+    /// the `tail` sample: the last simulated instant the sampler saw.
+    pub t_ns: u64,
+    /// Counter deltas since the previous sample (zero deltas omitted).
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values that changed since the previous sample.
+    pub gauges: BTreeMap<String, u64>,
+}
+
+/// The exported time-series: ring contents plus the truncation
+/// accumulator and the synthetic tail.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SeriesSnapshot {
+    /// Sampling cadence (0 = the series was never configured).
+    pub interval_ns: u64,
+    /// Ring bound.
+    pub capacity: usize,
+    /// Samples evicted from the ring (their counter deltas live on in
+    /// `base`, so truncation never breaks the sum invariant).
+    pub dropped: u64,
+    /// Counter deltas folded out of evicted samples.
+    pub base: BTreeMap<String, u64>,
+    /// Retained samples, oldest first.
+    pub samples: Vec<SeriesSample>,
+    /// Deltas accrued after the last boundary sample, up to the snapshot:
+    /// `base + samples + tail` telescopes exactly to the snapshot's
+    /// counter totals.
+    pub tail: SeriesSample,
+}
+
+impl SeriesSnapshot {
+    /// `base + Σ samples + tail` per counter — must equal the snapshot's
+    /// final counter totals exactly (the `prop_series.rs` invariant).
+    pub fn counter_sums(&self) -> BTreeMap<String, u64> {
+        let mut out = self.base.clone();
+        for sample in self.samples.iter().chain(std::iter::once(&self.tail)) {
+            for (name, delta) in &sample.counters {
+                *out.entry(name.clone()).or_insert(0) += delta;
+            }
+        }
+        out.retain(|_, v| *v != 0);
+        out
+    }
+}
+
+/// Mutable sampler state behind the registry.
+pub(crate) struct SeriesInner {
+    interval_ns: u64,
+    capacity: usize,
+    /// Counter totals as of the most recent sample (monotone max of
+    /// gathered totals, so racy out-of-order gathers keep telescoping).
+    counter_last: BTreeMap<String, u64>,
+    gauge_last: BTreeMap<String, u64>,
+    samples: VecDeque<SeriesSample>,
+    base: BTreeMap<String, u64>,
+    dropped: u64,
+    /// Last simulated instant a sample was taken at (tail stamp).
+    last_t_ns: u64,
+}
+
+/// The per-registry sampling cell: a lock-free "next boundary" gate in
+/// front of the mutex-guarded ring.
+pub(crate) struct SeriesCell {
+    /// Next cadence boundary due; `u64::MAX` while unconfigured, so the
+    /// hot-path check never fires.
+    pub(crate) next_due: AtomicU64,
+    pub(crate) interval_ns: AtomicU64,
+    pub(crate) inner: Mutex<Option<SeriesInner>>,
+}
+
+impl Default for SeriesCell {
+    fn default() -> Self {
+        SeriesCell {
+            next_due: AtomicU64::new(u64::MAX),
+            interval_ns: AtomicU64::new(0),
+            inner: Mutex::new(None),
+        }
+    }
+}
+
+impl SeriesCell {
+    pub(crate) fn configure(&self, cfg: SeriesConfig) {
+        assert!(cfg.interval_ns > 0, "series interval must be positive");
+        let mut guard = lock(&self.inner);
+        *guard = Some(SeriesInner {
+            interval_ns: cfg.interval_ns,
+            capacity: cfg.capacity.max(1),
+            counter_last: BTreeMap::new(),
+            gauge_last: BTreeMap::new(),
+            samples: VecDeque::new(),
+            base: BTreeMap::new(),
+            dropped: 0,
+            last_t_ns: 0,
+        });
+        self.interval_ns.store(cfg.interval_ns, Ordering::Release);
+        // First sample lands on the first boundary after t = 0.
+        self.next_due.store(cfg.interval_ns, Ordering::Release);
+    }
+
+    /// Record a sample owned via the `next_due` CAS in
+    /// [`Registry::sample_series`]. `boundary` is the stamped time,
+    /// `t_ns` the driving instant; the maps are current registry totals.
+    pub(crate) fn push_sample(
+        &self,
+        boundary: u64,
+        t_ns: u64,
+        counters: BTreeMap<String, u64>,
+        gauges: BTreeMap<String, u64>,
+    ) {
+        let mut guard = lock(&self.inner);
+        let Some(inner) = guard.as_mut() else { return };
+        let mut sample = SeriesSample {
+            t_ns: boundary,
+            ..SeriesSample::default()
+        };
+        for (name, total) in counters {
+            let last = inner.counter_last.entry(name.clone()).or_insert(0);
+            let delta = total.saturating_sub(*last);
+            if delta != 0 {
+                sample.counters.insert(name, delta);
+            }
+            *last = (*last).max(total);
+        }
+        for (name, value) in gauges {
+            let last = inner.gauge_last.get(&name).copied();
+            if last != Some(value) {
+                sample.gauges.insert(name.clone(), value);
+                inner.gauge_last.insert(name, value);
+            }
+        }
+        inner.last_t_ns = inner.last_t_ns.max(t_ns);
+        // Keep the ring time-ordered even if two boundary owners race.
+        let at = inner
+            .samples
+            .iter()
+            .rposition(|s| s.t_ns <= sample.t_ns)
+            .map_or(0, |i| i + 1);
+        inner.samples.insert(at, sample);
+        while inner.samples.len() > inner.capacity {
+            if let Some(evicted) = inner.samples.pop_front() {
+                for (name, delta) in evicted.counters {
+                    *inner.base.entry(name).or_insert(0) += delta;
+                }
+                inner.dropped += 1;
+            }
+        }
+    }
+
+    /// Export the series against `final_counters`/`final_gauges` — the
+    /// exact totals the enclosing snapshot reports, so the tail delta
+    /// telescopes to them precisely. Non-mutating: streaming snapshots
+    /// stay idempotent.
+    pub(crate) fn snapshot(
+        &self,
+        final_counters: &BTreeMap<String, u64>,
+        final_gauges: &BTreeMap<String, u64>,
+    ) -> SeriesSnapshot {
+        let guard = lock(&self.inner);
+        let Some(inner) = guard.as_ref() else {
+            return SeriesSnapshot::default();
+        };
+        let mut tail = SeriesSample {
+            t_ns: inner.last_t_ns,
+            ..SeriesSample::default()
+        };
+        for (name, total) in final_counters {
+            let last = inner.counter_last.get(name).copied().unwrap_or(0);
+            let delta = total.saturating_sub(last);
+            if delta != 0 {
+                tail.counters.insert(name.clone(), delta);
+            }
+        }
+        for (name, value) in final_gauges {
+            if inner.gauge_last.get(name).copied() != Some(*value) {
+                tail.gauges.insert(name.clone(), *value);
+            }
+        }
+        SeriesSnapshot {
+            interval_ns: inner.interval_ns,
+            capacity: inner.capacity,
+            dropped: inner.dropped,
+            base: inner.base.clone(),
+            samples: inner.samples.iter().cloned().collect(),
+            tail,
+        }
+    }
+}
+
+impl Registry {
+    /// Take the sample(s) due at simulated instant `t_ns`. The `next_due`
+    /// CAS makes each boundary sampled exactly once even when multiple
+    /// drivers tick concurrently.
+    pub(crate) fn sample_series(&self, t_ns: u64) {
+        loop {
+            let due = self.series.next_due.load(Ordering::Acquire);
+            if t_ns < due {
+                return;
+            }
+            let interval = self.series.interval_ns.load(Ordering::Acquire);
+            if interval == 0 {
+                return;
+            }
+            // Stamp at the *last* boundary crossed: an idle stretch
+            // yields one sample, not a run of identical ones.
+            let boundary = due + ((t_ns - due) / interval) * interval;
+            if self
+                .series
+                .next_due
+                .compare_exchange(
+                    due,
+                    boundary.saturating_add(interval),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_err()
+            {
+                continue; // another driver owned this boundary; re-check
+            }
+            let counters: BTreeMap<String, u64> = lock(&self.counters)
+                .iter()
+                .map(|(name, cell)| (name.clone(), cell.total()))
+                .collect();
+            let gauges: BTreeMap<String, u64> = lock(&self.gauges)
+                .iter()
+                .map(|(name, cell)| (name.clone(), cell.value()))
+                .collect();
+            self.series.push_sample(boundary, t_ns, counters, gauges);
+            return;
+        }
+    }
+}
+
+/// Clock hook handle: simulation drivers call [`SeriesTicker::tick`] as
+/// simulated time advances. `None` (disabled collector) costs one branch;
+/// enabled-but-unconfigured costs one relaxed load.
+#[derive(Clone, Default)]
+pub struct SeriesTicker(pub(crate) Option<Arc<Registry>>);
+
+impl SeriesTicker {
+    /// A handle that ignores every tick.
+    pub fn noop() -> Self {
+        SeriesTicker(None)
+    }
+
+    /// Advance the sampler to simulated instant `t_ns`.
+    #[inline]
+    pub fn tick(&self, t_ns: u64) {
+        if let Some(reg) = &self.0 {
+            if t_ns >= reg.series.next_due.load(Ordering::Relaxed) {
+                reg.sample_series(t_ns);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Collector;
+
+    #[test]
+    fn unconfigured_series_is_empty_and_ticks_are_inert() {
+        let c = Collector::enabled();
+        c.counter("a").inc();
+        c.series_ticker().tick(10_000_000_000);
+        let snap = c.snapshot();
+        assert_eq!(snap.series, SeriesSnapshot::default());
+    }
+
+    #[test]
+    fn samples_are_stamped_at_boundaries_and_delta_encoded() {
+        let c = Collector::enabled();
+        c.configure_series(SeriesConfig {
+            interval_ns: 100,
+            capacity: 16,
+        });
+        let ticker = c.series_ticker();
+        let counter = c.counter("a");
+        let gauge = c.gauge("g");
+        counter.add(3);
+        gauge.set(7);
+        ticker.tick(105); // crosses boundary 100
+        counter.add(2);
+        ticker.tick(130); // no boundary crossed
+        ticker.tick(420); // crosses 200/300/400 -> one sample at 400
+        counter.add(10);
+        let snap = c.snapshot();
+        let s = &snap.series;
+        assert_eq!(s.interval_ns, 100);
+        let stamps: Vec<u64> = s.samples.iter().map(|x| x.t_ns).collect();
+        assert_eq!(stamps, vec![100, 400]);
+        assert_eq!(s.samples[0].counters["a"], 3);
+        assert_eq!(s.samples[0].gauges["g"], 7);
+        assert_eq!(s.samples[1].counters["a"], 2);
+        assert!(s.samples[1].gauges.is_empty(), "gauge unchanged");
+        assert_eq!(s.tail.counters["a"], 10);
+        assert_eq!(s.counter_sums()["a"], snap.counters["a"]);
+    }
+
+    #[test]
+    fn eviction_folds_deltas_into_base_and_keeps_the_sum_exact() {
+        let c = Collector::enabled();
+        c.configure_series(SeriesConfig {
+            interval_ns: 10,
+            capacity: 2,
+        });
+        let ticker = c.series_ticker();
+        let counter = c.counter("a");
+        for t in 1..=6u64 {
+            counter.add(t);
+            ticker.tick(t * 10);
+        }
+        counter.add(100);
+        let snap = c.snapshot();
+        let s = &snap.series;
+        assert_eq!(s.samples.len(), 2);
+        assert_eq!(s.dropped, 4);
+        assert!(s.base["a"] > 0);
+        assert_eq!(s.counter_sums()["a"], snap.counters["a"]);
+        // Idempotent: a second snapshot exports the identical series.
+        assert_eq!(c.snapshot().series, *s);
+    }
+
+    #[test]
+    fn tail_only_series_still_sums_exactly() {
+        let c = Collector::enabled();
+        c.configure_series(SeriesConfig {
+            interval_ns: 1_000,
+            capacity: 4,
+        });
+        c.counter("a").add(41);
+        let snap = c.snapshot();
+        assert!(snap.series.samples.is_empty());
+        assert_eq!(snap.series.counter_sums()["a"], 41);
+    }
+}

@@ -31,6 +31,10 @@ pub(crate) struct TraceRing {
     /// Index of the oldest event once the ring has wrapped.
     head: usize,
     dropped: u64,
+    /// Simulated timestamp of the first event lost to the ring bound —
+    /// exported so a truncated trace says *when* its record stops being
+    /// complete.
+    first_dropped_t_ns: Option<u64>,
 }
 
 impl TraceRing {
@@ -40,17 +44,25 @@ impl TraceRing {
             capacity,
             head: 0,
             dropped: 0,
+            first_dropped_t_ns: None,
         }
     }
 
     pub(crate) fn push(&mut self, ev: TraceEvent) {
         if self.capacity == 0 {
+            if self.first_dropped_t_ns.is_none() {
+                self.first_dropped_t_ns = Some(ev.t_ns);
+            }
             self.dropped += 1;
             return;
         }
         if self.buf.len() < self.capacity {
             self.buf.push(ev);
         } else {
+            let evicted = self.buf[self.head];
+            if self.first_dropped_t_ns.is_none() {
+                self.first_dropped_t_ns = Some(evicted.t_ns);
+            }
             self.buf[self.head] = ev;
             self.head = (self.head + 1) % self.capacity;
             self.dropped += 1;
@@ -71,6 +83,10 @@ impl TraceRing {
 
     pub(crate) fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    pub(crate) fn first_dropped_t_ns(&self) -> Option<u64> {
+        self.first_dropped_t_ns
     }
 }
 
@@ -121,6 +137,27 @@ mod tests {
         assert_eq!(times, vec![2, 3, 4]);
         assert_eq!(ring.dropped(), 2);
         assert_eq!(ring.capacity(), 3);
+        // The first evicted event was t = 0.
+        assert_eq!(ring.first_dropped_t_ns(), Some(0));
+    }
+
+    #[test]
+    fn first_dropped_timestamp_is_none_until_the_ring_wraps() {
+        let mut ring = TraceRing::new(4);
+        for i in 0..4u64 {
+            ring.push(TraceEvent {
+                t_ns: i * 10,
+                label: "x",
+                value: 0.0,
+            });
+        }
+        assert_eq!(ring.first_dropped_t_ns(), None);
+        ring.push(TraceEvent {
+            t_ns: 40,
+            label: "x",
+            value: 0.0,
+        });
+        assert_eq!(ring.first_dropped_t_ns(), Some(0));
     }
 
     #[test]
@@ -133,6 +170,7 @@ mod tests {
         });
         assert!(ring.ordered().is_empty());
         assert_eq!(ring.dropped(), 1);
+        assert_eq!(ring.first_dropped_t_ns(), Some(1));
     }
 
     #[test]

@@ -20,6 +20,9 @@ commands:
               flags: --n 20 --tp 121 --tc 0.11 --tr 0.1 --horizon 1e6
                      --seed 1993 --start unsync|sync [--plot]
                      [--engine event|fast|batched] (trace-identical)
+                     [--obs-series PATH] [--obs-folded PATH]
+                     [--serve-obs ADDR] (telemetry: time-series dump,
+                     folded span stacks, HTTP exporter until Ctrl-C)
   analyze     evaluate the Markov-chain model
               flags: --n 20 --tp 121 --tc 0.11 --tr 0.1 --f2 19
   recommend   solve for the minimum jitter Tr
@@ -78,7 +81,18 @@ impl From<&str> for CliError {
 fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
     Some(match command {
         "simulate" => &[
-            "n", "tp", "tc", "tr", "horizon", "seed", "start", "engine", "plot",
+            "n",
+            "tp",
+            "tc",
+            "tr",
+            "horizon",
+            "seed",
+            "start",
+            "engine",
+            "plot",
+            "obs-series",
+            "obs-folded",
+            "serve-obs",
         ],
         "analyze" => &["n", "tp", "tc", "tr", "f2"],
         "recommend" => &["n", "tp", "tc", "tr", "target"],
@@ -236,6 +250,34 @@ fn simulate(flags: &HashMap<String, String>) -> Result<String, CliError> {
     let params = core_params(flags)?;
     let horizon = get_f64(flags, "horizon", 1e6)?;
     let seed = get_u64(flags, "seed", 1993)?;
+    // Any telemetry flag turns the global collector on *before* the engine
+    // is constructed (obs handles resolve once, at construction time). The
+    // simulation output below is byte-identical either way — the PR 2
+    // invariant, re-asserted for the trajectory telemetry by the
+    // integration tests.
+    let obs_live = flags.contains_key("obs-series")
+        || flags.contains_key("obs-folded")
+        || flags.contains_key("serve-obs");
+    if obs_live {
+        routesync_obs::install(routesync_obs::Collector::enabled());
+        routesync_obs::global().configure_series(routesync_obs::SeriesConfig::default());
+    }
+    let server = match flags.get("serve-obs") {
+        None => None,
+        Some(addr) => {
+            routesync_exec::interrupt::install();
+            match routesync_obs::ObsServer::serve(addr, routesync_obs::global()) {
+                Ok(server) => {
+                    eprintln!(
+                        "simulate: obs exporter listening on {}",
+                        server.local_addr()
+                    );
+                    Some(server)
+                }
+                Err(e) => return Err(CliError::Failure(format!("--serve-obs {addr}: {e}\n"))),
+            }
+        }
+    };
     let start = match flags.get("start").map(|s| s.as_str()).unwrap_or("unsync") {
         "unsync" | "unsynchronized" => StartState::Unsynchronized,
         "sync" | "synchronized" => StartState::Synchronized,
@@ -258,8 +300,11 @@ fn simulate(flags: &HashMap<String, String>) -> Result<String, CliError> {
     );
     if from_sync {
         let mut rec = (
-            routesync_core::FirstPassageDown::new(params.n, 1),
-            RoundMax::new(),
+            routesync_core::Telemetry::from_global(&params),
+            (
+                routesync_core::FirstPassageDown::new(params.n, 1),
+                RoundMax::new(),
+            ),
         );
         run_simulate_engine(
             engine,
@@ -269,6 +314,7 @@ fn simulate(flags: &HashMap<String, String>) -> Result<String, CliError> {
             SimTime::from_secs_f64(horizon),
             &mut rec,
         );
+        let rec = rec.1;
         rounds = rec.1;
         match rec.0.first(1) {
             Some((t, r)) => {
@@ -288,8 +334,11 @@ fn simulate(flags: &HashMap<String, String>) -> Result<String, CliError> {
         }
     } else {
         let mut rec = (
-            routesync_core::FirstPassageUp::new(params.n),
-            RoundMax::new(),
+            routesync_core::Telemetry::from_global(&params),
+            (
+                routesync_core::FirstPassageUp::new(params.n),
+                RoundMax::new(),
+            ),
         );
         run_simulate_engine(
             engine,
@@ -299,6 +348,7 @@ fn simulate(flags: &HashMap<String, String>) -> Result<String, CliError> {
             SimTime::from_secs_f64(horizon),
             &mut rec,
         );
+        let rec = rec.1;
         rounds = rec.1;
         match rec.0.first(params.n) {
             Some((t, r)) => {
@@ -326,6 +376,23 @@ fn simulate(flags: &HashMap<String, String>) -> Result<String, CliError> {
             .collect();
         let _ = writeln!(out, "largest cluster per round:");
         out.push_str(&ascii::scatter(&pts, 90, 16, '+'));
+    }
+    if let Some(path) = flags.get("obs-series") {
+        routesync_obs::write_series(&routesync_obs::global(), std::path::Path::new(path))
+            .map_err(|e| CliError::Failure(format!("cannot write --obs-series {path:?}: {e}\n")))?;
+    }
+    if let Some(path) = flags.get("obs-folded") {
+        routesync_obs::write_folded(&routesync_obs::global(), std::path::Path::new(path))
+            .map_err(|e| CliError::Failure(format!("cannot write --obs-folded {path:?}: {e}\n")))?;
+    }
+    // Keep serving the finished run's metrics until Ctrl-C, then exit
+    // cleanly through the normal output path.
+    if let Some(server) = server {
+        eprintln!("simulate: done; serving obs until interrupted (Ctrl-C to exit)");
+        while !routesync_exec::interrupt::interrupted() {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        server.shutdown();
     }
     Ok(out)
 }

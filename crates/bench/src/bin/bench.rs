@@ -13,6 +13,11 @@
 //!   engine (calendar/heap scheduler behind [`routesync_core::PeriodicModel`]).
 //! * `netsim_packets_per_sec` — packet events/second through the
 //!   packet-level simulator on a LAN scenario with ping + Poisson load.
+//! * `netsim_scale` — the internet-scale leg: the hierarchical scenario
+//!   (√n totally-stubby areas behind a backbone LAN) run to five DECnet
+//!   rounds at n = 1 000 and 10 000 (plus 100 000 in the full run), with
+//!   wall time, events/second, and resident-set size from
+//!   `/proc/self/status` (0.0 where unavailable).
 //! * `figure_wall_secs` — wall time to regenerate a representative figure
 //!   (fig4, fast config).
 //! * `parallel_speedup` — serial vs all-cores wall-time ratio for a seed
@@ -58,6 +63,7 @@ struct Report {
     core_events_per_sec: f64,
     desim_events_per_sec: f64,
     netsim_packets_per_sec: f64,
+    netsim_scale: Vec<ScaleEntry>,
     figure_wall_secs: f64,
     ensemble: Ensemble,
     parallel_speedup: f64,
@@ -67,6 +73,22 @@ struct Report {
     thread_sweep: Vec<ThreadSweepEntry>,
     obs: ObsSection,
     supervision: SupervisionSection,
+}
+
+/// One N of the internet-scale netsim leg: the hierarchical scenario run
+/// to `horizon_secs` simulated seconds, with throughput and memory.
+#[derive(Serialize)]
+struct ScaleEntry {
+    n: usize,
+    areas: usize,
+    horizon_secs: u64,
+    wall_secs: f64,
+    events: u64,
+    events_per_sec: f64,
+    /// Resident set size right after the run, MiB (0.0 off Linux).
+    rss_mb: f64,
+    /// Process-lifetime peak RSS, MiB (0.0 off Linux).
+    peak_rss_mb: f64,
 }
 
 /// Batched SoA kernel vs the scalar fast engine on the same single-thread
@@ -260,6 +282,23 @@ fn compare(old_path: &str, new_path: &str) {
     }
 }
 
+/// Current and peak resident set size in MiB from `/proc/self/status`
+/// (`VmRSS` / `VmHWM`); `(0.0, 0.0)` where that file does not exist.
+fn rss_mb() -> (f64, f64) {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return (0.0, 0.0);
+    };
+    let grab = |key: &str| {
+        status
+            .lines()
+            .find(|l| l.starts_with(key))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|kb| kb.parse::<f64>().ok())
+            .map_or(0.0, |kb| kb / 1024.0)
+    };
+    (grab("VmRSS:"), grab("VmHWM:"))
+}
+
 fn paper_params(n: usize) -> PeriodicParams {
     PeriodicParams::new(
         n,
@@ -326,6 +365,39 @@ fn main() {
     let c = sim.counters();
     let packets = c.sent + c.forwarded + c.delivered + c.updates_processed + c.hellos_sent;
     let netsim_packets_per_sec = packets as f64 / net_wall;
+
+    // --- internet-scale netsim -------------------------------------------
+    // The hierarchical scenario (√n totally-stubby star areas on one
+    // backbone LAN, incremental triggered updates) run to five DECnet
+    // rounds per N. RSS is read while the simulator is still alive, so
+    // the number covers the topology arenas, the routing tables, and the
+    // event queue together.
+    let scale_ns: &[usize] = if fast {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let scale_horizon = 600u64;
+    let mut netsim_scale = Vec::new();
+    for &sn in scale_ns {
+        let areas = ((sn as f64).sqrt().round() as usize).clamp(2, sn);
+        let mut scen = routesync_netsim::ScenarioSpec::hierarchical_for(sn).build(1993);
+        let t0 = Instant::now();
+        scen.sim.run_until(SimTime::from_secs(scale_horizon));
+        let wall_secs = t0.elapsed().as_secs_f64();
+        let events = scen.sim.events_processed();
+        let (rss, peak) = rss_mb();
+        netsim_scale.push(ScaleEntry {
+            n: sn,
+            areas,
+            horizon_secs: scale_horizon,
+            wall_secs,
+            events,
+            events_per_sec: events as f64 / wall_secs,
+            rss_mb: rss,
+            peak_rss_mb: peak,
+        });
+    }
 
     // --- one full figure -----------------------------------------------
     let mut cfg = routesync_bench::Config::fast();
@@ -619,6 +691,7 @@ fn main() {
         core_events_per_sec,
         desim_events_per_sec,
         netsim_packets_per_sec,
+        netsim_scale,
         figure_wall_secs,
         ensemble: Ensemble {
             seeds: seeds.len(),

@@ -17,6 +17,11 @@
 //!   cluster to re-absorb n/3 crashed-then-rebooted routers (netsim +
 //!   fault plan, averaged over --seeds runs). Honours `n` and `tr`; the
 //!   scenario pins Tp to the DECnet 120 s and Tc to its table size.
+//! * `net-events` — discrete events processed by the packet-level
+//!   hierarchical scenario (`areas ≈ √n` totally-stubby star areas on a
+//!   backbone LAN) run to --horizon simulated seconds. Honours `n` and
+//!   `tr`; deterministic for a given seed, so one cell per point. This
+//!   is the metric that makes `--param n` meaningful to N = 100 000+.
 //!
 //! Sweepable parameters: `tr`, `n`, `tc`, `tp`. Fixed values come from
 //! the paper's reference configuration unless overridden by --n/--tp/
@@ -44,7 +49,8 @@ use routesync_markov::{ChainParams, PeriodicChain};
 
 const USAGE: &str = "\
 usage: sweep [--param tr|tc|tp|n] [--from X] [--to X] [--steps K]
-             [--metric fraction|f|g|sync-time|resync-time] [--seeds S]
+             [--metric fraction|f|g|sync-time|resync-time|net-events]
+             [--seeds S]
              [--horizon SECS] [--f2 SECS] [--n N] [--tp SECS] [--tc SECS]
              [--tr SECS] [--threads T] [--obs PATH.json]
              [--serve-obs ADDR] [--obs-series PATH] [--obs-folded PATH]
@@ -52,7 +58,8 @@ usage: sweep [--param tr|tc|tp|n] [--from X] [--to X] [--steps K]
              [--quarantine-out PATH.jsonl] [--engine scalar|batched]
 
   --param    parameter swept across the grid (default: tr)
-  --metric   fraction | f | g | sync-time | resync-time (default: fraction)
+  --metric   fraction | f | g | sync-time | resync-time | net-events
+             (default: fraction)
   --engine   simulation engine for the sync-time metric (default: scalar;
              batched uses the SoA block kernel — trace-identical output)
   --threads  worker threads for simulated metrics (default: all cores;
@@ -251,10 +258,10 @@ fn main() {
     };
     if !matches!(
         metric.as_str(),
-        "fraction" | "f" | "g" | "sync-time" | "resync-time"
+        "fraction" | "f" | "g" | "sync-time" | "resync-time" | "net-events"
     ) {
         usage_error(&format!(
-            "unknown --metric `{metric}` (fraction|f|g|sync-time|resync-time)"
+            "unknown --metric `{metric}` (fraction|f|g|sync-time|resync-time|net-events)"
         ));
     }
     let engine = match flag(&args, "engine") {
@@ -593,6 +600,7 @@ fn run_cell(
             Some(t) => CellValue::Value(t),
             None => CellValue::Censored,
         },
+        "net-events" => CellValue::Value(net_events(p, cell.seed, horizon, ctx)),
         other => unreachable!("metric validated in main: {other}"),
     }
 }
@@ -626,6 +634,26 @@ fn reduce_points(grid: &[(f64, ChainParams)], cells: &[Cell], values: &[CellValu
 /// full-size cluster reappears (`None` if it never does within `horizon`
 /// simulated seconds). Runs in chunks so healed runs stop early; each
 /// chunk ticks the supervisor watchdog.
+/// Run the hierarchical scenario (`areas ≈ √n` totally-stubby star areas
+/// on one backbone LAN) to `horizon` simulated seconds and return the
+/// discrete events processed — the scale metric for `--param n` sweeps to
+/// N = 100 000+. Runs in chunks so each chunk ticks the watchdog.
+fn net_events(p: ChainParams, seed: u64, horizon: f64, ctx: &mut RunCtx) -> f64 {
+    use routesync_netsim::ScenarioSpec;
+    let n = p.n.max(2);
+    let areas = ((n as f64).sqrt().round() as usize).clamp(2, n);
+    let mut scen = ScenarioSpec::hierarchical(n, areas, Duration::from_secs_f64(p.tr)).build(seed);
+    let period = 120u64; // the scenario's DECnet update period
+    let horizon = horizon as u64;
+    let mut t = 0u64;
+    while t < horizon {
+        ctx.tick();
+        t = (t + 10 * period).min(horizon);
+        scen.sim.run_until(SimTime::from_secs(t));
+    }
+    scen.sim.events_processed() as f64
+}
+
 fn resync_time(p: ChainParams, seed: u64, horizon: f64, ctx: &mut RunCtx) -> Option<f64> {
     use routesync_netsim::scenario::largest_cluster_series;
     use routesync_netsim::{FaultPlan, ScenarioSpec};

@@ -193,6 +193,7 @@ pub fn seed_corpus() -> Vec<CaseSpec> {
         abstract_case(Oracle::Translation, 4, 300, 1_500),
         abstract_case(Oracle::TrMonotonicity, 5, 60, 8_000),
         lan_case(Oracle::EmptyFaultPlan, 4, 1_000, false, 1_200, Vec::new()),
+        lan_case(Oracle::NetsimStorage, 4, 500, false, 1_200, Vec::new()),
         // Variants that reach paths the base cases do not.
         lan_case(Oracle::NetsimTiming, 4, 0, true, 1_300, Vec::new()),
         lan_case(
@@ -216,7 +217,10 @@ pub fn seed_corpus() -> Vec<CaseSpec> {
 }
 
 fn is_lan_oracle(oracle: Oracle) -> bool {
-    matches!(oracle, Oracle::NetsimTiming | Oracle::EmptyFaultPlan)
+    matches!(
+        oracle,
+        Oracle::NetsimTiming | Oracle::EmptyFaultPlan | Oracle::NetsimStorage
+    )
 }
 
 fn clamp(v: u64, lo: u64, hi: u64) -> u64 {
@@ -253,8 +257,11 @@ pub fn sanitize(spec: &mut CaseSpec) {
         Oracle::MarkovSync => {
             spec.n = spec.n.clamp(3, 8);
             // Synchronization regime: jitter no larger than twice the
-            // coupling, horizon long enough that censoring is rare.
-            spec.tr_ms = clamp(spec.tr_ms, 0, 2 * spec.tc_ms);
+            // coupling, horizon long enough that censoring is rare. The
+            // lower bound keeps the ensemble ergodic: at Tr = 0 offsets
+            // never drift, so runs whose initial offsets hold no pair
+            // within Tc can never form one and f(2) is unobservable.
+            spec.tr_ms = clamp(spec.tr_ms, 10, 2 * spec.tc_ms);
             spec.horizon_s = clamp(spec.horizon_s, 500 * tp_s, 3_000 * tp_s);
         }
         Oracle::MarkovDesync => {

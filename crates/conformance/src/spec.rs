@@ -24,7 +24,7 @@ use serde::{Deserialize, Serialize};
 ///   (simulated passage times vs the chain's `f`/`g` closed forms);
 /// * **metamorphic** — [`Oracle::ThreadInvariance`],
 ///   [`Oracle::Translation`], [`Oracle::TrMonotonicity`],
-///   [`Oracle::EmptyFaultPlan`].
+///   [`Oracle::EmptyFaultPlan`], [`Oracle::NetsimStorage`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Oracle {
     /// FastModel and PeriodicModel produce identical send and cluster
@@ -52,11 +52,15 @@ pub enum Oracle {
     /// Building a scenario with an empty fault plan is bit-identical to
     /// building it with none (metamorphic, exact).
     EmptyFaultPlan,
+    /// Freezing the topology into the CSR storage backing leaves the
+    /// packet-level run bit-identical to the dense builder form
+    /// (metamorphic, exact).
+    NetsimStorage,
 }
 
 impl Oracle {
     /// All oracles, in a fixed order (the fuzzer's seed corpus order).
-    pub const ALL: [Oracle; 8] = [
+    pub const ALL: [Oracle; 9] = [
         Oracle::EngineEquivalence,
         Oracle::NetsimTiming,
         Oracle::MarkovSync,
@@ -65,6 +69,7 @@ impl Oracle {
         Oracle::Translation,
         Oracle::TrMonotonicity,
         Oracle::EmptyFaultPlan,
+        Oracle::NetsimStorage,
     ];
 
     /// The oracle family, for reporting: `differential`, `analytical` or
@@ -76,7 +81,8 @@ impl Oracle {
             Oracle::ThreadInvariance
             | Oracle::Translation
             | Oracle::TrMonotonicity
-            | Oracle::EmptyFaultPlan => "metamorphic",
+            | Oracle::EmptyFaultPlan
+            | Oracle::NetsimStorage => "metamorphic",
         }
     }
 
@@ -91,6 +97,7 @@ impl Oracle {
             Oracle::Translation => "translation",
             Oracle::TrMonotonicity => "tr-monotonicity",
             Oracle::EmptyFaultPlan => "empty-fault-plan",
+            Oracle::NetsimStorage => "netsim-storage",
         }
     }
 }
@@ -205,6 +212,20 @@ impl CaseSpec {
     /// by the scenario (120 s), so the packet-level oracles read `tp_ms`
     /// as 120 000 regardless of the field.
     pub fn build_lan(&self, seed: u64) -> Scenario {
+        self.lan_spec().build(seed)
+    }
+
+    /// [`CaseSpec::build_lan`] with an explicit topology-storage backing
+    /// (the [`crate::oracles::netsim_storage`] oracle's CSR leg).
+    pub fn build_lan_with_storage(
+        &self,
+        backing: routesync_netsim::Backing,
+        seed: u64,
+    ) -> Scenario {
+        self.lan_spec().with_storage(backing).build(seed)
+    }
+
+    fn lan_spec(&self) -> ScenarioSpec {
         ScenarioSpec::lan(self.n, Duration::from_millis(self.tr_ms))
             .with_forwarding(ForwardingMode::Concurrent)
             .with_start(if self.sync_start {
@@ -213,7 +234,6 @@ impl CaseSpec {
                 TimerStart::Unsynchronized
             })
             .with_faults(self.fault_plan())
-            .build(seed)
     }
 }
 

@@ -72,16 +72,12 @@ fn empty_plan_lan_matches_pre_redesign_golden_at_any_thread_count() {
     }
 }
 
-/// The deprecated shim and the builder agree with the golden too.
+/// The builder stays pinned to the golden captured before the storage
+/// redesign: arena/SoA tables and the flat adjacency must not move a
+/// single reset.
 #[test]
-#[allow(deprecated)]
-fn deprecated_lan_shim_matches_golden() {
-    let mut l = routesync_netsim::scenario::lan(
-        8,
-        Duration::from_millis(100),
-        TimerStart::Synchronized,
-        1993,
-    );
+fn builder_lan_matches_golden() {
+    let mut l = ScenarioSpec::lan(8, Duration::from_millis(100)).build(1993);
     l.sim.run_until(SimTime::from_secs(30_000));
     assert_eq!(l.sim.counters().updates_sent, LAN_GOLDEN_UPDATES_SENT);
     assert_eq!(reset_log_fnv(l.sim.reset_log()), LAN_GOLDEN_RESET_FNV);

@@ -75,7 +75,7 @@ proptest! {
     ) {
         let (t, ha, hb, routers) = random_topology(n, chord_seed, chords);
         let neighbors: Vec<std::collections::HashSet<NodeId>> = (0..t.node_count())
-            .map(|v| t.neighbors(v).into_iter().map(|(m, _)| m).collect())
+            .map(|v| t.neighbors_iter(v).map(|(m, _)| m).collect())
             .collect();
         let sim = NetSim::new(t, config(), 1);
         let nodes: Vec<NodeId> = routers.iter().copied().chain([ha, hb]).collect();
@@ -191,7 +191,7 @@ proptest! {
                 if u != hb && !routers.contains(&u) {
                     continue;
                 }
-                for (v, _) in t.neighbors(u) {
+                for (v, _) in t.neighbors_iter(u) {
                     if dist[v] == usize::MAX {
                         dist[v] = dist[u] + 1;
                         q.push_back(v);

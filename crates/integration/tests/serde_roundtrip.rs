@@ -67,7 +67,7 @@ fn topology_roundtrips_with_structure_intact() {
     let back: Topology = roundtrip(&t);
     assert_eq!(back.node_count(), 2);
     assert_eq!(back.link_count(), 1);
-    assert_eq!(back.neighbors(a), vec![(r, 0)]);
+    assert_eq!(back.neighbors_iter(a).collect::<Vec<_>>(), vec![(r, 0)]);
     assert_eq!(back.name(r), "r");
 }
 

@@ -8,13 +8,25 @@
 //! garbage collection. The *timing* of updates (the part the paper is
 //! about) is driven by [`crate::sim::NetSim`] through the same
 //! [`JitterPolicy`]/[`TimerResetPolicy`] knobs as the abstract model.
-
-use std::collections::HashMap;
+//!
+//! The table itself is a flat structure-of-arrays arena sorted by
+//! destination: parallel `Vec`s for metric, next hop and the three clocks,
+//! looked up by binary search. Entry iteration is therefore always in
+//! ascending destination order — advertisements come out sorted without a
+//! sort, and behaviour is reproducible without hashing anywhere. Beyond
+//! the classic full-table advertisement the table supports **delta
+//! advertisements** (only destinations dirtied since the last flush, for
+//! incremental triggered updates) and **area-aggregated advertisements**
+//! (exact routes stay inside their [`crate::area::AreaLayout`] area;
+//! remote areas collapse to one aggregate entry; stub links receive an
+//! originated default route) — the machinery that keeps tables small at
+//! internet scale.
 
 use routesync_desim::{Duration, SimTime};
 use routesync_rng::{JitterPolicy, TimerResetPolicy};
 use serde::{Deserialize, Serialize};
 
+use crate::area::{AreaLayout, AreaMode, DEFAULT_DST};
 use crate::topology::NodeId;
 
 /// One advertised route.
@@ -93,6 +105,12 @@ pub struct DvConfig {
     pub gc_timeout: Duration,
     /// Whether metric changes emit immediate triggered updates.
     pub triggered_updates: bool,
+    /// Incremental triggered updates: a triggered update carries only the
+    /// routes that changed since the router last advertised, instead of
+    /// the full table. Periodic updates still refresh everything. Off by
+    /// default (classic RIP resends the full table), on in the
+    /// internet-scale hierarchical scenarios.
+    pub triggered_delta: bool,
     /// IGRP-style hold-down: after a destination becomes unreachable,
     /// ignore alternative routes to it (from anyone but the original next
     /// hop) for this long. Prevents believing stale "good news" during a
@@ -124,6 +142,7 @@ impl DvConfig {
             route_timeout: Duration::from_secs(180),
             gc_timeout: Duration::from_secs(120),
             triggered_updates: true,
+            triggered_delta: false,
             split_horizon: true,
             hello: None,
             holddown: None,
@@ -204,6 +223,12 @@ impl DvConfig {
         self.advertise_pad = pad;
         self
     }
+
+    /// Enable or disable incremental (delta) triggered updates.
+    pub fn with_triggered_delta(mut self, delta: bool) -> Self {
+        self.triggered_delta = delta;
+        self
+    }
 }
 
 /// A route as held in the table.
@@ -222,77 +247,183 @@ pub struct Route {
     pub dead_since: Option<SimTime>,
 }
 
-/// A router's routing table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// "No hold-down" sentinel: `now < NO_HOLDDOWN` is false for every `now`,
+/// exactly matching the `Option::None` semantics it encodes.
+const NO_HOLDDOWN: SimTime = SimTime::ZERO;
+/// "Not dead" sentinel (a real death instant is always an actual sim
+/// time; guard before arithmetic).
+const NOT_DEAD: SimTime = SimTime::MAX;
+
+/// A router's routing table: a flat structure-of-arrays arena sorted by
+/// destination. Binary-search lookups, ordered iteration, no hashing.
+#[derive(Debug, Clone)]
 pub struct RoutingTable {
     me: NodeId,
-    routes: HashMap<NodeId, Route>,
+    dsts: Vec<NodeId>,
+    metrics: Vec<u32>,
+    next_hops: Vec<NodeId>,
+    last_heard: Vec<SimTime>,
+    /// [`NO_HOLDDOWN`] when no hold-down is active.
+    holddown_until: Vec<SimTime>,
+    /// [`NOT_DEAD`] while the route is alive.
+    dead_since: Vec<SimTime>,
+    /// When set, destinations whose routes change are recorded in `dirty`
+    /// (drives delta triggered updates).
+    track_dirty: bool,
+    dirty: Vec<NodeId>,
 }
 
 impl RoutingTable {
     /// A table for router `me`, containing only the self-route.
     pub fn new(me: NodeId) -> Self {
-        let mut routes = HashMap::new();
-        routes.insert(
+        let mut t = RoutingTable {
             me,
-            Route {
-                metric: 0,
-                next_hop: me,
-                last_heard: SimTime::MAX, // never expires
-                holddown_until: None,
-                dead_since: None,
-            },
-        );
-        RoutingTable { me, routes }
+            dsts: Vec::new(),
+            metrics: Vec::new(),
+            next_hops: Vec::new(),
+            last_heard: Vec::new(),
+            holddown_until: Vec::new(),
+            dead_since: Vec::new(),
+            track_dirty: false,
+            dirty: Vec::new(),
+        };
+        t.insert_self();
+        t
+    }
+
+    fn insert_self(&mut self) {
+        let me = self.me;
+        // Self-route: metric 0, never expires.
+        self.raw_insert(0, me, 0, me, SimTime::MAX, NO_HOLDDOWN, NOT_DEAD);
+    }
+
+    /// The router this table belongs to.
+    pub fn me(&self) -> NodeId {
+        self.me
     }
 
     /// Wipe the table back to the cold-start state: only the self-route
     /// survives. This is a router crash — direct routes come back via
     /// [`RoutingTable::install_direct`] on reboot, and everything else must
-    /// be re-learned from neighbours' advertisements. Keeps the map's
+    /// be re-learned from neighbours' advertisements. Keeps the arenas'
     /// capacity, so crash/reboot cycles do not reallocate.
     pub fn reset(&mut self) {
-        let me = self.me;
-        self.routes.clear();
-        self.routes.insert(
-            me,
-            Route {
-                metric: 0,
-                next_hop: me,
-                last_heard: SimTime::MAX, // never expires
-                holddown_until: None,
-                dead_since: None,
-            },
-        );
+        self.dsts.clear();
+        self.metrics.clear();
+        self.next_hops.clear();
+        self.last_heard.clear();
+        self.holddown_until.clear();
+        self.dead_since.clear();
+        self.dirty.clear();
+        self.insert_self();
+    }
+
+    fn find(&self, dst: NodeId) -> Result<usize, usize> {
+        self.dsts.binary_search(&dst)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn raw_insert(
+        &mut self,
+        i: usize,
+        dst: NodeId,
+        metric: u32,
+        next_hop: NodeId,
+        last_heard: SimTime,
+        holddown_until: SimTime,
+        dead_since: SimTime,
+    ) {
+        self.dsts.insert(i, dst);
+        self.metrics.insert(i, metric);
+        self.next_hops.insert(i, next_hop);
+        self.last_heard.insert(i, last_heard);
+        self.holddown_until.insert(i, holddown_until);
+        self.dead_since.insert(i, dead_since);
+    }
+
+    fn remove_where(&mut self, mut keep: impl FnMut(usize) -> bool) {
+        // In-place parallel compaction across the arenas.
+        let mut w = 0;
+        for r in 0..self.dsts.len() {
+            if keep(r) {
+                if w != r {
+                    self.dsts[w] = self.dsts[r];
+                    self.metrics[w] = self.metrics[r];
+                    self.next_hops[w] = self.next_hops[r];
+                    self.last_heard[w] = self.last_heard[r];
+                    self.holddown_until[w] = self.holddown_until[r];
+                    self.dead_since[w] = self.dead_since[r];
+                }
+                w += 1;
+            }
+        }
+        self.dsts.truncate(w);
+        self.metrics.truncate(w);
+        self.next_hops.truncate(w);
+        self.last_heard.truncate(w);
+        self.holddown_until.truncate(w);
+        self.dead_since.truncate(w);
+    }
+
+    fn mark_dirty(&mut self, dst: NodeId) {
+        if self.track_dirty {
+            self.dirty.push(dst);
+        }
+    }
+
+    /// Enable or disable dirty-destination tracking (delta updates).
+    pub fn set_dirty_tracking(&mut self, on: bool) {
+        self.track_dirty = on;
+        if !on {
+            self.dirty.clear();
+        }
+    }
+
+    /// Whether any destination changed since the last dirty flush.
+    pub fn has_dirty(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    /// Move the dirtied destinations (sorted, deduplicated) into `out`
+    /// and clear the internal set.
+    pub fn take_dirty_into(&mut self, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.append(&mut self.dirty);
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    fn upsert(&mut self, dst: NodeId, metric: u32, next_hop: NodeId) {
+        match self.find(dst) {
+            Ok(i) => {
+                self.metrics[i] = metric;
+                self.next_hops[i] = next_hop;
+                self.last_heard[i] = SimTime::MAX;
+                self.holddown_until[i] = NO_HOLDDOWN;
+                self.dead_since[i] = NOT_DEAD;
+            }
+            Err(i) => self.raw_insert(
+                i,
+                dst,
+                metric,
+                next_hop,
+                SimTime::MAX,
+                NO_HOLDDOWN,
+                NOT_DEAD,
+            ),
+        }
+        self.mark_dirty(dst);
     }
 
     /// Install a directly connected destination (metric 1, never expires —
     /// adjacency loss is signalled via [`RoutingTable::fail_via`]).
     pub fn install_direct(&mut self, neighbor: NodeId) {
-        self.routes.insert(
-            neighbor,
-            Route {
-                metric: 1,
-                next_hop: neighbor,
-                last_heard: SimTime::MAX,
-                holddown_until: None,
-                dead_since: None,
-            },
-        );
+        self.upsert(neighbor, 1, neighbor);
     }
 
     /// Install an arbitrary route (used for pre-converged scenarios).
     pub fn install(&mut self, dst: NodeId, metric: u32, next_hop: NodeId) {
-        self.routes.insert(
-            dst,
-            Route {
-                metric,
-                next_hop,
-                last_heard: SimTime::MAX,
-                holddown_until: None,
-                dead_since: None,
-            },
-        );
+        self.upsert(dst, metric, next_hop);
     }
 
     /// Bellman-Ford step for an update from `from` (a directly connected
@@ -322,49 +453,41 @@ impl RoutingTable {
         let mut changed = false;
         for e in entries {
             let cand = (e.metric + 1).min(infinity);
-            match self.routes.get_mut(&e.dst) {
-                Some(r) if r.next_hop == from => {
+            match self.find(e.dst) {
+                Ok(i) if self.next_hops[i] == from => {
                     // Updates from the current next hop are authoritative,
                     // better or worse.
-                    r.last_heard = now;
-                    if r.metric != cand {
-                        if cand >= infinity && r.metric < infinity {
+                    self.last_heard[i] = now;
+                    if self.metrics[i] != cand {
+                        if cand >= infinity && self.metrics[i] < infinity {
                             // Route lost: start hold-down and the gc clock.
-                            r.holddown_until = holddown.map(|h| now + h);
-                            r.dead_since = Some(now);
+                            self.holddown_until[i] = holddown.map_or(NO_HOLDDOWN, |h| now + h);
+                            self.dead_since[i] = now;
                         } else if cand < infinity {
-                            r.dead_since = None;
+                            self.dead_since[i] = NOT_DEAD;
                         }
-                        r.metric = cand;
+                        self.metrics[i] = cand;
                         changed = true;
+                        self.mark_dirty(e.dst);
                     }
                 }
-                Some(r) => {
-                    let held = matches!(r.holddown_until, Some(hu) if now < hu);
-                    if cand < r.metric && !held {
-                        *r = Route {
-                            metric: cand,
-                            next_hop: from,
-                            last_heard: now,
-                            holddown_until: None,
-                            dead_since: None,
-                        };
+                Ok(i) => {
+                    let held = now < self.holddown_until[i];
+                    if cand < self.metrics[i] && !held {
+                        self.metrics[i] = cand;
+                        self.next_hops[i] = from;
+                        self.last_heard[i] = now;
+                        self.holddown_until[i] = NO_HOLDDOWN;
+                        self.dead_since[i] = NOT_DEAD;
                         changed = true;
+                        self.mark_dirty(e.dst);
                     }
                 }
-                None => {
+                Err(i) => {
                     if cand < infinity {
-                        self.routes.insert(
-                            e.dst,
-                            Route {
-                                metric: cand,
-                                next_hop: from,
-                                last_heard: now,
-                                holddown_until: None,
-                                dead_since: None,
-                            },
-                        );
+                        self.raw_insert(i, e.dst, cand, from, now, NO_HOLDDOWN, NOT_DEAD);
                         changed = true;
+                        self.mark_dirty(e.dst);
                     }
                 }
             }
@@ -388,12 +511,18 @@ impl RoutingTable {
         holddown: Option<Duration>,
     ) -> bool {
         let mut changed = false;
-        for (dst, r) in self.routes.iter_mut() {
-            if *dst != self.me && r.next_hop == next_hop && r.metric < infinity {
-                r.metric = infinity;
-                r.holddown_until = holddown.map(|h| now + h);
-                r.dead_since = Some(now);
+        let hd = holddown.map_or(NO_HOLDDOWN, |h| now + h);
+        for i in 0..self.dsts.len() {
+            if self.dsts[i] != self.me
+                && self.next_hops[i] == next_hop
+                && self.metrics[i] < infinity
+            {
+                self.metrics[i] = infinity;
+                self.holddown_until[i] = hd;
+                self.dead_since[i] = now;
                 changed = true;
+                let dst = self.dsts[i];
+                self.mark_dirty(dst);
             }
         }
         changed
@@ -403,15 +532,17 @@ impl RoutingTable {
     /// anything changed.
     pub fn expire(&mut self, now: SimTime, timeout: Duration, infinity: u32) -> bool {
         let mut changed = false;
-        for (dst, r) in self.routes.iter_mut() {
-            if *dst != self.me
-                && r.last_heard != SimTime::MAX
-                && r.metric < infinity
-                && r.last_heard + timeout <= now
+        for i in 0..self.dsts.len() {
+            if self.dsts[i] != self.me
+                && self.last_heard[i] != SimTime::MAX
+                && self.metrics[i] < infinity
+                && self.last_heard[i] + timeout <= now
             {
-                r.metric = infinity;
-                r.dead_since = Some(now);
+                self.metrics[i] = infinity;
+                self.dead_since[i] = now;
                 changed = true;
+                let dst = self.dsts[i];
+                self.mark_dirty(dst);
             }
         }
         changed
@@ -419,8 +550,12 @@ impl RoutingTable {
 
     /// Drop every unreachable route immediately.
     pub fn gc(&mut self, infinity: u32) {
-        self.routes
-            .retain(|&dst, r| dst == self.me || r.metric < infinity);
+        let me = self.me;
+        let dsts = std::mem::take(&mut self.dsts);
+        let metrics = std::mem::take(&mut self.metrics);
+        self.dsts = dsts;
+        self.metrics = metrics;
+        self.remove_where_fields(|dst, metric, _| dst == me || metric < infinity);
     }
 
     /// Drop unreachable routes that have been dead for at least `grace`
@@ -428,32 +563,58 @@ impl RoutingTable {
     /// for a while so neighbours hear the bad news, then deleted).
     pub fn gc_due(&mut self, now: SimTime, grace: Duration, infinity: u32) {
         let me = self.me;
-        self.routes.retain(|&dst, r| {
-            dst == me || r.metric < infinity || !matches!(r.dead_since, Some(d) if d + grace <= now)
+        self.remove_where_fields(|dst, metric, dead| {
+            dst == me || metric < infinity || !(dead != NOT_DEAD && dead + grace <= now)
         });
+    }
+
+    fn remove_where_fields(&mut self, mut keep: impl FnMut(NodeId, u32, SimTime) -> bool) {
+        // Split-borrow helper: evaluate keep() against copies, then
+        // compact.
+        let decisions: Vec<bool> = (0..self.dsts.len())
+            .map(|i| keep(self.dsts[i], self.metrics[i], self.dead_since[i]))
+            .collect();
+        self.remove_where(|i| decisions[i]);
     }
 
     /// Next hop towards `dst`, if a live route exists.
     pub fn lookup(&self, dst: NodeId, infinity: u32) -> Option<NodeId> {
-        self.routes
-            .get(&dst)
-            .filter(|r| r.metric < infinity)
-            .map(|r| r.next_hop)
+        match self.find(dst) {
+            Ok(i) if self.metrics[i] < infinity => Some(self.next_hops[i]),
+            _ => None,
+        }
     }
 
     /// Metric towards `dst`.
     pub fn metric(&self, dst: NodeId) -> Option<u32> {
-        self.routes.get(&dst).map(|r| r.metric)
+        self.find(dst).ok().map(|i| self.metrics[i])
     }
 
     /// Number of entries (including the self-route).
     pub fn len(&self) -> usize {
-        self.routes.len()
+        self.dsts.len()
     }
 
     /// Whether the table holds only the self-route.
     pub fn is_empty(&self) -> bool {
-        self.routes.len() <= 1
+        self.dsts.len() <= 1
+    }
+
+    /// Iterate `(destination, route)` pairs in ascending destination
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Route)> + '_ {
+        (0..self.dsts.len()).map(|i| (self.dsts[i], self.route_at(i)))
+    }
+
+    fn route_at(&self, i: usize) -> Route {
+        Route {
+            metric: self.metrics[i],
+            next_hop: self.next_hops[i],
+            last_heard: self.last_heard[i],
+            holddown_until: (self.holddown_until[i] != NO_HOLDDOWN)
+                .then_some(self.holddown_until[i]),
+            dead_since: (self.dead_since[i] != NOT_DEAD).then_some(self.dead_since[i]),
+        }
     }
 
     /// The advertisement for an interface whose set of on-link neighbours
@@ -465,14 +626,15 @@ impl RoutingTable {
         split_horizon: bool,
         infinity: u32,
     ) -> Vec<RouteEntry> {
-        let mut out = Vec::with_capacity(self.routes.len());
+        let mut out = Vec::with_capacity(self.dsts.len());
         self.advertisement_into(link_peers, split_horizon, infinity, &mut out);
         out
     }
 
     /// [`RoutingTable::advertisement`] into a caller-supplied buffer, so a
     /// hot loop can reuse one allocation across links. Appends to `out`
-    /// (callers clear or pre-fill as they see fit).
+    /// (callers clear or pre-fill as they see fit); appended entries are
+    /// in ascending destination order.
     pub fn advertisement_into(
         &self,
         link_peers: &[NodeId],
@@ -480,15 +642,178 @@ impl RoutingTable {
         infinity: u32,
         out: &mut Vec<RouteEntry>,
     ) {
-        let first = out.len();
-        out.extend(self.routes.iter().map(|(&dst, r)| {
-            let poisoned = split_horizon && dst != self.me && link_peers.contains(&r.next_hop);
-            RouteEntry {
+        out.reserve(self.dsts.len());
+        for i in 0..self.dsts.len() {
+            let dst = self.dsts[i];
+            let poisoned =
+                split_horizon && dst != self.me && link_peers.contains(&self.next_hops[i]);
+            out.push(RouteEntry {
                 dst,
-                metric: if poisoned { infinity } else { r.metric },
+                metric: if poisoned { infinity } else { self.metrics[i] },
+            });
+        }
+    }
+
+    /// Like [`RoutingTable::advertisement_into`], but restricted to the
+    /// destinations in `only` (sorted; destinations no longer present are
+    /// skipped). This is the incremental triggered update: after a
+    /// failure, only the dirtied routes go on the wire instead of the
+    /// whole table.
+    pub fn advertisement_delta_into(
+        &self,
+        only: &[NodeId],
+        link_peers: &[NodeId],
+        split_horizon: bool,
+        infinity: u32,
+        out: &mut Vec<RouteEntry>,
+    ) {
+        out.reserve(only.len());
+        for &dst in only {
+            let Ok(i) = self.find(dst) else { continue };
+            let poisoned =
+                split_horizon && dst != self.me && link_peers.contains(&self.next_hops[i]);
+            out.push(RouteEntry {
+                dst,
+                metric: if poisoned { infinity } else { self.metrics[i] },
+            });
+        }
+    }
+
+    /// The area-aggregated advertisement for one interface, the scaling
+    /// counterpart of [`RoutingTable::advertisement_into`]:
+    ///
+    /// * exact routes are advertised only on links inside their own area
+    ///   (and in [`AreaMode::TotallyStubby`] not even there — only the
+    ///   sender's self route crosses a stub link);
+    /// * aggregate routes (`AGG_BASE + k`) are advertised everywhere
+    ///   except into area `k` itself and, under totally-stubby, not into
+    ///   stub links (the default route covers them);
+    /// * a border router (`originate_default`) originates the default
+    ///   route at metric 0 on its intra-area links;
+    /// * logical routes use plain split horizon (suppression, not
+    ///   poisoned reverse), keeping backbone updates O(own entries)
+    ///   instead of O(areas); exact routes keep classic poisoned reverse.
+    ///
+    /// With `only = Some(dirty)` the same rules apply restricted to the
+    /// dirtied destinations (incremental triggered updates). Appended
+    /// entries are sorted by destination.
+    #[allow(clippy::too_many_arguments)]
+    pub fn advertisement_area_into(
+        &self,
+        layout: &AreaLayout,
+        mode: AreaMode,
+        link_area: Option<usize>,
+        originate_default: bool,
+        link_peers: &[NodeId],
+        split_horizon: bool,
+        infinity: u32,
+        only: Option<&[NodeId]>,
+        out: &mut Vec<RouteEntry>,
+    ) {
+        let first = out.len();
+        let mut emit = |table: &Self, i: usize| {
+            let dst = table.dsts[i];
+            let metric = table.metrics[i];
+            let next_hop = table.next_hops[i];
+            let on_link = link_peers.contains(&next_hop);
+            if dst == table.me {
+                out.push(RouteEntry { dst, metric });
+                return;
             }
-        }));
+            if dst == DEFAULT_DST {
+                // Held default routes chain outward on intra-area links
+                // only; an originated default supersedes a held one.
+                if link_area.is_some() && !originate_default && !(split_horizon && on_link) {
+                    out.push(RouteEntry { dst, metric });
+                }
+                return;
+            }
+            if let Some(agg) = layout.agg_area(dst) {
+                let into_own_area = link_area == Some(agg);
+                let stubbed = link_area.is_some() && mode == AreaMode::TotallyStubby;
+                if !(into_own_area || stubbed || split_horizon && on_link) {
+                    out.push(RouteEntry { dst, metric });
+                }
+                return;
+            }
+            // Exact (physical) route: only inside its own area, and only
+            // in Stub mode.
+            if mode == AreaMode::Stub && link_area.is_some() && layout.area_of(dst) == link_area {
+                let poisoned = split_horizon && on_link;
+                out.push(RouteEntry {
+                    dst,
+                    metric: if poisoned { infinity } else { metric },
+                });
+            }
+        };
+        match only {
+            None => {
+                for i in 0..self.dsts.len() {
+                    emit(self, i);
+                }
+            }
+            Some(only) => {
+                for &dst in only {
+                    if let Ok(i) = self.find(dst) {
+                        emit(self, i);
+                    }
+                }
+            }
+        }
+        if originate_default && link_area.is_some() {
+            out.push(RouteEntry {
+                dst: DEFAULT_DST,
+                metric: 0,
+            });
+        }
         out[first..].sort_unstable_by_key(|e| e.dst);
+    }
+}
+
+// Serde: the stable wire form is the sorted `(dst, route)` pair list —
+// independent of the arena layout.
+impl Serialize for RoutingTable {
+    fn to_value(&self) -> serde::Value {
+        let routes: Vec<(NodeId, Route)> = self.iter().collect();
+        serde::Value::Object(vec![
+            ("me".to_string(), self.me.to_value()),
+            ("routes".to_string(), routes.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for RoutingTable {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let me = NodeId::from_value(
+            v.get("me")
+                .ok_or_else(|| serde::Error::custom("RoutingTable missing 'me'"))?,
+        )?;
+        let routes = Vec::<(NodeId, Route)>::from_value(
+            v.get("routes")
+                .ok_or_else(|| serde::Error::custom("RoutingTable missing 'routes'"))?,
+        )?;
+        let mut t = RoutingTable::new(me);
+        for (dst, r) in routes {
+            match t.find(dst) {
+                Ok(i) => {
+                    t.metrics[i] = r.metric;
+                    t.next_hops[i] = r.next_hop;
+                    t.last_heard[i] = r.last_heard;
+                    t.holddown_until[i] = r.holddown_until.unwrap_or(NO_HOLDDOWN);
+                    t.dead_since[i] = r.dead_since.unwrap_or(NOT_DEAD);
+                }
+                Err(i) => t.raw_insert(
+                    i,
+                    dst,
+                    r.metric,
+                    r.next_hop,
+                    r.last_heard,
+                    r.holddown_until.unwrap_or(NO_HOLDDOWN),
+                    r.dead_since.unwrap_or(NOT_DEAD),
+                ),
+            }
+        }
+        Ok(t)
     }
 }
 
@@ -607,6 +932,7 @@ mod tests {
         assert_eq!(DvConfig::egp().jitter.tp(), Duration::from_secs(180));
         assert!(DvConfig::rip().split_horizon);
         assert_eq!(DvConfig::rip().infinity, 16);
+        assert!(!DvConfig::rip().triggered_delta);
     }
 
     #[test]
@@ -672,6 +998,224 @@ mod tests {
         let adv = t.advertisement(&[], true, 16);
         let dsts: Vec<NodeId> = adv.iter().map(|e| e.dst).collect();
         assert_eq!(dsts, vec![3, 5, 8]);
+    }
+
+    #[test]
+    fn arena_stays_sorted_under_arbitrary_insert_order() {
+        let mut t = RoutingTable::new(7);
+        for &d in &[42usize, 3, 19, 100, 1, 55] {
+            t.process_update(1, &[RouteEntry { dst: d, metric: 2 }], now(1), 16);
+        }
+        let dsts: Vec<NodeId> = t.iter().map(|(d, _)| d).collect();
+        let mut sorted = dsts.clone();
+        sorted.sort_unstable();
+        assert_eq!(dsts, sorted);
+        assert_eq!(t.metric(19), Some(3));
+        assert_eq!(t.metric(7), Some(0), "self route intact");
+    }
+
+    #[test]
+    fn dirty_tracking_records_changes_once_flushed() {
+        let mut t = RoutingTable::new(0);
+        t.set_dirty_tracking(true);
+        t.install_direct(1);
+        t.process_update(1, &[RouteEntry { dst: 9, metric: 1 }], now(1), 16);
+        t.process_update(1, &[RouteEntry { dst: 9, metric: 3 }], now(2), 16);
+        let mut dirty = Vec::new();
+        t.take_dirty_into(&mut dirty);
+        assert_eq!(dirty, vec![1, 9], "sorted, deduplicated");
+        assert!(!t.has_dirty(), "flush clears the set");
+        // Unchanged re-advertisement dirties nothing.
+        t.process_update(1, &[RouteEntry { dst: 9, metric: 3 }], now(3), 16);
+        assert!(!t.has_dirty());
+        // A failure dirties the affected routes.
+        t.fail_via_with(1, 16, now(4), None);
+        t.take_dirty_into(&mut dirty);
+        assert_eq!(dirty, vec![1, 9]);
+    }
+
+    #[test]
+    fn delta_advertisement_is_restricted_to_dirty_routes() {
+        let mut t = RoutingTable::new(0);
+        t.install_direct(1);
+        t.install_direct(2);
+        t.process_update(1, &[RouteEntry { dst: 9, metric: 1 }], now(1), 16);
+        let mut out = Vec::new();
+        t.advertisement_delta_into(&[2, 9, 77], &[], true, 16, &mut out);
+        assert_eq!(
+            out,
+            vec![
+                RouteEntry { dst: 2, metric: 1 },
+                RouteEntry { dst: 9, metric: 2 },
+            ],
+            "missing destinations are skipped"
+        );
+    }
+
+    #[test]
+    fn table_roundtrips_through_serde() {
+        let mut t = RoutingTable::new(0);
+        t.install_direct(1);
+        t.process_update(1, &[RouteEntry { dst: 9, metric: 1 }], now(1), 16);
+        t.fail_via_with(1, 16, now(5), Some(Duration::from_secs(10)));
+        let back = RoutingTable::from_value(&t.to_value()).expect("roundtrip");
+        assert_eq!(back.me(), 0);
+        assert_eq!(back.len(), t.len());
+        let a: Vec<_> = t.iter().collect();
+        let b: Vec<_> = back.iter().collect();
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod area_tests {
+    use super::*;
+    use crate::area::AreaLayout;
+
+    fn now(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// Two areas of 3: border routers 0 and 3, stub routers 1,2 and 4,5.
+    fn layout() -> AreaLayout {
+        AreaLayout::from_sizes(&[3, 3])
+    }
+
+    fn border_table() -> RoutingTable {
+        // Border router 0 of area 0: members 1,2 direct; backbone peer 3
+        // direct; aggregate for area 1 via 3; own aggregate at 0.
+        let mut t = RoutingTable::new(0);
+        t.install_direct(1);
+        t.install_direct(2);
+        t.install_direct(3);
+        t.install(AreaLayout::agg_dst(0), 0, 0);
+        t.install(AreaLayout::agg_dst(1), 1, 3);
+        t
+    }
+
+    #[test]
+    fn stub_link_advertisement_is_self_plus_default_when_totally_stubby() {
+        let t = border_table();
+        let mut out = Vec::new();
+        t.advertisement_area_into(
+            &layout(),
+            AreaMode::TotallyStubby,
+            Some(0),
+            true,
+            &[1],
+            true,
+            16,
+            None,
+            &mut out,
+        );
+        assert_eq!(
+            out,
+            vec![
+                RouteEntry { dst: 0, metric: 0 },
+                RouteEntry {
+                    dst: DEFAULT_DST,
+                    metric: 0
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn stub_mode_adds_intra_area_exacts() {
+        let t = border_table();
+        let mut out = Vec::new();
+        t.advertisement_area_into(
+            &layout(),
+            AreaMode::Stub,
+            Some(0),
+            true,
+            &[1],
+            true,
+            16,
+            None,
+            &mut out,
+        );
+        let get = |d: NodeId| out.iter().find(|e| e.dst == d).map(|e| e.metric);
+        assert_eq!(get(0), Some(0), "self");
+        assert_eq!(get(1), Some(16), "on-link peer poisoned");
+        assert_eq!(get(2), Some(1), "intra-area exact");
+        assert_eq!(get(4), None, "inter-area exacts suppressed");
+        assert_eq!(get(DEFAULT_DST), Some(0), "default originated");
+        assert_eq!(
+            get(AreaLayout::agg_dst(1)),
+            Some(1),
+            "stub (non-totally-stubby) links do carry aggregates"
+        );
+    }
+
+    #[test]
+    fn backbone_advertisement_carries_own_aggregate_only() {
+        let t = border_table();
+        let mut out = Vec::new();
+        // Backbone link to router 3 (spans areas → link_area None).
+        t.advertisement_area_into(
+            &layout(),
+            AreaMode::TotallyStubby,
+            None,
+            true,
+            &[3],
+            true,
+            16,
+            None,
+            &mut out,
+        );
+        assert_eq!(
+            out,
+            vec![
+                RouteEntry { dst: 0, metric: 0 },
+                RouteEntry {
+                    dst: AreaLayout::agg_dst(0),
+                    metric: 0
+                },
+            ],
+            "members suppressed; remote aggregate split-horizoned away; \
+             no default onto the backbone"
+        );
+    }
+
+    #[test]
+    fn aggregates_behave_like_ordinary_routes_on_receipt() {
+        // A stub router receiving an aggregate installs, refreshes and
+        // expires it through the standard Bellman-Ford path.
+        let mut t = RoutingTable::new(4);
+        t.install_direct(3);
+        let agg = AreaLayout::agg_dst(0);
+        assert!(t.process_update(
+            3,
+            &[RouteEntry {
+                dst: agg,
+                metric: 0
+            }],
+            now(1),
+            16
+        ));
+        assert_eq!(t.lookup(agg, 16), Some(3));
+        assert!(t.expire(now(400), Duration::from_secs(180), 16));
+        assert_eq!(t.lookup(agg, 16), None);
+    }
+
+    #[test]
+    fn delta_area_advertisement_respects_both_filters() {
+        let t = border_table();
+        let mut out = Vec::new();
+        // Only member 2 dirtied; stub link in Stub mode, no origination.
+        t.advertisement_area_into(
+            &layout(),
+            AreaMode::Stub,
+            Some(0),
+            false,
+            &[1],
+            true,
+            16,
+            Some(&[2]),
+            &mut out,
+        );
+        assert_eq!(out, vec![RouteEntry { dst: 2, metric: 1 }]);
     }
 }
 

@@ -37,6 +37,7 @@
 use routesync_desim::{Duration, SimTime};
 use serde::{Deserialize, Serialize};
 
+use crate::area::AreaLayout;
 use crate::topology::{LinkId, NodeId};
 
 /// Base RNG stream index for stochastic link flaps (one stream per flap
@@ -189,6 +190,28 @@ impl FaultPlan {
         self.schedule(at, FaultAction::RouterReboot(node))
     }
 
+    /// Crash every router in area `k` of `layout` at `at` — a whole-area
+    /// outage, the hierarchical analogue of [`FaultPlan::crash_at`].
+    /// Actions are scheduled in ascending node-id order, so the fault log
+    /// is deterministic.
+    pub fn crash_area_at(mut self, layout: &AreaLayout, k: usize, at: SimTime) -> Self {
+        for node in layout.members(k) {
+            self = self.crash_at(node, at);
+        }
+        self
+    }
+
+    /// Reboot every router in area `k` of `layout` at `at` (each reboot is
+    /// a no-op for routers that are not crashed then). The resulting burst
+    /// of triggered updates is the paper's Section 3.1 storm injection
+    /// path, scaled to a whole area.
+    pub fn reboot_area_at(mut self, layout: &AreaLayout, k: usize, at: SimTime) -> Self {
+        for node in layout.members(k) {
+            self = self.reboot_at(node, at);
+        }
+        self
+    }
+
     /// Flap `link` stochastically: exponentially distributed up-times with
     /// mean `mtbf` and down-times with mean `mttr`.
     pub fn flap_link(mut self, link: LinkId, mtbf: Duration, mttr: Duration) -> Self {
@@ -293,6 +316,32 @@ mod tests {
             .link_down_at(0, SimTime::from_secs(1))
             .is_empty());
         assert!(!FaultPlan::new().slow_router(0, 2.0).is_empty());
+    }
+
+    #[test]
+    fn area_faults_expand_to_member_actions_in_order() {
+        let layout = AreaLayout::from_sizes(&[2, 3]);
+        let plan = FaultPlan::new()
+            .crash_area_at(&layout, 1, SimTime::from_secs(10))
+            .reboot_area_at(&layout, 1, SimTime::from_secs(20));
+        let crash: Vec<_> = plan.scheduled[..3].iter().map(|s| s.action).collect();
+        assert_eq!(
+            crash,
+            vec![
+                FaultAction::RouterCrash(2),
+                FaultAction::RouterCrash(3),
+                FaultAction::RouterCrash(4),
+            ]
+        );
+        assert!(plan.scheduled[3..]
+            .iter()
+            .all(|s| s.at == SimTime::from_secs(20)
+                && matches!(s.action, FaultAction::RouterReboot(n) if (2..5).contains(&n))));
+        // An empty area expands to nothing.
+        let empty = AreaLayout::from_starts(vec![0, 2, 2]);
+        assert!(FaultPlan::new()
+            .crash_area_at(&empty, 1, SimTime::from_secs(1))
+            .is_empty());
     }
 
     #[test]

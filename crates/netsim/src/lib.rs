@@ -33,9 +33,14 @@
 //!   `(seed, plan)` reproduces a run byte-for-byte.
 //! * [`scenario`] — canned topologies behind one typed builder:
 //!   [`ScenarioSpec::nearnet`] for Figures 1-2,
-//!   [`ScenarioSpec::mbone_audiocast`] for Figure 3, and
+//!   [`ScenarioSpec::mbone_audiocast`] for Figure 3,
 //!   [`ScenarioSpec::lan`] (N routers on one segment) to validate the
-//!   packet simulator against the abstract Periodic Messages model.
+//!   packet simulator against the abstract Periodic Messages model, and
+//!   [`ScenarioSpec::hierarchical`] (backbone + totally-stubby edge
+//!   areas) to push the Fig 15 N-transition to 100 000+ routers.
+//! * [`area`] — the hierarchical area model behind that scaling:
+//!   contiguous-id areas, aggregate routes, and originated defaults (see
+//!   `docs/SCALING.md`).
 //!
 //! The protocol timers use the same [`routesync_rng::JitterPolicy`] /
 //! [`routesync_rng::TimerResetPolicy`] knobs as the abstract model, so
@@ -67,6 +72,7 @@
 #![warn(missing_docs)]
 
 pub mod app;
+pub mod area;
 pub mod dv;
 pub mod faults;
 pub mod packet;
@@ -75,6 +81,7 @@ pub mod sim;
 pub mod topology;
 
 pub use app::{CbrReceiverStats, PingStats};
+pub use area::{AreaLayout, AreaMode, AGG_BASE, DEFAULT_DST};
 pub use dv::{DvConfig, HelloConfig, RouteEntry, RoutingTable};
 pub use faults::{
     CpuSlowdown, FaultAction, FaultKind, FaultPlan, FaultRecord, LinkFlapProfile, LinkImpairment,
@@ -85,4 +92,6 @@ pub use scenario::{Scenario, ScenarioSpec};
 pub use sim::{
     run_many, Counters, ForwardingMode, NetSim, PrecomputedRoutes, RouterConfig, TimerStart,
 };
-pub use topology::{LinkId, NodeId, NodeKind, Topology};
+pub use topology::{
+    Backing, CsrStorage, DenseStorage, LinkId, LinkRef, NodeId, NodeKind, Topology, TopologyStorage,
+};

@@ -25,10 +25,11 @@
 
 use routesync_desim::{Duration, SimTime};
 
+use crate::area::{AreaLayout, AreaMode};
 use crate::dv::DvConfig;
 use crate::faults::FaultPlan;
 use crate::sim::{ForwardingMode, NetSim, RouterConfig, TimerStart};
-use crate::topology::{NodeId, Topology};
+use crate::topology::{Backing, NodeId, Topology};
 
 /// Which canned topology a [`ScenarioSpec`] builds.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,17 +45,20 @@ enum SpecKind {
         chords: usize,
         jitter_tr: Duration,
     },
+    Hierarchical {
+        n: usize,
+        areas: usize,
+        jitter_tr: Duration,
+        mode: AreaMode,
+    },
 }
 
 /// A typed, buildable description of a measurement scenario: pick a
 /// canned topology, optionally override the knobs experiments actually
 /// vary, attach a [`FaultPlan`], and [`ScenarioSpec::build`] with a seed.
-///
-/// This replaces the four free-function constructors (`nearnet`,
-/// `mbone_audiocast`, `lan`, `random_mesh`), which survive as deprecated
-/// shims. Every consumer — `bench`, `experiments`, `sweep`, the examples
-/// — goes through this one builder, so faults and config overrides
-/// compose uniformly across all of them.
+/// This is the **single** construction API — every consumer (`bench`,
+/// `experiments`, `sweep`, the examples) goes through this one builder,
+/// so faults and config overrides compose uniformly across all of them.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     kind: SpecKind,
@@ -62,6 +66,7 @@ pub struct ScenarioSpec {
     forwarding: Option<ForwardingMode>,
     start: Option<TimerStart>,
     record_timeline: Option<bool>,
+    storage: Option<Backing>,
 }
 
 /// A built scenario: the simulator plus handles to its interesting nodes.
@@ -133,6 +138,49 @@ impl ScenarioSpec {
         })
     }
 
+    /// `n` routers in `areas` totally-stubby star areas behind one
+    /// backbone LAN — the internet-scale topology (see `docs/SCALING.md`).
+    /// Area `k` owns a contiguous id range: its border router first, then
+    /// its edge routers, each on a point-to-point link to the border; all
+    /// border routers share the backbone LAN. Routing state is
+    /// hierarchical ([`NetSim::with_areas`]): aggregates on the backbone,
+    /// an originated default inward, so tables stay O(√N) and
+    /// construction never runs an all-pairs BFS. DECnet-style 120-second
+    /// updates with jitter half-width `jitter_tr`, incremental triggered
+    /// updates, no advertisement padding (at this scale the tables *are*
+    /// the load), synchronized start.
+    ///
+    /// Link ids: area k's star links in creation order (areas in order),
+    /// then the backbone LAN last. `routers` of the built [`Scenario`]
+    /// are the border routers, in area order.
+    pub fn hierarchical(n: usize, areas: usize, jitter_tr: Duration) -> Self {
+        Self::of(SpecKind::Hierarchical {
+            n,
+            areas,
+            jitter_tr,
+            mode: AreaMode::TotallyStubby,
+        })
+    }
+
+    /// [`ScenarioSpec::hierarchical`] with `areas ≈ √n` (clamped to
+    /// `[2, n]`), the table-size-minimizing split — the shape the
+    /// `sweep --param n` scale runs use. 1-millisecond jitter half-width.
+    pub fn hierarchical_for(n: usize) -> Self {
+        assert!(n >= 2, "a hierarchy needs at least two routers");
+        let areas = (n as f64).sqrt().round() as usize;
+        Self::hierarchical(n, areas.clamp(2, n), Duration::from_millis(1))
+    }
+
+    /// Override the area mode of a hierarchical scenario
+    /// ([`AreaMode::Stub`] keeps intra-area exact routes). No effect on
+    /// the other kinds.
+    pub fn with_area_mode(mut self, new_mode: AreaMode) -> Self {
+        if let SpecKind::Hierarchical { mode, .. } = &mut self.kind {
+            *mode = new_mode;
+        }
+        self
+    }
+
     fn of(kind: SpecKind) -> Self {
         ScenarioSpec {
             kind,
@@ -140,6 +188,7 @@ impl ScenarioSpec {
             forwarding: None,
             start: None,
             record_timeline: None,
+            storage: None,
         }
     }
 
@@ -165,9 +214,19 @@ impl ScenarioSpec {
     }
 
     /// Override timeline recording (reset/update logs). On by default for
-    /// `lan`/`random_mesh`, off for the traffic scenarios.
+    /// `lan`/`random_mesh`, off for the traffic and hierarchical
+    /// scenarios.
     pub fn with_timeline(mut self, record: bool) -> Self {
         self.record_timeline = Some(record);
+        self
+    }
+
+    /// Select the topology storage backing: [`Backing::Csr`] freezes the
+    /// built topology into compressed-sparse-row form before simulation.
+    /// Either backing simulates byte-identically (the conformance suite
+    /// diffs them); CSR drops the per-node attachment `Vec`s.
+    pub fn with_storage(mut self, backing: Backing) -> Self {
+        self.storage = Some(backing);
         self
     }
 
@@ -175,7 +234,7 @@ impl ScenarioSpec {
     /// seed the simulator, and install the fault plan. The same
     /// `(spec, seed)` always builds a byte-identical simulator.
     pub fn build(self, seed: u64) -> Scenario {
-        let (topo, mut cfg, hosts, routers) = match self.kind {
+        let (mut topo, mut cfg, hosts, routers, areas) = match self.kind {
             SpecKind::Nearnet => nearnet_parts(),
             SpecKind::MboneAudiocast => audiocast_parts(),
             SpecKind::Lan { n, jitter_tr } => lan_parts(n, jitter_tr),
@@ -184,6 +243,12 @@ impl ScenarioSpec {
                 chords,
                 jitter_tr,
             } => mesh_parts(n, chords, jitter_tr, seed),
+            SpecKind::Hierarchical {
+                n,
+                areas,
+                jitter_tr,
+                mode,
+            } => hierarchical_parts(n, areas, jitter_tr, mode),
         };
         if let Some(mode) = self.forwarding {
             cfg.forwarding = mode;
@@ -194,7 +259,13 @@ impl ScenarioSpec {
         if let Some(record) = self.record_timeline {
             cfg.record_timeline = record;
         }
-        let mut sim = NetSim::new(topo, cfg, seed);
+        if self.storage == Some(Backing::Csr) {
+            topo.freeze();
+        }
+        let mut sim = match areas {
+            Some((layout, mode)) => NetSim::with_areas(topo, cfg, seed, layout, mode),
+            None => NetSim::new(topo, cfg, seed),
+        };
         sim.install_faults(&self.faults);
         Scenario {
             sim,
@@ -218,7 +289,13 @@ fn scenario_cfg(dv: DvConfig, pending_cap: usize, record_timeline: bool) -> Rout
     }
 }
 
-type ScenarioParts = (Topology, RouterConfig, Vec<NodeId>, Vec<NodeId>);
+type ScenarioParts = (
+    Topology,
+    RouterConfig,
+    Vec<NodeId>,
+    Vec<NodeId>,
+    Option<(AreaLayout, AreaMode)>,
+);
 
 fn nearnet_parts() -> ScenarioParts {
     let mut t = Topology::new();
@@ -243,7 +320,7 @@ fn nearnet_parts() -> ScenarioParts {
         }
     }
     let cfg = scenario_cfg(DvConfig::igrp().with_pad(280), 0, false);
-    (t, cfg, vec![berkeley, mit], vec![west, c1, c2, east])
+    (t, cfg, vec![berkeley, mit], vec![west, c1, c2, east], None)
 }
 
 fn audiocast_parts() -> ScenarioParts {
@@ -265,7 +342,7 @@ fn audiocast_parts() -> ScenarioParts {
         }
     }
     let cfg = scenario_cfg(DvConfig::rip().with_pad(150), 0, false);
-    (t, cfg, vec![source, sink], r)
+    (t, cfg, vec![source, sink], r, None)
 }
 
 /// DECnet-style 120-second jittered updates shared by `lan`/`random_mesh`.
@@ -283,7 +360,7 @@ fn lan_parts(n: usize, jitter_tr: Duration) -> ScenarioParts {
     let routers: Vec<NodeId> = (0..n).map(|i| t.add_router(format!("r{i}"))).collect();
     t.add_lan(&routers, Duration::from_micros(50), 10_000_000, 100);
     let cfg = scenario_cfg(decnet_dv(jitter_tr), 2, true);
-    (t, cfg, Vec::new(), routers)
+    (t, cfg, Vec::new(), routers, None)
 }
 
 fn mesh_parts(n: usize, chords: usize, jitter_tr: Duration, seed: u64) -> ScenarioParts {
@@ -318,104 +395,44 @@ fn mesh_parts(n: usize, chords: usize, jitter_tr: Duration, seed: u64) -> Scenar
         }
     }
     let cfg = scenario_cfg(decnet_dv(jitter_tr), 2, true);
-    (t, cfg, Vec::new(), routers)
+    (t, cfg, Vec::new(), routers, None)
 }
 
-// ----------------------------------------------------------------------
-// Deprecated pre-builder shims
-// ----------------------------------------------------------------------
-
-/// Handles into the NEARnet-like scenario of Figures 1-2.
-pub struct Nearnet {
-    /// The simulator, ready to run (attach a ping train first).
-    pub sim: NetSim,
-    /// The probing host (Berkeley).
-    pub berkeley: NodeId,
-    /// The probed host (MIT).
-    pub mit: NodeId,
-    /// The core routers the path crosses.
-    pub cores: Vec<NodeId>,
-}
-
-/// Pre-builder constructor for the NEARnet scenario.
-#[deprecated(note = "use `ScenarioSpec::nearnet().build(seed)`")]
-pub fn nearnet(seed: u64) -> Nearnet {
-    let s = ScenarioSpec::nearnet().build(seed);
-    Nearnet {
-        berkeley: s.hosts[0],
-        mit: s.hosts[1],
-        cores: s.routers,
-        sim: s.sim,
-    }
-}
-
-/// Handles into the MBone audiocast scenario of Figure 3.
-pub struct Audiocast {
-    /// The simulator, ready to run (attach the CBR source first).
-    pub sim: NetSim,
-    /// The audio source host.
-    pub source: NodeId,
-    /// The audio sink host.
-    pub sink: NodeId,
-}
-
-/// Pre-builder constructor for the audiocast scenario.
-#[deprecated(note = "use `ScenarioSpec::mbone_audiocast().build(seed)`")]
-pub fn mbone_audiocast(seed: u64) -> Audiocast {
-    let s = ScenarioSpec::mbone_audiocast().build(seed);
-    Audiocast {
-        source: s.hosts[0],
-        sink: s.hosts[1],
-        sim: s.sim,
-    }
-}
-
-/// Handles into the shared-LAN scenario (the paper's own DECnet Ethernet).
-pub struct LanScenario {
-    /// The simulator (timeline recording on).
-    pub sim: NetSim,
-    /// The routers on the segment.
-    pub routers: Vec<NodeId>,
-}
-
-/// Pre-builder constructor for the shared-LAN scenario.
-#[deprecated(note = "use `ScenarioSpec::lan(n, jitter_tr).with_start(start).build(seed)`")]
-pub fn lan(n: usize, jitter_tr: Duration, start: TimerStart, seed: u64) -> LanScenario {
-    let s = ScenarioSpec::lan(n, jitter_tr)
-        .with_start(start)
-        .build(seed);
-    LanScenario {
-        routers: s.routers,
-        sim: s.sim,
-    }
-}
-
-/// Handles into the random-mesh scenario.
-pub struct Mesh {
-    /// The simulator (timeline recording on).
-    pub sim: NetSim,
-    /// The routers.
-    pub routers: Vec<NodeId>,
-}
-
-/// Pre-builder constructor for the random-mesh scenario.
-#[deprecated(
-    note = "use `ScenarioSpec::random_mesh(n, chords, jitter_tr).with_start(start).build(seed)`"
-)]
-pub fn random_mesh(
+fn hierarchical_parts(
     n: usize,
-    chords: usize,
+    areas: usize,
     jitter_tr: Duration,
-    start: TimerStart,
-    seed: u64,
-) -> Mesh {
-    let s = ScenarioSpec::random_mesh(n, chords, jitter_tr)
-        .with_start(start)
-        .build(seed);
-    Mesh {
-        routers: s.routers,
-        sim: s.sim,
+    mode: AreaMode,
+) -> ScenarioParts {
+    assert!(areas >= 2, "a hierarchy needs at least two areas");
+    assert!(n >= areas, "every area needs at least its border router");
+    let mut t = Topology::new();
+    let base = n / areas;
+    let extra = n % areas;
+    let mut sizes = Vec::with_capacity(areas);
+    let mut borders = Vec::with_capacity(areas);
+    let e1 = 2_048_000;
+    for k in 0..areas {
+        let size = base + usize::from(k < extra);
+        sizes.push(size);
+        let b = t.add_router(format!("b{k}"));
+        borders.push(b);
+        for j in 1..size {
+            let e = t.add_router(format!("e{k}-{j}"));
+            t.add_link(b, e, Duration::from_millis(2), e1, 50);
+        }
     }
+    // A fast backbone segment joining every border router; diameter of
+    // the whole hierarchy is 4 hops, far inside RIP's infinity of 16.
+    t.add_lan(&borders, Duration::from_micros(50), 100_000_000, 100);
+    let layout = AreaLayout::from_sizes(&sizes);
+    // At this scale the real tables are the load: no synthetic padding,
+    // incremental triggered updates, and a 10 µs/route CPU so a border's
+    // update round stays well under the period (unsaturated regime).
+    let dv = decnet_dv(jitter_tr).with_pad(0).with_triggered_delta(true);
+    let mut cfg = scenario_cfg(dv, 2, false);
+    cfg.cost_per_route = Duration::from_micros(10);
+    (t, cfg, Vec::new(), borders, Some((layout, mode)))
 }
 
 /// Group a reset/update timeline into clusters: consecutive events whose
@@ -498,56 +515,71 @@ mod tests {
         );
     }
 
-    /// The deprecated free constructors must build byte-identical
-    /// simulators to their `ScenarioSpec` replacements.
+    /// The hierarchical scenario keeps every table O(√N): edge routers
+    /// hold self + border + default, borders hold their members plus one
+    /// aggregate per area — and traffic between edge routers in
+    /// different areas flows over the aggregates.
     #[test]
-    #[allow(deprecated)]
-    fn shims_match_builder() {
-        let horizon = SimTime::from_secs(2_000);
-
-        let mut old = lan(6, Duration::from_millis(50), TimerStart::Synchronized, 42);
-        let mut new = ScenarioSpec::lan(6, Duration::from_millis(50)).build(42);
-        assert_eq!(old.routers, new.routers);
-        old.sim.run_until(horizon);
-        new.sim.run_until(horizon);
-        assert_eq!(old.sim.counters(), new.sim.counters());
-        assert_eq!(old.sim.reset_log(), new.sim.reset_log());
-        assert_eq!(old.sim.update_log(), new.sim.update_log());
-
-        let mut old = nearnet(17);
-        let mut new = ScenarioSpec::nearnet().build(17);
-        assert_eq!(old.berkeley, new.hosts[0]);
-        assert_eq!(old.mit, new.hosts[1]);
-        assert_eq!(old.cores, new.routers);
-        old.sim.run_until(horizon);
-        new.sim.run_until(horizon);
-        assert_eq!(old.sim.counters(), new.sim.counters());
-        assert_eq!(old.sim.update_log(), new.sim.update_log());
-
-        let mut old = mbone_audiocast(9);
-        let mut new = ScenarioSpec::mbone_audiocast().build(9);
-        assert_eq!((old.source, old.sink), (new.hosts[0], new.hosts[1]));
-        old.sim.run_until(horizon);
-        new.sim.run_until(horizon);
-        assert_eq!(old.sim.counters(), new.sim.counters());
-        assert_eq!(old.sim.update_log(), new.sim.update_log());
-
-        let mut old = random_mesh(
-            8,
-            4,
-            Duration::from_millis(20),
-            TimerStart::Unsynchronized,
-            3,
+    fn hierarchical_tables_stay_small_and_route() {
+        let mut s = ScenarioSpec::hierarchical(12, 3, Duration::from_millis(1)).build(11);
+        assert_eq!(s.routers.len(), 3, "one border per area");
+        let (layout, mode) = s.sim.area_model().expect("area model installed");
+        assert_eq!(layout.areas(), 3);
+        assert_eq!(mode, crate::area::AreaMode::TotallyStubby);
+        // Area 0 = {0 border, 1..=3 edges}, area 1 = {4, 5..=7}, ...
+        let edge_a = 1; // in area 0
+        let edge_b = 5; // in area 1
+        s.sim.add_ping(
+            edge_a,
+            edge_b,
+            Duration::from_secs_f64(1.01),
+            20,
+            SimTime::from_secs(1),
         );
-        let mut new = ScenarioSpec::random_mesh(8, 4, Duration::from_millis(20))
-            .with_start(TimerStart::Unsynchronized)
-            .build(3);
-        assert_eq!(old.routers, new.routers);
-        old.sim.run_until(horizon);
-        new.sim.run_until(horizon);
-        assert_eq!(old.sim.counters(), new.sim.counters());
-        assert_eq!(old.sim.reset_log(), new.sim.reset_log());
-        assert_eq!(old.sim.update_log(), new.sim.update_log());
+        s.sim.run_until(SimTime::from_secs(400));
+        assert_eq!(s.sim.ping_stats(edge_a).lost(), 0, "cross-area pings");
+        // Totally-stubby edge: self + border-direct + default = 3.
+        assert_eq!(s.sim.table(edge_a).len(), 3);
+        // Border: self + 3 members (LAN peers are direct too: 2 borders)
+        // + own aggregate + 2 remote aggregates.
+        assert_eq!(s.sim.table(0).len(), 9);
+        // And the steady state holds: another few periods change nothing.
+        s.sim.run_until(SimTime::from_secs(1_000));
+        assert_eq!(s.sim.table(edge_a).len(), 3);
+        assert_eq!(s.sim.table(0).len(), 9);
+        assert_eq!(s.sim.counters().drop_no_route, 0);
+    }
+
+    /// Stub mode additionally converges intra-area exact routes on the
+    /// edge routers (prepopulated, then sustained by the protocol).
+    #[test]
+    fn hierarchical_stub_mode_carries_intra_area_exacts() {
+        let mut s = ScenarioSpec::hierarchical(12, 3, Duration::from_millis(1))
+            .with_area_mode(crate::area::AreaMode::Stub)
+            .build(11);
+        // Edge 1 (area 0): self + border + default + exacts to members
+        // 2 and 3 + remote aggregates for areas 1 and 2.
+        assert_eq!(s.sim.table(1).len(), 7);
+        assert_eq!(s.sim.table(1).metric(2), Some(2), "via the border");
+        s.sim.run_until(SimTime::from_secs(700));
+        assert_eq!(s.sim.table(1).len(), 7, "steady state");
+        assert_eq!(s.sim.counters().drop_no_route, 0);
+    }
+
+    /// The storage backing is simulation-invariant: a CSR-frozen topology
+    /// runs byte-identically to the dense builder form.
+    #[test]
+    fn csr_storage_is_byte_identical() {
+        let horizon = SimTime::from_secs(1_500);
+        let spec = || ScenarioSpec::lan(8, Duration::from_millis(60));
+        let mut dense = spec().build(5);
+        let mut csr = spec().with_storage(crate::topology::Backing::Csr).build(5);
+        assert_eq!(csr.sim.now(), dense.sim.now());
+        dense.sim.run_until(horizon);
+        csr.sim.run_until(horizon);
+        assert_eq!(dense.sim.counters(), csr.sim.counters());
+        assert_eq!(dense.sim.reset_log(), csr.sim.reset_log());
+        assert_eq!(dense.sim.update_log(), csr.sim.update_log());
     }
 
     /// Attaching an empty [`FaultPlan`] must be a no-op: the built

@@ -16,6 +16,7 @@ use routesync_rng::{JitterPolicy, MinStd, TimerResetPolicy};
 use serde::{Deserialize, Serialize};
 
 use crate::app::{App, CbrReceiverStats, PingStats};
+use crate::area::{AreaLayout, AreaMode, DEFAULT_DST};
 use crate::dv::{DvConfig, RouteEntry, RoutingTable, UpdateMode};
 use crate::faults::{
     FaultKind, FaultPlan, FaultRecord, LinkFlapProfile, RouterFlapProfile, IMPAIR_STREAM,
@@ -203,6 +204,11 @@ struct NetObs {
     faults_reboots: routesync_obs::Counter,
     /// Triggered-update emissions (update-storm intensity).
     updates_triggered: routesync_obs::Counter,
+    /// Incremental (delta) triggered-update emissions.
+    scale_delta_updates: routesync_obs::Counter,
+    /// Forwarding decisions resolved through an aggregate or default
+    /// route instead of an exact entry (hierarchical mode).
+    scale_agg_hits: routesync_obs::Counter,
     /// Per-router busy attribution: `(sim-time, node)` trace events.
     trace: routesync_obs::Tracer,
     /// Online synchronization detector over periodic (non-triggered)
@@ -237,10 +243,74 @@ impl NetObs {
             faults_injected: obs.counter("netsim.faults.injected"),
             faults_reboots: obs.counter("netsim.faults.reboots"),
             updates_triggered: obs.counter("netsim.updates.triggered"),
+            scale_delta_updates: obs.counter("netsim.scale.delta_updates"),
+            scale_agg_hits: obs.counter("netsim.scale.agg_hits"),
             trace: obs.tracer(),
             sync,
         }
     }
+}
+
+/// Flat CSR `(neighbour, link)` adjacency, sorted by neighbour id within
+/// each node's range: binary-search lookups, two allocations total,
+/// replacing the per-node `HashMap` that dominated construction at large
+/// N. On duplicate neighbours (two shared links) the later link wins,
+/// matching the `HashMap` insert order this replaces.
+struct Adjacency {
+    offsets: Vec<u32>,
+    pairs: Vec<(NodeId, LinkId)>,
+}
+
+impl Adjacency {
+    fn build(topo: &Topology) -> Self {
+        let n = topo.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut pairs: Vec<(NodeId, LinkId)> = Vec::new();
+        offsets.push(0u32);
+        let mut row: Vec<(NodeId, LinkId)> = Vec::new();
+        for id in 0..n {
+            row.clear();
+            row.extend(topo.neighbors_iter(id));
+            row.sort_by_key(|&(nb, _)| nb); // stable: ties keep link order
+            let mut w = 0;
+            for r in 0..row.len() {
+                if r + 1 < row.len() && row[r + 1].0 == row[r].0 {
+                    continue; // keep the last link to this neighbour
+                }
+                row[w] = row[r];
+                w += 1;
+            }
+            row.truncate(w);
+            pairs.extend_from_slice(&row);
+            offsets.push(pairs.len() as u32);
+        }
+        Adjacency { offsets, pairs }
+    }
+
+    fn of(&self, node: NodeId) -> &[(NodeId, LinkId)] {
+        &self.pairs[self.offsets[node] as usize..self.offsets[node + 1] as usize]
+    }
+
+    fn link_to(&self, node: NodeId, nbr: NodeId) -> Option<LinkId> {
+        let row = self.of(node);
+        row.binary_search_by_key(&nbr, |&(nb, _)| nb)
+            .ok()
+            .map(|i| row[i].1)
+    }
+}
+
+/// Runtime state of the hierarchical area model ([`NetSim::with_areas`]).
+/// Boxed behind an `Option`: without areas every hook is a single `None`
+/// branch and the simulation is bit-identical to a pre-areas build.
+struct AreaState {
+    layout: AreaLayout,
+    mode: AreaMode,
+    /// Per node: border router of its area (attached to an out-of-area
+    /// link), hence originates the default route inward.
+    border: Vec<bool>,
+    /// Per link: `Some(k)` for links entirely inside area `k`, `None` for
+    /// backbone / cross-area links.
+    link_area: Vec<Option<usize>>,
 }
 
 /// A per-link loss/reorder impairment with its dedicated RNG stream.
@@ -315,8 +385,8 @@ pub struct NetSim {
     /// allocating here entirely.
     in_flight: Vec<Option<Packet>>,
     free_slots: Vec<u64>,
-    /// `(neighbor → link)` per node.
-    adjacency: Vec<HashMap<NodeId, LinkId>>,
+    /// `(neighbor → link)` per node, flat and sorted.
+    adjacency: Adjacency,
     counters: Counters,
     reset_log: Vec<(SimTime, NodeId)>,
     update_log: Vec<(SimTime, NodeId)>,
@@ -330,6 +400,8 @@ pub struct NetSim {
     seed: u64,
     /// Installed fault plan, if any ([`NetSim::install_faults`]).
     faults: Option<Box<FaultState>>,
+    /// Hierarchical area model, if any ([`NetSim::with_areas`]).
+    areas: Option<Box<AreaState>>,
     obs: NetObs,
 }
 
@@ -337,7 +409,7 @@ impl NetSim {
     /// Build a simulator over `topo`. Every router shares `cfg`; `seed`
     /// fixes all randomness.
     pub fn new(topo: Topology, cfg: RouterConfig, seed: u64) -> Self {
-        Self::build(topo, cfg, seed, None)
+        Self::build(topo, cfg, seed, None, None)
     }
 
     /// Like [`NetSim::new`], but install shortest-path routes from a
@@ -350,7 +422,26 @@ impl NetSim {
         seed: u64,
         routes: &PrecomputedRoutes,
     ) -> Self {
-        Self::build(topo, cfg, seed, Some(routes))
+        Self::build(topo, cfg, seed, Some(routes), None)
+    }
+
+    /// Build a simulator with the hierarchical area model: routers carry
+    /// aggregate routes for remote areas and (on edge routers) a default
+    /// route instead of per-destination exacts, and advertisements follow
+    /// the [`RoutingTable::advertisement_area_into`] aggregation rules.
+    /// With `cfg.prepopulate`, tables start in the converged hierarchical
+    /// state directly — no O(N²) all-pairs BFS, which is what admits
+    /// N = 100 000+ routers. Expects star-shaped areas (every non-border
+    /// member adjacent to its border router), as built by
+    /// [`crate::scenario::ScenarioSpec::hierarchical`].
+    pub fn with_areas(
+        topo: Topology,
+        cfg: RouterConfig,
+        seed: u64,
+        layout: AreaLayout,
+        mode: AreaMode,
+    ) -> Self {
+        Self::build(topo, cfg, seed, None, Some((layout, mode)))
     }
 
     fn build(
@@ -358,23 +449,44 @@ impl NetSim {
         cfg: RouterConfig,
         seed: u64,
         routes: Option<&PrecomputedRoutes>,
+        areas: Option<(AreaLayout, AreaMode)>,
     ) -> Self {
         let n = topo.node_count();
         let engine = Engine::new();
+        let adjacency = Adjacency::build(&topo);
+        let areas = areas.map(|(layout, mode)| {
+            layout.check(topo.storage());
+            let link_area: Vec<Option<usize>> = (0..topo.link_count())
+                .map(|l| layout.link_area(&topo, l))
+                .collect();
+            let border: Vec<bool> = (0..n)
+                .map(|id| {
+                    topo.kind(id) == NodeKind::Router
+                        && topo.links_of(id).iter().any(|&l| link_area[l].is_none())
+                })
+                .collect();
+            Box::new(AreaState {
+                layout,
+                mode,
+                border,
+                link_area,
+            })
+        });
         let mut nodes = Vec::with_capacity(n);
-        let mut adjacency = Vec::with_capacity(n);
         for id in 0..n {
             let mut rng = routesync_rng::stream(seed, id as u64);
             let jitter = cfg.dv.jitter.materialize(&mut rng);
             let mut table = RoutingTable::new(id);
-            for (nb, _) in topo.neighbors_iter(id) {
+            for &(nb, _) in adjacency.of(id) {
                 table.install_direct(nb);
+            }
+            if cfg.dv.triggered_delta && topo.kind(id) == NodeKind::Router {
+                table.set_dirty_tracking(true);
             }
             let default_router = topo
                 .neighbors_iter(id)
                 .find(|&(nb, _)| topo.kind(nb) == NodeKind::Router)
                 .map(|(nb, _)| nb);
-            adjacency.push(topo.neighbors_iter(id).collect());
             nodes.push(NodeState {
                 kind: topo.kind(id),
                 table,
@@ -431,14 +543,19 @@ impl NetSim {
             scratch_entries: Vec::new(),
             seed,
             faults: None,
+            areas,
             obs,
         };
         if cfg.prepopulate {
-            match routes {
-                Some(r) => sim.install_routes(r),
-                None => {
-                    let r = PrecomputedRoutes::compute(&sim.topo);
-                    sim.install_routes(&r);
+            if sim.areas.is_some() {
+                sim.install_hierarchy();
+            } else {
+                match routes {
+                    Some(r) => sim.install_routes(r),
+                    None => {
+                        let r = PrecomputedRoutes::compute(&sim.topo);
+                        sim.install_routes(&r);
+                    }
                 }
             }
         }
@@ -483,6 +600,93 @@ impl NetSim {
         for &(r, dst, metric, next_hop) in &routes.entries {
             self.nodes[r].table.install(dst, metric, next_hop);
         }
+    }
+
+    /// Converged-state prepopulation for the hierarchical area model:
+    /// border routers get their own aggregate (metric 0) plus one
+    /// aggregate per reachable remote area via that area's border router;
+    /// edge routers get the default route via their border router (and,
+    /// in [`AreaMode::Stub`], intra-area exacts at metric 2). O(total
+    /// table entries), not O(N²) — the whole point at N = 100k.
+    fn install_hierarchy(&mut self) {
+        let st = self.areas.take().expect("hierarchy without area state");
+        let mut agg_routes = 0u64;
+        let mut default_routes = 0u64;
+        for k in 0..st.layout.areas() {
+            for r in st.layout.members(k) {
+                if self.nodes[r].kind != NodeKind::Router {
+                    continue;
+                }
+                if st.border[r] {
+                    self.nodes[r].table.install(AreaLayout::agg_dst(k), 0, r);
+                    agg_routes += 1;
+                    // Remote areas via their border routers on shared
+                    // out-of-area (backbone) links.
+                    for i in 0..self.adjacency.of(r).len() {
+                        let (nb, l) = self.adjacency.of(r)[i];
+                        if st.link_area[l].is_some()
+                            || self.nodes[nb].kind != NodeKind::Router
+                            || !st.border[nb]
+                        {
+                            continue;
+                        }
+                        if let Some(j) = st.layout.area_of(nb) {
+                            if j != k {
+                                self.nodes[r].table.install(AreaLayout::agg_dst(j), 1, nb);
+                                agg_routes += 1;
+                            }
+                        }
+                    }
+                } else {
+                    // First adjacent border router is the way out.
+                    let Some(&(b, _)) =
+                        self.adjacency.of(r).iter().find(|&&(nb, _)| {
+                            self.nodes[nb].kind == NodeKind::Router && st.border[nb]
+                        })
+                    else {
+                        continue; // area without a border router: isolated
+                    };
+                    self.nodes[r].table.install(DEFAULT_DST, 1, b);
+                    default_routes += 1;
+                    if st.mode == AreaMode::Stub {
+                        // Converged stub-mode state: non-adjacent area
+                        // members at metric 2 via the border router, and
+                        // the remote-area aggregates the border will keep
+                        // advertising onto stub links (only totally-stubby
+                        // areas suppress those).
+                        for m in st.layout.members(k) {
+                            if m != r && self.nodes[r].table.metric(m).is_none() {
+                                self.nodes[r].table.install(m, 2, b);
+                            }
+                        }
+                        for j in 0..st.layout.areas() {
+                            if j != k && !st.layout.members(j).is_empty() {
+                                self.nodes[r].table.install(AreaLayout::agg_dst(j), 2, b);
+                                agg_routes += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let obs = routesync_obs::global();
+        obs.gauge("netsim.scale.areas")
+            .set(st.layout.areas() as u64);
+        obs.gauge("netsim.scale.agg_routes").set(agg_routes);
+        obs.gauge("netsim.scale.default_routes").set(default_routes);
+        self.areas = Some(st);
+    }
+
+    /// The hierarchical area model installed at construction, if any.
+    pub fn area_model(&self) -> Option<(&AreaLayout, AreaMode)> {
+        self.areas.as_deref().map(|st| (&st.layout, st.mode))
+    }
+
+    /// Events processed by the discrete-event engine so far — the
+    /// denominator of the `events/sec` throughput the scale benchmarks
+    /// record.
+    pub fn events_processed(&self) -> u64 {
+        self.engine.processed()
     }
 
     /// Current simulated time.
@@ -962,21 +1166,34 @@ impl NetSim {
             pkt.hops.push(router);
         }
         let infinity = self.cfg.dv.infinity;
-        match self.nodes[router].table.lookup(pkt.dst, infinity) {
+        let next = {
+            let table = &self.nodes[router].table;
+            match table.lookup(pkt.dst, infinity) {
+                Some(nh) => Some(nh),
+                // Hierarchical fallback chain: exact → area aggregate →
+                // default route.
+                None => self.areas.as_deref().and_then(|st| {
+                    let via = st
+                        .layout
+                        .area_of(pkt.dst)
+                        .and_then(|k| table.lookup(AreaLayout::agg_dst(k), infinity))
+                        .or_else(|| table.lookup(DEFAULT_DST, infinity));
+                    if via.is_some() {
+                        self.obs.scale_agg_hits.inc();
+                    }
+                    via
+                }),
+            }
+        };
+        match next.and_then(|nh| self.adjacency.link_to(router, nh).map(|l| (nh, l))) {
             None => {
                 self.counters.drop_no_route += 1;
                 self.obs.packets_dropped.inc();
             }
-            Some(next) => match self.adjacency[router].get(&next).copied() {
-                None => {
-                    self.counters.drop_no_route += 1;
-                    self.obs.packets_dropped.inc();
-                }
-                Some(link) => {
-                    self.counters.forwarded += 1;
-                    self.transmit(now, router, link, pkt, Some(next));
-                }
-            },
+            Some((next, link)) => {
+                self.counters.forwarded += 1;
+                self.transmit(now, router, link, pkt, Some(next));
+            }
         }
     }
 
@@ -1015,7 +1232,7 @@ impl NetSim {
             NodeKind::Router => self.forward(now, node, pkt),
             NodeKind::Host => {
                 // Directly attached destination?
-                if let Some(&link) = self.adjacency[node].get(&pkt.dst) {
+                if let Some(link) = self.adjacency.link_to(node, pkt.dst) {
                     let dst = pkt.dst;
                     self.transmit(now, node, link, pkt, Some(dst));
                     return;
@@ -1026,7 +1243,10 @@ impl NetSim {
                         self.obs.packets_dropped.inc();
                     }
                     Some(r) => {
-                        let link = self.adjacency[node][&r];
+                        let link = self
+                            .adjacency
+                            .link_to(node, r)
+                            .expect("default router not adjacent");
                         self.transmit(now, node, link, pkt, Some(r));
                     }
                 }
@@ -1045,11 +1265,19 @@ impl NetSim {
         let cost = self.cfg.cost_per_route * update.entries.len() as u64;
         self.cpu_add(now, node, cost);
         // Strip the padding entries (out-of-range dst) into the reusable
-        // scratch buffer instead of a fresh Vec per update.
+        // scratch buffer instead of a fresh Vec per update. With areas
+        // installed, logical destinations (aggregates, default) pass the
+        // filter and ride the ordinary Bellman-Ford path.
         let n = self.topo.node_count();
+        let areas = self.areas.as_deref();
         self.scratch_entries.clear();
-        self.scratch_entries
-            .extend(update.entries.iter().copied().filter(|e| e.dst < n));
+        self.scratch_entries.extend(
+            update
+                .entries
+                .iter()
+                .copied()
+                .filter(|e| e.dst < n || areas.is_some_and(|st| st.layout.is_logical(e.dst))),
+        );
         let changed = self.nodes[node].table.process_update_with(
             update.origin,
             &self.scratch_entries,
@@ -1109,6 +1337,28 @@ impl NetSim {
 
     /// Build and transmit a full-table update on every interface.
     fn emit_update(&mut self, now: SimTime, node: NodeId, triggered: bool) {
+        // Incremental mode: a triggered update carries only the dirtied
+        // routes; a periodic full update flushes the dirty set (it
+        // re-advertises everything anyway). The dirty list is drained
+        // once and applied to every link.
+        let mut dirty = std::mem::take(&mut self.scratch_nodes);
+        let delta = if self.cfg.dv.triggered_delta {
+            self.nodes[node].table.take_dirty_into(&mut dirty);
+            if triggered {
+                if dirty.is_empty() {
+                    // A periodic update already covered the change:
+                    // nothing to say, nothing sent, nothing counted.
+                    self.scratch_nodes = dirty;
+                    return;
+                }
+                self.obs.scale_delta_updates.inc();
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        };
         if !triggered {
             if self.cfg.record_timeline {
                 self.update_log.push((now, node));
@@ -1122,8 +1372,13 @@ impl NetSim {
             self.obs.updates_triggered.inc();
         }
         let pad = self.cfg.dv.advertise_pad;
-        // Preparation cost: the whole table once, plus padding.
-        let prep = self.cfg.cost_per_route * (self.nodes[node].table.len() + pad) as u64;
+        // Preparation cost: the advertised table scan, plus padding.
+        let basis = if delta {
+            dirty.len()
+        } else {
+            self.nodes[node].table.len()
+        };
+        let prep = self.cfg.cost_per_route * (basis + pad) as u64;
         self.cpu_add(now, node, prep);
         for li in 0..self.topo.links_of(node).len() {
             let link = self.topo.links_of(node)[li];
@@ -1141,13 +1396,33 @@ impl NetSim {
             );
             // The entry list is owned by the packet, so an allocation is
             // inherent — but size it exactly once instead of growing.
-            let mut entries = Vec::with_capacity(self.nodes[node].table.len() + pad);
-            self.nodes[node].table.advertisement_into(
-                &self.scratch_peers,
-                self.cfg.dv.split_horizon,
-                self.cfg.dv.infinity,
-                &mut entries,
-            );
+            let mut entries = Vec::with_capacity(basis + pad);
+            match self.areas.as_deref() {
+                Some(st) => self.nodes[node].table.advertisement_area_into(
+                    &st.layout,
+                    st.mode,
+                    st.link_area[link],
+                    st.border[node],
+                    &self.scratch_peers,
+                    self.cfg.dv.split_horizon,
+                    self.cfg.dv.infinity,
+                    delta.then_some(dirty.as_slice()),
+                    &mut entries,
+                ),
+                None if delta => self.nodes[node].table.advertisement_delta_into(
+                    &dirty,
+                    &self.scratch_peers,
+                    self.cfg.dv.split_horizon,
+                    self.cfg.dv.infinity,
+                    &mut entries,
+                ),
+                None => self.nodes[node].table.advertisement_into(
+                    &self.scratch_peers,
+                    self.cfg.dv.split_horizon,
+                    self.cfg.dv.infinity,
+                    &mut entries,
+                ),
+            }
             // Padding entries model the ~300-route backbone tables; they
             // carry an out-of-range dst and are filtered by receivers (but
             // still cost wire time and CPU).
@@ -1172,6 +1447,7 @@ impl NetSim {
             self.obs.updates_sent.inc();
             self.transmit(now, node, link, pkt, None);
         }
+        self.scratch_nodes = dirty;
     }
 
     /// Periodic hello tick: greet every router neighbour and check for

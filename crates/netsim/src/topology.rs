@@ -1,4 +1,17 @@
 //! Network topology: nodes, point-to-point links, and broadcast LANs.
+//!
+//! Node and link attributes live in flat structure-of-arrays arenas (names
+//! share one string arena, link memberships one flat index arena) behind
+//! the [`TopologyStorage`] trait. Two backings implement it:
+//!
+//! * [`DenseStorage`] — per-node adjacency `Vec`s, mutation-friendly; what
+//!   the builder methods grow and what LAN/mesh scenarios use.
+//! * [`CsrStorage`] — frozen compressed-sparse-row adjacency (offset +
+//!   index arrays, zero per-node allocations), produced by
+//!   [`Topology::freeze`] for internet-scale meshes.
+//!
+//! Both backings expose identical data in identical order, so a simulation
+//! over a frozen topology is byte-for-byte the same as over a dense one.
 
 use routesync_desim::Duration;
 use serde::{Deserialize, Serialize};
@@ -29,14 +42,15 @@ pub enum Medium {
     Broadcast,
 }
 
-/// A link: its medium, attached nodes, and per-sender transmission
-/// parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct Link {
+/// A borrowed view of one link: its medium, attached nodes, and per-sender
+/// transmission parameters. Returned by [`Topology::link`]; the attached
+/// nodes borrow the topology's flat membership arena.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkRef<'a> {
     /// Medium (exactly 2 attached nodes for point-to-point).
     pub medium: Medium,
     /// Attached nodes.
-    pub nodes: Vec<NodeId>,
+    pub nodes: &'a [NodeId],
     /// One-way propagation delay.
     pub delay: Duration,
     /// Serialization rate in bits per second (`0` = infinite).
@@ -46,7 +60,7 @@ pub struct Link {
     pub queue_cap: usize,
 }
 
-impl Link {
+impl LinkRef<'_> {
     /// Serialization time of `bytes` on this link.
     pub fn tx_time(&self, bytes: usize) -> Duration {
         if self.bandwidth_bps == 0 {
@@ -68,27 +82,307 @@ impl Link {
     }
 }
 
-/// An immutable network description, built with the `add_*` methods and
-/// then handed to [`crate::sim::NetSim`].
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct Topology {
-    nodes: Vec<(NodeKind, String)>,
-    links: Vec<Link>,
+/// Read access to a topology backing. All implementations must present
+/// the same nodes, links and orderings for the same built topology — the
+/// simulator's determinism contract extends to the storage layer.
+pub trait TopologyStorage {
+    /// Number of nodes.
+    fn node_count(&self) -> usize;
+    /// Number of links.
+    fn link_count(&self) -> usize;
+    /// A node's kind.
+    fn kind(&self, n: NodeId) -> NodeKind;
+    /// A node's name.
+    fn name(&self, n: NodeId) -> &str;
+    /// A link by id.
+    fn link(&self, l: LinkId) -> LinkRef<'_>;
+    /// Links attached to a node, in attachment order.
+    fn links_of(&self, n: NodeId) -> &[LinkId];
+}
+
+/// Node attributes in structure-of-arrays form: kinds in one array, all
+/// names concatenated into a single string arena sliced by offsets.
+#[derive(Debug, Clone, Default)]
+struct NodeArena {
+    kinds: Vec<NodeKind>,
+    /// `names[name_off[n] as usize..name_off[n + 1] as usize]` is node
+    /// `n`'s name. Length `kinds.len() + 1`; starts at `[0]`.
+    name_off: Vec<u32>,
+    names: String,
+}
+
+impl NodeArena {
+    fn new() -> Self {
+        NodeArena {
+            kinds: Vec::new(),
+            name_off: vec![0],
+            names: String::new(),
+        }
+    }
+
+    fn push(&mut self, kind: NodeKind, name: &str) -> NodeId {
+        self.kinds.push(kind);
+        self.names.push_str(name);
+        self.name_off.push(self.names.len() as u32);
+        self.kinds.len() - 1
+    }
+
+    fn name(&self, n: NodeId) -> &str {
+        &self.names[self.name_off[n] as usize..self.name_off[n + 1] as usize]
+    }
+}
+
+/// Link attributes in structure-of-arrays form; every link's member list
+/// lives in one flat `link_nodes` arena sliced by offsets.
+#[derive(Debug, Clone, Default)]
+struct LinkArena {
+    medium: Vec<Medium>,
+    delay: Vec<Duration>,
+    bandwidth_bps: Vec<u64>,
+    queue_cap: Vec<usize>,
+    /// `link_nodes[node_off[l] as usize..node_off[l + 1] as usize]` are
+    /// link `l`'s attached nodes. Length `medium.len() + 1`; starts `[0]`.
+    node_off: Vec<u32>,
+    link_nodes: Vec<NodeId>,
+}
+
+impl LinkArena {
+    fn new() -> Self {
+        LinkArena {
+            node_off: vec![0],
+            ..Default::default()
+        }
+    }
+
+    fn push(
+        &mut self,
+        medium: Medium,
+        nodes: &[NodeId],
+        delay: Duration,
+        bandwidth_bps: u64,
+        queue_cap: usize,
+    ) -> LinkId {
+        self.medium.push(medium);
+        self.delay.push(delay);
+        self.bandwidth_bps.push(bandwidth_bps);
+        self.queue_cap.push(queue_cap);
+        self.link_nodes.extend_from_slice(nodes);
+        self.node_off.push(self.link_nodes.len() as u32);
+        self.medium.len() - 1
+    }
+
+    fn link(&self, l: LinkId) -> LinkRef<'_> {
+        LinkRef {
+            medium: self.medium[l],
+            nodes: &self.link_nodes[self.node_off[l] as usize..self.node_off[l + 1] as usize],
+            delay: self.delay[l],
+            bandwidth_bps: self.bandwidth_bps[l],
+            queue_cap: self.queue_cap[l],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.medium.len()
+    }
+}
+
+/// The mutable, builder-friendly backing: flat node/link arenas plus one
+/// adjacency `Vec` per node. This is what LAN and small-mesh scenarios run
+/// on, and the only backing the `add_*` methods can grow.
+#[derive(Debug, Clone)]
+pub struct DenseStorage {
+    nodes: NodeArena,
+    links: LinkArena,
     /// For each node, the links it is attached to.
     attachments: Vec<Vec<LinkId>>,
 }
 
+impl DenseStorage {
+    fn new() -> Self {
+        DenseStorage {
+            nodes: NodeArena::new(),
+            links: LinkArena::new(),
+            attachments: Vec::new(),
+        }
+    }
+}
+
+impl TopologyStorage for DenseStorage {
+    fn node_count(&self) -> usize {
+        self.nodes.kinds.len()
+    }
+
+    fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    fn kind(&self, n: NodeId) -> NodeKind {
+        self.nodes.kinds[n]
+    }
+
+    fn name(&self, n: NodeId) -> &str {
+        self.nodes.name(n)
+    }
+
+    fn link(&self, l: LinkId) -> LinkRef<'_> {
+        self.links.link(l)
+    }
+
+    fn links_of(&self, n: NodeId) -> &[LinkId] {
+        &self.attachments[n]
+    }
+}
+
+/// The frozen compressed-sparse-row backing: node→link adjacency as one
+/// offset array plus one flat index array, zero per-node allocations.
+/// Produced by [`Topology::freeze`]; immutable. Attachment order is
+/// preserved exactly, so iteration (and therefore simulation) is
+/// byte-identical to the dense backing it was frozen from.
+#[derive(Debug, Clone)]
+pub struct CsrStorage {
+    nodes: NodeArena,
+    links: LinkArena,
+    /// `att_links[att_off[n] as usize..att_off[n + 1] as usize]` are the
+    /// links of node `n`. Length `node_count + 1`; starts at `[0]`.
+    att_off: Vec<u32>,
+    att_links: Vec<LinkId>,
+}
+
+impl From<DenseStorage> for CsrStorage {
+    fn from(d: DenseStorage) -> Self {
+        let mut att_off = Vec::with_capacity(d.attachments.len() + 1);
+        att_off.push(0u32);
+        let total: usize = d.attachments.iter().map(Vec::len).sum();
+        let mut att_links = Vec::with_capacity(total);
+        for links in &d.attachments {
+            att_links.extend_from_slice(links);
+            att_off.push(att_links.len() as u32);
+        }
+        CsrStorage {
+            nodes: d.nodes,
+            links: d.links,
+            att_off,
+            att_links,
+        }
+    }
+}
+
+impl TopologyStorage for CsrStorage {
+    fn node_count(&self) -> usize {
+        self.nodes.kinds.len()
+    }
+
+    fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    fn kind(&self, n: NodeId) -> NodeKind {
+        self.nodes.kinds[n]
+    }
+
+    fn name(&self, n: NodeId) -> &str {
+        self.nodes.name(n)
+    }
+
+    fn link(&self, l: LinkId) -> LinkRef<'_> {
+        self.links.link(l)
+    }
+
+    fn links_of(&self, n: NodeId) -> &[LinkId] {
+        &self.att_links[self.att_off[n] as usize..self.att_off[n + 1] as usize]
+    }
+}
+
+/// Which backing a [`Topology`] currently uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Backing {
+    /// Mutable adjacency-list storage (the builder's native form).
+    Dense,
+    /// Frozen compressed-sparse-row storage.
+    Csr,
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
+    Dense(DenseStorage),
+    Csr(CsrStorage),
+}
+
+/// An immutable network description, built with the `add_*` methods and
+/// then handed to [`crate::sim::NetSim`]. Optionally [`Topology::freeze`]d
+/// into CSR form for large meshes.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    repr: Repr,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology {
+            repr: Repr::Dense(DenseStorage::new()),
+        }
+    }
+}
+
+macro_rules! on_storage {
+    ($self:expr, $s:ident => $e:expr) => {
+        match &$self.repr {
+            Repr::Dense($s) => $e,
+            Repr::Csr($s) => $e,
+        }
+    };
+}
+
 impl Topology {
-    /// An empty topology.
+    /// An empty topology (dense backing).
     pub fn new() -> Self {
         Self::default()
     }
 
+    fn dense_mut(&mut self) -> &mut DenseStorage {
+        match &mut self.repr {
+            Repr::Dense(d) => d,
+            Repr::Csr(_) => panic!("cannot mutate a frozen (CSR) topology"),
+        }
+    }
+
+    /// The backing currently in use.
+    pub fn backing(&self) -> Backing {
+        match self.repr {
+            Repr::Dense(_) => Backing::Dense,
+            Repr::Csr(_) => Backing::Csr,
+        }
+    }
+
+    /// The storage as a trait object (for code generic over backings).
+    pub fn storage(&self) -> &dyn TopologyStorage {
+        match &self.repr {
+            Repr::Dense(d) => d,
+            Repr::Csr(c) => c,
+        }
+    }
+
+    /// Convert the backing to frozen CSR form in place. Further `add_*`
+    /// calls panic. No-op if already frozen.
+    pub fn freeze(&mut self) {
+        if let Repr::Dense(d) = &mut self.repr {
+            let dense = std::mem::replace(d, DenseStorage::new());
+            self.repr = Repr::Csr(dense.into());
+        }
+    }
+
+    /// [`Topology::freeze`] by value, for builder chains.
+    pub fn frozen(mut self) -> Self {
+        self.freeze();
+        self
+    }
+
     /// Add a node; returns its id.
     pub fn add_node(&mut self, kind: NodeKind, name: impl Into<String>) -> NodeId {
-        self.nodes.push((kind, name.into()));
-        self.attachments.push(Vec::new());
-        self.nodes.len() - 1
+        let d = self.dense_mut();
+        let id = d.nodes.push(kind, &name.into());
+        d.attachments.push(Vec::new());
+        id
     }
 
     /// Add a host.
@@ -110,18 +404,19 @@ impl Topology {
         bandwidth_bps: u64,
         queue_cap: usize,
     ) -> LinkId {
-        assert!(a < self.nodes.len() && b < self.nodes.len(), "unknown node");
+        let d = self.dense_mut();
+        let n = d.nodes.kinds.len();
+        assert!(a < n && b < n, "unknown node");
         assert_ne!(a, b, "self-links are not allowed");
-        self.links.push(Link {
-            medium: Medium::PointToPoint,
-            nodes: vec![a, b],
+        let id = d.links.push(
+            Medium::PointToPoint,
+            &[a, b],
             delay,
             bandwidth_bps,
             queue_cap,
-        });
-        let id = self.links.len() - 1;
-        self.attachments[a].push(id);
-        self.attachments[b].push(id);
+        );
+        d.attachments[a].push(id);
+        d.attachments[b].push(id);
         id
     }
 
@@ -133,69 +428,57 @@ impl Topology {
         bandwidth_bps: u64,
         queue_cap: usize,
     ) -> LinkId {
+        let d = self.dense_mut();
         assert!(nodes.len() >= 2, "a LAN needs at least two nodes");
         for &n in nodes {
-            assert!(n < self.nodes.len(), "unknown node {n}");
+            assert!(n < d.nodes.kinds.len(), "unknown node {n}");
         }
-        self.links.push(Link {
-            medium: Medium::Broadcast,
-            nodes: nodes.to_vec(),
-            delay,
-            bandwidth_bps,
-            queue_cap,
-        });
-        let id = self.links.len() - 1;
+        let id = d
+            .links
+            .push(Medium::Broadcast, nodes, delay, bandwidth_bps, queue_cap);
         for &n in nodes {
-            self.attachments[n].push(id);
+            d.attachments[n].push(id);
         }
         id
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        on_storage!(self, s => s.node_count())
     }
 
     /// Number of links.
     pub fn link_count(&self) -> usize {
-        self.links.len()
+        on_storage!(self, s => s.link_count())
     }
 
     /// A node's kind.
     pub fn kind(&self, n: NodeId) -> NodeKind {
-        self.nodes[n].0
+        on_storage!(self, s => s.kind(n))
     }
 
     /// A node's name.
     pub fn name(&self, n: NodeId) -> &str {
-        &self.nodes[n].1
+        on_storage!(self, s => s.name(n))
     }
 
     /// A link by id.
-    pub fn link(&self, l: LinkId) -> &Link {
-        &self.links[l]
+    pub fn link(&self, l: LinkId) -> LinkRef<'_> {
+        on_storage!(self, s => s.link(l))
     }
 
     /// Links attached to a node.
     pub fn links_of(&self, n: NodeId) -> &[LinkId] {
-        &self.attachments[n]
+        on_storage!(self, s => s.links_of(n))
     }
 
-    /// The neighbours of a node: `(neighbour, via link)` pairs, one per
-    /// other node on each attached link.
-    ///
-    /// Allocates a fresh `Vec` per call; hot paths should prefer
-    /// [`Topology::neighbors_iter`], which visits the same pairs in the
-    /// same order without allocating.
-    pub fn neighbors(&self, n: NodeId) -> Vec<(NodeId, LinkId)> {
-        self.neighbors_iter(n).collect()
-    }
-
-    /// Non-allocating variant of [`Topology::neighbors`]: iterates the
-    /// `(neighbour, via link)` pairs in attachment order.
+    /// The neighbours of a node: iterates the `(neighbour, via link)`
+    /// pairs in attachment order (one per other node on each attached
+    /// link) without allocating.
     pub fn neighbors_iter(&self, n: NodeId) -> impl Iterator<Item = (NodeId, LinkId)> + '_ {
-        self.attachments[n].iter().flat_map(move |&l| {
-            self.links[l]
+        let s = self.storage();
+        s.links_of(n).iter().flat_map(move |&l| {
+            s.link(l)
                 .nodes
                 .iter()
                 .filter(move |&&m| m != n)
@@ -205,15 +488,100 @@ impl Topology {
 
     /// All router node ids.
     pub fn routers(&self) -> Vec<NodeId> {
-        (0..self.nodes.len())
+        (0..self.node_count())
             .filter(|&n| self.kind(n) == NodeKind::Router)
             .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serde: a backing-independent wire format (nodes + links; adjacency is
+// derived). Deserializing re-freezes when the source was frozen.
+// ---------------------------------------------------------------------
+
+#[derive(Serialize, Deserialize)]
+struct WireLink {
+    medium: Medium,
+    nodes: Vec<NodeId>,
+    delay: Duration,
+    bandwidth_bps: u64,
+    queue_cap: usize,
+}
+
+#[derive(Serialize, Deserialize)]
+struct TopologyWire {
+    nodes: Vec<(NodeKind, String)>,
+    links: Vec<WireLink>,
+    backing: Backing,
+}
+
+impl Serialize for Topology {
+    fn to_value(&self) -> serde::Value {
+        let s = self.storage();
+        let wire = TopologyWire {
+            nodes: (0..s.node_count())
+                .map(|n| (s.kind(n), s.name(n).to_string()))
+                .collect(),
+            links: (0..s.link_count())
+                .map(|l| {
+                    let lr = s.link(l);
+                    WireLink {
+                        medium: lr.medium,
+                        nodes: lr.nodes.to_vec(),
+                        delay: lr.delay,
+                        bandwidth_bps: lr.bandwidth_bps,
+                        queue_cap: lr.queue_cap,
+                    }
+                })
+                .collect(),
+            backing: self.backing(),
+        };
+        wire.to_value()
+    }
+}
+
+impl Deserialize for Topology {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let wire = TopologyWire::from_value(v)?;
+        let mut t = Topology::new();
+        for (kind, name) in wire.nodes {
+            t.add_node(kind, name);
+        }
+        for l in wire.links {
+            match l.medium {
+                Medium::PointToPoint => {
+                    if l.nodes.len() != 2 {
+                        return Err(serde::Error::custom(
+                            "point-to-point link must attach exactly 2 nodes",
+                        ));
+                    }
+                    t.add_link(
+                        l.nodes[0],
+                        l.nodes[1],
+                        l.delay,
+                        l.bandwidth_bps,
+                        l.queue_cap,
+                    );
+                }
+                Medium::Broadcast => {
+                    t.add_lan(&l.nodes, l.delay, l.bandwidth_bps, l.queue_cap);
+                }
+            }
+        }
+        if wire.backing == Backing::Csr {
+            t.freeze();
+        }
+        Ok(t)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn neighbors(t: &Topology, n: NodeId) -> Vec<(NodeId, LinkId)> {
+        t.neighbors_iter(n).collect()
+    }
 
     #[test]
     fn builder_wires_attachments_and_neighbors() {
@@ -226,8 +594,8 @@ mod tests {
         assert_eq!(t.node_count(), 3);
         assert_eq!(t.link_count(), 2);
         assert_eq!(t.links_of(r1), &[l0, l1]);
-        assert_eq!(t.neighbors(h), vec![(r1, l0)]);
-        let mut n1 = t.neighbors(r1);
+        assert_eq!(neighbors(&t, h), vec![(r1, l0)]);
+        let mut n1 = neighbors(&t, r1);
         n1.sort_unstable();
         assert_eq!(n1, vec![(h, l0), (r2, l1)]);
         assert_eq!(t.routers(), vec![r1, r2]);
@@ -243,21 +611,95 @@ mod tests {
         assert_eq!(t.link(lan).medium, Medium::Broadcast);
         for &r in &rs {
             assert_eq!(t.links_of(r), &[lan]);
-            assert_eq!(t.neighbors(r).len(), 3);
+            assert_eq!(neighbors(&t, r).len(), 3);
         }
     }
 
     #[test]
-    fn neighbors_iter_matches_neighbors_order() {
+    fn lan_of_two_is_minimal() {
+        let mut t = Topology::new();
+        let a = t.add_router("a");
+        let b = t.add_router("b");
+        let lan = t.add_lan(&[a, b], Duration::from_micros(10), 0, 1);
+        assert_eq!(t.link(lan).nodes, &[a, b]);
+        assert_eq!(neighbors(&t, a), vec![(b, lan)]);
+        assert_eq!(neighbors(&t, b), vec![(a, lan)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn lan_of_one_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_router("a");
+        t.add_lan(&[a], Duration::ZERO, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn lan_with_unknown_member_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_router("a");
+        t.add_lan(&[a, 7], Duration::ZERO, 0, 1);
+    }
+
+    #[test]
+    fn lan_membership_order_is_preserved() {
+        // LAN delivery order follows membership order; the builder must
+        // not reorder it.
         let mut t = Topology::new();
         let rs: Vec<NodeId> = (0..5).map(|i| t.add_router(format!("r{i}"))).collect();
+        let shuffled = [rs[3], rs[0], rs[4], rs[1]];
+        let lan = t.add_lan(&shuffled, Duration::ZERO, 0, 1);
+        assert_eq!(t.link(lan).nodes, &shuffled);
+        t.freeze();
+        assert_eq!(t.link(lan).nodes, &shuffled);
+    }
+
+    #[test]
+    fn freezing_preserves_structure_and_order() {
+        let mut t = Topology::new();
+        let rs: Vec<NodeId> = (0..6).map(|i| t.add_router(format!("r{i}"))).collect();
+        let h = t.add_host("h");
         t.add_lan(&rs[..3], Duration::from_micros(10), 10_000_000, 50);
         t.add_link(rs[0], rs[3], Duration::from_millis(1), 1_000_000, 10);
-        t.add_link(rs[3], rs[4], Duration::from_millis(1), 1_000_000, 10);
-        for &r in &rs {
-            let collected: Vec<_> = t.neighbors_iter(r).collect();
-            assert_eq!(collected, t.neighbors(r), "node {r}");
+        t.add_link(rs[3], rs[4], Duration::from_millis(2), 2_000_000, 20);
+        t.add_link(rs[4], rs[5], Duration::from_millis(3), 3_000_000, 30);
+        t.add_link(h, rs[5], Duration::from_millis(1), 1_000_000, 10);
+        let dense = t.clone();
+        t.freeze();
+        assert_eq!(t.backing(), Backing::Csr);
+        assert_eq!(dense.backing(), Backing::Dense);
+        assert_eq!(t.node_count(), dense.node_count());
+        assert_eq!(t.link_count(), dense.link_count());
+        for n in 0..t.node_count() {
+            assert_eq!(t.kind(n), dense.kind(n));
+            assert_eq!(t.name(n), dense.name(n));
+            assert_eq!(t.links_of(n), dense.links_of(n), "links_of({n})");
+            assert_eq!(
+                neighbors(&t, n),
+                neighbors(&dense, n),
+                "neighbors_iter({n})"
+            );
         }
+        for l in 0..t.link_count() {
+            let (a, b) = (t.link(l), dense.link(l));
+            assert_eq!(a.medium, b.medium);
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.delay, b.delay);
+            assert_eq!(a.bandwidth_bps, b.bandwidth_bps);
+            assert_eq!(a.queue_cap, b.queue_cap);
+        }
+        assert_eq!(t.routers(), dense.routers());
+    }
+
+    #[test]
+    #[should_panic(expected = "frozen")]
+    fn frozen_topology_rejects_mutation() {
+        let mut t = Topology::new();
+        t.add_router("a");
+        t.add_router("b");
+        t.freeze();
+        t.add_router("c");
     }
 
     #[test]
@@ -290,5 +732,20 @@ mod tests {
         let mut t = Topology::new();
         let a = t.add_router("a");
         t.add_link(a, a, Duration::ZERO, 0, 1);
+    }
+
+    #[test]
+    fn names_share_one_arena() {
+        let mut t = Topology::new();
+        let a = t.add_router("alpha");
+        let b = t.add_router("");
+        let c = t.add_host("γ-host");
+        assert_eq!(t.name(a), "alpha");
+        assert_eq!(t.name(b), "");
+        assert_eq!(t.name(c), "γ-host");
+        t.freeze();
+        assert_eq!(t.name(a), "alpha");
+        assert_eq!(t.name(b), "");
+        assert_eq!(t.name(c), "γ-host");
     }
 }

@@ -34,6 +34,9 @@
 //!   ensemble through the supervised executor
 //!   (`routesync_exec::run_many_supervised`), after asserting the outputs
 //!   are identical. Target: under 2%.
+//! * `phenomena` — events/second through each related-literature model
+//!   (cascade rollback, two-type clocks, anonymous pulse sync), timed at
+//!   the deterministic knob and at its jittered counterpart.
 //!
 //! All numbers are throughputs of this machine, not simulation results;
 //! the simulation results themselves are asserted equal where parallelism
@@ -54,6 +57,9 @@ use routesync_core::{
     PeriodicParams, ScalarEngine, StartState,
 };
 use routesync_desim::{Duration, SimTime};
+use routesync_phenomena::{
+    CascadeParams, CascadeSim, ExchangeSchedule, PulseParams, PulseSim, TwoTypeParams, TwoTypeSim,
+};
 use serde::Serialize;
 
 /// The machine-readable report written to `BENCH_core.json`.
@@ -73,6 +79,29 @@ struct Report {
     thread_sweep: Vec<ThreadSweepEntry>,
     obs: ObsSection,
     supervision: SupervisionSection,
+    phenomena: PhenomenaSection,
+}
+
+/// Throughput of the related-literature phenomena models
+/// (`routesync_phenomena`), one entry per model. Events are each model's
+/// natural work units: per-round processor advances plus event messages
+/// for cascade, rounds plus exchanges for two-type, per-round broadcasts
+/// for pulse.
+#[derive(Serialize)]
+struct PhenomenaSection {
+    cascade: PhenomenaEntry,
+    two_type: PhenomenaEntry,
+    pulse: PhenomenaEntry,
+}
+
+/// One phenomena model timed at its deterministic knob (cascade: no
+/// advance jitter, two-type: periodic exchanges, pulse: zero drift) and
+/// at the jittered counterpart.
+#[derive(Serialize)]
+struct PhenomenaEntry {
+    rounds: u64,
+    deterministic_events_per_sec: f64,
+    jittered_events_per_sec: f64,
 }
 
 /// One N of the internet-scale netsim leg: the hierarchical scenario run
@@ -660,6 +689,66 @@ fn main() {
         outputs_identical: true,
     };
 
+    // --- phenomena model throughput --------------------------------------
+    // The related-literature models, each at its deterministic knob and
+    // at the jittered counterpart. These are single short runs, not
+    // best-of reps: the numbers situate the models' cost relative to the
+    // engines above rather than gate anything.
+    let phen_seed = 1993u64;
+    let cascade_rounds: u64 = if fast { 20_000 } else { 200_000 };
+    let cascade_n = 16usize;
+    let run_cascade = |advance_jitter: f64| {
+        let mut rng = routesync_rng::stream(phen_seed, 1);
+        let params = CascadeParams {
+            advance_jitter,
+            ..CascadeParams::unsynchronized(cascade_n, 0.2, 2)
+        };
+        let mut sim = CascadeSim::new(params, &mut rng);
+        let t0 = Instant::now();
+        let report = sim.run(cascade_rounds, &mut rng);
+        let events = report.rounds * cascade_n as u64 + report.messages;
+        events as f64 / t0.elapsed().as_secs_f64()
+    };
+    let two_type_rounds: u64 = if fast { 2_000_000 } else { 10_000_000 };
+    let run_two_type = |schedule: ExchangeSchedule| {
+        let mut rng = routesync_rng::stream(phen_seed, 2);
+        let mut sim = TwoTypeSim::new(TwoTypeParams::unit_jump(0.01, schedule));
+        let t0 = Instant::now();
+        let report = sim.run(two_type_rounds, &mut rng);
+        (report.rounds + report.exchanges) as f64 / t0.elapsed().as_secs_f64()
+    };
+    let pulse_rounds: u64 = if fast { 5_000 } else { 50_000 };
+    let pulse_n = 16usize;
+    let run_pulse = |drift: f64| {
+        let mut rng = routesync_rng::stream(phen_seed, 3);
+        let params = PulseParams {
+            drift,
+            initial_spread: 1_000.0,
+            ..PulseParams::fault_free(pulse_n)
+        };
+        let mut sim = PulseSim::new(params, &mut rng);
+        let t0 = Instant::now();
+        let report = sim.run(pulse_rounds, &mut rng);
+        (report.rounds * pulse_n as u64) as f64 / t0.elapsed().as_secs_f64()
+    };
+    let phenomena = PhenomenaSection {
+        cascade: PhenomenaEntry {
+            rounds: cascade_rounds,
+            deterministic_events_per_sec: run_cascade(0.0),
+            jittered_events_per_sec: run_cascade(0.5),
+        },
+        two_type: PhenomenaEntry {
+            rounds: two_type_rounds,
+            deterministic_events_per_sec: run_two_type(ExchangeSchedule::Periodic { every: 50 }),
+            jittered_events_per_sec: run_two_type(ExchangeSchedule::Bernoulli { p: 0.02 }),
+        },
+        pulse: PhenomenaEntry {
+            rounds: pulse_rounds,
+            deterministic_events_per_sec: run_pulse(0.0),
+            jittered_events_per_sec: run_pulse(0.5),
+        },
+    };
+
     // Short instrumented passes through the remaining subsystems so the
     // registry snapshot covers desim, netsim, and exec too.
     let mut rec = CountSends::default();
@@ -714,6 +803,7 @@ fn main() {
             span_breakdown: snapshot.spans.clone(),
         },
         supervision,
+        phenomena,
     };
     let body = serde_json::to_string_pretty(&report).expect("serialize bench report");
     routesync_exec::atomic_write(std::path::Path::new(&out), body.as_bytes())

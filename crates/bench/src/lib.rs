@@ -17,6 +17,7 @@ pub mod fault_experiments;
 pub mod fig_core;
 pub mod fig_markov;
 pub mod fig_measure;
+pub mod phenomena_ext;
 
 pub use common::{Config, Outcome};
 
@@ -51,6 +52,9 @@ pub const ALL: &[&str] = &[
     "ext_incremental",
     "ext_resync",
     "ext_flap_sync",
+    "ext_cascade",
+    "ext_two_type",
+    "ext_pulse",
 ];
 
 /// Run one experiment by id.
@@ -85,6 +89,9 @@ pub fn run(id: &str, cfg: &Config) -> Outcome {
         "ext_incremental" => extensions::incremental(cfg),
         "ext_resync" => fault_experiments::resync(cfg),
         "ext_flap_sync" => fault_experiments::flap_sync(cfg),
+        "ext_cascade" => phenomena_ext::cascade(cfg),
+        "ext_two_type" => phenomena_ext::two_type(cfg),
+        "ext_pulse" => phenomena_ext::pulse(cfg),
         other => panic!("unknown experiment id {other:?} (see routesync_bench::ALL)"),
     }
 }

@@ -7,7 +7,8 @@
 //! corpus and mutates from it.
 //!
 //! Only deterministic namespaces feed the signal: simulation-domain
-//! counters, gauges and histogram buckets under `core.` and `netsim.`.
+//! counters, gauges and histogram buckets under `core.`, `netsim.` and
+//! `phenomena.`.
 //! Wall-clock metrics (`exec.*` worker timings, span durations) are
 //! excluded so the corpus — and therefore the whole fuzz run — is
 //! bit-identical across machines and thread counts.
@@ -17,7 +18,7 @@ use std::collections::BTreeSet;
 use routesync_obs::Snapshot;
 
 /// Namespaces whose metrics are pure functions of `(spec, seed)`.
-const DETERMINISTIC_PREFIXES: [&str; 2] = ["core.", "netsim."];
+const DETERMINISTIC_PREFIXES: [&str; 3] = ["core.", "netsim.", "phenomena."];
 
 fn deterministic(name: &str) -> bool {
     DETERMINISTIC_PREFIXES.iter().any(|p| name.starts_with(p))

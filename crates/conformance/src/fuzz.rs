@@ -172,6 +172,7 @@ pub fn seed_corpus() -> Vec<CaseSpec> {
         horizon_s,
         faults: Vec::new(),
         batch_width: 1,
+        depth: 0,
     };
     let lan_case = |oracle, n, tr_ms, sync_start, horizon_s, faults| CaseSpec {
         oracle,
@@ -183,15 +184,32 @@ pub fn seed_corpus() -> Vec<CaseSpec> {
         horizon_s,
         faults,
         batch_width: 1,
+        depth: 0,
     };
     vec![
         abstract_case(Oracle::EngineEquivalence, 6, 200, 3_000),
         lan_case(Oracle::NetsimTiming, 5, 2_000, false, 1_800, Vec::new()),
         abstract_case(Oracle::MarkovSync, 5, 100, 20_000),
         abstract_case(Oracle::MarkovDesync, 4, 1_000, 30_000),
+        // Phenomena oracles read horizon_s as rounds and tc/tp as the
+        // per-round rate knobs; see each oracle's docs for the mapping.
+        CaseSpec {
+            tp_ms: 2_000,
+            depth: 2,
+            ..abstract_case(Oracle::CascadeMeanField, 5, 0, 800)
+        },
+        abstract_case(Oracle::TwoTypeTransition, 2, 100, 8_000),
+        CaseSpec {
+            faults: vec![FaultOp::Router {
+                node: 1,
+                down_s: 2,
+                up_s: 40,
+            }],
+            ..abstract_case(Oracle::PulseConvergence, 4, 0, 48)
+        },
         abstract_case(Oracle::ThreadInvariance, 5, 150, 2_000),
         abstract_case(Oracle::Translation, 4, 300, 1_500),
-        abstract_case(Oracle::TrMonotonicity, 5, 60, 8_000),
+        abstract_case(Oracle::TrMonotonicity, 5, 300, 8_000),
         lan_case(Oracle::EmptyFaultPlan, 4, 1_000, false, 1_200, Vec::new()),
         lan_case(Oracle::NetsimStorage, 4, 500, false, 1_200, Vec::new()),
         // Variants that reach paths the base cases do not.
@@ -213,6 +231,21 @@ pub fn seed_corpus() -> Vec<CaseSpec> {
             batch_width: 8,
             ..abstract_case(Oracle::EngineEquivalence, 5, 150, 2_500)
         },
+        // Jittered cascade: the exact GVT leg under randomized clocks.
+        CaseSpec {
+            tp_ms: 2_000,
+            tc_ms: 100,
+            ..abstract_case(Oracle::CascadeMeanField, 6, 1_000, 400)
+        },
+        // Drifting pulse: the floor envelope instead of exact convergence.
+        CaseSpec {
+            faults: vec![FaultOp::Router {
+                node: 2,
+                down_s: 1,
+                up_s: 30,
+            }],
+            ..abstract_case(Oracle::PulseConvergence, 7, 500, 60)
+        },
     ]
 }
 
@@ -232,6 +265,9 @@ fn clamp(v: u64, lo: u64, hi: u64) -> u64 {
 /// here, so the oracles may assume these bounds.
 pub fn sanitize(spec: &mut CaseSpec) {
     spec.batch_width = spec.batch_width.clamp(1, 64);
+    if spec.oracle != Oracle::CascadeMeanField {
+        spec.depth = 0;
+    }
     if is_lan_oracle(spec.oracle) {
         // The LAN scenario's period is fixed (DECnet-style 120 s
         // updates); keep the spec honest about it.
@@ -248,8 +284,11 @@ pub fn sanitize(spec: &mut CaseSpec) {
         }
         return;
     }
-    // Abstract-model oracles: no packet level, no faults.
-    spec.faults.clear();
+    // Abstract-model oracles: no packet level, no faults — except the
+    // pulse oracle, which reads Router windows as Byzantine equivocators.
+    if spec.oracle != Oracle::PulseConvergence {
+        spec.faults.clear();
+    }
     spec.tp_ms = clamp(spec.tp_ms, 2_000, 30_000);
     spec.tc_ms = clamp(spec.tc_ms, 10, 500);
     let tp_s = spec.tp_ms / 1_000;
@@ -272,9 +311,56 @@ pub fn sanitize(spec: &mut CaseSpec) {
         }
         Oracle::TrMonotonicity => {
             spec.n = spec.n.clamp(3, 8);
+            // The monotone claim holds in the jitter-dominated regime
+            // (Tr at least a couple of coupling windows Tc). Below that,
+            // sync within a finite horizon is diffusion-limited and more
+            // jitter *speeds it up* — the paper's claim does not apply.
+            spec.tc_ms = clamp(spec.tc_ms, 10, 150);
             // Keep 3·Tr within the timer's valid range with room to move.
-            spec.tr_ms = clamp(spec.tr_ms, 10, spec.tp_ms / 6);
+            spec.tr_ms = clamp(spec.tr_ms, 2 * spec.tc_ms, spec.tp_ms / 6);
             spec.horizon_s = clamp(spec.horizon_s, 300 * tp_s, 1_000 * tp_s);
+        }
+        Oracle::CascadeMeanField => {
+            // Round-based: q = Tc/Tp, advance jitter Tr/Tp, horizon in
+            // rounds. Bounds keep the mean-field time resolvable within
+            // the horizon band (censoring handles the slow corner).
+            spec.n = spec.n.clamp(4, 8);
+            spec.tp_ms = clamp(spec.tp_ms, 2_000, 20_000);
+            spec.tc_ms = clamp(spec.tc_ms, 50, spec.tp_ms / 4);
+            spec.tr_ms = if spec.tr_ms == 0 {
+                0
+            } else {
+                // A jittered case needs enough jitter to matter.
+                clamp(spec.tr_ms, spec.tp_ms / 10, spec.tp_ms)
+            };
+            spec.horizon_s = clamp(spec.horizon_s, 400, 2_000);
+            spec.depth = spec.depth.min(4);
+        }
+        Oracle::TwoTypeTransition => {
+            // Round-based: drift δ = Tc/Tp with unit jump, horizon in
+            // rounds; Tr > 0 selects the Bernoulli (jittered) schedule
+            // for the supercritical leg. δ ≤ 1/8 keeps the whole
+            // internal p-grid (up to 4·p_c) inside [0, 1].
+            spec.n = spec.n.clamp(2, 8);
+            spec.tp_ms = clamp(spec.tp_ms, 2_000, 10_000);
+            spec.tc_ms = clamp(spec.tc_ms, 50, spec.tp_ms / 8);
+            spec.tr_ms = clamp(spec.tr_ms, 0, spec.tp_ms);
+            spec.horizon_s = clamp(spec.horizon_s, 5_000, 20_000);
+        }
+        Oracle::PulseConvergence => {
+            // Round-based: drift ρ = Tr/1000 per round, horizon in
+            // rounds (≥ 24 so the ε = 0.01 convergence bound of a
+            // diameter-100 start always fits). Router windows become
+            // Byzantine equivocators, capped at the protocol's
+            // resilience limit n > 3f.
+            spec.n = spec.n.clamp(4, 10);
+            spec.tr_ms = clamp(spec.tr_ms, 0, 2_000);
+            spec.horizon_s = clamp(spec.horizon_s, 24, 96);
+            spec.faults
+                .retain(|op| matches!(op, FaultOp::Router { .. }));
+            sanitize_faults(spec);
+            let max_f = (spec.n - 1) / 3;
+            spec.faults.truncate(max_f.min(2));
         }
         _ => {
             spec.n = spec.n.clamp(2, 10);
@@ -332,7 +418,7 @@ pub fn mutate(parent: &CaseSpec, rng: &mut SplitMix64) -> CaseSpec {
     // One to three independent tweaks per child.
     let tweaks = 1 + (rng.next_u64_raw() % 3) as usize;
     for _ in 0..tweaks {
-        match rng.next_u64_raw() % 12 {
+        match rng.next_u64_raw() % 13 {
             0 => spec.n = spec.n.saturating_add(1),
             1 => spec.n = spec.n.saturating_sub(1).max(1),
             2 => spec.tp_ms = spec.tp_ms.saturating_mul(2),
@@ -344,8 +430,9 @@ pub fn mutate(parent: &CaseSpec, rng: &mut SplitMix64) -> CaseSpec {
             8 => spec.horizon_s = (spec.horizon_s / 2).max(1),
             9 => spec.batch_width = spec.batch_width.saturating_mul(2),
             10 => spec.batch_width = (spec.batch_width / 2).max(1),
+            11 => spec.depth = (spec.depth + 1) % 5,
             _ => {
-                if is_lan_oracle(spec.oracle) {
+                if is_lan_oracle(spec.oracle) || spec.oracle == Oracle::PulseConvergence {
                     mutate_faults(&mut spec, rng);
                 } else {
                     spec.horizon_s = spec.horizon_s.saturating_mul(2);
@@ -692,8 +779,18 @@ mod tests {
             assert_eq!(spec, once);
             if is_lan_oracle(spec.oracle) {
                 assert!(spec.faults.len() <= 2);
+            } else if spec.oracle == Oracle::PulseConvergence {
+                // Pulse keeps Router windows, capped under resilience.
+                assert!(spec.faults.len() <= (spec.n - 1) / 3);
+                assert!(spec
+                    .faults
+                    .iter()
+                    .all(|op| matches!(op, FaultOp::Router { .. })));
             } else {
                 assert!(spec.faults.is_empty());
+            }
+            if spec.oracle != Oracle::CascadeMeanField {
+                assert_eq!(spec.depth, 0);
             }
             assert!(spec.tr_ms <= spec.tp_ms);
         }

@@ -13,7 +13,13 @@
 //! * **analytical** — simulated passage times against the Markov chain's
 //!   `f`/`g` closed forms ([`markov_sync`], [`markov_desync`]), with the
 //!   generous multiplicative tolerances the paper itself needs (it quotes
-//!   a 2-3× systematic gap; see `EXPERIMENTS.md`);
+//!   a 2-3× systematic gap; see `EXPERIMENTS.md`), plus the
+//!   related-literature phenomena against their own closed forms:
+//!   cascade rollback vs the Manita–Simonot pure-birth mean field
+//!   ([`cascade_mean_field`]), the two-type clock lag vs the
+//!   Malyshev–Manita critical exchange rate ([`two_type_transition`]),
+//!   and Byzantine pulse synchronization vs the halving convergence
+//!   bound ([`pulse_convergence`]);
 //! * **metamorphic** — invariances that need no reference value at all:
 //!   thread-count invariance ([`thread_invariance`]), start-time
 //!   translation ([`translation`]), monotonicity in `Tr`
@@ -58,6 +64,9 @@ pub fn check(spec: &CaseSpec, seed: u64) -> Result<(), String> {
         Oracle::NetsimTiming => netsim_timing(spec, seed),
         Oracle::MarkovSync => markov_sync(spec, seed),
         Oracle::MarkovDesync => markov_desync(spec, seed),
+        Oracle::CascadeMeanField => cascade_mean_field(spec, seed),
+        Oracle::TwoTypeTransition => two_type_transition(spec, seed),
+        Oracle::PulseConvergence => pulse_convergence(spec, seed),
         Oracle::ThreadInvariance => thread_invariance(spec, seed),
         Oracle::Translation => translation(spec, seed),
         Oracle::TrMonotonicity => tr_monotonicity(spec, seed),
@@ -396,6 +405,265 @@ pub fn markov_desync(spec: &CaseSpec, seed: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// Analysis/simulation band for the cascade mean-field time. The
+/// pure-birth form ignores anti-message cascades and off-cohort merges
+/// (both accelerate synchronization), so the band is generous on both
+/// sides; a broken rollback lands far outside it or trips the exact GVT
+/// invariant first.
+const CASCADE_RATIO_BAND: (f64, f64) = (0.05, 30.0);
+
+/// Cascade-rollback oracle (arXiv math/0508533). Reads the spec as a
+/// round-based model: send probability `q = Tc/Tp`, advance jitter
+/// `Tr/Tp`, `horizon_s` as rounds, `depth` as the anti-message reach.
+///
+/// Exact legs (every run): without jitter the GVT advances exactly one
+/// unit per round; with jitter at least one. Statistical leg
+/// (deterministic schedule only): the ensemble mean sync round sits in a
+/// band of the Manita–Simonot pure-birth mean-field time, with the same
+/// censoring rule as the Markov oracles.
+pub fn cascade_mean_field(spec: &CaseSpec, seed: u64) -> Result<(), String> {
+    let n = spec.n;
+    let q = (spec.tc_ms.max(1) as f64 / spec.tp_ms.max(1) as f64).min(1.0);
+    let jitter = (spec.tr_ms as f64 / spec.tp_ms.max(1) as f64).min(1.0);
+    let rounds = spec.horizon_s;
+    let params = routesync_phenomena::CascadeParams {
+        n,
+        send_prob: q,
+        depth: spec.depth,
+        advance_jitter: jitter,
+        initial_spread: n as u64,
+    };
+    let seeds = derive_seeds(seed, 12);
+    let mut sync_rounds: Vec<f64> = Vec::new();
+    let mut censored = 0usize;
+    for &s in &seeds {
+        let mut rng = SplitMix64::new(s);
+        let mut sim = routesync_phenomena::CascadeSim::new(params, &mut rng);
+        let r = sim.run(rounds, &mut rng);
+        let gvt_gain = r.gvt_final - r.gvt_initial;
+        if jitter == 0.0 && gvt_gain != rounds as i64 {
+            return Err(format!(
+                "deterministic GVT advanced {gvt_gain} units in {rounds} rounds \
+                 (must be exactly {rounds}): rollback dragged below the minimum"
+            ));
+        }
+        if gvt_gain < rounds as i64 {
+            return Err(format!(
+                "GVT advanced {gvt_gain} units in {rounds} rounds (must be >= {rounds})"
+            ));
+        }
+        if jitter == 0.0 {
+            match r.sync_round {
+                Some(sr) => {
+                    sync_rounds.push(sr as f64);
+                    if r.final_spread != 0 {
+                        return Err(format!(
+                            "deterministic lock-step broke after sync round {sr}: \
+                             final spread {}",
+                            r.final_spread
+                        ));
+                    }
+                }
+                None => censored += 1,
+            }
+        }
+    }
+    if jitter > 0.0 {
+        return Ok(()); // jittered leg is the exact GVT check only
+    }
+    let ana = routesync_markov::cascade_sync_rounds(n, q);
+    if censored * 2 > seeds.len() {
+        // Same censoring rule as the Markov oracles: mostly-censored runs
+        // are consistent iff the mean field itself points past the
+        // horizon's scale.
+        if ana > rounds as f64 / 2.0 {
+            return Ok(());
+        }
+        return Err(format!(
+            "mean field predicts sync in {ana:.1} rounds but {censored}/{} runs \
+             never locked within {rounds}",
+            seeds.len()
+        ));
+    }
+    let sim = mean(&sync_rounds);
+    let ratio = ana / sim.max(1.0);
+    if !ratio.is_finite() || ratio < CASCADE_RATIO_BAND.0 || ratio > CASCADE_RATIO_BAND.1 {
+        return Err(format!(
+            "cascade mean-field/simulation ratio {ratio:.3} outside [{}, {}] \
+             (mean field {ana:.1} rounds, simulated {sim:.1})",
+            CASCADE_RATIO_BAND.0, CASCADE_RATIO_BAND.1
+        ));
+    }
+    Ok(())
+}
+
+/// Two-type clock oracle (arXiv 1201.3550). Reads the spec as drift
+/// `δ = Tc/Tp` per round with unit jump, `horizon_s` as rounds, and
+/// sweeps an internal exchange-rate grid across the critical rate
+/// `p_c = δ/J`:
+///
+/// * subcritical (`p = p_c/4, p_c/2`, deterministic periodic): the
+///   measured second-half lag growth must be within 2× of the
+///   Malyshev–Manita rate `δ − p·J`;
+/// * supercritical (`p = 2·p_c, 4·p_c`): the lag must stay bounded —
+///   closed-form ripple bound for the periodic schedule, a generous
+///   tail-safe bound for the Bernoulli (`Tr > 0`) schedule;
+/// * every run, both phases: the lag never goes negative (jumps are
+///   clamped), the oracle's exact leg.
+pub fn two_type_transition(spec: &CaseSpec, seed: u64) -> Result<(), String> {
+    use routesync_phenomena::{ExchangeSchedule, TwoTypeParams, TwoTypeSim};
+    let delta = spec.tc_ms.max(1) as f64 / spec.tp_ms.max(1) as f64;
+    let jump = 1.0;
+    let d0 = 1.0;
+    let rounds = spec.horizon_s.max(1);
+    let p_crit = routesync_markov::two_type_critical_rate(delta, jump);
+    let run = |schedule: ExchangeSchedule, s: u64| {
+        let params = TwoTypeParams {
+            drift: delta,
+            jump,
+            schedule,
+            initial_lag: d0,
+        };
+        let mut rng = SplitMix64::new(s);
+        TwoTypeSim::new(params).run(rounds, &mut rng)
+    };
+    let non_negative = |r: &routesync_phenomena::TwoTypeReport, leg: &str| {
+        if r.min_lag < -1e-9 {
+            return Err(format!(
+                "{leg}: lag went negative ({:.3e}) — catch-up jump overshot the \
+                 fast clock",
+                r.min_lag
+            ));
+        }
+        Ok(())
+    };
+    // Subcritical: desynchronized phase, measured growth vs closed form.
+    for factor in [4u64, 2] {
+        let every = ((factor as f64) / p_crit).round().max(2.0) as u64;
+        let r = run(ExchangeSchedule::Periodic { every }, seed);
+        non_negative(&r, "subcritical periodic")?;
+        let predicted = routesync_markov::two_type_growth_rate(delta, 1.0 / every as f64, jump);
+        if predicted <= 0.0 {
+            continue; // rounding pushed the grid point onto the transition
+        }
+        let ratio = r.growth_rate / predicted;
+        if !(0.5..=2.0).contains(&ratio) {
+            return Err(format!(
+                "subcritical (every {every} rounds) lag growth {:.3e}/round vs \
+                 predicted {predicted:.3e} (ratio {ratio:.3} outside [0.5, 2])",
+                r.growth_rate
+            ));
+        }
+    }
+    // Supercritical: synchronized phase, bounded lag.
+    let seeds = derive_seeds(seed, 4);
+    for factor in [2u64, 4] {
+        let p = (factor as f64 * p_crit).min(1.0);
+        if spec.tr_ms > 0 {
+            let bound = d0 + delta * (40.0 / p) + jump;
+            for &s in &seeds {
+                let r = run(ExchangeSchedule::Bernoulli { p }, s);
+                non_negative(&r, "supercritical bernoulli")?;
+                if !r.is_synchronized(bound) {
+                    return Err(format!(
+                        "supercritical Bernoulli (p = {p:.4}) lag reached {:.3} \
+                         (tail-safe bound {bound:.3})",
+                        r.max_lag
+                    ));
+                }
+            }
+        } else {
+            let every = (1.0 / p).round().max(1.0) as u64;
+            let r = run(ExchangeSchedule::Periodic { every }, seed);
+            non_negative(&r, "supercritical periodic")?;
+            let bound = d0 + delta * every as f64 + 1e-9;
+            if !r.is_synchronized(bound) {
+                return Err(format!(
+                    "supercritical periodic (every {every}) lag reached {:.3} \
+                     (ripple bound {bound:.3})",
+                    r.max_lag
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Pulse-synchronization oracle (Yu et al.). Reads the spec's `Router`
+/// fault windows as Byzantine equivocation windows (seconds as rounds),
+/// drift jitter `ρ = Tr/1000` per round, `horizon_s` as rounds.
+///
+/// Exact leg (every run): the post-jitter phase diameter at least halves
+/// across every exchange, Byzantine lies notwithstanding. Convergence
+/// leg: without drift the diameter reaches ε = 0.01 within the
+/// `ceil(log2(d0/ε))` bound; with drift it settles under the `4ρ` floor
+/// envelope. Returns `Ok` untested when the spec violates `n > 3f` — the
+/// protocol promises nothing there, and the shrinker must not be able to
+/// manufacture a "failure" by shrinking into the invalid domain.
+pub fn pulse_convergence(spec: &CaseSpec, seed: u64) -> Result<(), String> {
+    use crate::spec::FaultOp;
+    use routesync_phenomena::{ByzantineWindow, PulseParams, PulseSim};
+    let n = spec.n;
+    let rounds = spec.horizon_s.max(1);
+    let byzantine: Vec<ByzantineWindow> = spec
+        .faults
+        .iter()
+        .filter_map(|op| match *op {
+            FaultOp::Router { node, down_s, up_s } if node < n && down_s < up_s => {
+                Some(ByzantineWindow {
+                    node,
+                    down_round: down_s,
+                    up_round: up_s,
+                })
+            }
+            _ => None,
+        })
+        .collect();
+    let params = PulseParams {
+        n,
+        byzantine,
+        drift: spec.tr_ms as f64 / 1e3,
+        initial_spread: 100.0,
+    };
+    let f = params.fault_count();
+    if n < 2 || n <= 3 * f {
+        return Ok(()); // outside the protocol's resilience domain
+    }
+    let epsilon = 0.01;
+    let rho = params.drift;
+    let seeds = derive_seeds(seed, 6);
+    for &s in &seeds {
+        let mut rng = SplitMix64::new(s);
+        let mut sim = PulseSim::new(params.clone(), &mut rng);
+        let r = sim.run(rounds, &mut rng);
+        if r.max_halving_excess > 1e-9 {
+            return Err(format!(
+                "a round failed to halve the phase diameter (excess {:.3e}; \
+                 n={n}, f={f}, rho={rho})",
+                r.max_halving_excess
+            ));
+        }
+        let bound = routesync_markov::pulse_convergence_bound(r.initial_diameter, epsilon);
+        if rho == 0.0 {
+            if bound < rounds && !r.is_synchronized(epsilon) {
+                return Err(format!(
+                    "deterministic pulse failed to converge: diameter {:.3e} after \
+                     {rounds} rounds (bound {bound} + 1)",
+                    r.final_diameter
+                ));
+            }
+        } else if bound < rounds && !r.is_synchronized(4.0 * rho + epsilon) {
+            return Err(format!(
+                "drifting pulse exceeded its floor envelope: diameter {:.3e} after \
+                 {rounds} rounds (4·rho + eps = {:.3e})",
+                r.final_diameter,
+                4.0 * rho + epsilon
+            ));
+        }
+    }
+    Ok(())
+}
+
 // ---------------------------------------------------------------------
 // Metamorphic
 // ---------------------------------------------------------------------
@@ -449,13 +717,18 @@ pub fn thread_invariance(spec: &CaseSpec, seed: u64) -> Result<(), String> {
     if fresh != at1 {
         return Err("reused (reset) models diverge from fresh construction".into());
     }
-    // Seed-stream independence: distinct master seeds give distinct runs.
-    let distinct: std::collections::BTreeSet<_> = at1.iter().collect();
-    if distinct.len() < 2 {
-        return Err(format!(
-            "8 distinct seeds produced only {} distinct trajectories",
-            distinct.len()
-        ));
+    // Seed-stream independence: distinct master seeds give distinct
+    // runs. Only meaningful when the case consumes randomness at all — a
+    // synchronized start with Tr = 0 draws nothing and is *supposed* to
+    // be seed-independent.
+    if spec.tr_ms > 0 || !spec.sync_start {
+        let distinct: std::collections::BTreeSet<_> = at1.iter().collect();
+        if distinct.len() < 2 {
+            return Err(format!(
+                "8 distinct seeds produced only {} distinct trajectories",
+                distinct.len()
+            ));
+        }
     }
     Ok(())
 }
@@ -516,9 +789,8 @@ pub fn translation(spec: &CaseSpec, seed: u64) -> Result<(), String> {
 /// random component is the only force *against* synchronization). Checked
 /// with a small slack because the comparison is across finite ensembles.
 pub fn tr_monotonicity(spec: &CaseSpec, seed: u64) -> Result<(), String> {
-    let seeds = derive_seeds(seed, 16);
     let horizon = spec.horizon_s as f64;
-    let count_synced = |tr_ms: u64| -> usize {
+    let count_synced = |seeds: &[u64], tr_ms: u64| -> usize {
         let p = CaseSpec {
             tr_ms,
             ..spec.clone()
@@ -527,7 +799,7 @@ pub fn tr_monotonicity(spec: &CaseSpec, seed: u64) -> Result<(), String> {
         experiment::run_many(
             p,
             StartState::Unsynchronized,
-            &seeds,
+            seeds,
             ENSEMBLE_THREADS,
             |m, _| {
                 let mut fp = FirstPassageUp::new(p.n);
@@ -539,14 +811,25 @@ pub fn tr_monotonicity(spec: &CaseSpec, seed: u64) -> Result<(), String> {
         .filter(|&r| r)
         .count()
     };
-    let lo = count_synced(spec.tr_ms);
     // Clamp to Tp: PeriodicParams rejects Tr > Tp (the timer could go
     // negative), and the monotone claim holds on the clamped pair too.
-    let hi = count_synced((spec.tr_ms * 3).min(spec.tp_ms));
+    let tripled = (spec.tr_ms * 3).min(spec.tp_ms);
+    let seeds = derive_seeds(seed, 16);
+    let lo = count_synced(&seeds, spec.tr_ms);
+    let hi = count_synced(&seeds, tripled);
     if hi > lo + 2 {
-        return Err(format!(
-            "tripling Tr increased synchronized runs from {lo}/16 to {hi}/16"
-        ));
+        // When both sync rates sit mid-band, a 16-run ensemble can show
+        // a small apparent increase by binomial noise alone. Escalate to
+        // an independent 4x ensemble with sqrt-scaled slack: a genuine
+        // monotonicity violation persists, noise shrinks away.
+        let big = derive_seeds(seed ^ 0x9e37_79b9_7f4a_7c15, 64);
+        let lo = count_synced(&big, spec.tr_ms);
+        let hi = count_synced(&big, tripled);
+        if hi > lo + 6 {
+            return Err(format!(
+                "tripling Tr increased synchronized runs from {lo}/64 to {hi}/64"
+            ));
+        }
     }
     Ok(())
 }

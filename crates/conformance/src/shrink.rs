@@ -74,6 +74,12 @@ fn candidates(spec: &CaseSpec) -> Vec<CaseSpec> {
         c.batch_width = (spec.batch_width / 2).max(1);
         out.push(c);
     }
+    // Shallower anti-message cascades (cascade oracle); 0 = no cascade.
+    if spec.depth > 0 {
+        let mut c = spec.clone();
+        c.depth /= 2;
+        out.push(c);
+    }
     out
 }
 
@@ -127,6 +133,7 @@ mod tests {
                 up_s: 200,
             }],
             batch_width: 16,
+            depth: 3,
         }
     }
 
@@ -138,6 +145,7 @@ mod tests {
         assert!(min.horizon_s >= min_horizon_s(&min));
         assert_eq!(min.tr_ms, 0);
         assert_eq!(min.batch_width, 1);
+        assert_eq!(min.depth, 0);
         assert_eq!(msg, "boom");
     }
 

@@ -21,7 +21,10 @@ use serde::{Deserialize, Serialize};
 ///   PeriodicModel), [`Oracle::NetsimTiming`] (packet-level update timing
 ///   vs the abstract timer rules, forwarding effects disabled);
 /// * **analytical** — [`Oracle::MarkovSync`] / [`Oracle::MarkovDesync`]
-///   (simulated passage times vs the chain's `f`/`g` closed forms);
+///   (simulated passage times vs the chain's `f`/`g` closed forms), plus
+///   the related-literature phenomena checked against their own closed
+///   forms: [`Oracle::CascadeMeanField`], [`Oracle::TwoTypeTransition`],
+///   [`Oracle::PulseConvergence`];
 /// * **metamorphic** — [`Oracle::ThreadInvariance`],
 ///   [`Oracle::Translation`], [`Oracle::TrMonotonicity`],
 ///   [`Oracle::EmptyFaultPlan`], [`Oracle::NetsimStorage`].
@@ -39,6 +42,19 @@ pub enum Oracle {
     /// Simulated time-to-desynchronize within statistical tolerance of the
     /// chain's `g(1)` (analytical).
     MarkovDesync,
+    /// Cascade-rollback ensembles lock into step within a band of the
+    /// Manita–Simonot pure-birth mean-field time, the GVT advances
+    /// exactly one unit per round, and jittered clocks resist lock-step
+    /// (analytical; arXiv math/0508533).
+    CascadeMeanField,
+    /// The two-type clock lag stays non-negative, grows at the
+    /// Malyshev–Manita rate `δ − p·J` below the critical exchange rate
+    /// `δ/J`, and stays bounded above it (analytical; arXiv 1201.3550).
+    TwoTypeTransition,
+    /// Trimmed-midpoint pulse synchronization halves the phase diameter
+    /// every round despite Byzantine equivocators and converges within
+    /// the `ceil(log2(d0/ε))` bound (analytical; Yu et al.).
+    PulseConvergence,
     /// Ensemble results are bit-identical at 1/2/4 worker threads and
     /// under model reuse, and distinct seeds give distinct trajectories
     /// (metamorphic, exact).
@@ -60,11 +76,14 @@ pub enum Oracle {
 
 impl Oracle {
     /// All oracles, in a fixed order (the fuzzer's seed corpus order).
-    pub const ALL: [Oracle; 9] = [
+    pub const ALL: [Oracle; 12] = [
         Oracle::EngineEquivalence,
         Oracle::NetsimTiming,
         Oracle::MarkovSync,
         Oracle::MarkovDesync,
+        Oracle::CascadeMeanField,
+        Oracle::TwoTypeTransition,
+        Oracle::PulseConvergence,
         Oracle::ThreadInvariance,
         Oracle::Translation,
         Oracle::TrMonotonicity,
@@ -77,7 +96,11 @@ impl Oracle {
     pub fn family(self) -> &'static str {
         match self {
             Oracle::EngineEquivalence | Oracle::NetsimTiming => "differential",
-            Oracle::MarkovSync | Oracle::MarkovDesync => "analytical",
+            Oracle::MarkovSync
+            | Oracle::MarkovDesync
+            | Oracle::CascadeMeanField
+            | Oracle::TwoTypeTransition
+            | Oracle::PulseConvergence => "analytical",
             Oracle::ThreadInvariance
             | Oracle::Translation
             | Oracle::TrMonotonicity
@@ -93,6 +116,9 @@ impl Oracle {
             Oracle::NetsimTiming => "netsim-timing",
             Oracle::MarkovSync => "markov-sync",
             Oracle::MarkovDesync => "markov-desync",
+            Oracle::CascadeMeanField => "cascade-mean-field",
+            Oracle::TwoTypeTransition => "two-type-transition",
+            Oracle::PulseConvergence => "pulse-convergence",
             Oracle::ThreadInvariance => "thread-invariance",
             Oracle::Translation => "translation",
             Oracle::TrMonotonicity => "tr-monotonicity",
@@ -153,6 +179,12 @@ pub struct CaseSpec {
     /// (sanitize clamps into `[1, 64]`; the oracle takes `max(1)`).
     #[serde(default)]
     pub batch_width: usize,
+    /// Anti-message cascade depth for [`Oracle::CascadeMeanField`] (how
+    /// many recent contacts a rolled-back processor drags along; 0 = no
+    /// cascade). Ignored — and sanitized to 0 — everywhere else, and
+    /// absent from older reproducer lines, which deserialize to 0.
+    #[serde(default)]
+    pub depth: usize,
 }
 
 impl CaseSpec {
@@ -289,6 +321,7 @@ mod tests {
                 },
             ],
             batch_width: 4,
+            depth: 2,
         };
         let repro = Reproducer {
             seed: 42,
@@ -318,6 +351,7 @@ mod tests {
                 up_s: 20,
             }],
             batch_width: 1,
+            depth: 0,
         };
         assert!(!spec.fault_plan().is_empty());
         assert!(CaseSpec {
@@ -336,9 +370,23 @@ mod tests {
         let line = r#"{"seed":7,"spec":{"oracle":"EngineEquivalence","n":4,"tp_ms":10000,"tc_ms":110,"tr_ms":100,"sync_start":false,"horizon_s":1000,"faults":[]},"message":"m"}"#;
         let back = Reproducer::from_line(line).expect("parses");
         assert_eq!(back.spec.batch_width, 0);
+        assert_eq!(back.spec.depth, 0);
         let mut fixed = back.spec.clone();
         crate::fuzz::sanitize(&mut fixed);
         assert_eq!(fixed.batch_width, 1);
+    }
+
+    #[test]
+    fn depth_defaults_for_pre_cascade_reproducers() {
+        // `depth` joined the spec with the cascade oracle; older lines
+        // lack it and must parse to the 0 sentinel (= no cascade), which
+        // sanitize leaves alone for every non-cascade oracle.
+        let line = r#"{"seed":3,"spec":{"oracle":"MarkovSync","n":4,"tp_ms":10000,"tc_ms":110,"tr_ms":100,"sync_start":false,"horizon_s":20000,"faults":[],"batch_width":1},"message":"m"}"#;
+        let back = Reproducer::from_line(line).expect("parses");
+        assert_eq!(back.spec.depth, 0);
+        let mut fixed = back.spec.clone();
+        crate::fuzz::sanitize(&mut fixed);
+        assert_eq!(fixed.depth, 0);
     }
 
     #[test]

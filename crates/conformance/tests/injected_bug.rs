@@ -115,6 +115,7 @@ fn batched_kernel_shares_the_injected_merge_rule() {
         horizon_s: 3_000,
         faults: Vec::new(),
         batch_width: 4,
+        depth: 0,
     };
     let p = spec.params();
     let horizon = spec.horizon();

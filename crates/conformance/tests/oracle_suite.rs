@@ -25,6 +25,7 @@ fn abstract_case(oracle: Oracle, n: usize, tr_ms: u64, horizon_s: u64) -> CaseSp
         horizon_s,
         faults: Vec::new(),
         batch_width: 1,
+        depth: 0,
     }
 }
 

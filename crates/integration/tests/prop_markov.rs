@@ -2,7 +2,10 @@
 
 use proptest::prelude::*;
 use routesync_markov::paper::{f_recursion, g_recursion, TDef};
-use routesync_markov::{BirthDeath, ChainParams, PeriodicChain};
+use routesync_markov::{
+    cascade_sync_rounds, pulse_convergence_bound, two_type_critical_rate, two_type_growth_rate,
+    BirthDeath, ChainParams, PeriodicChain,
+};
 
 prop_compose! {
     fn chain_params()(n in 3usize..40, tp in 10.0f64..500.0, tc in 0.01f64..0.5, tr_mult in 0.1f64..6.0)
@@ -153,6 +156,73 @@ proptest! {
             (frac_mc - exact).abs() < 0.05,
             "closed form {exact} vs simulated {frac_mc} (f {f_mc}, g {g_mc})"
         );
+    }
+
+    /// Mean-field cascade synchronization time: every recruitment stage
+    /// costs at least one round, more talkative processors synchronize
+    /// faster, larger systems synchronize slower, and the two-processor
+    /// case collapses to the plain geometric waiting time `1/q`.
+    #[test]
+    fn cascade_mean_field_is_monotone_and_exact_at_n2(
+        n in 2usize..40,
+        q in 0.001f64..1.0,
+    ) {
+        let t = cascade_sync_rounds(n, q);
+        prop_assert!(t >= (n - 1) as f64 - 1e-9, "n={n} q={q}: {t}");
+        prop_assert!(
+            cascade_sync_rounds(n, q * 0.5) >= t - 1e-9,
+            "halving q must not speed synchronization up"
+        );
+        prop_assert!(
+            cascade_sync_rounds(n + 1, q) > t,
+            "an extra processor must slow synchronization down"
+        );
+        let two = cascade_sync_rounds(2, q);
+        prop_assert!((two - 1.0 / q).abs() <= 1e-9 / q, "n=2: {two} vs {}", 1.0 / q);
+    }
+
+    /// The two-type growth rate vanishes exactly at and above the
+    /// critical message rate, matches `δ − p·J` below it, and is
+    /// monotone non-increasing in the message rate.
+    #[test]
+    fn two_type_growth_rate_has_a_sharp_transition(
+        drift in 0.0f64..2.0,
+        jump in 0.01f64..5.0,
+        mult in 0.0f64..3.0,
+    ) {
+        let pc = two_type_critical_rate(drift, jump);
+        prop_assert!((pc * jump - drift).abs() <= 1e-12 * drift.max(1.0));
+        let p = pc * mult;
+        let rate = two_type_growth_rate(drift, p, jump);
+        prop_assert!(rate >= 0.0);
+        if mult >= 1.0 {
+            prop_assert!(rate <= 1e-12 * drift.max(1.0), "supercritical rate {rate}");
+        } else {
+            prop_assert!(
+                (rate - (drift - p * jump)).abs() <= 1e-12 * drift.max(1.0),
+                "subcritical rate {rate} vs {}", drift - p * jump
+            );
+        }
+        prop_assert!(
+            two_type_growth_rate(drift, p + 0.1, jump) <= rate + 1e-12,
+            "growth rate must fall as exchanges get more frequent"
+        );
+    }
+
+    /// The pulse convergence bound is the minimal halving count and is
+    /// monotone in both arguments.
+    #[test]
+    fn pulse_bound_is_minimal_and_monotone(
+        d0 in 0.0f64..1e6,
+        eps in 1e-6f64..10.0,
+    ) {
+        let r = pulse_convergence_bound(d0, eps);
+        prop_assert!(d0 / 2f64.powi(r as i32) <= eps, "d0={d0} eps={eps} r={r}");
+        if r > 0 {
+            prop_assert!(d0 / 2f64.powi(r as i32 - 1) > eps, "r={r} not minimal");
+        }
+        prop_assert!(pulse_convergence_bound(2.0 * d0, eps) >= r);
+        prop_assert!(pulse_convergence_bound(d0, 2.0 * eps) <= r);
     }
 
     /// Exact hitting times agree with Monte-Carlo simulation of the chain

@@ -126,6 +126,149 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Seed-independence: the qualitative verdicts — tail drop
+    /// synchronizes, random drop does not, the fixed-retry storm forms
+    /// and recovery still completes, on-the-hour clocks are bursty —
+    /// are properties of the parameters alone. Any seed yields the same
+    /// classification.
+    #[test]
+    fn verdicts_are_seed_independent(base in 1u32..5_000) {
+        for seed in [base, base + 10_000, base + 20_000] {
+            let mut rng = MinStd::new(seed);
+            let mut b = TcpBottleneck::new(TcpParams::classic(8, DropPolicy::TailDrop), &mut rng);
+            let tail = b.run(600, &mut rng);
+            prop_assert!(tail.is_synchronized(), "seed {}: {:?}", seed, tail);
+
+            let mut rng = MinStd::new(seed);
+            let mut b = TcpBottleneck::new(TcpParams::classic(8, DropPolicy::RandomSingle), &mut rng);
+            let rand = b.run(600, &mut rng);
+            // Structural, not statistical: a single random drop per
+            // overflow can never halve 3/4 of eight connections at once.
+            prop_assert!(!rand.is_synchronized(), "seed {}: {:?}", seed, rand);
+            prop_assert_eq!(rand.mass_halving_events, 0);
+
+            let params = ClientServerParams::sprite(40, ClientServerParams::fixed_retry());
+            let storm = ClientServerModel::new(params, seed as u64).run(SimTime::from_secs(2_000));
+            prop_assert!(storm.recovery_secs.is_some(), "seed {}: {:?}", seed, storm);
+            prop_assert!(
+                storm.timeouts_after_recovery > 0,
+                "seed {}: the fixed-retry storm must overload the recovering server: {:?}",
+                seed, storm
+            );
+
+            let mut rng = MinStd::new(seed);
+            let hour = external_clock::simulate(
+                &ClockParams::hourly(200, ClockAlignment::OnTheHour),
+                10,
+                60,
+                &mut rng,
+            );
+            prop_assert!(hour.peak_to_mean() > 2.0, "seed {}: {:?}", seed, hour.peak_to_mean());
+        }
+    }
+
+    /// Jitter-monotonicity: adding jitter only weakens the
+    /// synchronization phenomena, monotonically along each model's
+    /// jitter ladder — retry spread 0 → 2 s → 5 s, clock alignment
+    /// on-the-hour → quarter-marks → uniform, drop policy tail → random.
+    #[test]
+    fn jitter_weakens_synchronization_monotonically(base in 1u32..10_000) {
+        // Client-server: total peak burst over three seeds shrinks as
+        // the retry spread grows (per-seed peaks are noisy at the bottom
+        // of the ladder; the three-seed sum is not).
+        let storm_peaks = |tr_secs: u64| -> usize {
+            let retry = if tr_secs == 0 {
+                ClientServerParams::fixed_retry()
+            } else {
+                JitterPolicy::Uniform {
+                    tp: Duration::from_secs(10),
+                    tr: Duration::from_secs(tr_secs),
+                }
+            };
+            [base, base + 10_000, base + 20_000]
+                .iter()
+                .map(|&s| {
+                    let params = ClientServerParams::sprite(40, retry);
+                    ClientServerModel::new(params, s as u64)
+                        .run(SimTime::from_secs(2_000))
+                        .peak_retry_burst
+                })
+                .sum()
+        };
+        let fixed = storm_peaks(0);
+        let half = storm_peaks(2);
+        let full = storm_peaks(5);
+        prop_assert!(
+            fixed >= half && half >= full,
+            "peak bursts must fall along the jitter ladder: {} >= {} >= {}",
+            fixed, half, full
+        );
+
+        // External clock: burstiness falls as alignment loosens.
+        let profile = |alignment| {
+            let mut rng = MinStd::new(base);
+            external_clock::simulate(&ClockParams::hourly(200, alignment), 10, 60, &mut rng)
+        };
+        let hour = profile(ClockAlignment::OnTheHour).peak_to_mean();
+        let quarter = profile(ClockAlignment::QuarterMarks).peak_to_mean();
+        let uniform = profile(ClockAlignment::UniformOffset).peak_to_mean();
+        prop_assert!(
+            hour + 1e-9 >= quarter && quarter + 1e-9 >= uniform,
+            "peak-to-mean must fall along the alignment ladder: {} >= {} >= {}",
+            hour, quarter, uniform
+        );
+
+        // TCP: randomizing the drop choice removes mass halvings and
+        // lifts the utilization floor.
+        let tcp = |policy| {
+            let mut rng = MinStd::new(base);
+            let mut b = TcpBottleneck::new(TcpParams::classic(8, policy), &mut rng);
+            b.run(600, &mut rng)
+        };
+        let tail = tcp(DropPolicy::TailDrop);
+        let rand = tcp(DropPolicy::RandomSingle);
+        prop_assert!(tail.mass_halving_events > rand.mass_halving_events);
+        prop_assert!(
+            rand.min_utilization > tail.min_utilization,
+            "random drop must lift the floor: {} vs {}",
+            rand.min_utilization, tail.min_utilization
+        );
+    }
+
+    /// Thread-invariance: an ensemble of phenomena runs fanned out with
+    /// `par_map_indexed` yields identical reports at 1, 2 and 4 worker
+    /// threads.
+    #[test]
+    fn ensembles_are_thread_invariant(base in 1u32..10_000) {
+        let seeds: Vec<u32> = (0..6).map(|i| base + i * 1_013).collect();
+        let run_all = |threads: usize| {
+            routesync_exec::par_map_indexed(&seeds, threads, |_, &s| {
+                let mut rng = MinStd::new(s);
+                let mut b =
+                    TcpBottleneck::new(TcpParams::classic(5, DropPolicy::TailDrop), &mut rng);
+                let tcp = b.run(300, &mut rng);
+                let params =
+                    ClientServerParams::sprite(12, ClientServerParams::jittered_retry());
+                let storm =
+                    ClientServerModel::new(params, s as u64).run(SimTime::from_secs(1_000));
+                let clock = external_clock::simulate(
+                    &ClockParams::hourly(40, ClockAlignment::QuarterMarks),
+                    4,
+                    60,
+                    &mut rng,
+                );
+                (tcp, storm, clock)
+            })
+        };
+        let one = run_all(1);
+        prop_assert_eq!(&one, &run_all(2), "two threads must match one");
+        prop_assert_eq!(&one, &run_all(4), "four threads must match one");
+    }
+}
+
 /// Non-proptest determinism check across the whole phenomena crate.
 #[test]
 fn phenomena_are_deterministic() {

@@ -34,6 +34,10 @@
 //! * [`paper`] — the recursion exactly as printed in the paper (Eqs. 3-6
 //!   with the `t_{j,j±1}` terms), kept verbatim for comparison; see that
 //!   module's docs for the known discrepancy in the printed `t` formula.
+//! * [`meanfield`] — closed-form limits for the related-literature models
+//!   in `routesync-phenomena` (cascade rollback, two-type clocks, pulse
+//!   synchronization), which the conformance oracles check ensemble
+//!   simulations against.
 //!
 //! The free parameter `f(2)` (equivalently `p_{1,2}`) is *not* given in
 //! closed form by the paper ("based both on simulations and on an
@@ -61,7 +65,11 @@
 
 pub mod birthdeath;
 pub mod chain;
+pub mod meanfield;
 pub mod paper;
 
 pub use birthdeath::BirthDeath;
 pub use chain::{ChainParams, PeriodicChain, Region};
+pub use meanfield::{
+    cascade_sync_rounds, pulse_convergence_bound, two_type_critical_rate, two_type_growth_rate,
+};

@@ -1,0 +1,150 @@
+//! Closed-form / mean-field predictions for the related-literature
+//! synchronization models in `routesync-phenomena`.
+//!
+//! Floyd & Jacobson's chain is not the only analysis that ships with a
+//! free oracle. The three models ROADMAP item 4 imports each come with a
+//! long-time limit simple enough to evaluate in a line or two:
+//!
+//! * **Cascade rollback** (Manita & Simonot, *Clustering in stochastic
+//!   asynchronous algorithms*, arXiv math/0508533): processors in an
+//!   optimistic distributed simulation roll back to the timestamp of any
+//!   straggler message. The cohort of processors sharing the global
+//!   virtual time grows like a pure-birth chain — each of the `k` cohort
+//!   members recruits one of the `n-k` processors ahead of it with
+//!   probability `q·(n-k)/(n-1)` per round — giving the mean-field
+//!   synchronization time [`cascade_sync_rounds`].
+//! * **Two-type clocks** (Malyshev & Manita, *Phase transitions in the
+//!   time synchronization model*, arXiv 1201.3550): a fast and a slow
+//!   clock drift apart at rate `δ` per round and message exchanges pull
+//!   the laggard forward by at most `J`. The lag grows linearly at rate
+//!   `max(0, δ − p·J)` ([`two_type_growth_rate`]) and the sync/desync
+//!   phase transition sits exactly at `p = δ/J`
+//!   ([`two_type_critical_rate`]).
+//! * **Pulse synchronization** (Yu et al., fault-tolerant anonymous pulse
+//!   synchronization): with `n > 3f` and trimmed-midpoint updates the
+//!   honest phase diameter at least halves per round, so convergence to
+//!   `ε` takes at most [`pulse_convergence_bound`] rounds, Byzantine
+//!   nodes notwithstanding.
+//!
+//! The conformance oracles (`routesync-conformance`, analytical family)
+//! check ensemble simulations of the phenomena models against these
+//! forms, with the same wide-envelope philosophy as the `f`/`g` oracles.
+
+/// Mean-field expected rounds for the cascade-rollback model to reach
+/// full synchronization: `Σ_{k=1}^{n-1} 1 / min(1, k·q·(n-k)/(n-1))`,
+/// where `q` is the per-round per-processor send probability.
+///
+/// The cohort at the global virtual time is absorbing (rollback can only
+/// recruit into it, never out), so its size is a pure-birth chain; the
+/// expected recruits per round from cohort size `k` is
+/// `k·q·(n-k)/(n-1)`, capped at 1 as a rate-to-probability guard.
+/// Cascade propagation (depth > 0) and merges between non-cohort
+/// processors only accelerate synchronization, so the form is an upper
+/// envelope in spirit — the conformance band around it is generous on
+/// both sides.
+pub fn cascade_sync_rounds(n: usize, send_prob: f64) -> f64 {
+    assert!(n >= 2, "cascade needs at least two processors");
+    assert!(
+        send_prob > 0.0 && send_prob <= 1.0,
+        "send probability must be in (0, 1]"
+    );
+    (1..n)
+        .map(|k| {
+            let rate = k as f64 * send_prob * (n - k) as f64 / (n - 1) as f64;
+            1.0 / rate.min(1.0)
+        })
+        .sum()
+}
+
+/// Long-time lag growth rate of the two-type clock model:
+/// `max(0, drift − msg_rate·jump)` per round.
+///
+/// Below the critical message rate the laggard falls behind linearly;
+/// above it every drift increment is eventually cancelled and the lag
+/// stays bounded (the synchronized phase).
+pub fn two_type_growth_rate(drift: f64, msg_rate: f64, jump: f64) -> f64 {
+    assert!(drift >= 0.0 && msg_rate >= 0.0 && jump >= 0.0);
+    (drift - msg_rate * jump).max(0.0)
+}
+
+/// The critical message rate of the two-type model: `drift / jump`.
+/// Exchanges rarer than this cannot absorb the drift (desynchronized
+/// phase); exchanges more frequent keep the lag bounded.
+pub fn two_type_critical_rate(drift: f64, jump: f64) -> f64 {
+    assert!(jump > 0.0, "jump must be positive");
+    assert!(drift >= 0.0);
+    drift / jump
+}
+
+/// Convergence-round bound for trimmed-midpoint pulse synchronization:
+/// the smallest `r` with `initial_diameter / 2^r ≤ epsilon`, i.e.
+/// `ceil(log2(d0/ε))`. Returns 0 when the network already agrees to
+/// within `ε`.
+///
+/// Valid whenever `n > 3f` and at most `f` values are trimmed from each
+/// end: every honest update lands inside the honest range and the honest
+/// diameter at least halves per round, for *any* Byzantine behavior.
+pub fn pulse_convergence_bound(initial_diameter: f64, epsilon: f64) -> u64 {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    assert!(initial_diameter >= 0.0);
+    if initial_diameter <= epsilon {
+        return 0;
+    }
+    let mut r = 0u64;
+    let mut d = initial_diameter;
+    while d > epsilon && r < 4_096 {
+        d /= 2.0;
+        r += 1;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cascade_time_shrinks_with_send_probability() {
+        let slow = cascade_sync_rounds(6, 0.01);
+        let fast = cascade_sync_rounds(6, 0.5);
+        assert!(slow > fast, "{slow} vs {fast}");
+        // The pure-birth sum is exactly 1/rate per stage.
+        let t = cascade_sync_rounds(3, 0.5);
+        // stages k=1: 1*0.5*2/2 = 0.5 → 2 rounds; k=2: 2*0.5*1/2 = 0.5 → 2.
+        assert!((t - 4.0).abs() < 1e-12, "{t}");
+    }
+
+    #[test]
+    fn cascade_time_grows_with_n() {
+        let mut prev = 0.0;
+        for n in 2..12 {
+            let t = cascade_sync_rounds(n, 0.1);
+            assert!(t > prev, "n={n}: {t} vs {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn two_type_transition_is_sharp() {
+        let delta = 0.02;
+        let j = 1.0;
+        let pc = two_type_critical_rate(delta, j);
+        assert!((pc - 0.02).abs() < 1e-15);
+        assert_eq!(two_type_growth_rate(delta, pc, j), 0.0);
+        assert_eq!(two_type_growth_rate(delta, 2.0 * pc, j), 0.0);
+        let below = two_type_growth_rate(delta, 0.5 * pc, j);
+        assert!((below - 0.01).abs() < 1e-15, "{below}");
+    }
+
+    #[test]
+    fn pulse_bound_is_a_true_halving_bound() {
+        for &(d0, eps) in &[(100.0, 0.01), (1.0, 0.5), (8.0, 1.0), (0.5, 1.0)] {
+            let r = pulse_convergence_bound(d0, eps);
+            assert!(d0 / 2f64.powi(r as i32) <= eps, "d0={d0} eps={eps} r={r}");
+            if r > 0 {
+                assert!(d0 / 2f64.powi(r as i32 - 1) > eps, "r not minimal");
+            }
+        }
+        assert_eq!(pulse_convergence_bound(0.0, 1e-9), 0);
+    }
+}

@@ -24,6 +24,26 @@
 //!   synchronize by aligning to the same wall clock. No amount of
 //!   per-process independence helps; only schedule randomization does.
 //!
+//! Beyond the paper's own catalogue, three models from the related
+//! literature arrive with closed-form limits
+//! (`routesync_markov::meanfield`) that the conformance oracles check
+//! simulations against:
+//!
+//! * [`cascade`] — **cascade rollback synchronization** in optimistic
+//!   distributed simulation (Manita & Simonot, arXiv math/0508533):
+//!   straggler messages roll receivers back and anti-messages cascade
+//!   the rollback downstream, dragging the processors' local virtual
+//!   times into lock-step; jittered clock advancement resists it.
+//! * [`two_type`] — **two-type clock phase transition** (Malyshev &
+//!   Manita, arXiv 1201.3550): two clocks drift apart at rate `δ` and
+//!   message exchanges pull the laggard forward by at most `J`; the lag
+//!   stays bounded iff the exchange rate exceeds `δ/J`, an exact
+//!   sync/desync transition.
+//! * [`pulse`] — **fault-tolerant anonymous pulse synchronization**
+//!   (Yu, Welch et al.): trimmed-midpoint updates halve the phase
+//!   diameter every round despite Byzantine equivocators, provided
+//!   `n > 3f`; clock-drift jitter leaves a diameter floor.
+//!
 //! Each model exposes the same two knobs the routing analysis turns —
 //! a deterministic schedule versus a jittered one — and a measurement of
 //! how synchronized the aggregate became, so the experiments harness can
@@ -48,10 +68,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cascade;
 pub mod client_server;
 pub mod external_clock;
+pub mod pulse;
 pub mod tcp;
+pub mod two_type;
 
+pub use cascade::{CascadeParams, CascadeReport, CascadeSim};
 pub use client_server::{ClientServerModel, ClientServerParams, StormReport};
 pub use external_clock::{ClockAlignment, ClockParams, LoadProfile};
+pub use pulse::{ByzantineWindow, PulseParams, PulseReport, PulseSim};
 pub use tcp::{DropPolicy, TcpBottleneck, TcpParams, TcpReport};
+pub use two_type::{ExchangeSchedule, TwoTypeParams, TwoTypeReport, TwoTypeSim};

@@ -802,6 +802,7 @@ mod tests {
                 horizon_s: 1_000,
                 faults: vec![],
                 batch_width: 2,
+                depth: 0,
             },
             message: String::new(),
         };

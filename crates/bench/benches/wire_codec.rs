@@ -1,0 +1,56 @@
+//! Wire-codec throughput: encode/decode of live-daemon advertisement
+//! frames, plus the rejection paths (CRC mismatch, truncation) that run
+//! on every malformed datagram a live socket receives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use routesync_netsim::{Advertisement, RouteEntry};
+
+fn advertisement(entries: usize) -> Advertisement {
+    Advertisement {
+        sender: 3,
+        seq: 42,
+        delta: false,
+        entries: (0..entries)
+            .map(|i| RouteEntry {
+                dst: i,
+                metric: (i % 16) as u32,
+            })
+            .collect(),
+    }
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec");
+    for &entries in &[8usize, 64, 512] {
+        let adv = advertisement(entries);
+        let frame = adv.encode();
+        group.bench_function(format!("encode_{entries}_routes"), |b| {
+            b.iter(|| adv.encode().len());
+        });
+        group.bench_function(format!("decode_{entries}_routes"), |b| {
+            b.iter(|| {
+                Advertisement::decode(&frame)
+                    .expect("valid frame decodes")
+                    .entries
+                    .len()
+            });
+        });
+    }
+    // Rejection is the hot path under attack or corruption: a flipped
+    // byte must be refused after at most one CRC pass over the frame.
+    let adv = advertisement(64);
+    let mut corrupt = adv.encode();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0xFF;
+    group.bench_function("reject_corrupt_64_routes", |b| {
+        b.iter(|| Advertisement::decode(&corrupt).is_err());
+    });
+    let frame = adv.encode();
+    group.bench_function("reject_truncated_64_routes", |b| {
+        b.iter(|| Advertisement::decode(&frame[..frame.len() / 2]).is_err());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire_codec);
+criterion_main!(benches);

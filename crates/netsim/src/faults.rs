@@ -265,6 +265,19 @@ impl FaultPlan {
         self
     }
 
+    /// The scheduled (deterministic) fault actions, in insertion order.
+    /// Read by consumers that apply plans outside the simulator — the
+    /// live daemon replays crashes/reboots against real sockets.
+    pub fn scheduled(&self) -> &[ScheduledFault] {
+        &self.scheduled
+    }
+
+    /// The per-link impairments. At most one entry per link
+    /// ([`FaultPlan::impair`] replaces).
+    pub fn impairments(&self) -> &[LinkImpairment] {
+        &self.impairments
+    }
+
     /// Multiply router `node`'s control-plane CPU costs by `factor`.
     pub fn slow_router(mut self, node: NodeId, factor: f64) -> Self {
         assert!(factor.is_finite() && factor > 0.0, "factor must be > 0");

@@ -31,6 +31,9 @@
 //!   (exponential MTBF/MTTR), per-link loss/reordering, and per-router
 //!   CPU slowdowns, all driven by dedicated seeded RNG streams so
 //!   `(seed, plan)` reproduces a run byte-for-byte.
+//! * [`wire`] — the versioned, checksummed datagram codec that carries
+//!   [`dv`] advertisements over real UDP sockets in `routesync-live`,
+//!   rejecting truncated/corrupted/foreign frames loudly.
 //! * [`scenario`] — canned topologies behind one typed builder:
 //!   [`ScenarioSpec::nearnet`] for Figures 1-2,
 //!   [`ScenarioSpec::mbone_audiocast`] for Figure 3,
@@ -79,6 +82,7 @@ pub mod packet;
 pub mod scenario;
 pub mod sim;
 pub mod topology;
+pub mod wire;
 
 pub use app::{CbrReceiverStats, PingStats};
 pub use area::{AreaLayout, AreaMode, AGG_BASE, DEFAULT_DST};
@@ -95,3 +99,4 @@ pub use sim::{
 pub use topology::{
     Backing, CsrStorage, DenseStorage, LinkId, LinkRef, NodeId, NodeKind, Topology, TopologyStorage,
 };
+pub use wire::{Advertisement, WireError, WIRE_VERSION};

@@ -34,7 +34,9 @@ use crate::topology::{Backing, NodeId, Topology};
 /// Which canned topology a [`ScenarioSpec`] builds.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum SpecKind {
-    Nearnet,
+    Nearnet {
+        stubs_per_core: usize,
+    },
     MboneAudiocast,
     Lan {
         n: usize,
@@ -96,7 +98,16 @@ impl ScenarioSpec {
     /// backbone T1s (west-gw↔core-1, core-1↔core-2, core-2↔east-gw),
     /// 4 = MIT access, then the regional stub links in creation order.
     pub fn nearnet() -> Self {
-        Self::of(SpecKind::Nearnet)
+        Self::nearnet_sized(5)
+    }
+
+    /// [`ScenarioSpec::nearnet`] with `stubs_per_core` regional stub
+    /// routers hanging off each core instead of the default five — the
+    /// same backbone and protocol config at a chosen router count
+    /// (`4 + 2 × stubs_per_core` routers). `nearnet_sized(2)` is the
+    /// 8-router variant the live-daemon smoke tests boot.
+    pub fn nearnet_sized(stubs_per_core: usize) -> Self {
+        Self::of(SpecKind::Nearnet { stubs_per_core })
     }
 
     /// The MBone audiocast scenario of Figure 3: source and sink hosts
@@ -199,6 +210,14 @@ impl ScenarioSpec {
         self
     }
 
+    /// The attached fault plan (empty unless [`ScenarioSpec::with_faults`]
+    /// was called). The live daemon reads this to replay the same
+    /// scheduled faults and link impairments in wall-clock time that
+    /// [`ScenarioSpec::build`] installs into the simulator.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
     /// Override the scenario's forwarding mode (e.g.
     /// [`ForwardingMode::Concurrent`] for the 1992-fix ablations).
     pub fn with_forwarding(mut self, mode: ForwardingMode) -> Self {
@@ -235,7 +254,7 @@ impl ScenarioSpec {
     /// `(spec, seed)` always builds a byte-identical simulator.
     pub fn build(self, seed: u64) -> Scenario {
         let (mut topo, mut cfg, hosts, routers, areas) = match self.kind {
-            SpecKind::Nearnet => nearnet_parts(),
+            SpecKind::Nearnet { stubs_per_core } => nearnet_parts(stubs_per_core),
             SpecKind::MboneAudiocast => audiocast_parts(),
             SpecKind::Lan { n, jitter_tr } => lan_parts(n, jitter_tr),
             SpecKind::RandomMesh {
@@ -297,7 +316,7 @@ type ScenarioParts = (
     Option<(AreaLayout, AreaMode)>,
 );
 
-fn nearnet_parts() -> ScenarioParts {
+fn nearnet_parts(stubs_per_core: usize) -> ScenarioParts {
     let mut t = Topology::new();
     let berkeley = t.add_host("berkeley");
     let mit = t.add_host("mit");
@@ -314,7 +333,7 @@ fn nearnet_parts() -> ScenarioParts {
     // Regional stubs hanging off each core: their synchronized updates are
     // the control-plane load that keeps the cores busy for seconds.
     for (i, &core) in [c1, c2].iter().enumerate() {
-        for j in 0..5 {
+        for j in 0..stubs_per_core {
             let stub = t.add_router(format!("regional-{i}-{j}"));
             t.add_link(core, stub, Duration::from_millis(3), t1, 50);
         }

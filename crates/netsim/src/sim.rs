@@ -699,6 +699,20 @@ impl NetSim {
         &self.counters
     }
 
+    /// The simulated topology. Consumers that mirror the simulator's
+    /// network outside the event loop — the live daemon building one UDP
+    /// socket per adjacency — read the node/link structure from here so
+    /// both worlds are guaranteed to agree.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The per-router configuration every node runs (protocol timers,
+    /// processing cost, forwarding mode).
+    pub fn config(&self) -> &RouterConfig {
+        &self.cfg
+    }
+
     /// A node's routing table.
     pub fn table(&self, node: NodeId) -> &RoutingTable {
         &self.nodes[node].table

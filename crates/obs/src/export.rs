@@ -38,6 +38,13 @@ use crate::Collector;
 /// host-side view; the *content* is still simulated-time stamped).
 pub const STREAM_INTERVAL: Duration = Duration::from_millis(250);
 
+/// Upper bound on buffered-but-unwritten bytes per `/stream` client. The
+/// serve loop is single-threaded; a client that stops reading used to
+/// park the whole server in a blocking `write_all`. Now unwritten lines
+/// accumulate up to this bound, after which the connection is dropped
+/// and `obs.server.slow_client_drops` is incremented.
+pub const STREAM_MAX_PENDING: usize = 64 * 1024;
+
 /// Render a snapshot in the Prometheus text exposition format.
 ///
 /// Metric names are prefixed `routesync_` with dots mapped to
@@ -266,6 +273,10 @@ fn handle_client(
     stop: &AtomicBool,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    // A stalled reader must never park the single-threaded serve loop:
+    // one-shot responses give up after the write timeout, `/stream`
+    // switches to a nonblocking bounded-buffer writer below.
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
     let mut buf = [0u8; 1024];
     let mut req = Vec::new();
     loop {
@@ -321,12 +332,38 @@ fn stream_ndjson(
     collector: &Collector,
     stop: &AtomicBool,
 ) -> std::io::Result<()> {
-    stream.write_all(
-        b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n",
-    )?;
+    stream.set_nonblocking(true)?;
+    let drops = collector.counter("obs.server.slow_client_drops");
+    let mut pending: std::collections::VecDeque<u8> =
+        b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n"
+            .iter()
+            .copied()
+            .collect();
     loop {
-        stream.write_all(ndjson_line(&collector.snapshot()).as_bytes())?;
-        stream.flush()?;
+        if pending.len() <= STREAM_MAX_PENDING {
+            pending.extend(ndjson_line(&collector.snapshot()).into_bytes());
+        }
+        loop {
+            let (head, _) = pending.as_slices();
+            if head.is_empty() {
+                break;
+            }
+            match stream.write(head) {
+                Ok(0) => return Ok(()), // peer hung up
+                Ok(n) => {
+                    pending.drain(..n);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Ok(()), // reset/refused: the client is gone
+            }
+        }
+        if pending.len() > STREAM_MAX_PENDING {
+            // The client has not drained a full buffer's worth: drop it
+            // rather than let it wedge every other scrape.
+            drops.add(1);
+            return Ok(());
+        }
         if stop.load(Ordering::Acquire) {
             return Ok(());
         }
@@ -412,6 +449,49 @@ mod tests {
         let missing = fetch(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.1 404"));
 
+        server.shutdown();
+    }
+
+    /// A `/stream` client that never reads must be disconnected once its
+    /// pending buffer exceeds [`STREAM_MAX_PENDING`] — counted in
+    /// `obs.server.slow_client_drops` — instead of wedging the
+    /// single-threaded serve loop for every other scrape.
+    #[test]
+    fn slow_stream_client_is_dropped_and_counted() {
+        let c = Collector::enabled();
+        // Inflate every NDJSON line far past the pending bound so a
+        // non-reading client overflows within a few stream intervals.
+        for i in 0..3000u64 {
+            c.counter(&format!("slow.client.test.padding.counter.{i:05}"))
+                .add(i);
+        }
+        let server = ObsServer::serve("127.0.0.1:0", c.clone()).expect("bind");
+        let addr = server.local_addr();
+
+        let mut s = TcpStream::connect(addr).expect("connect");
+        write!(s, "GET /stream HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        // Never read from `s`; the server must give up on it.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            let drops = c
+                .snapshot()
+                .counters
+                .get("obs.server.slow_client_drops")
+                .copied()
+                .unwrap_or(0);
+            if drops >= 1 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server never dropped the slow client"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        // The serve loop is free again: a well-behaved scrape succeeds.
+        let metrics = fetch(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200"), "{metrics}");
+        drop(s);
         server.shutdown();
     }
 

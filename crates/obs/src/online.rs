@@ -211,6 +211,18 @@ impl DetectorCell {
         }
     }
 
+    fn restore(&self, windows: u64, onset_t_ns: Option<u64>) {
+        let mut inner = lock(&self.inner);
+        inner.window.clear();
+        inner.points.clear();
+        inner.points_dropped = 0;
+        inner.windows = windows;
+        inner.above = 0;
+        inner.run_start_t_ns = 0;
+        inner.onset_t_ns = onset_t_ns;
+        self.onset_gauge.set(onset_t_ns.unwrap_or(0));
+    }
+
     fn reset(&self) {
         let mut inner = lock(&self.inner);
         inner.window.clear();
@@ -295,6 +307,18 @@ impl SyncDetector {
     pub fn reset(&self) {
         if let Some(cell) = &self.0 {
             cell.reset();
+        }
+    }
+
+    /// Restore checkpointed progress: the completed-window count and any
+    /// latched onset, for a process resuming mid-run (the live daemon's
+    /// crash-recovery path). The point ring and any partial window are
+    /// *not* restored — R(t) history restarts empty, and if the onset had
+    /// not latched before the checkpoint its sustain run restarts
+    /// conservatively from zero.
+    pub fn restore(&self, windows: u64, onset_t_ns: Option<u64>) {
+        if let Some(cell) = &self.0 {
+            cell.restore(windows, onset_t_ns);
         }
     }
 

@@ -36,6 +36,14 @@ commands:
                      [--deadline-secs 60] [--watchdog-steps K]
                      [--resume ckpt] [--quarantine-out path.jsonl]
                      [--out results/conformance] [--replay repro.jsonl]
+  serve       host a scenario's routers as a live daemon over real UDP
+              (loopback), with a predictive desim twin tracking divergence
+              flags: --spec nearnet|lan|mesh|mbone --stubs 2 --n 4
+                     --jitter-ms 60 --seed 1993 --scale 300
+                     [--for-sim-secs S] [--resume ckpt]
+                     [--checkpoint-every-secs 300] [--serve-obs ADDR]
+                     [--loss LINK:P] [--crash NODE:SEC]
+                     [--reboot NODE:SEC] [--ingress-cap 64] [--twin on|off]
   help        print this text
 
 Every command accepts --help. Unknown commands and flags are rejected.
@@ -108,6 +116,23 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
             "quarantine-out",
             "out",
             "replay",
+        ],
+        "serve" => &[
+            "spec",
+            "stubs",
+            "n",
+            "jitter-ms",
+            "seed",
+            "scale",
+            "for-sim-secs",
+            "resume",
+            "checkpoint-every-secs",
+            "serve-obs",
+            "loss",
+            "crash",
+            "reboot",
+            "ingress-cap",
+            "twin",
         ],
         _ => return None,
     })
@@ -197,6 +222,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "protocols" => protocols(&flags),
         "nearnet" => nearnet(&flags),
         "conformance" => conformance(&flags),
+        "serve" => serve(&flags),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }
@@ -557,6 +583,203 @@ fn nearnet(flags: &HashMap<String, String>) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parse a `--crash NODE:SEC` / `--reboot NODE:SEC` / `--loss LINK:P`
+/// style pair.
+fn parse_pair(flag: &str, value: &str) -> Result<(usize, f64), String> {
+    let Some((a, b)) = value.split_once(':') else {
+        return Err(format!("--{flag} must look like ID:VALUE, got {value:?}"));
+    };
+    let id = a
+        .parse::<usize>()
+        .map_err(|_| format!("--{flag}: {a:?} is not an id"))?;
+    let v = b
+        .parse::<f64>()
+        .map_err(|_| format!("--{flag}: {b:?} is not a number"))?;
+    Ok((id, v))
+}
+
+/// `serve`: host the scenario's routers as a long-running daemon over
+/// real loopback UDP, paced by `--scale` simulated seconds per wall
+/// second, with bounded retry/backoff, overload shedding, crash-safe
+/// checkpoints (`--resume`) and a predictive desim twin.
+///
+/// Exit contract: 0 on completion (after `--for-sim-secs`, or after
+/// Ctrl-C when `--serve-obs` keeps serving a finished run); 130 when a
+/// SIGINT drains a running daemon (the final checkpoint supports
+/// `--resume`); 2 when `--resume` points at a checkpoint written under a
+/// different run configuration.
+fn serve(flags: &HashMap<String, String>) -> Result<String, CliError> {
+    use routesync_live::{LiveConfig, LiveDaemon, Outcome};
+    use routesync_netsim::{FaultPlan, ScenarioSpec};
+
+    let spec_name = flags.get("spec").map(|s| s.as_str()).unwrap_or("nearnet");
+    let stubs = get_usize(flags, "stubs", 2)?;
+    let n = get_usize(flags, "n", 4)?;
+    let jitter_ms = get_u64(flags, "jitter-ms", 60)?;
+    let seed = get_u64(flags, "seed", 1993)?;
+    let scale = get_f64(flags, "scale", 300.0)?;
+    if !(scale.is_finite() && scale > 0.0) {
+        return Err("--scale must be a positive number".into());
+    }
+    let jitter = Duration::from_millis(jitter_ms);
+    let spec = match spec_name {
+        "nearnet" => {
+            if stubs == 0 {
+                return Err("--stubs must be positive".into());
+            }
+            ScenarioSpec::nearnet_sized(stubs)
+        }
+        "lan" => {
+            if n < 2 {
+                return Err("--n must be at least 2".into());
+            }
+            ScenarioSpec::lan(n, jitter)
+        }
+        "mesh" => {
+            if n < 3 {
+                return Err("--n must be at least 3 for a mesh".into());
+            }
+            ScenarioSpec::random_mesh(n, n / 2, jitter)
+        }
+        "mbone" => ScenarioSpec::mbone_audiocast(),
+        other => {
+            return Err(format!("--spec must be nearnet, lan, mesh or mbone, got {other:?}").into())
+        }
+    };
+    let mut plan = FaultPlan::new();
+    let mut fault_desc = String::new();
+    if let Some(v) = flags.get("loss") {
+        let (link, p) = parse_pair("loss", v)?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err("--loss probability must be in [0, 1]".into());
+        }
+        plan = plan.lossy_link(link, p);
+        let _ = write!(fault_desc, ";loss={link}:{p}");
+    }
+    if let Some(v) = flags.get("crash") {
+        let (node, at) = parse_pair("crash", v)?;
+        plan = plan.crash_at(node, SimTime::from_secs_f64(at));
+        let _ = write!(fault_desc, ";crash={node}:{at}");
+    }
+    if let Some(v) = flags.get("reboot") {
+        let (node, at) = parse_pair("reboot", v)?;
+        plan = plan.reboot_at(node, SimTime::from_secs_f64(at));
+        let _ = write!(fault_desc, ";reboot={node}:{at}");
+    }
+    let spec = if plan.is_empty() {
+        spec
+    } else {
+        spec.with_faults(plan)
+    };
+    let horizon_secs = get_f64(flags, "for-sim-secs", 0.0)?;
+    let ingress_cap = get_usize(flags, "ingress-cap", 64)?;
+    let twin = match flags.get("twin").map(|s| s.as_str()).unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("--twin must be on or off, got {other:?}").into()),
+    };
+    // Everything that shapes the protocol trajectory goes into the
+    // fingerprint; resuming a checkpoint written under a different
+    // configuration is a usage error (exit 2). Pacing-only knobs
+    // (--scale, --serve-obs, --twin) stay out.
+    let fingerprint = format!(
+        "serve;spec={spec_name};stubs={stubs};n={n};jitter_ms={jitter_ms};seed={seed};\
+         horizon={horizon_secs};ingress_cap={ingress_cap}{fault_desc}"
+    );
+
+    routesync_exec::interrupt::install();
+    let serve_obs = flags.get("serve-obs");
+    let collector = if serve_obs.is_some() {
+        routesync_obs::install(routesync_obs::Collector::enabled());
+        routesync_obs::global()
+    } else {
+        routesync_obs::Collector::enabled()
+    };
+    let server = match serve_obs {
+        None => None,
+        Some(addr) => match routesync_obs::ObsServer::serve(addr, routesync_obs::global()) {
+            Ok(server) => {
+                eprintln!("serve: obs exporter listening on {}", server.local_addr());
+                Some(server)
+            }
+            Err(e) => return Err(CliError::Failure(format!("--serve-obs {addr}: {e}\n"))),
+        },
+    };
+
+    let mut cfg = LiveConfig::new(spec, fingerprint, seed);
+    cfg.time_scale = scale;
+    if horizon_secs > 0.0 {
+        cfg.horizon = SimTime::from_secs_f64(horizon_secs);
+    }
+    cfg.checkpoint = flags.get("resume").map(std::path::PathBuf::from);
+    let every = get_f64(flags, "checkpoint-every-secs", 300.0)?;
+    if every > 0.0 {
+        cfg.checkpoint_every = Duration::from_secs_f64(every);
+    }
+    cfg.ingress_cap = ingress_cap;
+    cfg.twin = twin;
+    cfg.collector = collector;
+
+    let mut daemon = LiveDaemon::new(cfg).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::InvalidInput {
+            CliError::Usage(format!("--resume: {e}"))
+        } else {
+            CliError::Failure(format!("serve: cannot boot the daemon: {e}\n"))
+        }
+    })?;
+    let resumed = daemon.resumed_at();
+    if resumed > SimTime::ZERO {
+        eprintln!("serve: resumed from checkpoint at t={resumed}");
+    }
+    let report = daemon
+        .run()
+        .map_err(|e| CliError::Failure(format!("serve: daemon error: {e}\n")))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serve: {} at t={} after {} update rounds",
+        match report.outcome {
+            Outcome::Completed => "completed",
+            Outcome::Interrupted => "interrupted",
+        },
+        report.sim_end,
+        report.rounds
+    );
+    let _ = writeln!(
+        out,
+        "  routers: {}   sync windows: {}   onset: {}",
+        report.tables.len(),
+        report.detector.windows,
+        report.detector.onset_t_ns.map_or_else(
+            || "none".to_string(),
+            |ns| format!("{:.0} s", ns as f64 / 1e9)
+        ),
+    );
+    if let Some(max) = report.max_divergence {
+        let _ = writeln!(out, "  max live-vs-twin divergence: {max:.4}");
+    }
+    if report.outcome == Outcome::Interrupted {
+        let hint = flags
+            .get("resume")
+            .map(|p| format!("rerun with --resume {p} to continue; "))
+            .unwrap_or_default();
+        return Err(CliError::Interrupted(format!(
+            "{out}interrupted — {hint}state checkpointed at t={}\n",
+            report.sim_end
+        )));
+    }
+    // A finished run keeps its metrics queryable until Ctrl-C.
+    if let Some(server) = server {
+        eprintln!("serve: done; serving obs until interrupted (Ctrl-C to exit)");
+        while !routesync_exec::interrupt::interrupted() {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        server.shutdown();
+    }
+    Ok(out)
+}
+
 /// `conformance`: run the cross-model conformance fuzzer to a case/time
 /// budget, or replay previously minimized reproducer lines.
 ///
@@ -812,6 +1035,26 @@ mod tests {
         assert!(run(&args("conformance --replay /nonexistent.jsonl")).is_err());
         assert!(run(&args("conformance --budget-cases 0")).is_err());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_rejects_malformed_invocations() {
+        assert!(run(&args("serve --spec sideways")).is_err());
+        assert!(run(&args("serve --twin maybe")).is_err());
+        assert!(run(&args("serve --scale 0")).is_err());
+        assert!(run(&args("serve --loss 0:2.0")).is_err());
+        assert!(run(&args("serve --crash one:5")).is_err());
+        assert!(run(&args("serve --n 1 --spec lan")).is_err());
+    }
+
+    #[test]
+    fn serve_runs_a_tiny_live_daemon_to_completion() {
+        let out = run(&args(
+            "serve --spec lan --n 2 --jitter-ms 50 --scale 600 --for-sim-secs 700 --twin off",
+        ))
+        .expect("ok");
+        assert!(out.contains("completed"), "{out}");
+        assert!(out.contains("routers: 2"), "{out}");
     }
 
     #[test]
